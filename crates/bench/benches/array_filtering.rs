@@ -1,0 +1,56 @@
+//! Criterion benches for the functional array model: per-window evaluation
+//! and whole-image filtering (sequential vs. row-parallel), the inner loop of
+//! every fitness evaluation in the workspace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehw_array::array::ProcessingArray;
+use ehw_array::genotype::Genotype;
+use ehw_image::synth;
+use ehw_image::window::Window3x3;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_window_evaluation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let array = ProcessingArray::new(Genotype::random(&mut rng));
+    let window = Window3x3([10, 200, 30, 90, 128, 45, 250, 7, 66]);
+    c.bench_function("array/evaluate_window", |b| {
+        b.iter(|| black_box(array.evaluate_window(black_box(&window))))
+    });
+}
+
+fn bench_image_filtering(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let array = ProcessingArray::new(Genotype::random(&mut rng));
+    let mut group = c.benchmark_group("array/filter_image");
+    for size in [64usize, 128, 256] {
+        let img = synth::shapes(size, size, 5);
+        group.bench_with_input(BenchmarkId::new("sequential", size), &img, |b, img| {
+            b.iter(|| black_box(array.filter_image(img)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel-4", size), &img, |b, img| {
+            b.iter(|| black_box(array.filter_image_parallel(img, 4)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reference_filters(c: &mut Criterion) {
+    let img = synth::paper_scene_128();
+    let mut group = c.benchmark_group("reference_filters/128x128");
+    group.bench_function("median", |b| b.iter(|| black_box(ehw_image::filters::median(&img))));
+    group.bench_function("sobel", |b| b.iter(|| black_box(ehw_image::filters::sobel_edge(&img))));
+    group.bench_function("gaussian", |b| {
+        b.iter(|| black_box(ehw_image::filters::gaussian_blur(&img)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_window_evaluation,
+    bench_image_filtering,
+    bench_reference_filters
+);
+criterion_main!(benches);

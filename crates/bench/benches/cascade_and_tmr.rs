@@ -1,0 +1,61 @@
+//! Criterion benches for the multi-array processing modes: cascaded
+//! processing, parallel (TMR) processing with both voters, and the
+//! self-healing calibration check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ehw_array::genotype::Genotype;
+use ehw_image::synth;
+use ehw_platform::platform::EhwPlatform;
+use ehw_platform::self_healing::{CascadedSelfHealing, TmrSupervisor};
+use ehw_platform::voter::PixelVoter;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn configured_platform() -> EhwPlatform {
+    let mut platform = EhwPlatform::paper_three_arrays();
+    let mut rng = StdRng::seed_from_u64(7);
+    let genotype = Genotype::random(&mut rng);
+    platform.configure_all_arrays(&genotype);
+    platform
+}
+
+fn bench_processing_modes(c: &mut Criterion) {
+    let platform = configured_platform();
+    let img = synth::paper_scene_128();
+
+    c.bench_function("platform/process_cascaded_3x128", |b| {
+        b.iter(|| black_box(platform.process_cascaded(black_box(&img))))
+    });
+    c.bench_function("platform/process_parallel_3x128", |b| {
+        b.iter(|| black_box(platform.process_parallel(black_box(&img))))
+    });
+}
+
+fn bench_voters(c: &mut Criterion) {
+    let platform = configured_platform();
+    let img = synth::paper_scene_128();
+    let outputs = platform.process_parallel(&img);
+
+    c.bench_function("voter/pixel_vote_128", |b| {
+        b.iter(|| black_box(PixelVoter.vote([&outputs[0], &outputs[1], &outputs[2]])))
+    });
+
+    let reference = outputs[0].clone();
+    let supervisor = TmrSupervisor::new(100);
+    c.bench_function("voter/tmr_step_128", |b| {
+        b.iter(|| black_box(supervisor.process(&platform, &img, &reference)))
+    });
+}
+
+fn bench_self_healing_check(c: &mut Criterion) {
+    let platform = configured_platform();
+    let calibration = synth::shapes(64, 64, 5);
+    let supervisor = CascadedSelfHealing::calibrate(&platform, calibration);
+    c.bench_function("self_healing/calibration_check_3x64", |b| {
+        b.iter(|| black_box(supervisor.deviations(&platform)))
+    });
+}
+
+criterion_group!(benches, bench_processing_modes, bench_voters, bench_self_healing_check);
+criterion_main!(benches);

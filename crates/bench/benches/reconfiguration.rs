@@ -1,0 +1,74 @@
+//! Criterion benches for the DPR substrate: PE configuration through the
+//! engine, readback/copy, scrubbing and genotype↔bitstream bookkeeping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ehw_array::genotype::Genotype;
+use ehw_array::reconfig_map::reconfig_plan;
+use ehw_fabric::device::DeviceGeometry;
+use ehw_fabric::fault::FaultKind;
+use ehw_fabric::region::{Floorplan, PeSlot};
+use ehw_reconfig::engine::ReconfigEngine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn floorplan() -> Floorplan {
+    Floorplan::new(DeviceGeometry::virtex5_lx110t(), 3, 4, 4)
+}
+
+fn bench_configure_pe(c: &mut Criterion) {
+    let fp = floorplan();
+    let region = *fp.region(PeSlot::new(0, 1, 1)).expect("region");
+    c.bench_function("reconfig/configure_pe", |b| {
+        let mut engine = ReconfigEngine::new();
+        let mut gene = 0u8;
+        b.iter(|| {
+            gene = (gene + 1) % 16;
+            black_box(engine.configure_pe(&region, gene))
+        })
+    });
+}
+
+fn bench_copy_and_scrub(c: &mut Criterion) {
+    let fp = floorplan();
+    let src = *fp.region(PeSlot::new(0, 2, 2)).expect("region");
+    let dst = *fp.region(PeSlot::new(2, 2, 2)).expect("region");
+
+    c.bench_function("reconfig/copy_region", |b| {
+        let mut engine = ReconfigEngine::new();
+        engine.configure_pe(&src, 9);
+        b.iter(|| black_box(engine.copy_region(&src, &dst)))
+    });
+
+    c.bench_function("reconfig/scrub_region_with_seu", |b| {
+        let mut engine = ReconfigEngine::new();
+        engine.configure_pe(&src, 5);
+        b.iter(|| {
+            engine.inject_region_fault(&src, 100, FaultKind::Seu);
+            black_box(engine.scrub_region(&src))
+        })
+    });
+}
+
+fn bench_genotype_bookkeeping(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = Genotype::random(&mut rng);
+    let b_geno = Genotype::random(&mut rng);
+
+    c.bench_function("genotype/encode_decode", |b| {
+        b.iter(|| {
+            let bytes = black_box(&a).encode();
+            black_box(Genotype::decode(&bytes))
+        })
+    });
+    c.bench_function("genotype/reconfig_plan", |b| {
+        b.iter(|| black_box(reconfig_plan(0, black_box(&a), black_box(&b_geno))))
+    });
+    c.bench_function("genotype/mutate_k3", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| black_box(a.mutated(3, &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_configure_pe, bench_copy_and_scrub, bench_genotype_bookkeeping);
+criterion_main!(benches);

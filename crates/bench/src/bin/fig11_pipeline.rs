@@ -1,0 +1,62 @@
+//! Fig. 11 — The generation pipeline with one array vs. three arrays.
+//!
+//! Reproduces the timing diagram of Fig. 11: nine candidates per generation,
+//! mutation (M) done in software and overlapped, reconfiguration (R)
+//! serialized on the single engine, fitness evaluation (F) running on the
+//! array(s).  Prints the schedule of one generation for both platform sizes.
+//!
+//! ```text
+//! cargo run --release -p ehw-bench --bin fig11_pipeline -- [--k=3] [--size=128]
+//! ```
+
+use ehw_bench::{arg_usize, fmt_time, print_table};
+use ehw_platform::timing::PipelineTimer;
+
+fn main() {
+    let k = arg_usize("k", 3);
+    let size = arg_usize("size", 128);
+    let offspring = arg_usize("offspring", 9);
+
+    println!("Fig. 11: generation pipeline, k = {k}, image = {size}x{size}, {offspring} offspring\n");
+
+    for arrays in [1usize, 3] {
+        let timer = PipelineTimer::paper(arrays, size, size);
+        let reconfigs = vec![k; offspring];
+        let schedule = timer.generation_schedule(&reconfigs);
+
+        println!("--- {arrays} array(s) ---");
+        let rows: Vec<Vec<String>> = schedule
+            .iter()
+            .map(|c| {
+                vec![
+                    format!("C{}", c.candidate),
+                    format!("array {}", c.array),
+                    c.pe_reconfigurations.to_string(),
+                    fmt_time(c.reconfiguration_start),
+                    fmt_time(c.reconfiguration_end),
+                    fmt_time(c.evaluation_end),
+                ]
+            })
+            .collect();
+        print_table(
+            &["candidate", "evaluated on", "PEs", "R start", "R end", "F end"],
+            &rows,
+        );
+        let total = timer.generation_time(&reconfigs);
+        println!("generation time: {}\n", fmt_time(total));
+    }
+
+    let single = PipelineTimer::paper(1, size, size).generation_time(&vec![k; offspring]);
+    let triple = PipelineTimer::paper(3, size, size).generation_time(&vec![k; offspring]);
+    println!(
+        "per-generation saving with 3 arrays: {} ({:.1}% faster)",
+        fmt_time(single - triple),
+        (1.0 - triple / single) * 100.0
+    );
+    println!(
+        "extrapolated to 100,000 generations: {} vs {} (saving {})",
+        fmt_time(single * 100_000.0),
+        fmt_time(triple * 100_000.0),
+        fmt_time((single - triple) * 100_000.0)
+    );
+}

@@ -1,0 +1,95 @@
+//! Fig. 16 — Average fitness per stage of the three-stage cascade:
+//! same filter replicated vs. adapted filters (sequential) vs. adapted
+//! filters (interleaved).
+//!
+//! ```text
+//! cargo run --release -p ehw-bench --bin fig16_cascade_avg -- [--runs=3] [--generations=300]
+//! ```
+
+use ehw_bench::{arg_usize, banner, denoise_task, print_table};
+use ehw_evolution::stats::Summary;
+use ehw_evolution::strategy::EsConfig;
+use ehw_platform::evo_modes::{evolve_cascade, evolve_same_filter_cascade, CascadeConfig};
+use ehw_platform::modes::CascadeSchedule;
+use ehw_platform::platform::EhwPlatform;
+
+/// Collects the per-stage chain fitness of one cascade configuration over
+/// several runs.
+fn collect(
+    runs: usize,
+    generations: usize,
+    size: usize,
+    variant: &str,
+) -> Vec<Vec<u64>> {
+    let mut per_stage: Vec<Vec<u64>> = vec![Vec::new(); 3];
+    for run in 0..runs {
+        let task = denoise_task(size, 0.4, 5000 + run as u64);
+        let mut platform = EhwPlatform::paper_three_arrays();
+        let stage_fitness = match variant {
+            "same" => {
+                let config = EsConfig::paper(2, 1, generations, 200 + run as u64);
+                evolve_same_filter_cascade(&mut platform, &task, &config).stage_fitness
+            }
+            "sequential" => {
+                let config = CascadeConfig {
+                    schedule: CascadeSchedule::Sequential,
+                    ..CascadeConfig::paper(generations, 2, 300 + run as u64)
+                };
+                evolve_cascade(&mut platform, &task, &config).stage_fitness
+            }
+            "interleaved" => {
+                let config = CascadeConfig {
+                    schedule: CascadeSchedule::Interleaved,
+                    ..CascadeConfig::paper(generations, 2, 400 + run as u64)
+                };
+                evolve_cascade(&mut platform, &task, &config).stage_fitness
+            }
+            other => panic!("unknown variant {other}"),
+        };
+        for (stage, fitness) in stage_fitness.iter().enumerate() {
+            per_stage[stage].push(*fitness);
+        }
+    }
+    per_stage
+}
+
+fn main() {
+    let runs = arg_usize("runs", 3);
+    let generations = arg_usize("generations", 300);
+    let size = arg_usize("size", 64);
+    banner(
+        "Fig. 16",
+        "average fitness per cascade stage: same filter vs adapted (sequential/interleaved)",
+        runs,
+        generations,
+    );
+    println!("(every evolved circuit gets {generations} generations, matching the same-filter baseline)\n");
+
+    let same = collect(runs, generations, size, "same");
+    let sequential = collect(runs, generations, size, "sequential");
+    let interleaved = collect(runs, generations, size, "interleaved");
+
+    let rows: Vec<Vec<String>> = (0..3)
+        .map(|stage| {
+            vec![
+                format!("stage {}", stage + 1),
+                format!("{:.0}", Summary::of_u64(&same[stage]).mean),
+                format!("{:.0}", Summary::of_u64(&sequential[stage]).mean),
+                format!("{:.0}", Summary::of_u64(&interleaved[stage]).mean),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "cascade stage",
+            "same filter (avg)",
+            "adapted, sequential (avg)",
+            "adapted, interleaved (avg)",
+        ],
+        &rows,
+    );
+    println!();
+    println!("Paper (Fig. 16): replicating the same filter improves from stage 1 to 2 but gets");
+    println!("worse at stage 3, while adapted filters keep improving at every stage; the two");
+    println!("adapted schedules end up with very similar fitness.");
+}

@@ -1,0 +1,77 @@
+//! §VI.A — Resource utilisation of the scalable platform (Fig. 10).
+//!
+//! Prints the resource model for 1–4 Array Control Blocks next to the values
+//! published in the paper for the three-stage demonstrator on the Virtex-5
+//! LX110T, plus the reconfiguration-time constants.
+//!
+//! ```text
+//! cargo run --release -p ehw-bench --bin resources
+//! ```
+
+use ehw_bench::print_table;
+use ehw_fabric::device::DeviceGeometry;
+use ehw_platform::platform::EhwPlatform;
+use ehw_platform::resources::PlatformResources;
+
+fn main() {
+    println!("Resource utilisation model (paper §VI.A, Fig. 10)\n");
+
+    let mut rows = Vec::new();
+    for arrays in 1..=4 {
+        let r = PlatformResources::for_arrays(arrays);
+        let total = r.total_static_logic();
+        rows.push(vec![
+            arrays.to_string(),
+            format!("{}/{}/{}", r.static_control.slices, r.static_control.ffs, r.static_control.luts),
+            format!("{}/{}/{}", r.per_acb.slices, r.per_acb.ffs, r.per_acb.luts),
+            format!("{}/{}/{}", total.slices, total.ffs, total.luts),
+            r.array_clbs.to_string(),
+            format!("{:.1}%", r.device_occupancy * 100.0),
+        ]);
+    }
+    print_table(
+        &[
+            "arrays",
+            "static ctrl (slice/FF/LUT)",
+            "per ACB (slice/FF/LUT)",
+            "total static logic",
+            "array CLBs",
+            "device CLB occupancy",
+        ],
+        &rows,
+    );
+
+    println!("\nPaper-reported values (3-stage platform):");
+    println!("  static control logic : 733 slices, 1365 FFs, 1817 LUTs");
+    println!("  each ACB             : 754 slices, 1642 FFs, 1528 LUTs");
+    println!("  each array           : 160 CLBs (8 CLB columns of one clock region)");
+    println!("  each PE              : 2 CLB columns x 5 CLBs");
+    println!("  PE reconfiguration   : 67.53 us at ICAP @ 100 MHz");
+
+    let paper = PlatformResources::paper_three_stage();
+    println!("\nModel check for 3 arrays:");
+    println!(
+        "  total static logic   : {} slices, {} FFs, {} LUTs",
+        paper.total_static_logic().slices,
+        paper.total_static_logic().ffs,
+        paper.total_static_logic().luts
+    );
+    println!(
+        "  full bring-up time   : {:.2} ms (48 PEs x 67.53 us)",
+        paper.full_configuration_time_s() * 1e3
+    );
+
+    // Cross-check against the live platform model.
+    let platform = EhwPlatform::paper_three_arrays();
+    let stats = platform.reconfig_stats();
+    println!(
+        "  measured bring-up    : {} PE writes, {:.2} ms engine busy time",
+        stats.pe_reconfigurations,
+        stats.busy_time_s * 1e3
+    );
+    let geometry = DeviceGeometry::virtex5_lx110t();
+    println!(
+        "  device capacity      : up to {} arrays on the LX110T floorplan",
+        geometry.max_arrays()
+    );
+}

@@ -1,0 +1,145 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation section (§VI); this library provides the common pieces: command
+//! line parsing (`--runs`, `--generations`, …), workload construction (the
+//! synthetic stand-ins for the paper's 128×128 / 256×256 camera images with
+//! 40 % salt & pepper noise) and plain-text table printing so results can be
+//! diffed against EXPERIMENTS.md.
+
+use ehw_image::image::GrayImage;
+use ehw_image::noise::NoiseModel;
+use ehw_image::synth;
+use ehw_platform::evo_modes::EvolutionTask;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parses `--name=value` (usize) from the process arguments, falling back to
+/// `default`.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+/// Parses `--name=value` (f64) from the process arguments.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+/// `true` if `--name` was passed as a bare flag.
+pub fn arg_flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
+
+/// The salt & pepper denoising workload the paper evaluates on: a synthetic
+/// scene of the given size corrupted with the given noise density.
+pub fn denoise_task(size: usize, density: f64, seed: u64) -> EvolutionTask {
+    let clean = clean_scene(size);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noisy = NoiseModel::SaltPepper { density }.apply(&clean, &mut rng);
+    EvolutionTask::new(noisy, clean)
+}
+
+/// The clean scene of the given size (for tasks that need it separately).
+pub fn clean_scene(size: usize) -> GrayImage {
+    match size {
+        128 => synth::paper_scene_128(),
+        256 => synth::paper_scene_256(),
+        _ => synth::shapes(size, size, 5),
+    }
+}
+
+/// Prints a fixed-width text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len()))
+            })
+            .collect();
+        println!("| {} |", joined.join(" | "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(&sep);
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Prints the standard experiment banner with the scaled-down defaults so
+/// readers know how the run compares with the paper's 50 × 100 000 budget.
+pub fn banner(figure: &str, description: &str, runs: usize, generations: usize) {
+    println!("==============================================================");
+    println!("{figure}: {description}");
+    println!(
+        "runs = {runs}, generations = {generations} (paper: 50 runs x 100,000 generations; \
+         use --runs=/--generations= to change)"
+    );
+    println!("==============================================================");
+}
+
+/// Formats seconds with a sensible unit (sign-preserving).
+pub fn fmt_time(seconds: f64) -> String {
+    let magnitude = seconds.abs();
+    if magnitude >= 1.0 {
+        format!("{seconds:.2} s")
+    } else if magnitude >= 1e-3 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} us", seconds * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denoise_task_has_requested_size_and_noise() {
+        let task = denoise_task(64, 0.4, 1);
+        assert_eq!(task.input.width(), 64);
+        assert_eq!(task.reference.height(), 64);
+        assert_ne!(task.input, task.reference);
+        let paper = denoise_task(128, 0.4, 1);
+        assert_eq!(paper.input.width(), 128);
+    }
+
+    #[test]
+    fn fmt_time_selects_unit() {
+        assert!(fmt_time(2.5).ends_with(" s"));
+        assert!(fmt_time(0.002).ends_with(" ms"));
+        assert!(fmt_time(0.000002).ends_with(" us"));
+    }
+
+    #[test]
+    fn arg_parsers_fall_back_to_defaults() {
+        assert_eq!(arg_usize("definitely-not-passed", 7), 7);
+        assert_eq!(arg_f64("definitely-not-passed", 0.5), 0.5);
+        assert!(!arg_flag("definitely-not-passed"));
+    }
+
+    #[test]
+    fn table_printing_does_not_panic_on_ragged_rows() {
+        print_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into(), "extra".into()], vec!["x".into()]],
+        );
+    }
+}

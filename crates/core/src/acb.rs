@@ -1,0 +1,247 @@
+//! The Array Control Block (ACB).
+//!
+//! §III.B and Fig. 3: the scalable platform is built by stacking identical
+//! modules, each containing *"a processing array with its corresponding
+//! controller, the structures to compute and to deal with the variable
+//! latency of the arrays, some FIFOs to align data and the fitness unit"*.
+//! The number of instantiated ACBs is the scaling knob of the architecture.
+//!
+//! The software ACB keeps:
+//!
+//! * the functional model of its 4×4 processing array (including any injected
+//!   PE-level faults, which are a property of the fabric and therefore live
+//!   here, not in the genotype),
+//! * the bypass switch used by the self-healing strategies (a bypassed ACB
+//!   forwards its input unchanged to the next stage, while its array keeps
+//!   receiving the data stream so it can be re-evolved online),
+//! * its fitness unit with its selectable comparison source,
+//! * the calibration fitness recorded by the self-healing supervisor.
+
+use ehw_array::array::ProcessingArray;
+use ehw_array::genotype::Genotype;
+use ehw_array::latency::ArrayLatency;
+use ehw_array::pe::FaultBehaviour;
+use ehw_image::image::GrayImage;
+
+use crate::fitness_unit::{FitnessSource, FitnessUnit};
+
+/// One Array Control Block: array + controller state + fitness unit.
+#[derive(Debug, Clone)]
+pub struct ArrayControlBlock {
+    index: usize,
+    array: ProcessingArray,
+    fitness_unit: FitnessUnit,
+    bypass: bool,
+    calibration_fitness: Option<u64>,
+}
+
+impl ArrayControlBlock {
+    /// Creates ACB number `index` with an identity-configured array.
+    pub fn new(index: usize) -> Self {
+        Self {
+            index,
+            array: ProcessingArray::identity(),
+            fitness_unit: FitnessUnit::new(),
+            bypass: false,
+            calibration_fitness: None,
+        }
+    }
+
+    /// Position of this ACB in the vertical stack.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The functional array model.
+    pub fn array(&self) -> &ProcessingArray {
+        &self.array
+    }
+
+    /// Mutable access to the functional array model (fault injection,
+    /// direct genotype manipulation in tests).
+    pub fn array_mut(&mut self) -> &mut ProcessingArray {
+        &mut self.array
+    }
+
+    /// The genotype currently configured in the array.
+    pub fn genotype(&self) -> &Genotype {
+        self.array.genotype()
+    }
+
+    /// Updates the functional model after the reconfiguration engine has
+    /// written a new candidate (called by the platform, which also performs
+    /// the frame writes and register updates).
+    pub fn set_genotype(&mut self, genotype: Genotype) {
+        self.array.set_genotype(genotype);
+    }
+
+    /// Enables or disables bypass mode.
+    pub fn set_bypass(&mut self, bypass: bool) {
+        self.bypass = bypass;
+    }
+
+    /// `true` if the ACB is currently bypassed.
+    pub fn is_bypassed(&self) -> bool {
+        self.bypass
+    }
+
+    /// The stream this ACB forwards to the next stage: the array output, or
+    /// the unmodified input while bypassed.
+    pub fn process(&self, input: &GrayImage) -> GrayImage {
+        if self.bypass {
+            input.clone()
+        } else {
+            self.array.filter_image(input)
+        }
+    }
+
+    /// The array's own output, computed even while the ACB is bypassed — a
+    /// bypassed array still receives its input data stream (§IV.A), which is
+    /// what makes online re-evolution by imitation possible.
+    pub fn raw_output(&self, input: &GrayImage) -> GrayImage {
+        self.array.filter_image(input)
+    }
+
+    /// The latency of the currently configured array, as measured by the
+    /// ACB's latency logic.
+    pub fn latency(&self) -> ArrayLatency {
+        ArrayLatency::of(self.array.genotype())
+    }
+
+    /// The ACB's fitness unit.
+    pub fn fitness_unit(&self) -> &FitnessUnit {
+        &self.fitness_unit
+    }
+
+    /// Selects what the fitness unit compares against.
+    pub fn set_fitness_source(&mut self, source: FitnessSource) {
+        self.fitness_unit.set_source(source);
+    }
+
+    /// Runs one image through the array (raw output, even when bypassed) and
+    /// the fitness unit.  Returns `None` if the configured comparison stream
+    /// is unavailable.
+    pub fn measure_fitness(
+        &mut self,
+        input: &GrayImage,
+        reference: Option<&GrayImage>,
+        neighbour: Option<&GrayImage>,
+    ) -> Option<u64> {
+        let output = self.raw_output(input);
+        self.fitness_unit.compute(&output, input, reference, neighbour)
+    }
+
+    /// Injects a PE-level fault into the array.
+    pub fn inject_fault(&mut self, row: usize, col: usize, behaviour: FaultBehaviour) {
+        self.array.inject_fault(row, col, behaviour);
+    }
+
+    /// Clears one injected fault.
+    pub fn clear_fault(&mut self, row: usize, col: usize) {
+        self.array.clear_fault(row, col);
+    }
+
+    /// Clears every injected fault.
+    pub fn clear_all_faults(&mut self) {
+        self.array.clear_all_faults();
+    }
+
+    /// `true` if the array currently has injected faults.
+    pub fn has_faults(&self) -> bool {
+        self.array.has_faults()
+    }
+
+    /// Records the calibration fitness measured right after evolution (§V.A
+    /// step b).
+    pub fn set_calibration_fitness(&mut self, fitness: u64) {
+        self.calibration_fitness = Some(fitness);
+    }
+
+    /// The recorded calibration fitness, if any.
+    pub fn calibration_fitness(&self) -> Option<u64> {
+        self.calibration_fitness
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehw_image::synth;
+
+    #[test]
+    fn new_acb_is_identity_and_not_bypassed() {
+        let acb = ArrayControlBlock::new(2);
+        assert_eq!(acb.index(), 2);
+        assert!(!acb.is_bypassed());
+        assert!(!acb.has_faults());
+        let img = synth::shapes(16, 16, 2);
+        assert_eq!(acb.process(&img), img);
+    }
+
+    #[test]
+    fn bypass_forwards_input_but_array_still_computes() {
+        let mut acb = ArrayControlBlock::new(0);
+        // Configure something that visibly changes the image.
+        let mut g = Genotype::identity();
+        g.pe_genes[3] = ehw_array::pe::PeFunction::InvertW.gene();
+        acb.set_genotype(g);
+        let img = synth::gradient(16, 16);
+        let filtered = acb.raw_output(&img);
+        assert_ne!(filtered, img);
+
+        acb.set_bypass(true);
+        assert!(acb.is_bypassed());
+        // The forwarded stream is the input...
+        assert_eq!(acb.process(&img), img);
+        // ...but the array keeps producing its own output.
+        assert_eq!(acb.raw_output(&img), filtered);
+
+        acb.set_bypass(false);
+        assert_eq!(acb.process(&img), filtered);
+    }
+
+    #[test]
+    fn measure_fitness_honours_source_selection() {
+        let mut acb = ArrayControlBlock::new(0);
+        let img = synth::shapes(24, 24, 3);
+        // Reference source against the identity output: zero.
+        assert_eq!(acb.measure_fitness(&img, Some(&img), None), Some(0));
+        // Missing reference: no measurement.
+        assert_eq!(acb.measure_fitness(&img, None, None), None);
+        // Neighbour (imitation) source.
+        acb.set_fitness_source(FitnessSource::NeighbourOutput);
+        assert_eq!(acb.measure_fitness(&img, None, Some(&img)), Some(0));
+        assert_eq!(acb.fitness_unit().images_processed(), 2);
+    }
+
+    #[test]
+    fn faults_affect_fitness_and_are_clearable() {
+        let mut acb = ArrayControlBlock::new(1);
+        let img = synth::shapes(24, 24, 3);
+        assert_eq!(acb.measure_fitness(&img, Some(&img), None), Some(0));
+        acb.inject_fault(0, 3, FaultBehaviour::dummy());
+        assert!(acb.has_faults());
+        let degraded = acb.measure_fitness(&img, Some(&img), None).unwrap();
+        assert!(degraded > 0);
+        acb.clear_all_faults();
+        assert_eq!(acb.measure_fitness(&img, Some(&img), None), Some(0));
+    }
+
+    #[test]
+    fn calibration_fitness_round_trips() {
+        let mut acb = ArrayControlBlock::new(0);
+        assert_eq!(acb.calibration_fitness(), None);
+        acb.set_calibration_fitness(1234);
+        assert_eq!(acb.calibration_fitness(), Some(1234));
+    }
+
+    #[test]
+    fn latency_tracks_output_gene() {
+        let mut acb = ArrayControlBlock::new(0);
+        let base = acb.latency().total_cycles();
+        let mut g = Genotype::identity();
+        g.output_gene = 3;
+        acb.set_genotype(g);
+        assert_eq!(acb.latency().total_cycles(), base + 3);
+    }
+}

@@ -1,0 +1,680 @@
+//! Evolution-mode drivers (§IV.B).
+//!
+//! These functions are the software that would run on the MicroBlaze: they
+//! generate candidates with the (1+λ) strategy, decide which array evaluates
+//! which candidate, read back fitness values and finally configure the
+//! selected circuits into the arrays.
+//!
+//! * [`evolve_independent`] — each array is evolved sequentially with its own
+//!   training pair (independent processing, independent cascade, or to
+//!   prepare a redundant parallel configuration),
+//! * [`evolve_parallel`] — the offspring of each generation are distributed
+//!   over the arrays and evaluated simultaneously; evolution time follows the
+//!   pipeline of Fig. 11,
+//! * [`evolve_cascade`] — cascaded evolution with separate or merged fitness,
+//!   sequential or interleaved scheduling (Figs. 6, 16, 17),
+//! * [`evolve_same_filter_cascade`] — the "same filter in every stage"
+//!   baseline of Figs. 16–17,
+//! * [`evolve_imitation`] — evolution by imitation (Fig. 7): a bypassed array
+//!   learns to reproduce a neighbour's output without any reference image.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use ehw_array::array::ProcessingArray;
+use ehw_array::genotype::Genotype;
+use ehw_evolution::fitness::{FitnessEvaluator, SoftwareEvaluator};
+use ehw_evolution::strategy::{
+    run_evolution, run_evolution_with_parent, EsConfig, EvolutionResult, GenerationObserver,
+    NullObserver,
+};
+use ehw_image::image::GrayImage;
+use ehw_image::metrics::mae;
+
+use crate::modes::{CascadeFitness, CascadeSchedule};
+use crate::platform::EhwPlatform;
+use crate::timing::{EvolutionTimeEstimate, PipelineTimer};
+
+/// A training pair: what the array sees and what it should produce.
+#[derive(Debug, Clone)]
+pub struct EvolutionTask {
+    /// Training input image (e.g. a noisy scene).
+    pub input: GrayImage,
+    /// Reference image (e.g. the noise-free scene, or an edge map).
+    pub reference: GrayImage,
+}
+
+impl EvolutionTask {
+    /// Creates a task.
+    ///
+    /// # Panics
+    /// Panics if the images have different dimensions.
+    pub fn new(input: GrayImage, reference: GrayImage) -> Self {
+        assert_eq!(input.width(), reference.width(), "image width mismatch");
+        assert_eq!(input.height(), reference.height(), "image height mismatch");
+        Self { input, reference }
+    }
+}
+
+/// Fitness evaluator that distributes candidates over the platform's arrays,
+/// evaluating them on parallel host threads — the software counterpart of the
+/// parallel evolution mode, where each array evaluates one candidate of the
+/// generation.  Array faults are honoured: a candidate assigned to a damaged
+/// array is scored on the damaged array.
+#[derive(Debug)]
+pub struct PlatformEvaluator {
+    arrays: Vec<ProcessingArray>,
+    input: GrayImage,
+    reference: GrayImage,
+    evaluations: u64,
+}
+
+impl PlatformEvaluator {
+    /// Creates an evaluator over the platform's current arrays and the given
+    /// training pair.
+    pub fn new(platform: &EhwPlatform, task: &EvolutionTask) -> Self {
+        Self {
+            arrays: platform.acbs().iter().map(|acb| acb.array().clone()).collect(),
+            input: task.input.clone(),
+            reference: task.reference.clone(),
+            evaluations: 0,
+        }
+    }
+}
+
+impl FitnessEvaluator for PlatformEvaluator {
+    fn evaluate(&mut self, genotype: &Genotype) -> u64 {
+        self.evaluations += 1;
+        let mut array = self.arrays[0].clone();
+        array.set_genotype(genotype.clone());
+        mae(&array.filter_image(&self.input), &self.reference)
+    }
+
+    fn evaluate_batch(&mut self, batch: &[Genotype]) -> Vec<u64> {
+        self.evaluations += batch.len() as u64;
+        let input = &self.input;
+        let reference = &self.reference;
+        let arrays = &self.arrays;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = batch
+                .iter()
+                .enumerate()
+                .map(|(i, g)| {
+                    scope.spawn(move || {
+                        let mut array = arrays[i % arrays.len()].clone();
+                        array.set_genotype(g.clone());
+                        mae(&array.filter_image(input), reference)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("evaluation thread panicked"))
+                .collect()
+        })
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Independent and parallel evolution
+// ---------------------------------------------------------------------------
+
+/// Evolves every array sequentially, each with its own training pair
+/// (independent evolution, §IV.B).  The best circuit of each run is
+/// configured into its array.  Returns one result per array, together with
+/// the modelled evolution time of the whole (sequential) process.
+///
+/// # Panics
+/// Panics if the number of tasks does not match the number of arrays.
+pub fn evolve_independent(
+    platform: &mut EhwPlatform,
+    tasks: &[EvolutionTask],
+    config: &EsConfig,
+) -> (Vec<EvolutionResult>, EvolutionTimeEstimate) {
+    assert_eq!(
+        tasks.len(),
+        platform.num_arrays(),
+        "independent evolution needs one task per array"
+    );
+    let mut results = Vec::with_capacity(tasks.len());
+    let mut total = EvolutionTimeEstimate::default();
+    for (index, task) in tasks.iter().enumerate() {
+        let mut cfg = *config;
+        cfg.num_arrays = 1;
+        cfg.seed = config.seed.wrapping_add(index as u64);
+        let mut evaluator = SoftwareEvaluator::with_array(
+            platform.acb(index).array().clone(),
+            task.input.clone(),
+            task.reference.clone(),
+        );
+        let mut timer = PipelineTimer::new(
+            platform.timing(),
+            1,
+            task.input.width(),
+            task.input.height(),
+        );
+        let result = run_evolution(&cfg, &mut evaluator, &mut timer);
+        platform.configure_array(index, &result.best_genotype);
+        let est = timer.estimate();
+        total.total_s += est.total_s;
+        total.reconfiguration_s += est.reconfiguration_s;
+        total.evaluation_s += est.evaluation_s;
+        total.generations += est.generations;
+        total.candidates += est.candidates;
+        total.pe_reconfigurations += est.pe_reconfigurations;
+        results.push(result);
+    }
+    (results, total)
+}
+
+/// Evolves a single task distributing each generation's offspring over all
+/// arrays (parallel evolution, §IV.B, Fig. 5-b).  The evolved circuit is
+/// configured into **every** array, ready for parallel/TMR operation; callers
+/// that want per-array diversity should use [`evolve_independent`].
+pub fn evolve_parallel(
+    platform: &mut EhwPlatform,
+    task: &EvolutionTask,
+    config: &EsConfig,
+) -> (EvolutionResult, EvolutionTimeEstimate) {
+    let mut cfg = *config;
+    cfg.num_arrays = platform.num_arrays();
+    let mut evaluator = PlatformEvaluator::new(platform, task);
+    let mut timer = PipelineTimer::new(
+        platform.timing(),
+        platform.num_arrays(),
+        task.input.width(),
+        task.input.height(),
+    );
+    let result = run_evolution(&cfg, &mut evaluator, &mut timer);
+    platform.configure_all_arrays(&result.best_genotype);
+    (result, timer.estimate())
+}
+
+// ---------------------------------------------------------------------------
+// Cascaded evolution
+// ---------------------------------------------------------------------------
+
+/// How the per-stage parents of a cascaded evolution are initialised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CascadeInit {
+    /// Every stage starts from the identity (pass-through) circuit, so the
+    /// chain output starts equal to the previous stage and can only improve
+    /// under elitist selection — the monotone per-stage improvement of
+    /// Figs. 16–17 is then guaranteed regardless of the generation budget.
+    Identity,
+    /// Every stage starts from a random genotype, like the first generation
+    /// of the paper's embedded EA.
+    Random,
+}
+
+/// Configuration of a cascaded evolution run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CascadeConfig {
+    /// Generations spent on each stage (sequential) or rounds of one
+    /// generation per stage (interleaved).
+    pub generations: usize,
+    /// Offspring per generation.
+    pub offspring: usize,
+    /// Mutation rate (genes per offspring).
+    pub mutation_rate: usize,
+    /// Separate per-stage fitness or a single merged fitness at the chain end.
+    pub fitness: CascadeFitness,
+    /// Sequential or interleaved stage scheduling.
+    pub schedule: CascadeSchedule,
+    /// Parent initialisation of each stage.
+    pub init: CascadeInit,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CascadeConfig {
+    /// A reasonable default mirroring the paper's EA parameters (nine
+    /// offspring, separate fitness, sequential stages, pass-through
+    /// initialisation).
+    pub fn paper(generations: usize, mutation_rate: usize, seed: u64) -> Self {
+        Self {
+            generations,
+            offspring: 9,
+            mutation_rate,
+            fitness: CascadeFitness::Separate,
+            schedule: CascadeSchedule::Sequential,
+            init: CascadeInit::Identity,
+            seed,
+        }
+    }
+}
+
+/// Outcome of cascaded evolution.
+#[derive(Debug, Clone)]
+pub struct CascadeResult {
+    /// Best genotype evolved for each stage, in chain order.
+    pub stage_genotypes: Vec<Genotype>,
+    /// MAE of the chain output after each stage against the reference (the
+    /// per-stage values plotted in Figs. 16–17).
+    pub stage_fitness: Vec<u64>,
+}
+
+impl CascadeResult {
+    /// Fitness at the end of the chain.
+    pub fn final_fitness(&self) -> u64 {
+        *self.stage_fitness.last().expect("at least one stage")
+    }
+}
+
+/// Computes the MAE of every cascaded stage output against the reference.
+pub fn chain_fitness(platform: &EhwPlatform, input: &GrayImage, reference: &GrayImage) -> Vec<u64> {
+    platform
+        .process_cascaded(input)
+        .iter()
+        .map(|out| mae(out, reference))
+        .collect()
+}
+
+fn filter_chain(
+    arrays: &[ProcessingArray],
+    genotypes: &[Genotype],
+    upto: usize,
+    input: &GrayImage,
+) -> GrayImage {
+    let mut stream = input.clone();
+    for s in 0..upto {
+        let mut array = arrays[s].clone();
+        array.set_genotype(genotypes[s].clone());
+        stream = array.filter_image(&stream);
+    }
+    stream
+}
+
+/// Cascaded evolution (§IV.B, Fig. 6): evolves one circuit per stage so the
+/// chain progressively approaches the reference.  Honours the configured
+/// fitness arrangement and schedule, and configures the evolved circuits into
+/// the platform before returning.
+pub fn evolve_cascade(
+    platform: &mut EhwPlatform,
+    task: &EvolutionTask,
+    config: &CascadeConfig,
+) -> CascadeResult {
+    let stages = platform.num_arrays();
+    let arrays: Vec<ProcessingArray> =
+        platform.acbs().iter().map(|acb| acb.array().clone()).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Current parent (and its fitness) per stage.
+    let mut parents: Vec<Genotype> = (0..stages)
+        .map(|_| match config.init {
+            CascadeInit::Identity => Genotype::identity(),
+            CascadeInit::Random => Genotype::random(&mut rng),
+        })
+        .collect();
+    let mut parent_fitness: Vec<u64> = vec![u64::MAX; stages];
+
+    // Evaluates the candidate for `stage`, honouring the fitness arrangement:
+    // separate fitness scores the stage's own output; merged fitness scores
+    // the output at the end of the chain (later stages use their current
+    // parents).
+    let evaluate = |stage: usize, candidate: &Genotype, parents: &[Genotype]| -> u64 {
+        let stage_input = filter_chain(&arrays, parents, stage, &task.input);
+        let mut array = arrays[stage].clone();
+        array.set_genotype(candidate.clone());
+        let stage_output = array.filter_image(&stage_input);
+        match config.fitness {
+            CascadeFitness::Separate => mae(&stage_output, &task.reference),
+            CascadeFitness::Merged => {
+                let mut stream = stage_output;
+                for s in stage + 1..stages {
+                    let mut downstream = arrays[s].clone();
+                    downstream.set_genotype(parents[s].clone());
+                    stream = downstream.filter_image(&stream);
+                }
+                mae(&stream, &task.reference)
+            }
+        }
+    };
+
+    let one_generation = |stage: usize, parents: &mut Vec<Genotype>, parent_fitness: &mut Vec<u64>, rng: &mut StdRng| {
+        // Re-evaluate the parent: in interleaved scheduling the upstream
+        // stages may have changed since this stage was last visited, which
+        // changes the input (and therefore the fitness) of its parent.
+        parent_fitness[stage] = evaluate(stage, &parents[stage], parents);
+        let mut best_child: Option<(Genotype, u64)> = None;
+        for _ in 0..config.offspring {
+            let child = parents[stage].mutated(config.mutation_rate, rng);
+            let fitness = evaluate(stage, &child, parents);
+            if best_child.as_ref().map_or(true, |(_, f)| fitness < *f) {
+                best_child = Some((child, fitness));
+            }
+        }
+        if let Some((child, fitness)) = best_child {
+            if fitness <= parent_fitness[stage] {
+                parents[stage] = child;
+                parent_fitness[stage] = fitness;
+            }
+        }
+    };
+
+    match config.schedule {
+        CascadeSchedule::Sequential => {
+            for stage in 0..stages {
+                for _ in 0..config.generations {
+                    one_generation(stage, &mut parents, &mut parent_fitness, &mut rng);
+                }
+            }
+        }
+        CascadeSchedule::Interleaved => {
+            for _ in 0..config.generations {
+                for stage in 0..stages {
+                    one_generation(stage, &mut parents, &mut parent_fitness, &mut rng);
+                }
+            }
+        }
+    }
+
+    for (stage, genotype) in parents.iter().enumerate() {
+        platform.configure_array(stage, genotype);
+    }
+    let stage_fitness = chain_fitness(platform, &task.input, &task.reference);
+    CascadeResult {
+        stage_genotypes: parents,
+        stage_fitness,
+    }
+}
+
+/// The "same filter in every stage" baseline of Figs. 16–17: a single circuit
+/// is evolved for the first stage and replicated into every stage of the
+/// cascade.  Returns the per-stage chain fitness.
+pub fn evolve_same_filter_cascade(
+    platform: &mut EhwPlatform,
+    task: &EvolutionTask,
+    config: &EsConfig,
+) -> CascadeResult {
+    let mut cfg = *config;
+    cfg.num_arrays = 1;
+    let mut evaluator = SoftwareEvaluator::with_array(
+        platform.acb(0).array().clone(),
+        task.input.clone(),
+        task.reference.clone(),
+    );
+    let result = run_evolution(&cfg, &mut evaluator, &mut NullObserver);
+    platform.configure_all_arrays(&result.best_genotype);
+    let stage_fitness = chain_fitness(platform, &task.input, &task.reference);
+    CascadeResult {
+        stage_genotypes: vec![result.best_genotype; platform.num_arrays()],
+        stage_fitness,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evolution by imitation
+// ---------------------------------------------------------------------------
+
+/// How the imitation run is seeded (§VI.D, Fig. 19).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImitationStart {
+    /// Start from the master's genotype (the "inherited" strategy, which the
+    /// paper shows performs markedly better).
+    FromMaster,
+    /// Start from a random genotype.
+    Random,
+}
+
+/// Evolution by imitation (§IV.B, Fig. 7): the array `apprentice` — typically
+/// bypassed and possibly damaged — is evolved so its output matches the output
+/// of array `master` on the same input stream.  No reference image is needed.
+/// The evolved circuit is configured into the apprentice array.
+pub fn evolve_imitation(
+    platform: &mut EhwPlatform,
+    apprentice: usize,
+    master: usize,
+    input: &GrayImage,
+    config: &EsConfig,
+    start: ImitationStart,
+    observer: &mut dyn GenerationObserver,
+) -> EvolutionResult {
+    assert_ne!(apprentice, master, "an array cannot imitate itself");
+    let master_output = platform.acb(master).raw_output(input);
+    let mut evaluator = SoftwareEvaluator::with_array(
+        platform.acb(apprentice).array().clone(),
+        input.clone(),
+        master_output,
+    );
+    let initial = match start {
+        ImitationStart::FromMaster => Some(platform.acb(master).genotype().clone()),
+        ImitationStart::Random => None,
+    };
+    let mut cfg = *config;
+    cfg.num_arrays = 1;
+    let result = run_evolution_with_parent(&cfg, initial, &mut evaluator, observer);
+    platform.configure_array(apprentice, &result.best_genotype);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehw_fabric::fault::FaultKind;
+    use ehw_image::filters;
+    use ehw_image::noise::salt_pepper;
+    use ehw_image::synth;
+
+    fn denoise_task(size: usize, density: f64, seed: u64) -> EvolutionTask {
+        let clean = synth::shapes(size, size, 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noisy = salt_pepper(&clean, density, &mut rng);
+        EvolutionTask::new(noisy, clean)
+    }
+
+    #[test]
+    fn platform_evaluator_batch_matches_sequential() {
+        let platform = EhwPlatform::paper_three_arrays();
+        let task = denoise_task(24, 0.3, 1);
+        let mut eval = PlatformEvaluator::new(&platform, &task);
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch: Vec<Genotype> = (0..6).map(|_| Genotype::random(&mut rng)).collect();
+        let parallel = eval.evaluate_batch(&batch);
+        let sequential: Vec<u64> = batch.iter().map(|g| {
+            let mut e = PlatformEvaluator::new(&platform, &task);
+            e.evaluate(g)
+        }).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn parallel_evolution_improves_and_configures_all_arrays() {
+        let mut platform = EhwPlatform::paper_three_arrays();
+        let task = denoise_task(24, 0.3, 3);
+        let config = EsConfig::paper(3, 3, 40, 7);
+        let (result, time) = evolve_parallel(&mut platform, &task, &config);
+        assert!(result.best_fitness <= result.initial_fitness);
+        assert!(time.total_s > 0.0);
+        assert_eq!(time.generations, 40);
+        for i in 0..3 {
+            assert_eq!(platform.acb(i).genotype(), &result.best_genotype);
+        }
+    }
+
+    #[test]
+    fn independent_evolution_handles_different_tasks_per_array() {
+        let mut platform = EhwPlatform::new(2);
+        let clean = synth::shapes(24, 24, 3);
+        let denoise = denoise_task(24, 0.2, 5);
+        let edges = EvolutionTask::new(clean.clone(), filters::sobel_edge(&clean));
+        let config = EsConfig::paper(2, 1, 25, 11);
+        let (results, time) = evolve_independent(&mut platform, &[denoise, edges], &config);
+        assert_eq!(results.len(), 2);
+        assert!(time.generations >= 50);
+        // The two arrays end up with different circuits (different tasks).
+        assert_ne!(platform.acb(0).genotype(), platform.acb(1).genotype());
+    }
+
+    #[test]
+    #[should_panic(expected = "one task per array")]
+    fn independent_evolution_checks_task_count() {
+        let mut platform = EhwPlatform::new(2);
+        let task = denoise_task(16, 0.2, 1);
+        let config = EsConfig::paper(1, 1, 5, 1);
+        let _ = evolve_independent(&mut platform, &[task], &config);
+    }
+
+    #[test]
+    fn cascade_evolution_improves_over_stages() {
+        let mut platform = EhwPlatform::paper_three_arrays();
+        let task = denoise_task(24, 0.4, 9);
+        let config = CascadeConfig::paper(30, 2, 13);
+        let result = evolve_cascade(&mut platform, &task, &config);
+        assert_eq!(result.stage_fitness.len(), 3);
+        assert_eq!(result.stage_genotypes.len(), 3);
+        // With pass-through initialisation and elitist selection the chain can
+        // only improve stage by stage (the shape of Figs. 16-17)...
+        for w in result.stage_fitness.windows(2) {
+            assert!(w[1] <= w[0], "stage fitness must not degrade: {:?}", result.stage_fitness);
+        }
+        // ...and the whole chain beats the unfiltered noisy input.
+        let identity_fitness = mae(&task.input, &task.reference);
+        assert!(result.final_fitness() < identity_fitness);
+    }
+
+    #[test]
+    fn interleaved_and_sequential_cascades_both_converge() {
+        let task = denoise_task(20, 0.3, 17);
+        let mut seq_platform = EhwPlatform::paper_three_arrays();
+        let seq = evolve_cascade(
+            &mut seq_platform,
+            &task,
+            &CascadeConfig {
+                schedule: CascadeSchedule::Sequential,
+                ..CascadeConfig::paper(20, 2, 3)
+            },
+        );
+        let mut int_platform = EhwPlatform::paper_three_arrays();
+        let interleaved = evolve_cascade(
+            &mut int_platform,
+            &task,
+            &CascadeConfig {
+                schedule: CascadeSchedule::Interleaved,
+                ..CascadeConfig::paper(20, 2, 3)
+            },
+        );
+        let identity_fitness = mae(&task.input, &task.reference);
+        assert!(seq.final_fitness() < identity_fitness);
+        assert!(interleaved.final_fitness() < identity_fitness);
+        // Sequential scheduling guarantees monotone per-stage improvement
+        // (each stage starts as a pass-through of the previous one);
+        // interleaved scheduling only converges towards it.
+        for w in seq.stage_fitness.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn merged_fitness_cascade_runs() {
+        let mut platform = EhwPlatform::new(2);
+        let task = denoise_task(20, 0.3, 19);
+        let config = CascadeConfig {
+            fitness: CascadeFitness::Merged,
+            schedule: CascadeSchedule::Interleaved,
+            ..CascadeConfig::paper(15, 2, 23)
+        };
+        let result = evolve_cascade(&mut platform, &task, &config);
+        assert_eq!(result.stage_fitness.len(), 2);
+        assert!(result.final_fitness() < mae(&task.input, &task.reference));
+    }
+
+    #[test]
+    fn random_init_cascade_still_runs() {
+        let mut platform = EhwPlatform::new(2);
+        let task = denoise_task(16, 0.2, 53);
+        let config = CascadeConfig {
+            init: CascadeInit::Random,
+            ..CascadeConfig::paper(10, 2, 59)
+        };
+        let result = evolve_cascade(&mut platform, &task, &config);
+        assert_eq!(result.stage_fitness.len(), 2);
+    }
+
+    #[test]
+    fn same_filter_cascade_replicates_one_genotype() {
+        let mut platform = EhwPlatform::paper_three_arrays();
+        let task = denoise_task(20, 0.3, 29);
+        let config = EsConfig::paper(2, 1, 20, 31);
+        let result = evolve_same_filter_cascade(&mut platform, &task, &config);
+        assert_eq!(result.stage_genotypes.len(), 3);
+        assert_eq!(result.stage_genotypes[0], result.stage_genotypes[1]);
+        assert_eq!(result.stage_genotypes[1], result.stage_genotypes[2]);
+        for i in 0..3 {
+            assert_eq!(platform.acb(i).genotype(), &result.stage_genotypes[0]);
+        }
+    }
+
+    #[test]
+    fn imitation_from_master_reaches_zero_on_healthy_array() {
+        // Without faults, starting from the master genotype reproduces it
+        // exactly: fitness 0 from generation zero.
+        let mut platform = EhwPlatform::paper_three_arrays();
+        let mut rng = StdRng::seed_from_u64(37);
+        let master_genotype = Genotype::random(&mut rng);
+        platform.configure_array(0, &master_genotype);
+        let input = synth::shapes(24, 24, 3);
+        let config = EsConfig::paper(1, 1, 10, 41);
+        let result = evolve_imitation(
+            &mut platform,
+            1,
+            0,
+            &input,
+            &config,
+            ImitationStart::FromMaster,
+            &mut NullObserver,
+        );
+        assert_eq!(result.initial_fitness, 0);
+        assert_eq!(result.best_fitness, 0);
+        assert_eq!(platform.acb(1).genotype(), &master_genotype);
+    }
+
+    #[test]
+    fn imitation_on_damaged_array_improves_fitness() {
+        let mut platform = EhwPlatform::paper_three_arrays();
+        let mut rng = StdRng::seed_from_u64(43);
+        let master_genotype = Genotype::random(&mut rng);
+        platform.configure_all_arrays(&master_genotype);
+        platform.inject_pe_fault(1, 0, 3, FaultKind::Lpd);
+
+        let input = synth::shapes(24, 24, 3);
+        let config = EsConfig {
+            target_fitness: Some(0),
+            ..EsConfig::paper(2, 1, 60, 47)
+        };
+        let result = evolve_imitation(
+            &mut platform,
+            1,
+            0,
+            &input,
+            &config,
+            ImitationStart::FromMaster,
+            &mut NullObserver,
+        );
+        // The damaged apprentice should at least not get worse, and usually
+        // improves by routing around the damaged PE.
+        assert!(result.best_fitness <= result.initial_fitness);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot imitate itself")]
+    fn imitation_rejects_self_reference() {
+        let mut platform = EhwPlatform::new(2);
+        let input = synth::gradient(16, 16);
+        let config = EsConfig::paper(1, 1, 5, 1);
+        let _ = evolve_imitation(
+            &mut platform,
+            0,
+            0,
+            &input,
+            &config,
+            ImitationStart::Random,
+            &mut NullObserver,
+        );
+    }
+}

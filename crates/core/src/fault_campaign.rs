@@ -1,0 +1,306 @@
+//! Systematic fault-injection campaigns (§VI.D).
+//!
+//! *"Using a hardware based fault analysis allows offering a systematic fault
+//! analysis, by injecting faults in every position in every array of the
+//! architecture."*  The campaign here does exactly that: for every PE slot of
+//! the selected arrays it injects the dummy-PE fault, measures how much the
+//! filtering quality degrades, runs the configured recovery (re-evolution on
+//! the damaged array, seeded with the working genotype), measures the
+//! recovered quality, and restores the platform before moving on.
+//!
+//! The per-position results feed the fault-tolerance discussion of §VI.D and
+//! the ablation benches (how critical each PE position is, how much budget
+//! recovery needs).
+
+use ehw_array::genotype::{Genotype, ARRAY_COLS, ARRAY_ROWS};
+use ehw_evolution::fitness::SoftwareEvaluator;
+use ehw_evolution::strategy::{run_evolution_with_parent, EsConfig, NullObserver};
+use ehw_fabric::fault::FaultKind;
+use serde::{Deserialize, Serialize};
+
+use crate::evo_modes::EvolutionTask;
+use crate::platform::EhwPlatform;
+
+/// Result of injecting a fault at one PE position and recovering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PositionResult {
+    /// Array the fault was injected into.
+    pub array: usize,
+    /// PE row.
+    pub row: usize,
+    /// PE column.
+    pub col: usize,
+    /// Fitness of the working circuit before the fault.
+    pub fitness_clean: u64,
+    /// Fitness right after injecting the fault (no recovery yet).
+    pub fitness_faulty: u64,
+    /// Fitness after the recovery evolution.
+    pub fitness_recovered: u64,
+}
+
+impl PositionResult {
+    /// `true` if the fault at this position degraded the output at all —
+    /// PEs outside the active data path are non-critical.
+    pub fn is_critical(&self) -> bool {
+        self.fitness_faulty > self.fitness_clean
+    }
+
+    /// `true` if recovery restored (at least) the original quality.
+    pub fn fully_recovered(&self) -> bool {
+        self.fitness_recovered <= self.fitness_clean
+    }
+
+    /// Fraction of the fault-induced degradation removed by recovery, in
+    /// `[0, 1]`; 1.0 for non-critical positions.
+    pub fn recovery_ratio(&self) -> f64 {
+        let degradation = self.fitness_faulty.saturating_sub(self.fitness_clean);
+        if degradation == 0 {
+            return 1.0;
+        }
+        let remaining = self.fitness_recovered.saturating_sub(self.fitness_clean);
+        1.0 - (remaining as f64 / degradation as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Aggregate report of a systematic campaign.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// One entry per injected position, in injection order.
+    pub positions: Vec<PositionResult>,
+}
+
+impl CampaignReport {
+    /// Number of injected positions.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if the campaign injected nothing.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Positions whose fault actually degraded the output.
+    pub fn critical_positions(&self) -> usize {
+        self.positions.iter().filter(|p| p.is_critical()).count()
+    }
+
+    /// Positions whose recovery reached (at least) the pre-fault quality.
+    pub fn fully_recovered_positions(&self) -> usize {
+        self.positions.iter().filter(|p| p.fully_recovered()).count()
+    }
+
+    /// Mean recovery ratio across all positions.
+    pub fn mean_recovery_ratio(&self) -> f64 {
+        if self.positions.is_empty() {
+            return 0.0;
+        }
+        self.positions.iter().map(|p| p.recovery_ratio()).sum::<f64>() / self.positions.len() as f64
+    }
+}
+
+/// Finds a PE position of `array` whose failure visibly corrupts the output
+/// on `probe` **and** leaves room for recovery: positions are scanned from the
+/// most upstream column of the active output row towards the output, then the
+/// remaining rows.  Upstream positions are preferred because a downstream PE
+/// can be re-routed around them, which is what makes imitation recovery from
+/// an inherited genotype effective (§VI.D).  Falls back to the output PE if
+/// nothing else is observable.
+pub fn find_injectable_pe(
+    platform: &EhwPlatform,
+    array: usize,
+    probe: &ehw_image::image::GrayImage,
+) -> (usize, usize) {
+    let acb = platform.acb(array);
+    let clean = acb.raw_output(probe);
+    let out_row = acb.genotype().output_gene as usize;
+
+    let mut candidates: Vec<(usize, usize)> = (0..ARRAY_COLS.saturating_sub(1))
+        .map(|col| (out_row, col))
+        .collect();
+    for row in 0..ARRAY_ROWS {
+        for col in 0..ARRAY_COLS {
+            if row != out_row {
+                candidates.push((row, col));
+            }
+        }
+    }
+
+    for (row, col) in candidates {
+        let mut probe_array = acb.array().clone();
+        probe_array.inject_fault(row, col, ehw_array::pe::FaultBehaviour::dummy());
+        if probe_array.filter_image(probe) != clean {
+            return (row, col);
+        }
+    }
+    (out_row, ARRAY_COLS - 1)
+}
+
+/// Runs a systematic PE-level fault campaign over every position of the given
+/// arrays.
+///
+/// For each position the platform is restored to `baseline` first, a permanent
+/// (LPD) dummy-PE fault is injected, and recovery runs a (1+λ) evolution on
+/// the damaged array seeded with the baseline genotype.
+pub fn systematic_fault_campaign(
+    platform: &mut EhwPlatform,
+    baseline: &Genotype,
+    task: &EvolutionTask,
+    recovery: &EsConfig,
+    arrays: &[usize],
+) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    for &array in arrays {
+        for row in 0..ARRAY_ROWS {
+            for col in 0..ARRAY_COLS {
+                // Restore a clean, known-good configuration.
+                platform.clear_injected_fault(array, row, col);
+                platform.configure_array(array, baseline);
+                let fitness_clean = {
+                    let mut a = platform.acb(array).array().clone();
+                    a.set_genotype(baseline.clone());
+                    ehw_image::metrics::mae(&a.filter_image(&task.input), &task.reference)
+                };
+
+                // Inject the permanent dummy-PE fault.
+                platform.inject_pe_fault(array, row, col, FaultKind::Lpd);
+                let fitness_faulty = ehw_image::metrics::mae(
+                    &platform.acb(array).raw_output(&task.input),
+                    &task.reference,
+                );
+
+                // Recovery: re-evolve on the damaged array, seeded with the
+                // working genotype.
+                let mut evaluator = SoftwareEvaluator::with_array(
+                    platform.acb(array).array().clone(),
+                    task.input.clone(),
+                    task.reference.clone(),
+                );
+                let result = run_evolution_with_parent(
+                    recovery,
+                    Some(baseline.clone()),
+                    &mut evaluator,
+                    &mut NullObserver,
+                );
+                platform.configure_array(array, &result.best_genotype);
+                let fitness_recovered = result.best_fitness;
+
+                report.positions.push(PositionResult {
+                    array,
+                    row,
+                    col,
+                    fitness_clean,
+                    fitness_faulty,
+                    fitness_recovered,
+                });
+
+                // Clean up before the next position.
+                platform.clear_injected_fault(array, row, col);
+                platform.configure_array(array, baseline);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehw_image::noise::salt_pepper;
+    use ehw_image::synth;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_task(seed: u64) -> EvolutionTask {
+        let clean = synth::shapes(16, 16, 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noisy = salt_pepper(&clean, 0.2, &mut rng);
+        EvolutionTask::new(noisy, clean)
+    }
+
+    #[test]
+    fn campaign_covers_every_position_of_the_requested_array() {
+        let mut platform = EhwPlatform::new(1);
+        let task = small_task(1);
+        let baseline = Genotype::identity();
+        let recovery = EsConfig::paper(1, 1, 3, 7);
+        let report = systematic_fault_campaign(&mut platform, &baseline, &task, &recovery, &[0]);
+        assert_eq!(report.len(), 16);
+        assert!(!report.is_empty());
+        // The platform is left clean and configured with the baseline.
+        assert!(platform.injected_faults().is_empty());
+        assert_eq!(platform.acb(0).genotype(), &baseline);
+    }
+
+    #[test]
+    fn identity_baseline_has_critical_first_row_only() {
+        // With the identity genotype the active path is row 0; faults in the
+        // other rows never reach the output.
+        let mut platform = EhwPlatform::new(1);
+        let task = small_task(2);
+        let baseline = Genotype::identity();
+        let recovery = EsConfig::paper(1, 1, 2, 9);
+        let report = systematic_fault_campaign(&mut platform, &baseline, &task, &recovery, &[0]);
+        for p in &report.positions {
+            if p.row == 0 {
+                assert!(p.is_critical(), "row-0 PE ({},{}) should be critical", p.row, p.col);
+            } else {
+                assert!(!p.is_critical(), "PE ({},{}) should be inert", p.row, p.col);
+            }
+        }
+        assert_eq!(report.critical_positions(), 4);
+    }
+
+    #[test]
+    fn recovery_never_reports_worse_than_faulty_state() {
+        let mut platform = EhwPlatform::new(1);
+        let task = small_task(3);
+        let baseline = Genotype::identity();
+        let recovery = EsConfig::paper(2, 1, 10, 11);
+        let report = systematic_fault_campaign(&mut platform, &baseline, &task, &recovery, &[0]);
+        for p in &report.positions {
+            // Recovery is seeded with the baseline genotype evaluated on the
+            // damaged array, and selection is elitist.
+            assert!(p.fitness_recovered <= p.fitness_faulty.max(p.fitness_clean));
+            let ratio = p.recovery_ratio();
+            assert!((0.0..=1.0).contains(&ratio));
+        }
+        assert!(report.mean_recovery_ratio() > 0.0);
+    }
+
+    #[test]
+    fn find_injectable_pe_returns_an_observable_position() {
+        let mut platform = EhwPlatform::new(1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let genotype = Genotype::random(&mut rng);
+        platform.configure_array(0, &genotype);
+        let probe = synth::shapes(16, 16, 3);
+
+        let (row, col) = find_injectable_pe(&platform, 0, &probe);
+        assert!(row < ARRAY_ROWS && col < ARRAY_COLS);
+
+        // Injecting the dummy fault there must actually corrupt the output.
+        let clean = platform.acb(0).raw_output(&probe);
+        let mut faulty = platform.acb(0).array().clone();
+        faulty.inject_fault(row, col, ehw_array::pe::FaultBehaviour::dummy());
+        assert_ne!(faulty.filter_image(&probe), clean);
+    }
+
+    #[test]
+    fn find_injectable_pe_prefers_upstream_of_the_output() {
+        // With the identity genotype the whole of row 0 is active; the most
+        // upstream column is preferred so recovery can re-route around it.
+        let platform = EhwPlatform::new(1);
+        let probe = synth::gradient(16, 16);
+        assert_eq!(find_injectable_pe(&platform, 0, &probe), (0, 0));
+    }
+
+    #[test]
+    fn empty_campaign_report_statistics() {
+        let report = CampaignReport::default();
+        assert!(report.is_empty());
+        assert_eq!(report.mean_recovery_ratio(), 0.0);
+        assert_eq!(report.critical_positions(), 0);
+        assert_eq!(report.fully_recovered_positions(), 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! The generation-pipeline timing model (Figs. 11–14).
+//!
+//! Evolution time in the paper is dominated by two hardware activities per
+//! candidate: **reconfiguration** (67.53 µs per mutated PE, strictly
+//! serialized because there is a single reconfiguration engine / ICAP) and
+//! **evaluation** (one pixel per clock at 100 MHz, plus pipeline fill).
+//! Mutation runs in software and is overlapped with the evaluation of the
+//! previous candidate (Fig. 11), so it only costs time when there is nothing
+//! to overlap with.
+//!
+//! With one array the two activities strictly alternate; with several arrays
+//! the evaluation of a candidate overlaps the reconfiguration of the *other*
+//! arrays, but reconfigurations still queue on the single engine — which is
+//! exactly why the paper observes a *fixed* time saving per generation,
+//! roughly proportional to the evaluation time (≈ 50 s over 100 000
+//! generations for 128×128 images, ≈ 200 s for 256×256 ones), rather than a
+//! 3× speed-up.
+//!
+//! [`PipelineTimer`] replays that schedule exactly, candidate by candidate,
+//! driven by the per-candidate PE-reconfiguration counts reported by the
+//! evolution strategy.
+
+use ehw_evolution::strategy::GenerationObserver;
+use ehw_reconfig::timing::TimingModel;
+use serde::{Deserialize, Serialize};
+
+/// Estimate of a complete evolution run's wall-clock time on the platform.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvolutionTimeEstimate {
+    /// Total model time, in seconds.
+    pub total_s: f64,
+    /// Time the reconfiguration engine was busy, in seconds.
+    pub reconfiguration_s: f64,
+    /// Accumulated evaluation time over all candidates (not wall-clock: the
+    /// evaluations of different arrays may overlap), in seconds.
+    pub evaluation_s: f64,
+    /// Number of generations accounted for.
+    pub generations: usize,
+    /// Number of candidate evaluations accounted for.
+    pub candidates: u64,
+    /// Total PE reconfigurations.
+    pub pe_reconfigurations: u64,
+}
+
+impl EvolutionTimeEstimate {
+    /// Average time per generation, in seconds.
+    pub fn per_generation_s(&self) -> f64 {
+        if self.generations == 0 {
+            0.0
+        } else {
+            self.total_s / self.generations as f64
+        }
+    }
+}
+
+/// A [`GenerationObserver`] that converts per-candidate reconfiguration counts
+/// into pipeline time, following the schedule of Fig. 11.
+#[derive(Debug, Clone)]
+pub struct PipelineTimer {
+    timing: TimingModel,
+    num_arrays: usize,
+    image_width: usize,
+    image_height: usize,
+    estimate: EvolutionTimeEstimate,
+}
+
+impl PipelineTimer {
+    /// Creates a timer for a platform with `num_arrays` arrays evaluating
+    /// candidates on `width × height` images.
+    pub fn new(timing: TimingModel, num_arrays: usize, width: usize, height: usize) -> Self {
+        assert!(num_arrays > 0, "num_arrays must be positive");
+        Self {
+            timing,
+            num_arrays,
+            image_width: width,
+            image_height: height,
+            estimate: EvolutionTimeEstimate::default(),
+        }
+    }
+
+    /// Convenience constructor with the paper's timing constants.
+    pub fn paper(num_arrays: usize, width: usize, height: usize) -> Self {
+        Self::new(TimingModel::paper(), num_arrays, width, height)
+    }
+
+    /// The accumulated estimate.
+    pub fn estimate(&self) -> EvolutionTimeEstimate {
+        self.estimate
+    }
+
+    /// Resets the accumulated estimate.
+    pub fn reset(&mut self) {
+        self.estimate = EvolutionTimeEstimate::default();
+    }
+
+    /// Simulates one generation of the pipeline in Fig. 11 and returns the
+    /// time it takes.  `candidate_pe_reconfigs[i]` is the number of PEs that
+    /// must be rewritten to configure candidate `i` into its array
+    /// (candidates are assigned round-robin to the arrays).
+    pub fn generation_time(&self, candidate_pe_reconfigs: &[usize]) -> f64 {
+        self.generation_schedule(candidate_pe_reconfigs)
+            .iter()
+            .map(|c| c.evaluation_end)
+            .fold(0.0, f64::max)
+    }
+
+    /// The detailed schedule of one generation — the data behind the timing
+    /// diagram of Fig. 11.  All times are in seconds from the start of the
+    /// generation.
+    pub fn generation_schedule(&self, candidate_pe_reconfigs: &[usize]) -> Vec<CandidateSchedule> {
+        let eval = self.timing.evaluation_time(self.image_width, self.image_height);
+        let mutation = self.timing.mutation_time();
+
+        // The single engine serializes reconfigurations; each array can start
+        // evaluating as soon as its own reconfiguration finishes, and must
+        // finish evaluating before its next reconfiguration may begin.
+        let mut engine_free = 0.0_f64;
+        let mut array_free = vec![0.0_f64; self.num_arrays];
+        let mut schedule = Vec::with_capacity(candidate_pe_reconfigs.len());
+
+        for (i, &pes) in candidate_pe_reconfigs.iter().enumerate() {
+            let array = i % self.num_arrays;
+            let reconfig = self.timing.reconfig_time(pes);
+            // Mutation happens in software, overlapped with previous activity;
+            // it only delays the schedule if both the engine and the target
+            // array are idle (first candidates of a run).
+            let earliest = engine_free.max(array_free[array]);
+            let start_reconfig = if earliest == 0.0 { mutation } else { earliest };
+            let end_reconfig = start_reconfig + reconfig;
+            engine_free = end_reconfig;
+            let end_eval = end_reconfig + eval;
+            array_free[array] = end_eval;
+            schedule.push(CandidateSchedule {
+                candidate: i,
+                array,
+                pe_reconfigurations: pes,
+                reconfiguration_start: start_reconfig,
+                reconfiguration_end: end_reconfig,
+                evaluation_end: end_eval,
+            });
+        }
+        schedule
+    }
+}
+
+/// Schedule of one candidate within a generation (Fig. 11): when its
+/// reconfiguration occupies the engine and when its evaluation finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidateSchedule {
+    /// Candidate index within the generation.
+    pub candidate: usize,
+    /// Array the candidate is evaluated on.
+    pub array: usize,
+    /// PE reconfigurations needed to configure it.
+    pub pe_reconfigurations: usize,
+    /// When its reconfiguration starts on the (single) engine, in seconds.
+    pub reconfiguration_start: f64,
+    /// When its reconfiguration finishes, in seconds.
+    pub reconfiguration_end: f64,
+    /// When its evaluation finishes, in seconds.
+    pub evaluation_end: f64,
+}
+
+impl GenerationObserver for PipelineTimer {
+    fn on_generation(&mut self, _generation: usize, candidate_pe_reconfigs: &[usize], _best: u64) {
+        let eval = self.timing.evaluation_time(self.image_width, self.image_height);
+        let pes: u64 = candidate_pe_reconfigs.iter().map(|&p| p as u64).sum();
+        self.estimate.total_s += self.generation_time(candidate_pe_reconfigs);
+        self.estimate.reconfiguration_s += self.timing.reconfig_time(pes as usize);
+        self.estimate.evaluation_s += eval * candidate_pe_reconfigs.len() as f64;
+        self.estimate.generations += 1;
+        self.estimate.candidates += candidate_pe_reconfigs.len() as u64;
+        self.estimate.pe_reconfigurations += pes;
+    }
+}
+
+/// Quick analytic estimate of one generation's duration for back-of-envelope
+/// comparisons: `offspring` candidates, each reconfiguring `pes_per_candidate`
+/// PEs, on an `arrays`-array platform.
+pub fn analytic_generation_time(
+    timing: &TimingModel,
+    offspring: usize,
+    pes_per_candidate: usize,
+    arrays: usize,
+    width: usize,
+    height: usize,
+) -> f64 {
+    let timer = PipelineTimer::new(*timing, arrays, width, height);
+    timer.generation_time(&vec![pes_per_candidate; offspring])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(arrays: usize, size: usize) -> PipelineTimer {
+        PipelineTimer::paper(arrays, size, size)
+    }
+
+    #[test]
+    fn single_array_time_is_sum_of_phases() {
+        let t = timer(1, 128);
+        let gen = t.generation_time(&[3; 9]);
+        let timing = TimingModel::paper();
+        let expected = timing.mutation_time()
+            + 9.0 * (timing.reconfig_time(3) + timing.evaluation_time(128, 128));
+        assert!((gen - expected).abs() < 1e-9, "gen={gen}, expected={expected}");
+    }
+
+    #[test]
+    fn three_arrays_are_faster_but_not_three_times_faster() {
+        // Fig. 12: the speed-up is limited because reconfiguration (which
+        // dominates for 128×128 images) cannot be parallelised.
+        let single = timer(1, 128).generation_time(&[3; 9]);
+        let triple = timer(3, 128).generation_time(&[3; 9]);
+        assert!(triple < single);
+        assert!(single / triple < 2.0, "speed-up unrealistically high");
+    }
+
+    #[test]
+    fn saving_is_roughly_constant_across_mutation_rates() {
+        // Fig. 12: "a fixed time saving is achieved in the evolution process".
+        let savings: Vec<f64> = [1usize, 3, 5]
+            .iter()
+            .map(|&k| {
+                let single = timer(1, 128).generation_time(&[k; 9]);
+                let triple = timer(3, 128).generation_time(&[k; 9]);
+                single - triple
+            })
+            .collect();
+        let min = savings.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = savings.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            (max - min) / max < 0.05,
+            "savings vary too much across k: {savings:?}"
+        );
+    }
+
+    #[test]
+    fn saving_scales_with_image_size() {
+        // Fig. 13: with 256×256 images the evaluation time quadruples, and so
+        // does (approximately) the benefit of evaluating in parallel.
+        let saving_small = timer(1, 128).generation_time(&[3; 9]) - timer(3, 128).generation_time(&[3; 9]);
+        let saving_large = timer(1, 256).generation_time(&[3; 9]) - timer(3, 256).generation_time(&[3; 9]);
+        let ratio = saving_large / saving_small;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn evolution_time_grows_with_mutation_rate() {
+        // Figs. 12–14: more mutated PEs per candidate ⇒ more serialized
+        // reconfiguration ⇒ longer generations.
+        let t = timer(3, 128);
+        let g1 = t.generation_time(&[1; 9]);
+        let g3 = t.generation_time(&[3; 9]);
+        let g5 = t.generation_time(&[5; 9]);
+        assert!(g1 < g3 && g3 < g5);
+    }
+
+    #[test]
+    fn observer_accumulates_over_generations() {
+        let mut t = timer(3, 128);
+        for gen in 0..10 {
+            t.on_generation(gen, &[2; 9], 1000);
+        }
+        let est = t.estimate();
+        assert_eq!(est.generations, 10);
+        assert_eq!(est.candidates, 90);
+        assert_eq!(est.pe_reconfigurations, 180);
+        assert!(est.total_s > 0.0);
+        assert!((est.per_generation_s() - est.total_s / 10.0).abs() < 1e-12);
+        t.reset();
+        assert_eq!(t.estimate(), EvolutionTimeEstimate::default());
+    }
+
+    #[test]
+    fn zero_reconfiguration_candidates_cost_only_evaluation() {
+        let t = timer(1, 128);
+        let timing = TimingModel::paper();
+        let gen = t.generation_time(&[0; 9]);
+        let expected = timing.mutation_time() + 9.0 * timing.evaluation_time(128, 128);
+        assert!((gen - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analytic_helper_matches_timer() {
+        let timing = TimingModel::paper();
+        let a = analytic_generation_time(&timing, 9, 3, 3, 128, 128);
+        let b = timer(3, 128).generation_time(&[3; 9]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_arrays_panics() {
+        let _ = PipelineTimer::paper(0, 128, 128);
+    }
+}

@@ -1,0 +1,351 @@
+//! Functional model of the 4×4 systolic processing array.
+//!
+//! The hardware array is fed by a window generator: for every output pixel,
+//! the 3×3 neighbourhood of the corresponding input pixel is presented to the
+//! array's eight inputs (through the per-input 9-to-1 muxes), the data
+//! propagates through the pipelined PE mesh, and one of the four east-side
+//! outputs is selected as the result.  Because each PE registers its output,
+//! the array processes one window (one output pixel) per clock once the
+//! pipeline is full.
+//!
+//! [`ProcessingArray`] reproduces this behaviour functionally: it computes the
+//! exact same output pixel the hardware would, without modelling individual
+//! clock cycles (the cycle-level cost is captured by the latency and timing
+//! models).  Faulty PEs — the PE-level fault model of §VI.D — are overlaid on
+//! the genotype: a damaged position corrupts its output regardless of the
+//! function configured into it, exactly like the paper's "dummy PE" partial
+//! bitstream.
+
+use std::collections::BTreeMap;
+
+use ehw_image::image::GrayImage;
+use ehw_image::metrics::mae;
+use ehw_image::window::{Window3x3, map_windows};
+
+use crate::genotype::{Genotype, ARRAY_COLS, ARRAY_ROWS};
+use crate::pe::FaultBehaviour;
+
+/// The functional model of one evolvable processing array.
+#[derive(Debug, Clone)]
+pub struct ProcessingArray {
+    genotype: Genotype,
+    faults: BTreeMap<(usize, usize), FaultBehaviour>,
+}
+
+impl ProcessingArray {
+    /// Creates an array configured with the given genotype and no faults.
+    pub fn new(genotype: Genotype) -> Self {
+        Self {
+            genotype,
+            faults: BTreeMap::new(),
+        }
+    }
+
+    /// Creates an array configured with the identity genotype.
+    pub fn identity() -> Self {
+        Self::new(Genotype::identity())
+    }
+
+    /// The currently configured genotype.
+    pub fn genotype(&self) -> &Genotype {
+        &self.genotype
+    }
+
+    /// Reconfigures the array with a new genotype.  Faults are a property of
+    /// the fabric, not of the configuration, so they persist across
+    /// reconfiguration — the key behaviour behind the self-healing
+    /// experiments.
+    pub fn set_genotype(&mut self, genotype: Genotype) {
+        self.genotype = genotype;
+    }
+
+    /// Injects a PE-level fault at array position `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if the position is outside the 4×4 array.
+    pub fn inject_fault(&mut self, row: usize, col: usize, behaviour: FaultBehaviour) {
+        assert!(row < ARRAY_ROWS && col < ARRAY_COLS, "PE position out of range");
+        self.faults.insert((row, col), behaviour);
+    }
+
+    /// Removes the fault at `(row, col)`, if any (models repairing a transient
+    /// fault by scrubbing).
+    pub fn clear_fault(&mut self, row: usize, col: usize) {
+        self.faults.remove(&(row, col));
+    }
+
+    /// Removes every injected fault.
+    pub fn clear_all_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Positions currently marked as faulty.
+    pub fn faulty_positions(&self) -> Vec<(usize, usize)> {
+        self.faults.keys().copied().collect()
+    }
+
+    /// `true` if at least one PE is damaged.
+    pub fn has_faults(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    /// Computes the array output for one 3×3 window — the per-pixel kernel of
+    /// the evolved filter.
+    pub fn evaluate_window(&self, window: &Window3x3) -> u8 {
+        // Array inputs after the 9-to-1 selection muxes.
+        let mut north = [0u8; ARRAY_COLS];
+        for (c, n) in north.iter_mut().enumerate() {
+            *n = window.select(self.genotype.north_selector(c));
+        }
+        let mut west = [0u8; ARRAY_ROWS];
+        for (r, w) in west.iter_mut().enumerate() {
+            *w = window.select(self.genotype.west_selector(r));
+        }
+
+        // Systolic propagation: each PE consumes the output of its west and
+        // north neighbours (or the corresponding array input on the first
+        // column / row) and forwards its registered result east and south.
+        let mut outputs = [[0u8; ARRAY_COLS]; ARRAY_ROWS];
+        for r in 0..ARRAY_ROWS {
+            for c in 0..ARRAY_COLS {
+                let w_in = if c == 0 { west[r] } else { outputs[r][c - 1] };
+                let n_in = if r == 0 { north[c] } else { outputs[r - 1][c] };
+                let correct = self.genotype.pe_function(r, c).apply(w_in, n_in);
+                outputs[r][c] = match self.faults.get(&(r, c)) {
+                    Some(fault) => fault.corrupt(correct, w_in, n_in),
+                    None => correct,
+                };
+            }
+        }
+
+        let out_row = (self.genotype.output_gene as usize) % ARRAY_ROWS;
+        outputs[out_row][ARRAY_COLS - 1]
+    }
+
+    /// Filters a whole image: every output pixel is the array's response to
+    /// the 3×3 window centred on the corresponding input pixel.
+    pub fn filter_image(&self, img: &GrayImage) -> GrayImage {
+        map_windows(img, |w| self.evaluate_window(w))
+    }
+
+    /// Row-parallel variant of [`filter_image`](Self::filter_image).
+    ///
+    /// The hardware evaluates candidates in parallel by instantiating several
+    /// arrays; on the host we additionally exploit data parallelism inside a
+    /// single evaluation by splitting the image into horizontal bands, one per
+    /// thread.  The result is bit-identical to the sequential version.
+    pub fn filter_image_parallel(&self, img: &GrayImage, threads: usize) -> GrayImage {
+        let threads = threads.max(1).min(img.height());
+        if threads == 1 {
+            return self.filter_image(img);
+        }
+        let width = img.width();
+        let height = img.height();
+        let rows_per_band = height.div_ceil(threads);
+        let mut out = vec![0u8; width * height];
+
+        let bands: Vec<(usize, &mut [u8])> = {
+            let mut bands = Vec::new();
+            let mut rest = out.as_mut_slice();
+            let mut y0 = 0;
+            while y0 < height {
+                let rows = rows_per_band.min(height - y0);
+                let (band, tail) = rest.split_at_mut(rows * width);
+                bands.push((y0, band));
+                rest = tail;
+                y0 += rows;
+            }
+            bands
+        };
+
+        std::thread::scope(|scope| {
+            for (y0, band) in bands {
+                scope.spawn(move || {
+                    let rows = band.len() / width;
+                    for dy in 0..rows {
+                        let y = y0 + dy;
+                        for x in 0..width {
+                            let w = Window3x3::from_image(img, x, y);
+                            band[dy * width + x] = self.evaluate_window(&w);
+                        }
+                    }
+                });
+            }
+        });
+
+        GrayImage::from_vec(width, height, out)
+    }
+
+    /// Convenience: filter `input` and return the aggregated MAE against
+    /// `reference` — the fitness the hardware fitness unit would report.
+    pub fn fitness(&self, input: &GrayImage, reference: &GrayImage) -> u64 {
+        mae(&self.filter_image(input), reference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pe::PeFunction;
+    use ehw_image::synth;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_genotype_filters_to_identity() {
+        let array = ProcessingArray::identity();
+        let img = synth::shapes(32, 32, 3);
+        assert_eq!(array.filter_image(&img), img);
+    }
+
+    #[test]
+    fn identity_window_response_is_center() {
+        let array = ProcessingArray::identity();
+        let w = Window3x3([10, 20, 30, 40, 50, 60, 70, 80, 90]);
+        assert_eq!(array.evaluate_window(&w), 50);
+    }
+
+    #[test]
+    fn const_max_genotype_outputs_white() {
+        let mut g = Genotype::identity();
+        // Make the last PE of the output row a constant generator.
+        g.pe_genes[ARRAY_COLS - 1] = PeFunction::ConstMax.gene();
+        let array = ProcessingArray::new(g);
+        let img = synth::gradient(16, 16);
+        assert!(array.filter_image(&img).pixels().all(|p| p == 255));
+    }
+
+    #[test]
+    fn output_row_selection_changes_result() {
+        // Row 0 passes the west input of row 0; row 1 inverts it.
+        let mut g = Genotype::identity();
+        for c in 0..ARRAY_COLS {
+            g.pe_genes[ARRAY_COLS + c] = PeFunction::InvertW.gene();
+        }
+        // Row 1 west input also selects the window centre by default.
+        let mut a0 = ProcessingArray::new(g.clone());
+        let w = Window3x3([0, 0, 0, 0, 100, 0, 0, 0, 0]);
+        assert_eq!(a0.evaluate_window(&w), 100);
+        let mut g1 = g.clone();
+        g1.output_gene = 1;
+        a0.set_genotype(g1);
+        // Four cascaded inversions of 100: 155, 100, 155, 100 → row 1 output
+        // after 4 PEs each inverting its west input.
+        assert_eq!(a0.evaluate_window(&w), 100);
+        // With a single inversion in the row the parity flips.
+        let mut g2 = g;
+        for c in 1..ARRAY_COLS {
+            g2.pe_genes[ARRAY_COLS + c] = PeFunction::IdentityW.gene();
+        }
+        g2.output_gene = 1;
+        let a2 = ProcessingArray::new(g2);
+        assert_eq!(a2.evaluate_window(&w), 155);
+    }
+
+    #[test]
+    fn min_max_genotypes_bound_identity() {
+        // A first-column Min PE fed with centre (west) and a neighbour (north)
+        // never exceeds the identity output.
+        let mut gmin = Genotype::identity();
+        gmin.pe_genes[0] = PeFunction::Min.gene();
+        gmin.input_genes[0] = 0; // north input of column 0: NW pixel
+        let amin = ProcessingArray::new(gmin);
+        let img = synth::shapes(24, 24, 3);
+        let out = amin.filter_image(&img);
+        for (o, i) in out.pixels().zip(img.pixels()) {
+            assert!(o <= i);
+        }
+    }
+
+    #[test]
+    fn parallel_filtering_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let img = synth::shapes(47, 31, 4); // deliberately odd dimensions
+        for _ in 0..5 {
+            let array = ProcessingArray::new(Genotype::random(&mut rng));
+            let seq = array.filter_image(&img);
+            for threads in [1, 2, 3, 4, 8] {
+                assert_eq!(array.filter_image_parallel(&img, threads), seq);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_filtering_with_more_threads_than_rows() {
+        let array = ProcessingArray::identity();
+        let img = synth::gradient(8, 3);
+        assert_eq!(array.filter_image_parallel(&img, 64), img);
+    }
+
+    #[test]
+    fn fault_changes_output_and_is_clearable() {
+        let img = synth::shapes(32, 32, 3);
+        let mut array = ProcessingArray::identity();
+        let clean = array.filter_image(&img);
+
+        // A fault outside the active data path (row 3 never feeds row 0's
+        // output) must not change the result.
+        array.inject_fault(3, 3, FaultBehaviour::dummy());
+        assert_eq!(array.filter_image(&img), clean);
+        array.clear_all_faults();
+
+        // A fault on the output path corrupts the image.
+        array.inject_fault(0, ARRAY_COLS - 1, FaultBehaviour::dummy());
+        assert!(array.has_faults());
+        let faulty = array.filter_image(&img);
+        assert_ne!(faulty, clean);
+
+        array.clear_fault(0, ARRAY_COLS - 1);
+        assert!(!array.has_faults());
+        assert_eq!(array.filter_image(&img), clean);
+    }
+
+    #[test]
+    fn faults_survive_reconfiguration() {
+        let img = synth::shapes(16, 16, 2);
+        let mut array = ProcessingArray::identity();
+        array.inject_fault(0, 1, FaultBehaviour::StuckAt { value: 0 });
+        let mut rng = StdRng::seed_from_u64(3);
+        array.set_genotype(Genotype::random(&mut rng));
+        assert!(array.has_faults());
+        assert_eq!(array.faulty_positions(), vec![(0, 1)]);
+        // The faulty array generally differs from a fault-free copy with the
+        // same genotype.
+        let clean = ProcessingArray::new(array.genotype().clone());
+        // (They may coincide for genotypes that never route through (0,1); use
+        // a genotype that certainly does: all IdentityW on row 0.)
+        let mut g = Genotype::identity();
+        g.output_gene = 0;
+        array.set_genotype(g.clone());
+        let clean = {
+            let mut c = clean;
+            c.set_genotype(g);
+            c
+        };
+        assert_ne!(array.filter_image(&img), clean.filter_image(&img));
+    }
+
+    #[test]
+    fn fitness_is_zero_against_own_output() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let array = ProcessingArray::new(Genotype::random(&mut rng));
+        let img = synth::shapes(32, 32, 4);
+        let out = array.filter_image(&img);
+        assert_eq!(array.fitness(&img, &out), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fault_injection_out_of_range_panics() {
+        let mut array = ProcessingArray::identity();
+        array.inject_fault(4, 0, FaultBehaviour::dummy());
+    }
+
+    #[test]
+    fn stuck_at_fault_forces_constant_output() {
+        let mut array = ProcessingArray::identity();
+        array.inject_fault(0, ARRAY_COLS - 1, FaultBehaviour::StuckAt { value: 7 });
+        let img = synth::gradient(16, 16);
+        assert!(array.filter_image(&img).pixels().all(|p| p == 7));
+    }
+}

@@ -1,0 +1,243 @@
+//! Fitness evaluation.
+//!
+//! The hardware fitness unit streams the array output and a comparison stream
+//! (reference image, input image, or the output of a neighbouring array)
+//! through an accumulator of absolute differences.  The software counterpart
+//! is a [`FitnessEvaluator`]: given a genotype it configures the functional
+//! array model, filters the training image and returns the aggregated MAE —
+//! lower is better, zero means a pixel-exact match.
+
+use ehw_array::array::ProcessingArray;
+use ehw_array::genotype::Genotype;
+use ehw_array::pe::FaultBehaviour;
+use ehw_image::image::GrayImage;
+use ehw_image::metrics::mae;
+
+/// Anything that can score a candidate genotype.  Lower fitness is better.
+pub trait FitnessEvaluator {
+    /// Evaluates one candidate.
+    fn evaluate(&mut self, genotype: &Genotype) -> u64;
+
+    /// Evaluates a batch of candidates.  The default implementation is
+    /// sequential; implementations backed by multiple arrays (or by host
+    /// threads) override it to evaluate in parallel, which is exactly what the
+    /// parallel evolution mode of §IV.B does.
+    fn evaluate_batch(&mut self, batch: &[Genotype]) -> Vec<u64> {
+        batch.iter().map(|g| self.evaluate(g)).collect()
+    }
+
+    /// Number of single-candidate evaluations performed so far.
+    fn evaluations(&self) -> u64;
+}
+
+/// Software fitness evaluator: one functional array model, one training
+/// image and one reference image.
+///
+/// Faults injected into the underlying array persist across candidates — a
+/// damaged array keeps being damaged no matter what genotype is configured,
+/// which is how the self-healing experiments drive evolution *around* the
+/// fault.
+#[derive(Debug, Clone)]
+pub struct SoftwareEvaluator {
+    array: ProcessingArray,
+    input: GrayImage,
+    reference: GrayImage,
+    evaluations: u64,
+}
+
+impl SoftwareEvaluator {
+    /// Creates an evaluator for the given training pair.
+    ///
+    /// # Panics
+    /// Panics if the images have different dimensions.
+    pub fn new(input: GrayImage, reference: GrayImage) -> Self {
+        assert_eq!(input.width(), reference.width(), "image width mismatch");
+        assert_eq!(input.height(), reference.height(), "image height mismatch");
+        Self {
+            array: ProcessingArray::identity(),
+            input,
+            reference,
+            evaluations: 0,
+        }
+    }
+
+    /// Creates an evaluator that scores candidates on a specific array model
+    /// (including any faults already injected into it) — used when evolution
+    /// must happen *on the damaged hardware*, e.g. during self-healing.
+    ///
+    /// # Panics
+    /// Panics if the images have different dimensions.
+    pub fn with_array(array: ProcessingArray, input: GrayImage, reference: GrayImage) -> Self {
+        assert_eq!(input.width(), reference.width(), "image width mismatch");
+        assert_eq!(input.height(), reference.height(), "image height mismatch");
+        Self {
+            array,
+            input,
+            reference,
+            evaluations: 0,
+        }
+    }
+
+    /// Injects a PE-level fault into the evaluator's array (the fault stays
+    /// for all subsequent evaluations).
+    pub fn inject_fault(&mut self, row: usize, col: usize, behaviour: FaultBehaviour) {
+        self.array.inject_fault(row, col, behaviour);
+    }
+
+    /// Clears all injected faults.
+    pub fn clear_faults(&mut self) {
+        self.array.clear_all_faults();
+    }
+
+    /// Replaces the reference image (e.g. to retarget evolution to a new
+    /// task, or to imitate a neighbouring array's output).
+    pub fn set_reference(&mut self, reference: GrayImage) {
+        assert_eq!(self.input.width(), reference.width(), "image width mismatch");
+        assert_eq!(self.input.height(), reference.height(), "image height mismatch");
+        self.reference = reference;
+    }
+
+    /// Replaces the training input image.
+    pub fn set_input(&mut self, input: GrayImage) {
+        assert_eq!(input.width(), self.reference.width(), "image width mismatch");
+        assert_eq!(input.height(), self.reference.height(), "image height mismatch");
+        self.input = input;
+    }
+
+    /// The training input image.
+    pub fn input(&self) -> &GrayImage {
+        &self.input
+    }
+
+    /// The reference image.
+    pub fn reference(&self) -> &GrayImage {
+        &self.reference
+    }
+
+    /// Filters the training input with an arbitrary genotype (without
+    /// counting it as a fitness evaluation) — used to produce the output
+    /// image of an evolved filter for inspection or for cascading.
+    pub fn filter_with(&self, genotype: &Genotype) -> GrayImage {
+        let mut array = self.array.clone();
+        array.set_genotype(genotype.clone());
+        array.filter_image(&self.input)
+    }
+}
+
+impl FitnessEvaluator for SoftwareEvaluator {
+    fn evaluate(&mut self, genotype: &Genotype) -> u64 {
+        self.evaluations += 1;
+        self.array.set_genotype(genotype.clone());
+        mae(&self.array.filter_image(&self.input), &self.reference)
+    }
+
+    fn evaluate_batch(&mut self, batch: &[Genotype]) -> Vec<u64> {
+        // Candidates are independent, so they are evaluated on parallel host
+        // threads (one cloned array model per candidate), mirroring the
+        // parallel evaluation across physical arrays.
+        self.evaluations += batch.len() as u64;
+        let input = &self.input;
+        let reference = &self.reference;
+        let base = &self.array;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = batch
+                .iter()
+                .map(|g| {
+                    scope.spawn(move || {
+                        let mut array = base.clone();
+                        array.set_genotype(g.clone());
+                        mae(&array.filter_image(input), reference)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("evaluator thread panicked")).collect()
+        })
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehw_image::noise::salt_pepper;
+    use ehw_image::synth;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_genotype_scores_zero_on_identity_task() {
+        let img = synth::shapes(32, 32, 3);
+        let mut eval = SoftwareEvaluator::new(img.clone(), img);
+        assert_eq!(eval.evaluate(&Genotype::identity()), 0);
+        assert_eq!(eval.evaluations(), 1);
+    }
+
+    #[test]
+    fn noisy_identity_scores_noise_level() {
+        let clean = synth::shapes(64, 64, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = salt_pepper(&clean, 0.2, &mut rng);
+        let mut eval = SoftwareEvaluator::new(noisy.clone(), clean.clone());
+        // An identity filter leaves all the noise in place.
+        let identity_fitness = eval.evaluate(&Genotype::identity());
+        assert_eq!(identity_fitness, mae(&noisy, &clean));
+        assert!(identity_fitness > 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_evaluation() {
+        let clean = synth::shapes(32, 32, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let noisy = salt_pepper(&clean, 0.3, &mut rng);
+        let mut eval = SoftwareEvaluator::new(noisy, clean);
+        let batch: Vec<Genotype> = (0..9).map(|_| Genotype::random(&mut rng)).collect();
+        let parallel = eval.evaluate_batch(&batch);
+        let sequential: Vec<u64> = batch.iter().map(|g| eval.evaluate(g)).collect();
+        assert_eq!(parallel, sequential);
+        assert_eq!(eval.evaluations(), 9 + 9);
+    }
+
+    #[test]
+    fn faults_persist_across_candidates() {
+        let img = synth::shapes(32, 32, 3);
+        let mut eval = SoftwareEvaluator::new(img.clone(), img);
+        assert_eq!(eval.evaluate(&Genotype::identity()), 0);
+        eval.inject_fault(0, 3, FaultBehaviour::dummy());
+        let damaged = eval.evaluate(&Genotype::identity());
+        assert!(damaged > 0, "fault on the output path must hurt fitness");
+        eval.clear_faults();
+        assert_eq!(eval.evaluate(&Genotype::identity()), 0);
+    }
+
+    #[test]
+    fn set_reference_redefines_the_task() {
+        let img = synth::shapes(32, 32, 3);
+        let edges = ehw_image::filters::sobel_edge(&img);
+        let mut eval = SoftwareEvaluator::new(img.clone(), img.clone());
+        assert_eq!(eval.evaluate(&Genotype::identity()), 0);
+        eval.set_reference(edges.clone());
+        let vs_edges = eval.evaluate(&Genotype::identity());
+        assert_eq!(vs_edges, mae(&img, &edges));
+        assert!(vs_edges > 0);
+    }
+
+    #[test]
+    fn filter_with_does_not_count_as_evaluation() {
+        let img = synth::shapes(16, 16, 2);
+        let eval = SoftwareEvaluator::new(img.clone(), img.clone());
+        let out = eval.filter_with(&Genotype::identity());
+        assert_eq!(out, img);
+        assert_eq!(eval.evaluations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_images_panic() {
+        let a = synth::gradient(16, 16);
+        let b = synth::gradient(16, 17);
+        let _ = SoftwareEvaluator::new(a, b);
+    }
+}

@@ -1,0 +1,191 @@
+//! 3×3 sliding-window extraction.
+//!
+//! The evolvable array computes each output pixel from the 3×3 neighbourhood
+//! of the corresponding input pixel.  In hardware the neighbourhood is built
+//! by three image-line FIFOs in front of the array (§III.A and §IV.A of the
+//! paper); at the borders the line buffers replicate the nearest valid pixel.
+//! [`Window3x3`] is the software equivalent, and [`windows`] iterates the
+//! window for every pixel position of an image in raster order — the same
+//! order in which the hardware streams pixels through the array.
+
+use crate::image::GrayImage;
+
+/// The 3×3 neighbourhood of a pixel, in row-major order:
+///
+/// ```text
+/// w[0] w[1] w[2]      NW N NE
+/// w[3] w[4] w[5]  =   W  C  E
+/// w[6] w[7] w[8]      SW S SE
+/// ```
+///
+/// Index 4 is the centre pixel.  The paper's array has eight data inputs (four
+/// on the north side, four on the west side), each preceded by a 9-to-1
+/// multiplexer that selects one of these nine window pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window3x3(pub [u8; 9]);
+
+impl Window3x3 {
+    /// Index of the centre pixel within the window.
+    pub const CENTER: usize = 4;
+
+    /// Builds the window centred on `(x, y)` with replicated borders.
+    pub fn from_image(img: &GrayImage, x: usize, y: usize) -> Self {
+        let xi = x as isize;
+        let yi = y as isize;
+        let mut w = [0u8; 9];
+        let mut k = 0;
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                w[k] = img.pixel_clamped(xi + dx, yi + dy);
+                k += 1;
+            }
+        }
+        Window3x3(w)
+    }
+
+    /// The centre pixel of the window.
+    #[inline]
+    pub fn center(&self) -> u8 {
+        self.0[Self::CENTER]
+    }
+
+    /// Selects one pixel of the window; `sel` is the 9-to-1 mux selector used
+    /// by the array inputs (0–8, row-major).  Selector values above 8 are
+    /// clamped to the centre pixel, mirroring the hardware's "safe" decode of
+    /// out-of-range register values.
+    #[inline]
+    pub fn select(&self, sel: u8) -> u8 {
+        if (sel as usize) < 9 {
+            self.0[sel as usize]
+        } else {
+            self.center()
+        }
+    }
+
+    /// Returns the window pixels sorted ascending (used by the median
+    /// reference filter).
+    pub fn sorted(&self) -> [u8; 9] {
+        let mut s = self.0;
+        s.sort_unstable();
+        s
+    }
+
+    /// Median of the nine window pixels.
+    #[inline]
+    pub fn median(&self) -> u8 {
+        self.sorted()[4]
+    }
+
+    /// Integer mean of the nine window pixels (rounded towards zero, as a
+    /// hardware divider by 9 would after truncation).
+    #[inline]
+    pub fn mean(&self) -> u8 {
+        (self.0.iter().map(|&p| p as u32).sum::<u32>() / 9) as u8
+    }
+
+    /// Minimum of the nine window pixels.
+    #[inline]
+    pub fn min(&self) -> u8 {
+        *self.0.iter().min().expect("window is non-empty")
+    }
+
+    /// Maximum of the nine window pixels.
+    #[inline]
+    pub fn max(&self) -> u8 {
+        *self.0.iter().max().expect("window is non-empty")
+    }
+}
+
+/// Iterates the 3×3 window for every pixel of `img` in raster order,
+/// yielding `(x, y, window)`.
+pub fn windows(img: &GrayImage) -> impl Iterator<Item = (usize, usize, Window3x3)> + '_ {
+    let (w, h) = (img.width(), img.height());
+    (0..h).flat_map(move |y| (0..w).map(move |x| (x, y, Window3x3::from_image(img, x, y))))
+}
+
+/// Applies a per-window function over the whole image, producing a new image
+/// of the same dimensions.  This is the generic "window filter" driver used by
+/// the reference filters and by the software model of the evolvable array.
+pub fn map_windows(img: &GrayImage, mut f: impl FnMut(&Window3x3) -> u8) -> GrayImage {
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        f(&Window3x3::from_image(img, x, y))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_image() -> GrayImage {
+        // 0  1  2  3
+        // 4  5  6  7
+        // 8  9 10 11
+        GrayImage::from_fn(4, 3, |x, y| (y * 4 + x) as u8)
+    }
+
+    #[test]
+    fn interior_window_is_neighbourhood() {
+        let img = test_image();
+        let w = Window3x3::from_image(&img, 1, 1);
+        assert_eq!(w.0, [0, 1, 2, 4, 5, 6, 8, 9, 10]);
+        assert_eq!(w.center(), 5);
+    }
+
+    #[test]
+    fn corner_window_replicates_border() {
+        let img = test_image();
+        let w = Window3x3::from_image(&img, 0, 0);
+        assert_eq!(w.0, [0, 0, 1, 0, 0, 1, 4, 4, 5]);
+        let w = Window3x3::from_image(&img, 3, 2);
+        assert_eq!(w.0, [6, 7, 7, 10, 11, 11, 10, 11, 11]);
+    }
+
+    #[test]
+    fn select_mux_behaviour() {
+        let img = test_image();
+        let w = Window3x3::from_image(&img, 1, 1);
+        for sel in 0..9u8 {
+            assert_eq!(w.select(sel), w.0[sel as usize]);
+        }
+        // Out-of-range selectors decode to the centre pixel.
+        assert_eq!(w.select(9), w.center());
+        assert_eq!(w.select(255), w.center());
+    }
+
+    #[test]
+    fn window_statistics() {
+        let w = Window3x3([9, 1, 8, 2, 7, 3, 6, 4, 5]);
+        assert_eq!(w.sorted(), [1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(w.median(), 5);
+        assert_eq!(w.min(), 1);
+        assert_eq!(w.max(), 9);
+        assert_eq!(w.mean(), 5);
+    }
+
+    #[test]
+    fn windows_iterator_covers_every_pixel() {
+        let img = test_image();
+        let collected: Vec<_> = windows(&img).collect();
+        assert_eq!(collected.len(), 12);
+        assert_eq!(collected[0].0, 0);
+        assert_eq!(collected[0].1, 0);
+        assert_eq!(collected[11].0, 3);
+        assert_eq!(collected[11].1, 2);
+    }
+
+    #[test]
+    fn map_windows_identity_on_center() {
+        let img = test_image();
+        let out = map_windows(&img, |w| w.center());
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn map_windows_constant() {
+        let img = test_image();
+        let out = map_windows(&img, |_| 42);
+        assert!(out.pixels().all(|p| p == 42));
+        assert_eq!(out.width(), img.width());
+        assert_eq!(out.height(), img.height());
+    }
+}

@@ -1,0 +1,64 @@
+//! Cascaded denoising: the paper's flagship application (Figs. 16–18).
+//!
+//! ```text
+//! cargo run --release --example denoise_cascade -- [generations_per_stage] [output_dir]
+//! ```
+//!
+//! A three-stage collaborative cascade is evolved against 40 % salt & pepper
+//! noise.  The example reports the chain fitness after every stage, compares
+//! the result against the conventional 3×3 median filter (the baseline the
+//! paper cites in Fig. 18), and optionally writes the input / noisy / filtered
+//! images as PGM files for visual inspection.
+
+use ehw_image::filters;
+use ehw_image::metrics::mae;
+use ehw_image::noise::NoiseModel;
+use ehw_image::pgm;
+use ehw_image::synth;
+use ehw_platform::evo_modes::{evolve_cascade, CascadeConfig, EvolutionTask};
+use ehw_platform::platform::EhwPlatform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let generations: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let output_dir = std::env::args().nth(2);
+
+    let clean = synth::paper_scene_128();
+    let mut rng = StdRng::seed_from_u64(7);
+    let noisy = NoiseModel::paper_salt_pepper().apply(&clean, &mut rng);
+    let task = EvolutionTask::new(noisy.clone(), clean.clone());
+
+    println!("== Three-stage collaborative cascade on 40% salt & pepper ==");
+    println!("unfiltered MAE:            {}", mae(&noisy, &clean));
+
+    // Conventional baseline: a (non-cascadable) 3x3 median filter.
+    let median = filters::median(&noisy);
+    println!("median filter MAE:         {}", mae(&median, &clean));
+
+    let mut platform = EhwPlatform::paper_three_arrays();
+    let config = CascadeConfig::paper(generations, 2, 99);
+    let result = evolve_cascade(&mut platform, &task, &config);
+
+    for (stage, fitness) in result.stage_fitness.iter().enumerate() {
+        println!("evolved cascade, stage {}: {}", stage + 1, fitness);
+    }
+    println!("final chain MAE:           {}", result.final_fitness());
+
+    let outputs = platform.process_cascaded(&noisy);
+    if let Some(dir) = output_dir {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create output directory");
+        pgm::write_pgm(&clean, dir.join("clean.pgm")).expect("write clean.pgm");
+        pgm::write_pgm(&noisy, dir.join("noisy.pgm")).expect("write noisy.pgm");
+        pgm::write_pgm(&median, dir.join("median.pgm")).expect("write median.pgm");
+        for (i, out) in outputs.iter().enumerate() {
+            pgm::write_pgm(out, dir.join(format!("cascade_stage{}.pgm", i + 1)))
+                .expect("write stage output");
+        }
+        println!("images written to {}", dir.display());
+    }
+}

@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: platform assembly, processing modes and the
+//! reconfiguration path from genotype to configuration frames.
+
+use ehw_array::genotype::Genotype;
+use ehw_array::pe::PeFunction;
+use ehw_fabric::fault::FaultKind;
+use ehw_image::filters;
+use ehw_image::metrics::mae;
+use ehw_image::synth;
+use ehw_platform::platform::EhwPlatform;
+use ehw_platform::registers::{AcbRegister, RegisterFile};
+use ehw_platform::voter::PixelVoter;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn genotype_configuration_reaches_the_configuration_memory() {
+    let mut platform = EhwPlatform::paper_three_arrays();
+    let mut rng = StdRng::seed_from_u64(1);
+    let genotype = Genotype::random(&mut rng);
+
+    let frames_before = platform.engine().memory().write_count();
+    platform.configure_array(1, &genotype);
+    let frames_after = platform.engine().memory().write_count();
+
+    // Every differing PE gene produced frame writes through the engine.
+    let expected_pes = genotype.pe_reconfigurations_from(&Genotype::identity()) as u64;
+    assert!(frames_after > frames_before);
+    assert_eq!(
+        platform.reconfig_stats().pe_reconfigurations,
+        48 + expected_pes // 48 from the initial bring-up of three arrays
+    );
+
+    // The busy time matches the paper's 67.53 µs per PE.
+    let expected_time = (48 + expected_pes) as f64 * 67.53e-6;
+    assert!((platform.reconfig_stats().busy_time_s - expected_time).abs() < 1e-9);
+}
+
+#[test]
+fn cascaded_processing_composes_stage_functions() {
+    let mut platform = EhwPlatform::paper_three_arrays();
+
+    // Stage 0: erosion-like (min of centre and NW); stages 1-2: identity.
+    let mut g = Genotype::identity();
+    g.pe_genes[0] = PeFunction::Min.gene();
+    g.input_genes[0] = 0;
+    platform.configure_array(0, &g);
+
+    let img = synth::shapes(32, 32, 4);
+    let outputs = platform.process_cascaded(&img);
+
+    // Stage 0 output equals the single-array filtering of the same genotype.
+    assert_eq!(outputs[0], platform.acb(0).raw_output(&img));
+    // Stages 1 and 2 are identity, so they forward stage 0's output.
+    assert_eq!(outputs[1], outputs[0]);
+    assert_eq!(outputs[2], outputs[0]);
+}
+
+#[test]
+fn parallel_processing_with_identical_circuits_agrees_bit_exactly() {
+    let mut platform = EhwPlatform::paper_three_arrays();
+    let mut rng = StdRng::seed_from_u64(5);
+    let genotype = Genotype::random(&mut rng);
+    platform.configure_all_arrays(&genotype);
+
+    let img = synth::paper_scene_128();
+    let outputs = platform.process_parallel(&img);
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[1], outputs[2]);
+
+    let vote = PixelVoter.vote([&outputs[0], &outputs[1], &outputs[2]]);
+    assert_eq!(vote.disagreeing_pixels, 0);
+    assert_eq!(vote.image, outputs[0]);
+}
+
+#[test]
+fn register_file_reflects_platform_configuration() {
+    let mut platform = EhwPlatform::new(2);
+    let mut g = Genotype::identity();
+    g.input_genes = [0, 1, 2, 3, 5, 6, 7, 8];
+    g.output_gene = 2;
+    platform.configure_array(1, &g);
+
+    for (i, &sel) in g.input_genes.iter().enumerate() {
+        assert_eq!(
+            platform.registers().peek(RegisterFile::input_select_address(1, i)),
+            sel as u32
+        );
+    }
+    assert_eq!(
+        platform
+            .registers()
+            .peek(RegisterFile::address(1, AcbRegister::OutputSelect)),
+        2
+    );
+    // Latency register: output row 2 ⇒ 4 + 2 pipeline cycles + window cycles.
+    assert_eq!(
+        platform
+            .registers()
+            .peek(RegisterFile::address(1, AcbRegister::Latency)),
+        platform.acb(1).latency().total_cycles() as u32
+    );
+}
+
+#[test]
+fn evolved_identity_and_reference_filters_compose_with_platform() {
+    // The reference-filter substrate and the platform agree on what the
+    // identity configuration does, so evolved-vs-conventional comparisons
+    // (Fig. 18) are apples to apples.
+    let platform = EhwPlatform::new(1);
+    let img = synth::shapes(48, 48, 5);
+    let identity_out = platform.acb(0).raw_output(&img);
+    assert_eq!(identity_out, filters::ReferenceFilter::Identity.apply(&img));
+    assert_eq!(mae(&identity_out, &img), 0);
+}
+
+#[test]
+fn faults_in_different_arrays_are_independent() {
+    let mut platform = EhwPlatform::paper_three_arrays();
+    let img = synth::shapes(32, 32, 3);
+    let clean: Vec<_> = (0..3).map(|i| platform.acb(i).raw_output(&img)).collect();
+
+    platform.inject_pe_fault(0, 0, 3, FaultKind::Lpd);
+    assert_ne!(platform.acb(0).raw_output(&img), clean[0]);
+    assert_eq!(platform.acb(1).raw_output(&img), clean[1]);
+    assert_eq!(platform.acb(2).raw_output(&img), clean[2]);
+
+    // Scrubbing array 1 (healthy) changes nothing; scrubbing array 0 cannot
+    // repair a permanent fault.
+    platform.scrub_array(1);
+    platform.scrub_array(0);
+    assert_ne!(platform.acb(0).raw_output(&img), clean[0]);
+    assert!(platform.array_has_permanent_fault(0));
+}
+
+#[test]
+fn platform_scales_from_one_to_six_arrays() {
+    for n in 1..=6 {
+        let platform = EhwPlatform::new(n);
+        assert_eq!(platform.num_arrays(), n);
+        assert_eq!(platform.floorplan().arrays(), n);
+        assert_eq!(
+            platform.reconfig_stats().pe_reconfigurations,
+            (n * 16) as u64
+        );
+        let img = synth::gradient(16, 16);
+        assert_eq!(platform.process_cascaded(&img).len(), n);
+        assert_eq!(platform.process_parallel(&img).len(), n);
+    }
+}

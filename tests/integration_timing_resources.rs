@@ -1,0 +1,149 @@
+//! Integration tests for the quantitative models of §VI.A–B: resource
+//! utilisation, reconfiguration timing and the generation pipeline.  These are
+//! the invariants the experiment binaries rely on when regenerating the
+//! paper's tables and figures.
+
+use ehw_fabric::device::{DeviceGeometry, ARRAY_CLBS};
+use ehw_fabric::resources::ResourceUsage;
+use ehw_reconfig::timing::{TimingModel, PE_RECONFIG_TIME_US};
+use ehw_platform::platform::EhwPlatform;
+use ehw_platform::resources::PlatformResources;
+use ehw_platform::timing::{analytic_generation_time, PipelineTimer};
+
+#[test]
+fn paper_resource_table_is_reproduced() {
+    // §VI.A, for the three-stage platform of Fig. 10.
+    let r = PlatformResources::paper_three_stage();
+    assert_eq!(r.static_control, ResourceUsage::new(733, 1365, 1817));
+    assert_eq!(r.per_acb, ResourceUsage::new(754, 1642, 1528));
+    assert_eq!(r.total_acb_logic(), ResourceUsage::new(3 * 754, 3 * 1642, 3 * 1528));
+    assert_eq!(r.array_clbs, 3 * ARRAY_CLBS);
+    assert_eq!(r.array_clbs, 480);
+    assert!((r.pe_reconfig_us - 67.53).abs() < 1e-9);
+
+    // The three arrays fit comfortably on the LX110T.
+    let geometry = DeviceGeometry::virtex5_lx110t();
+    assert!(geometry.max_arrays() >= 3);
+    assert!(r.device_occupancy < 0.1);
+}
+
+#[test]
+fn platform_reconfiguration_time_matches_published_per_pe_cost() {
+    // Bringing up a three-array platform writes 48 PEs; the engine must
+    // account exactly 48 × 67.53 µs of busy time.
+    let platform = EhwPlatform::paper_three_arrays();
+    let stats = platform.reconfig_stats();
+    assert_eq!(stats.pe_reconfigurations, 48);
+    let expected = 48.0 * PE_RECONFIG_TIME_US * 1e-6;
+    assert!((stats.busy_time_s - expected).abs() < 1e-9);
+}
+
+#[test]
+fn evolution_time_model_reproduces_figure_12_and_13_shapes() {
+    // Average generation durations over the mutation-rate sweep, for one and
+    // three arrays, at both image sizes — the data behind Figs. 12 and 13.
+    let timing = TimingModel::paper();
+    let gens = 100_000.0;
+
+    let total =
+        |k: usize, arrays: usize, size: usize| analytic_generation_time(&timing, 9, k, arrays, size, size) * gens;
+
+    // For 128×128 images the single reconfiguration engine is the bottleneck,
+    // so the saving of the 3-array pipeline is essentially constant across
+    // mutation rates (Fig. 12).  For 256×256 images evaluation dominates and
+    // the saving grows mildly with k in our pipeline model — the paper still
+    // reports it as "around 200 s", so we only require it to stay within a
+    // moderate band there.
+    for (size, max_spread) in [(128usize, 0.06), (256usize, 0.30)] {
+        let mut previous_single = 0.0;
+        let mut savings = Vec::new();
+        for &k in &[1usize, 3, 5] {
+            let single = total(k, 1, size);
+            let triple = total(k, 3, size);
+            // Evolution time grows with the mutation rate (more serialized
+            // reconfiguration per candidate).
+            assert!(single > previous_single);
+            previous_single = single;
+            // Three arrays are always faster.
+            assert!(triple < single);
+            savings.push(single - triple);
+        }
+        let min = savings.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = savings.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            (max - min) / max < max_spread,
+            "savings spread too wide for {size}: {savings:?}"
+        );
+    }
+
+    // The saving scales with the image size (Fig. 13): 256×256 images are
+    // four times larger, so the constant saving is roughly four times bigger.
+    let saving_128 = total(3, 1, 128) - total(3, 3, 128);
+    let saving_256 = total(3, 1, 256) - total(3, 3, 256);
+    let ratio = saving_256 / saving_128;
+    assert!(ratio > 3.0 && ratio < 5.0, "ratio = {ratio}");
+
+    // Orders of magnitude match the paper: 100 000 generations of the
+    // single-array 128×128 setup take minutes, not hours.
+    let single_128_k5 = total(5, 1, 128);
+    assert!(single_128_k5 > 60.0 && single_128_k5 < 2_000.0, "t = {single_128_k5}");
+}
+
+#[test]
+fn two_level_mutation_reduces_per_generation_time() {
+    // Fig. 14's mechanism: secondary offspring differ in at most one PE, so a
+    // generation mixing k-rate and 1-rate candidates is cheaper than nine
+    // k-rate candidates.
+    let timer = PipelineTimer::paper(3, 128, 128);
+    for &k in &[3usize, 5] {
+        let classic = timer.generation_time(&[k; 9]);
+        let mut two_level = vec![k; 3];
+        two_level.extend_from_slice(&[1; 6]);
+        let new_ea = timer.generation_time(&two_level);
+        assert!(new_ea < classic);
+        // And the dependence on k is weaker: going from k=3 to k=5 changes the
+        // two-level time less than it changes the classic time.
+    }
+    let classic_delta = timer.generation_time(&[5; 9]) - timer.generation_time(&[3; 9]);
+    let two_level_delta = {
+        let mut five = vec![5; 3];
+        five.extend_from_slice(&[1; 6]);
+        let mut three = vec![3; 3];
+        three.extend_from_slice(&[1; 6]);
+        timer.generation_time(&five) - timer.generation_time(&three)
+    };
+    assert!(two_level_delta < classic_delta);
+}
+
+#[test]
+fn icap_speed_ablation_shifts_the_crossover() {
+    // Ablation: with a faster ICAP the reconfiguration bottleneck shrinks and
+    // the three-array speed-up grows; with a slower ICAP it shrinks.
+    let nominal = TimingModel::paper();
+    let fast_icap = TimingModel::paper().with_icap_scale(4.0);
+    let slow_icap = TimingModel::paper().with_icap_scale(0.25);
+
+    let speedup = |timing: &TimingModel| {
+        let single = analytic_generation_time(timing, 9, 3, 1, 128, 128);
+        let triple = analytic_generation_time(timing, 9, 3, 3, 128, 128);
+        single / triple
+    };
+
+    let nominal_speedup = speedup(&nominal);
+    assert!(speedup(&fast_icap) > nominal_speedup);
+    assert!(speedup(&slow_icap) < nominal_speedup);
+}
+
+#[test]
+fn resource_model_scales_with_the_number_of_arrays() {
+    let mut previous = 0u32;
+    for arrays in 1..=6 {
+        let r = PlatformResources::for_arrays(arrays);
+        let total = r.total_static_logic();
+        assert!(total.slices > previous);
+        previous = total.slices;
+        // Static control is constant; ACB logic strictly linear.
+        assert_eq!(r.static_control, ResourceUsage::paper_static_control());
+        assert_eq!(r.total_acb_logic(), ResourceUsage::paper_acb().scaled(arrays as u32));
+    }
+}

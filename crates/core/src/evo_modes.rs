@@ -345,7 +345,7 @@ pub fn evolve_cascade(
         for _ in 0..config.offspring {
             let child = parents[stage].mutated(config.mutation_rate, rng);
             let fitness = evaluate(stage, &child, parents);
-            if best_child.as_ref().map_or(true, |(_, f)| fitness < *f) {
+            if best_child.as_ref().is_none_or(|(_, f)| fitness < *f) {
                 best_child = Some((child, fitness));
             }
         }

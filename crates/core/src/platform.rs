@@ -219,18 +219,17 @@ impl EhwPlatform {
     /// simultaneously.  The per-array filtering runs on host threads, one per
     /// ACB, mirroring the physical parallelism.
     pub fn process_parallel(&self, input: &GrayImage) -> Vec<GrayImage> {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .acbs
                 .iter()
-                .map(|acb| scope.spawn(move |_| acb.raw_output(input)))
+                .map(|acb| scope.spawn(move || acb.raw_output(input)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("processing thread panicked"))
                 .collect()
         })
-        .expect("crossbeam scope panicked")
     }
 
     /// Independent mode: each array filters its own input.
@@ -243,19 +242,18 @@ impl EhwPlatform {
             self.acbs.len(),
             "independent mode needs one input per array"
         );
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .acbs
                 .iter()
                 .zip(inputs.iter())
-                .map(|(acb, input)| scope.spawn(move |_| acb.raw_output(input)))
+                .map(|(acb, input)| scope.spawn(move || acb.raw_output(input)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("processing thread panicked"))
                 .collect()
         })
-        .expect("crossbeam scope panicked")
     }
 
     /// Enables or disables bypass for one stage.

@@ -131,8 +131,8 @@ impl PixelVoter {
         let mut outvoted = [0usize; 3];
 
         let slices = [outputs[0].as_slice(), outputs[1].as_slice(), outputs[2].as_slice()];
-        for i in 0..w * h {
-            let p = [slices[0][i], slices[1][i], slices[2][i]];
+        for ((&p0, &p1), &p2) in slices[0].iter().zip(slices[1]).zip(slices[2]) {
+            let p = [p0, p1, p2];
             let majority = if p[0] == p[1] || p[0] == p[2] {
                 p[0]
             } else if p[1] == p[2] {

@@ -105,13 +105,7 @@ impl PeFunction {
             PeFunction::AddSat => w.saturating_add(n),
             PeFunction::SubSatWN => w.saturating_sub(n),
             PeFunction::SubSatNW => n.saturating_sub(w),
-            PeFunction::AbsDiff => {
-                if w > n {
-                    w - n
-                } else {
-                    n - w
-                }
-            }
+            PeFunction::AbsDiff => w.abs_diff(n),
             PeFunction::Average => ((w as u16 + n as u16) / 2) as u8,
             PeFunction::Max => w.max(n),
             PeFunction::Min => w.min(n),

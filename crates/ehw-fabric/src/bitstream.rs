@@ -113,7 +113,7 @@ impl PartialBitstream {
     /// empty.
     pub fn from_payload(name: impl Into<String>, base: FrameAddress, payload: &[u8]) -> Self {
         assert!(
-            !payload.is_empty() && payload.len() % crate::frame::FRAME_BYTES == 0,
+            !payload.is_empty() && payload.len().is_multiple_of(crate::frame::FRAME_BYTES),
             "payload must be a non-empty multiple of the frame size"
         );
         let frames = payload

@@ -281,7 +281,7 @@ mod tests {
         let f = Frame::from_bytes(&[0xFF; 4]);
         assert_eq!(f.as_bytes().len(), FRAME_BYTES);
         assert_eq!(f.popcount(), 32);
-        let g = Frame::from_bytes(&vec![0xFF; FRAME_BYTES + 10]);
+        let g = Frame::from_bytes(&[0xFF; FRAME_BYTES + 10]);
         assert_eq!(g.as_bytes().len(), FRAME_BYTES);
     }
 

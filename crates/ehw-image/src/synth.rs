@@ -36,7 +36,7 @@ pub fn diagonal_gradient(width: usize, height: usize) -> GrayImage {
 pub fn checkerboard(width: usize, height: usize, cell: usize) -> GrayImage {
     let cell = cell.max(1);
     GrayImage::from_fn(width, height, |x, y| {
-        if ((x / cell) + (y / cell)) % 2 == 0 {
+        if ((x / cell) + (y / cell)).is_multiple_of(2) {
             0
         } else {
             255

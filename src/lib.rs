@@ -1,0 +1,28 @@
+//! Workspace root for the multi-array evolvable hardware platform
+//! reproduction (conf_ipps_GallegoMOSTR13).
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable scenarios (`examples/`); the actual functionality
+//! lives in the member crates, re-exported here for convenience:
+//!
+//! * [`ehw_fabric`] — frame-accurate FPGA configuration-memory model
+//!   (frames, partial bitstreams, SEU/LPD faults, scrubbing),
+//! * [`ehw_reconfig`] — the serialized ICAP reconfiguration engine and the
+//!   paper's timing model,
+//! * [`ehw_image`] — grayscale images, 3×3 windows, noise models, reference
+//!   filters and fitness metrics,
+//! * [`ehw_array`] — the 4×4 systolic processing array and its CGP-style
+//!   genotype,
+//! * [`ehw_evolution`] — the (1+λ) evolution strategies, classic and
+//!   two-level mutation,
+//! * [`ehw_platform`] — the multi-array platform: ACBs, processing and
+//!   evolution modes, self-healing, timing and resource models.
+
+#![warn(missing_docs)]
+
+pub use ehw_array;
+pub use ehw_evolution;
+pub use ehw_fabric;
+pub use ehw_image;
+pub use ehw_platform;
+pub use ehw_reconfig;

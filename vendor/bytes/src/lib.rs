@@ -1,0 +1,73 @@
+//! Minimal, dependency-free stand-in for the `bytes` crate.
+//!
+//! Provides a cheaply cloneable, immutable byte buffer with the small part of
+//! the `bytes::Bytes` API the workspace uses.
+
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable contiguous slice of bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub fn new() -> Self {
+        Bytes { data: Arc::from([]) }
+    }
+
+    /// Creates `Bytes` by copying a static slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes { data: Arc::from(bytes) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes { data: iter.into_iter().collect::<Vec<u8>>().into() }
+    }
+}

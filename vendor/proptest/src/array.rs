@@ -1,0 +1,32 @@
+//! Fixed-size array strategies (`uniformN`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `[S::Value; N]` by sampling `strategy` N times.
+pub struct UniformArray<S, const N: usize> {
+    strategy: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.strategy.generate(rng))
+    }
+}
+
+macro_rules! uniform_fn {
+    ($($fname:ident => $n:literal),+ $(,)?) => {$(
+        /// An array strategy sampling the given element strategy repeatedly.
+        pub fn $fname<S: Strategy>(strategy: S) -> UniformArray<S, $n> {
+            UniformArray { strategy }
+        }
+    )+};
+}
+
+uniform_fn!(
+    uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4,
+    uniform5 => 5, uniform6 => 6, uniform7 => 7, uniform8 => 8,
+    uniform9 => 9, uniform10 => 10, uniform12 => 12, uniform16 => 16,
+    uniform24 => 24, uniform32 => 32,
+);

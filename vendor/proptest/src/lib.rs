@@ -1,0 +1,97 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The offline build environment cannot fetch crates.io, so this vendored
+//! crate implements the subset of proptest the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` / `boxed`,
+//! range and tuple strategies, [`arbitrary::Arbitrary`] via `any::<T>()`,
+//! [`array`]`::uniformN`, [`collection`]`::vec`, `Just`, `prop_oneof!`,
+//! `ProptestConfig` and the `proptest!` test-harness macro itself.
+//!
+//! Unlike real proptest there is **no shrinking** and **no persistence** —
+//! a failing case panics with the standard assertion message. Generation is
+//! deterministic: every test function derives its RNG seed from its own name,
+//! so runs are reproducible from one invocation to the next.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop_assert;
+    pub use crate::prop_assert_eq;
+    pub use crate::prop_assert_ne;
+    pub use crate::prop_oneof;
+    pub use crate::proptest;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+}
+
+/// Property-test assertion; panics (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly at random among the listed strategies (all must share a
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body for `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config $cfg; $($rest)*);
+    };
+    (@with_config $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            #[allow(unused_mut)]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _case in 0..config.cases {
+                    let ($(mut $arg,)+) = (
+                        $($crate::strategy::Strategy::generate(&$strat, &mut rng),)+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        );
+    };
+}

@@ -1,0 +1,46 @@
+//! Test configuration and the deterministic RNG used for generation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (only the `cases` knob is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The generation RNG handed to strategies.
+///
+/// Seeded from the FNV-1a hash of the test function's name, so every test
+/// sees a distinct but fully reproducible stream on every run (this stand-in
+/// has no failure persistence, so reproducibility is non-negotiable).
+pub struct TestRng {
+    /// The underlying seeded generator.
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// Builds the deterministic RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { rng: StdRng::seed_from_u64(hash) }
+    }
+}

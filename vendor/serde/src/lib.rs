@@ -1,0 +1,20 @@
+//! Minimal stand-in for the `serde` crate facade.
+//!
+//! The offline build environment cannot fetch crates.io, and the workspace
+//! only uses `serde` for `#[derive(Serialize, Deserialize)]` annotations —
+//! no code path serializes anything yet. This facade re-exports no-op derive
+//! macros and declares same-named marker traits so both the derive and trait
+//! namespaces of `serde::Serialize` / `serde::Deserialize` resolve. When real
+//! serialization lands, swap this vendored crate for the genuine article by
+//! flipping the `[workspace.dependencies]` entry.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for the `serde::Serialize` trait. The no-op derive does
+/// not implement it, so avoid `T: Serialize` bounds against this facade.
+pub trait Serialize {}
+
+/// Marker stand-in for the `serde::Deserialize` trait (see [`Serialize`]).
+pub trait Deserialize<'de>: Sized {}

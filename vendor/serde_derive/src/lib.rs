@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The offline build environment cannot fetch the real `serde` stack, and
+//! nothing in this workspace actually serializes data yet — the derives only
+//! annotate types for future wire formats. These macros therefore accept the
+//! same attribute grammar (`#[serde(...)]` is declared so the compiler will
+//! not reject it) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts the derive input and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the derive input and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

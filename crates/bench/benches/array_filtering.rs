@@ -24,14 +24,18 @@ fn bench_image_filtering(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let array = ProcessingArray::new(Genotype::random(&mut rng));
     let mut group = c.benchmark_group("array/filter_image");
+    // Row-parallel filtering follows the shared worker knob (EHW_WORKERS).
+    let workers = ehw_parallel::ParallelConfig::from_env().workers;
     for size in [64usize, 128, 256] {
         let img = synth::shapes(size, size, 5);
         group.bench_with_input(BenchmarkId::new("sequential", size), &img, |b, img| {
             b.iter(|| black_box(array.filter_image(img)))
         });
-        group.bench_with_input(BenchmarkId::new("parallel-4", size), &img, |b, img| {
-            b.iter(|| black_box(array.filter_image_parallel(img, 4)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("parallel-{workers}"), size),
+            &img,
+            |b, img| b.iter(|| black_box(array.filter_image_parallel(img, workers))),
+        );
     }
     group.finish();
 }

@@ -13,7 +13,10 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn configured_platform() -> EhwPlatform {
-    let mut platform = EhwPlatform::paper_three_arrays();
+    // Processing modes fan over the worker pool; honour EHW_WORKERS so the
+    // bench reflects the same pool configuration the binaries run with.
+    let mut platform =
+        EhwPlatform::with_parallel(3, ehw_parallel::ParallelConfig::from_env());
     let mut rng = StdRng::seed_from_u64(7);
     let genotype = Genotype::random(&mut rng);
     platform.configure_all_arrays(&genotype);

@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ehw_evolution::fitness::{FitnessEvaluator, SoftwareEvaluator};
 use ehw_evolution::strategy::{run_evolution, EsConfig, MutationStrategy, NullObserver};
+use ehw_parallel::ParallelConfig;
 use ehw_image::noise::salt_pepper;
 use ehw_image::synth;
 use ehw_platform::timing::PipelineTimer;
@@ -27,8 +28,12 @@ fn bench_batch_evaluation(c: &mut Criterion) {
         let batch: Vec<_> = (0..9)
             .map(|_| ehw_array::genotype::Genotype::random(&mut rng))
             .collect();
+        // Explicitly thread the environment's worker knob (EHW_WORKERS) so
+        // the bench measures the same pool configuration the binaries use;
+        // see the parallel_scaling bench for the full worker sweep.
+        let parallel = ParallelConfig::from_env();
         group.bench_with_input(BenchmarkId::from_parameter(size), &batch, |b, batch| {
-            b.iter(|| black_box(evaluator.evaluate_batch(batch)))
+            b.iter(|| black_box(evaluator.evaluate_batch_with(batch, parallel)))
         });
     }
     group.finish();

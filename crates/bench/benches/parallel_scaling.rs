@@ -1,0 +1,95 @@
+//! Criterion bench of the deterministic parallel execution layer: λ=9 batch
+//! evaluation and short evolution runs at 1/2/4/8 workers, plus a sharded
+//! fault campaign.  The interesting read-out is the ratio between worker
+//! counts (the wall-clock form of the Fig. 12/13 speedup curves); absolute
+//! numbers depend on the host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehw_array::genotype::Genotype;
+use ehw_evolution::fitness::{FitnessEvaluator, SoftwareEvaluator};
+use ehw_evolution::strategy::{run_evolution, EsConfig, NullObserver};
+use ehw_image::noise::salt_pepper;
+use ehw_image::synth;
+use ehw_parallel::ParallelConfig;
+use ehw_platform::fault_campaign::systematic_fault_campaign_with;
+use ehw_platform::evo_modes::EvolutionTask;
+use ehw_platform::platform::EhwPlatform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn denoise_evaluator(size: usize) -> SoftwareEvaluator {
+    let clean = synth::shapes(size, size, 5);
+    let mut rng = StdRng::seed_from_u64(3);
+    let noisy = salt_pepper(&clean, 0.4, &mut rng);
+    SoftwareEvaluator::new(noisy, clean)
+}
+
+fn bench_batch_evaluation_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel/evaluate_batch_9_64x64");
+    let mut evaluator = denoise_evaluator(64);
+    let mut rng = StdRng::seed_from_u64(4);
+    let batch: Vec<Genotype> = (0..9).map(|_| Genotype::random(&mut rng)).collect();
+    for workers in WORKER_COUNTS {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let cfg = ParallelConfig::with_workers(w);
+            b.iter(|| black_box(evaluator.evaluate_batch_with(&batch, cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_evolution_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel/evolution_10gen_64x64");
+    group.sample_size(10);
+    for workers in WORKER_COUNTS {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let mut evaluator = denoise_evaluator(64);
+                let config = EsConfig {
+                    parallel: ParallelConfig::with_workers(w),
+                    ..EsConfig::paper(3, 3, 10, 9)
+                };
+                black_box(run_evolution(&config, &mut evaluator, &mut NullObserver))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fault_campaign_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel/fault_campaign_16pos_16x16");
+    group.sample_size(10);
+    let clean = synth::shapes(16, 16, 2);
+    let mut rng = StdRng::seed_from_u64(5);
+    let noisy = salt_pepper(&clean, 0.2, &mut rng);
+    let task = EvolutionTask::new(noisy, clean);
+    let baseline = Genotype::identity();
+    let recovery = EsConfig::paper(1, 1, 2, 7);
+    for workers in WORKER_COUNTS {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let mut platform = EhwPlatform::new(1);
+                black_box(systematic_fault_campaign_with(
+                    &mut platform,
+                    &baseline,
+                    &task,
+                    &recovery,
+                    &[0],
+                    ParallelConfig::with_workers(w),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_evaluation_scaling,
+    bench_evolution_scaling,
+    bench_fault_campaign_scaling
+);
+criterion_main!(benches);

@@ -1,5 +1,10 @@
 //! Criterion benches for the DPR substrate: PE configuration through the
 //! engine, readback/copy, scrubbing and genotype↔bitstream bookkeeping.
+//!
+//! Deliberately outside the `ehw-parallel` worker pool: the ICAP is a single
+//! serialized port on the real device (§III.B), so reconfiguration is the one
+//! stage that must *not* be fanned over workers — its serial cost is exactly
+//! what the two-level EA of §VI.B is designed to minimise.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ehw_array::genotype::Genotype;

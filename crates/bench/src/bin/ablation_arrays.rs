@@ -11,13 +11,14 @@
 //! cargo run --release -p ehw-bench --bin ablation_arrays -- [--generations=150] [--size=128] [--max-arrays=6]
 //! ```
 
-use ehw_bench::{arg_usize, banner, denoise_task, fmt_time, print_table};
+use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, fmt_time, print_table};
 use ehw_evolution::strategy::EsConfig;
 use ehw_platform::evo_modes::evolve_parallel;
 use ehw_platform::platform::EhwPlatform;
 use ehw_platform::resources::PlatformResources;
 
 fn main() {
+    let parallel = arg_parallel();
     let generations = arg_usize("generations", 150);
     let size = arg_usize("size", 128);
     let max_arrays = arg_usize("max-arrays", 6).clamp(1, 8);
@@ -32,7 +33,7 @@ fn main() {
     let mut rows = Vec::new();
     for arrays in 1..=max_arrays {
         let task = denoise_task(size, 0.4, 12000);
-        let mut platform = EhwPlatform::new(arrays);
+        let mut platform = EhwPlatform::with_parallel(arrays, parallel);
         let config = EsConfig::paper(3, arrays, generations, 5);
         let (_, time) = evolve_parallel(&mut platform, &task, &config);
         let per_gen = time.per_generation_s();

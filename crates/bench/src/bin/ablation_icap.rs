@@ -11,7 +11,7 @@
 //! cargo run --release -p ehw-bench --bin ablation_icap -- [--k=3]
 //! ```
 
-use ehw_bench::{arg_f64, arg_usize, fmt_time, print_table};
+use ehw_bench::{arg_f64, arg_parallel, arg_usize, fmt_time, print_table};
 use ehw_platform::timing::PipelineTimer;
 use ehw_reconfig::timing::TimingModel;
 
@@ -19,8 +19,14 @@ fn main() {
     let k = arg_usize("k", 3);
     let offspring = arg_usize("offspring", 9);
     let max_scale = arg_f64("max-scale", 8.0);
+    let parallel = arg_parallel();
 
-    println!("Ablation: 1-vs-3-array speed-up as a function of ICAP speed (k = {k})\n");
+    println!("Ablation: 1-vs-3-array speed-up as a function of ICAP speed (k = {k})");
+    println!(
+        "(modelled hardware cycles; --workers={} only affects wall-clock runs — see the \
+         parallel_scaling bin)\n",
+        parallel.workers
+    );
 
     for &size in &[128usize, 256] {
         println!("--- image {size}x{size} ---");

@@ -11,13 +11,14 @@
 //! cargo run --release -p ehw-bench --bin fault_campaign -- [--generations=150] [--recovery=120] [--size=48]
 //! ```
 
-use ehw_bench::{arg_usize, banner, denoise_task, print_table};
+use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, print_table};
 use ehw_evolution::strategy::EsConfig;
 use ehw_platform::evo_modes::evolve_parallel;
 use ehw_platform::fault_campaign::systematic_fault_campaign;
 use ehw_platform::platform::EhwPlatform;
 
 fn main() {
+    let parallel = arg_parallel();
     let generations = arg_usize("generations", 150);
     let recovery_generations = arg_usize("recovery", 120);
     let size = arg_usize("size", 48);
@@ -30,7 +31,7 @@ fn main() {
 
     // Evolve a working filter first.
     let task = denoise_task(size, 0.4, 11000);
-    let mut platform = EhwPlatform::new(1);
+    let mut platform = EhwPlatform::with_parallel(1, parallel);
     let config = EsConfig::paper(3, 1, generations, 3);
     let (evolved, _) = evolve_parallel(&mut platform, &task, &config);
     println!("baseline evolved fitness: {}\n", evolved.best_fitness);

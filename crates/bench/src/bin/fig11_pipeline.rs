@@ -9,15 +9,21 @@
 //! cargo run --release -p ehw-bench --bin fig11_pipeline -- [--k=3] [--size=128]
 //! ```
 
-use ehw_bench::{arg_usize, fmt_time, print_table};
+use ehw_bench::{arg_parallel, arg_usize, fmt_time, print_table};
 use ehw_platform::timing::PipelineTimer;
 
 fn main() {
     let k = arg_usize("k", 3);
     let size = arg_usize("size", 128);
     let offspring = arg_usize("offspring", 9);
+    let parallel = arg_parallel();
 
-    println!("Fig. 11: generation pipeline, k = {k}, image = {size}x{size}, {offspring} offspring\n");
+    println!("Fig. 11: generation pipeline, k = {k}, image = {size}x{size}, {offspring} offspring");
+    println!(
+        "(modelled hardware cycles; --workers={} only affects wall-clock runs — see the \
+         parallel_scaling bin)\n",
+        parallel.workers
+    );
 
     for arrays in [1usize, 3] {
         let timer = PipelineTimer::paper(arrays, size, size);

@@ -12,13 +12,14 @@
 //! cargo run --release -p ehw-bench --bin fig12_speedup -- [--runs=3] [--generations=200] [--size=128]
 //! ```
 
-use ehw_bench::{arg_usize, banner, denoise_task, fmt_time, print_table};
+use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, fmt_time, print_table};
 use ehw_evolution::stats::Summary;
 use ehw_evolution::strategy::EsConfig;
 use ehw_platform::evo_modes::evolve_parallel;
 use ehw_platform::platform::EhwPlatform;
 
 fn main() {
+    let parallel = arg_parallel();
     let runs = arg_usize("runs", 3);
     let generations = arg_usize("generations", 200);
     let size = arg_usize("size", 128);
@@ -37,7 +38,7 @@ fn main() {
             let mut fitness = Vec::new();
             for run in 0..runs {
                 let task = denoise_task(size, 0.4, 1000 + run as u64);
-                let mut platform = EhwPlatform::new(arrays);
+                let mut platform = EhwPlatform::with_parallel(arrays, parallel);
                 let config = EsConfig::paper(k, arrays, generations, 42 + run as u64);
                 let (result, time) = evolve_parallel(&mut platform, &task, &config);
                 per_gen.push(time.per_generation_s());

@@ -11,13 +11,14 @@
 //! cargo run --release -p ehw-bench --bin fig14_new_ea_time -- [--runs=3] [--generations=200]
 //! ```
 
-use ehw_bench::{arg_usize, banner, denoise_task, fmt_time, print_table};
+use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, fmt_time, print_table};
 use ehw_evolution::stats::Summary;
 use ehw_evolution::strategy::{EsConfig, MutationStrategy};
 use ehw_platform::evo_modes::evolve_parallel;
 use ehw_platform::platform::EhwPlatform;
 
 fn main() {
+    let parallel = arg_parallel();
     let runs = arg_usize("runs", 3);
     let generations = arg_usize("generations", 200);
     let size = arg_usize("size", 128);
@@ -35,7 +36,7 @@ fn main() {
             let mut per_gen = Vec::new();
             for run in 0..runs {
                 let task = denoise_task(size, 0.4, 3000 + run as u64);
-                let mut platform = EhwPlatform::paper_three_arrays();
+                let mut platform = EhwPlatform::with_parallel(3, parallel);
                 let config = EsConfig {
                     strategy,
                     ..EsConfig::paper(k, 3, generations, 11 + run as u64)

@@ -8,13 +8,14 @@
 //! cargo run --release -p ehw-bench --bin fig15_new_ea_fitness -- [--runs=5] [--generations=400]
 //! ```
 
-use ehw_bench::{arg_usize, banner, denoise_task, print_table};
+use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, print_table};
 use ehw_evolution::stats::Summary;
 use ehw_evolution::strategy::{EsConfig, MutationStrategy};
 use ehw_platform::evo_modes::evolve_parallel;
 use ehw_platform::platform::EhwPlatform;
 
 fn main() {
+    let parallel = arg_parallel();
     let runs = arg_usize("runs", 5);
     let generations = arg_usize("generations", 1200);
     let size = arg_usize("size", 48);
@@ -32,7 +33,7 @@ fn main() {
             let mut best = Vec::new();
             for run in 0..runs {
                 let task = denoise_task(size, 0.4, 4000 + run as u64);
-                let mut platform = EhwPlatform::paper_three_arrays();
+                let mut platform = EhwPlatform::with_parallel(3, parallel);
                 let config = EsConfig {
                     strategy,
                     ..EsConfig::paper(k, 3, generations, 100 + run as u64)

@@ -6,7 +6,7 @@
 //! cargo run --release -p ehw-bench --bin fig16_cascade_avg -- [--runs=3] [--generations=300]
 //! ```
 
-use ehw_bench::{arg_usize, banner, denoise_task, print_table};
+use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, print_table};
 use ehw_evolution::stats::Summary;
 use ehw_evolution::strategy::EsConfig;
 use ehw_platform::evo_modes::{evolve_cascade, evolve_same_filter_cascade, CascadeConfig};
@@ -20,11 +20,12 @@ fn collect(
     generations: usize,
     size: usize,
     variant: &str,
+    parallel: ehw_parallel::ParallelConfig,
 ) -> Vec<Vec<u64>> {
     let mut per_stage: Vec<Vec<u64>> = vec![Vec::new(); 3];
     for run in 0..runs {
         let task = denoise_task(size, 0.4, 5000 + run as u64);
-        let mut platform = EhwPlatform::paper_three_arrays();
+        let mut platform = EhwPlatform::with_parallel(3, parallel);
         let stage_fitness = match variant {
             "same" => {
                 let config = EsConfig::paper(2, 1, generations, 200 + run as u64);
@@ -54,6 +55,7 @@ fn collect(
 }
 
 fn main() {
+    let parallel = arg_parallel();
     let runs = arg_usize("runs", 3);
     let generations = arg_usize("generations", 300);
     let size = arg_usize("size", 64);
@@ -65,9 +67,9 @@ fn main() {
     );
     println!("(every evolved circuit gets {generations} generations, matching the same-filter baseline)\n");
 
-    let same = collect(runs, generations, size, "same");
-    let sequential = collect(runs, generations, size, "sequential");
-    let interleaved = collect(runs, generations, size, "interleaved");
+    let same = collect(runs, generations, size, "same", parallel);
+    let sequential = collect(runs, generations, size, "sequential", parallel);
+    let interleaved = collect(runs, generations, size, "interleaved", parallel);
 
     let rows: Vec<Vec<String>> = (0..3)
         .map(|stage| {

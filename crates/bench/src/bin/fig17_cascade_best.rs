@@ -5,7 +5,7 @@
 //! cargo run --release -p ehw-bench --bin fig17_cascade_best -- [--runs=3] [--generations=300]
 //! ```
 
-use ehw_bench::{arg_usize, banner, denoise_task, print_table};
+use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, print_table};
 use ehw_evolution::strategy::EsConfig;
 use ehw_platform::evo_modes::{evolve_cascade, evolve_same_filter_cascade, CascadeConfig};
 use ehw_platform::modes::CascadeSchedule;
@@ -22,6 +22,7 @@ fn best_per_stage(all_runs: &[Vec<u64>]) -> Vec<u64> {
 }
 
 fn main() {
+    let parallel = arg_parallel();
     let runs = arg_usize("runs", 3);
     let generations = arg_usize("generations", 300);
     let size = arg_usize("size", 64);
@@ -38,18 +39,18 @@ fn main() {
     for run in 0..runs {
         let task = denoise_task(size, 0.4, 6000 + run as u64);
 
-        let mut platform = EhwPlatform::paper_three_arrays();
+        let mut platform = EhwPlatform::with_parallel(3, parallel);
         let config = EsConfig::paper(2, 1, generations, 500 + run as u64);
         same_runs.push(evolve_same_filter_cascade(&mut platform, &task, &config).stage_fitness);
 
-        let mut platform = EhwPlatform::paper_three_arrays();
+        let mut platform = EhwPlatform::with_parallel(3, parallel);
         let config = CascadeConfig {
             schedule: CascadeSchedule::Sequential,
             ..CascadeConfig::paper(generations, 2, 600 + run as u64)
         };
         seq_runs.push(evolve_cascade(&mut platform, &task, &config).stage_fitness);
 
-        let mut platform = EhwPlatform::paper_three_arrays();
+        let mut platform = EhwPlatform::with_parallel(3, parallel);
         let config = CascadeConfig {
             schedule: CascadeSchedule::Interleaved,
             ..CascadeConfig::paper(generations, 2, 700 + run as u64)

@@ -10,7 +10,7 @@
 //! cargo run --release -p ehw-bench --bin fig18_cascade_vs_median -- [--generations=600] [--out=DIR]
 //! ```
 
-use ehw_bench::{arg_usize, banner, denoise_task, print_table};
+use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, print_table};
 use ehw_image::filters;
 use ehw_image::metrics::{mae, psnr};
 use ehw_image::pgm;
@@ -18,6 +18,7 @@ use ehw_platform::evo_modes::{evolve_cascade, CascadeConfig};
 use ehw_platform::platform::EhwPlatform;
 
 fn main() {
+    let parallel = arg_parallel();
     let generations = arg_usize("generations", 1500);
     let size = arg_usize("size", 128);
     banner(
@@ -35,7 +36,7 @@ fn main() {
     let median3 = filters::cascade(&task.input, filters::ReferenceFilter::Median, 3);
 
     // Evolved cascade.
-    let mut platform = EhwPlatform::paper_three_arrays();
+    let mut platform = EhwPlatform::with_parallel(3, parallel);
     let config = CascadeConfig::paper(generations / 3, 2, 4242);
     let result = evolve_cascade(&mut platform, &task, &config);
     let outputs = platform.process_cascaded(&task.input);

@@ -10,7 +10,7 @@
 //! cargo run --release -p ehw-bench --bin fig19_imitation -- [--runs=5] [--generations=800]
 //! ```
 
-use ehw_bench::{arg_usize, banner, denoise_task, print_table};
+use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, print_table};
 use ehw_evolution::stats::Summary;
 use ehw_evolution::strategy::{EsConfig, NullObserver};
 use ehw_fabric::fault::FaultKind;
@@ -19,6 +19,7 @@ use ehw_platform::fault_campaign::find_injectable_pe;
 use ehw_platform::platform::EhwPlatform;
 
 fn main() {
+    let parallel = arg_parallel();
     let runs = arg_usize("runs", 5);
     let generations = arg_usize("generations", 800);
     let evolution_generations = arg_usize("evolution-generations", 250);
@@ -38,7 +39,7 @@ fn main() {
         let task = denoise_task(size, 0.4, 8000 + run as u64);
 
         // Initial evolution: one working filter configured in both arrays.
-        let mut platform = EhwPlatform::new(2);
+        let mut platform = EhwPlatform::with_parallel(2, parallel);
         let config = EsConfig::paper(3, 2, evolution_generations, 900 + run as u64);
         let _ = evolve_parallel(&mut platform, &task, &config);
 
@@ -114,7 +115,7 @@ fn main() {
 /// Rebuilds an equivalent platform (same genotypes, faults and bypass flags)
 /// so both recovery strategies start from identical conditions.
 fn clone_state(platform: &EhwPlatform) -> EhwPlatform {
-    let mut copy = EhwPlatform::new(platform.num_arrays());
+    let mut copy = EhwPlatform::with_parallel(platform.num_arrays(), platform.parallel_config());
     for i in 0..platform.num_arrays() {
         copy.configure_array(i, platform.acb(i).genotype());
     }

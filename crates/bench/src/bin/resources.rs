@@ -8,12 +8,13 @@
 //! cargo run --release -p ehw-bench --bin resources
 //! ```
 
-use ehw_bench::print_table;
+use ehw_bench::{arg_parallel, print_table};
 use ehw_fabric::device::DeviceGeometry;
 use ehw_platform::platform::EhwPlatform;
 use ehw_platform::resources::PlatformResources;
 
 fn main() {
+    let parallel = arg_parallel();
     println!("Resource utilisation model (paper §VI.A, Fig. 10)\n");
 
     let mut rows = Vec::new();
@@ -62,7 +63,7 @@ fn main() {
     );
 
     // Cross-check against the live platform model.
-    let platform = EhwPlatform::paper_three_arrays();
+    let platform = EhwPlatform::with_parallel(3, parallel);
     let stats = platform.reconfig_stats();
     println!(
         "  measured bring-up    : {} PE writes, {:.2} ms engine busy time",

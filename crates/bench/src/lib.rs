@@ -10,6 +10,7 @@
 use ehw_image::image::GrayImage;
 use ehw_image::noise::NoiseModel;
 use ehw_image::synth;
+use ehw_parallel::ParallelConfig;
 use ehw_platform::evo_modes::EvolutionTask;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,6 +36,18 @@ pub fn arg_f64(name: &str, default: f64) -> f64 {
 pub fn arg_flag(name: &str) -> bool {
     let flag = format!("--{name}");
     std::env::args().any(|a| a == flag)
+}
+
+/// The host-parallelism knob shared by every experiment binary: `--workers=`
+/// from the command line, falling back to `EHW_WORKERS` / the host's
+/// available parallelism.  Worker count is scheduling only — every figure is
+/// byte-identical at any setting; only wall-clock time changes.
+pub fn arg_parallel() -> ParallelConfig {
+    // Start from the environment so EHW_CHUNK survives; the flag only
+    // overrides the worker count.
+    let mut cfg = ParallelConfig::from_env();
+    cfg.workers = arg_usize("workers", cfg.workers);
+    cfg
 }
 
 /// The salt & pepper denoising workload the paper evaluates on: a synthetic

@@ -18,6 +18,7 @@
 //! * [`evolve_imitation`] — evolution by imitation (Fig. 7): a bypassed array
 //!   learns to reproduce a neighbour's output without any reference image.
 
+use ehw_parallel::ParallelConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -92,26 +93,20 @@ impl FitnessEvaluator for PlatformEvaluator {
     }
 
     fn evaluate_batch(&mut self, batch: &[Genotype]) -> Vec<u64> {
+        self.evaluate_batch_with(batch, ParallelConfig::from_env())
+    }
+
+    fn evaluate_batch_with(&mut self, batch: &[Genotype], parallel: ParallelConfig) -> Vec<u64> {
+        // Candidate i is scored on array i % num_arrays (round-robin, like
+        // the hardware's candidate distribution); the pool merges fitness
+        // values in candidate order, so results are identical at any worker
+        // count.
         self.evaluations += batch.len() as u64;
-        let input = &self.input;
-        let reference = &self.reference;
         let arrays = &self.arrays;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = batch
-                .iter()
-                .enumerate()
-                .map(|(i, g)| {
-                    scope.spawn(move || {
-                        let mut array = arrays[i % arrays.len()].clone();
-                        array.set_genotype(g.clone());
-                        mae(&array.filter_image(input), reference)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("evaluation thread panicked"))
-                .collect()
+        ehw_parallel::ordered_map(parallel, batch, |i, g| {
+            let mut array = arrays[i % arrays.len()].clone();
+            array.set_genotype(g.clone());
+            mae(&array.filter_image(&self.input), &self.reference)
         })
     }
 
@@ -146,6 +141,7 @@ pub fn evolve_independent(
     for (index, task) in tasks.iter().enumerate() {
         let mut cfg = *config;
         cfg.num_arrays = 1;
+        cfg.parallel = platform.parallel_config();
         cfg.seed = config.seed.wrapping_add(index as u64);
         let mut evaluator = SoftwareEvaluator::with_array(
             platform.acb(index).array().clone(),
@@ -183,6 +179,9 @@ pub fn evolve_parallel(
 ) -> (EvolutionResult, EvolutionTimeEstimate) {
     let mut cfg = *config;
     cfg.num_arrays = platform.num_arrays();
+    // Like `num_arrays`, host parallelism follows the machine the evolution
+    // actually runs on.
+    cfg.parallel = platform.parallel_config();
     let mut evaluator = PlatformEvaluator::new(platform, task);
     let mut timer = PipelineTimer::new(
         platform.timing(),

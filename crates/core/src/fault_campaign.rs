@@ -12,10 +12,13 @@
 //! the ablation benches (how critical each PE position is, how much budget
 //! recovery needs).
 
+use ehw_array::array::ProcessingArray;
 use ehw_array::genotype::{Genotype, ARRAY_COLS, ARRAY_ROWS};
+use ehw_array::pe::FaultBehaviour;
 use ehw_evolution::fitness::SoftwareEvaluator;
 use ehw_evolution::strategy::{run_evolution_with_parent, EsConfig, NullObserver};
-use ehw_fabric::fault::FaultKind;
+use ehw_image::metrics::mae;
+use ehw_parallel::ParallelConfig;
 use serde::{Deserialize, Serialize};
 
 use crate::evo_modes::EvolutionTask;
@@ -136,12 +139,62 @@ pub fn find_injectable_pe(
     (out_row, ARRAY_COLS - 1)
 }
 
+/// Injects the dummy-PE fault at one position of a snapshot of the array,
+/// measures the degradation, and runs the recovery evolution seeded with the
+/// working genotype — the per-position unit of work the campaign shards over
+/// workers.  Pure: no shared state is touched, so positions can be evaluated
+/// in any order, on any thread, with identical results.
+fn evaluate_position(
+    base: &ProcessingArray,
+    baseline: &Genotype,
+    task: &EvolutionTask,
+    recovery: &EsConfig,
+    array: usize,
+    row: usize,
+    col: usize,
+) -> PositionResult {
+    // Restore a clean, known-good configuration of this position.
+    let mut clean_array = base.clone();
+    clean_array.clear_fault(row, col);
+    clean_array.set_genotype(baseline.clone());
+    let fitness_clean = mae(&clean_array.filter_image(&task.input), &task.reference);
+
+    // Inject the permanent dummy-PE fault.
+    let mut faulty_array = clean_array;
+    faulty_array.inject_fault(row, col, FaultBehaviour::dummy());
+    let fitness_faulty = mae(&faulty_array.filter_image(&task.input), &task.reference);
+
+    // Recovery: re-evolve on the damaged array, seeded with the working
+    // genotype.
+    let mut evaluator =
+        SoftwareEvaluator::with_array(faulty_array, task.input.clone(), task.reference.clone());
+    let result = run_evolution_with_parent(
+        recovery,
+        Some(baseline.clone()),
+        &mut evaluator,
+        &mut NullObserver,
+    );
+
+    PositionResult {
+        array,
+        row,
+        col,
+        fitness_clean,
+        fitness_faulty,
+        fitness_recovered: result.best_fitness,
+    }
+}
+
 /// Runs a systematic PE-level fault campaign over every position of the given
-/// arrays.
+/// arrays, using the platform's [`ParallelConfig`] to shard positions over
+/// host workers.
 ///
-/// For each position the platform is restored to `baseline` first, a permanent
-/// (LPD) dummy-PE fault is injected, and recovery runs a (1+λ) evolution on
-/// the damaged array seeded with the baseline genotype.
+/// For each position a snapshot of the array is restored to `baseline`, a
+/// permanent dummy-PE fault is injected, and recovery runs a (1+λ) evolution
+/// on the damaged array seeded with the baseline genotype.  The report lists
+/// positions in injection order — array by array, row-major — regardless of
+/// how the work was scheduled, and the platform is left clean and configured
+/// with the baseline.
 pub fn systematic_fault_campaign(
     platform: &mut EhwPlatform,
     baseline: &Genotype,
@@ -149,58 +202,53 @@ pub fn systematic_fault_campaign(
     recovery: &EsConfig,
     arrays: &[usize],
 ) -> CampaignReport {
-    let mut report = CampaignReport::default();
+    let parallel = platform.parallel_config();
+    systematic_fault_campaign_with(platform, baseline, task, recovery, arrays, parallel)
+}
+
+/// [`systematic_fault_campaign`] under an explicit [`ParallelConfig`].
+///
+/// Sharding is scheduling only: each position derives its state from an
+/// immutable snapshot of the platform and the recovery seed, so any worker
+/// count produces a byte-identical report (the cross-thread determinism
+/// suite asserts 1 == 2 == 8 workers).
+pub fn systematic_fault_campaign_with(
+    platform: &mut EhwPlatform,
+    baseline: &Genotype,
+    task: &EvolutionTask,
+    recovery: &EsConfig,
+    arrays: &[usize],
+    parallel: ParallelConfig,
+) -> CampaignReport {
+    // One unit of work per PE position, in deterministic injection order.
+    let positions: Vec<(usize, usize, usize)> = arrays
+        .iter()
+        .flat_map(|&array| {
+            (0..ARRAY_ROWS)
+                .flat_map(move |row| (0..ARRAY_COLS).map(move |col| (array, row, col)))
+        })
+        .collect();
+
+    // Positions are the parallel unit; the recovery evolution inside each
+    // position runs serially (determinism makes the nesting choice free, and
+    // flat sharding avoids worker oversubscription).
+    let mut recovery_cfg = *recovery;
+    recovery_cfg.parallel = ParallelConfig::serial();
+
+    let snapshots: Vec<ProcessingArray> =
+        platform.acbs().iter().map(|acb| acb.array().clone()).collect();
+    let results = ehw_parallel::ordered_map(parallel, &positions, |_, &(array, row, col)| {
+        evaluate_position(&snapshots[array], baseline, task, &recovery_cfg, array, row, col)
+    });
+
+    // Leave the campaigned arrays configured with the baseline, exactly as
+    // the sequential campaign always has.  Faults injected into the platform
+    // before the campaign are preserved — only snapshots were damaged here.
     for &array in arrays {
-        for row in 0..ARRAY_ROWS {
-            for col in 0..ARRAY_COLS {
-                // Restore a clean, known-good configuration.
-                platform.clear_injected_fault(array, row, col);
-                platform.configure_array(array, baseline);
-                let fitness_clean = {
-                    let mut a = platform.acb(array).array().clone();
-                    a.set_genotype(baseline.clone());
-                    ehw_image::metrics::mae(&a.filter_image(&task.input), &task.reference)
-                };
-
-                // Inject the permanent dummy-PE fault.
-                platform.inject_pe_fault(array, row, col, FaultKind::Lpd);
-                let fitness_faulty = ehw_image::metrics::mae(
-                    &platform.acb(array).raw_output(&task.input),
-                    &task.reference,
-                );
-
-                // Recovery: re-evolve on the damaged array, seeded with the
-                // working genotype.
-                let mut evaluator = SoftwareEvaluator::with_array(
-                    platform.acb(array).array().clone(),
-                    task.input.clone(),
-                    task.reference.clone(),
-                );
-                let result = run_evolution_with_parent(
-                    recovery,
-                    Some(baseline.clone()),
-                    &mut evaluator,
-                    &mut NullObserver,
-                );
-                platform.configure_array(array, &result.best_genotype);
-                let fitness_recovered = result.best_fitness;
-
-                report.positions.push(PositionResult {
-                    array,
-                    row,
-                    col,
-                    fitness_clean,
-                    fitness_faulty,
-                    fitness_recovered,
-                });
-
-                // Clean up before the next position.
-                platform.clear_injected_fault(array, row, col);
-                platform.configure_array(array, baseline);
-            }
-        }
+        platform.configure_array(array, baseline);
     }
-    report
+
+    CampaignReport { positions: results }
 }
 
 #[cfg(test)]
@@ -266,6 +314,61 @@ mod tests {
             assert!((0.0..=1.0).contains(&ratio));
         }
         assert!(report.mean_recovery_ratio() > 0.0);
+    }
+
+    #[test]
+    fn campaign_report_is_identical_at_any_worker_count() {
+        let task = small_task(5);
+        let baseline = Genotype::identity();
+        let recovery = EsConfig::paper(1, 1, 3, 21);
+        let reference = {
+            let mut platform = EhwPlatform::new(1);
+            systematic_fault_campaign_with(
+                &mut platform,
+                &baseline,
+                &task,
+                &recovery,
+                &[0],
+                ParallelConfig::serial(),
+            )
+        };
+        for workers in [2usize, 8] {
+            let mut platform = EhwPlatform::new(1);
+            let report = systematic_fault_campaign_with(
+                &mut platform,
+                &baseline,
+                &task,
+                &recovery,
+                &[0],
+                ParallelConfig::with_workers(workers),
+            );
+            assert_eq!(
+                report.positions, reference.positions,
+                "campaign diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_spanning_multiple_arrays_keeps_injection_order() {
+        let mut platform = EhwPlatform::new(2);
+        platform.set_parallel_config(ParallelConfig::with_workers(4));
+        let task = small_task(6);
+        let baseline = Genotype::identity();
+        let recovery = EsConfig::paper(1, 1, 2, 3);
+        let report = systematic_fault_campaign(&mut platform, &baseline, &task, &recovery, &[1, 0]);
+        assert_eq!(report.len(), 32);
+        let order: Vec<(usize, usize, usize)> =
+            report.positions.iter().map(|p| (p.array, p.row, p.col)).collect();
+        let mut expected = Vec::new();
+        for &array in &[1usize, 0] {
+            for row in 0..ARRAY_ROWS {
+                for col in 0..ARRAY_COLS {
+                    expected.push((array, row, col));
+                }
+            }
+        }
+        assert_eq!(order, expected, "report must list positions in injection order");
     }
 
     #[test]

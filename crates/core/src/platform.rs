@@ -14,6 +14,7 @@ use ehw_fabric::fault::FaultKind;
 use ehw_fabric::region::{Floorplan, PeSlot, ReconfigurableRegion};
 use ehw_fabric::scrub::ScrubReport;
 use ehw_image::image::GrayImage;
+use ehw_parallel::ParallelConfig;
 use ehw_reconfig::engine::{ReconfigEngine, ReconfigStats};
 use ehw_reconfig::timing::TimingModel;
 use std::collections::BTreeMap;
@@ -46,6 +47,7 @@ pub struct EhwPlatform {
     floorplan: Floorplan,
     registers: RegisterFile,
     faults: BTreeMap<(usize, usize, usize), FaultKind>,
+    parallel: ParallelConfig,
 }
 
 impl EhwPlatform {
@@ -56,6 +58,15 @@ impl EhwPlatform {
     /// Panics if `num_arrays` is zero or exceeds [`MAX_ARRAYS`].
     pub fn new(num_arrays: usize) -> Self {
         Self::with_timing(num_arrays, TimingModel::paper())
+    }
+
+    /// Creates a platform with an explicit host-parallelism configuration
+    /// (see [`ParallelConfig`]); [`new`](Self::new) defaults to the
+    /// environment (`EHW_WORKERS` / `EHW_CHUNK`).
+    pub fn with_parallel(num_arrays: usize, parallel: ParallelConfig) -> Self {
+        let mut platform = Self::new(num_arrays);
+        platform.parallel = parallel;
+        platform
     }
 
     /// Creates a platform with a custom timing model (for ablation benches).
@@ -76,6 +87,7 @@ impl EhwPlatform {
             floorplan,
             registers: RegisterFile::new(),
             faults: BTreeMap::new(),
+            parallel: ParallelConfig::from_env(),
         };
         // Initial full configuration: every array starts as the identity
         // filter, written PE by PE through the engine, exactly like the
@@ -137,6 +149,19 @@ impl EhwPlatform {
     /// The timing model used by the platform.
     pub fn timing(&self) -> TimingModel {
         *self.engine.timing()
+    }
+
+    /// The host-parallelism configuration used for processing modes and
+    /// fault campaigns.
+    pub fn parallel_config(&self) -> ParallelConfig {
+        self.parallel
+    }
+
+    /// Replaces the host-parallelism configuration.  Scheduling only — every
+    /// processing mode and campaign merges its results in deterministic
+    /// order, so outputs are identical at any worker count.
+    pub fn set_parallel_config(&mut self, parallel: ParallelConfig) {
+        self.parallel = parallel;
     }
 
     fn region(&self, array: usize, row: usize, col: usize) -> ReconfigurableRegion {
@@ -216,20 +241,11 @@ impl EhwPlatform {
     }
 
     /// Parallel mode: every array receives the same input and filters it
-    /// simultaneously.  The per-array filtering runs on host threads, one per
-    /// ACB, mirroring the physical parallelism.
+    /// simultaneously.  The per-array filtering is fanned over the worker
+    /// pool, mirroring the physical parallelism; outputs come back in stack
+    /// order regardless of the worker count.
     pub fn process_parallel(&self, input: &GrayImage) -> Vec<GrayImage> {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .acbs
-                .iter()
-                .map(|acb| scope.spawn(move || acb.raw_output(input)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("processing thread panicked"))
-                .collect()
-        })
+        ehw_parallel::ordered_map(self.parallel, &self.acbs, |_, acb| acb.raw_output(input))
     }
 
     /// Independent mode: each array filters its own input.
@@ -242,18 +258,7 @@ impl EhwPlatform {
             self.acbs.len(),
             "independent mode needs one input per array"
         );
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .acbs
-                .iter()
-                .zip(inputs.iter())
-                .map(|(acb, input)| scope.spawn(move || acb.raw_output(input)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("processing thread panicked"))
-                .collect()
-        })
+        ehw_parallel::ordered_map(self.parallel, &self.acbs, |i, acb| acb.raw_output(&inputs[i]))
     }
 
     /// Enables or disables bypass for one stage.

@@ -249,4 +249,93 @@ mod tests {
         let c = GrayImage::new(2, 2, 0);
         let _ = PixelVoter.vote([&a, &b, &c]);
     }
+
+    // ------------------------------------------------------------------
+    // TMR edge cases (§V.B): the failure modes majority voting can and
+    // cannot mask.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn all_three_disagreeing_streams_leave_no_reliable_suspect() {
+        // When every array misbehaves differently the median fallback keeps
+        // the stream alive, but both extreme streams accumulate outvoted
+        // pixels — no single suspect can be identified with confidence.
+        let a = GrayImage::new(4, 4, 10);
+        let b = GrayImage::new(4, 4, 90);
+        let c = GrayImage::new(4, 4, 250);
+        let result = PixelVoter.vote([&a, &b, &c]);
+        assert_eq!(result.disagreeing_pixels, 16);
+        assert_eq!(result.outvoted, [16, 0, 16], "only the median stream survives");
+        // The fitness voter reports the same situation as NoMajority.
+        assert_eq!(FitnessVoter::strict().vote([10, 90, 250]), FitnessVote::NoMajority);
+    }
+
+    #[test]
+    fn two_faulty_arrays_agreeing_on_the_wrong_value_defeat_tmr() {
+        // The classic TMR blind spot: a common-mode fault.  Two arrays that
+        // fail *identically* outvote the healthy one — the voter elects the
+        // wrong value and blames the good array.  This is why the platform
+        // evolves per-array circuit diversity rather than replicating one
+        // bitstream when common-mode faults are a concern.
+        let good = synth::shapes(16, 16, 3);
+        let faulty = good.map(|p| p.wrapping_add(40));
+        let result = PixelVoter.vote([&faulty, &good, &faulty]);
+        assert_eq!(result.image, faulty, "the agreeing wrong pair wins the vote");
+        assert_eq!(result.most_suspicious(), Some(1), "the healthy array is blamed");
+        // The fitness voter has the same blind spot.
+        assert_eq!(
+            FitnessVoter::strict().vote([500, 100, 500]),
+            FitnessVote::Divergent { array: 1 }
+        );
+    }
+
+    #[test]
+    fn voter_masks_a_permanent_fault_and_identifies_the_damaged_array() {
+        use crate::platform::EhwPlatform;
+        use ehw_fabric::fault::FaultKind;
+
+        // TMR bring-up: the same circuit in all three arrays, then a
+        // permanent (LPD) fault in array 1's active row.
+        let mut platform = EhwPlatform::paper_three_arrays();
+        let img = synth::shapes(32, 32, 3);
+        let clean = platform.acb(0).raw_output(&img);
+        platform.inject_pe_fault(1, 0, 1, FaultKind::Lpd);
+
+        let outputs = platform.process_parallel(&img);
+        let result = PixelVoter.vote([&outputs[0], &outputs[1], &outputs[2]]);
+        assert_eq!(result.image, clean, "two healthy arrays outvote the damaged one");
+        assert_eq!(result.most_suspicious(), Some(1));
+        assert_eq!(result.outvoted[0], 0);
+        assert_eq!(result.outvoted[2], 0);
+
+        // Scrubbing cannot repair an LPD fault, so the voter keeps flagging
+        // array 1 until recovery re-routes around the damage.
+        platform.scrub_array(1);
+        assert!(platform.array_has_permanent_fault(1));
+        let after_scrub = platform.process_parallel(&img);
+        let verdict = PixelVoter.vote([&after_scrub[0], &after_scrub[1], &after_scrub[2]]);
+        assert_eq!(verdict.image, clean);
+        assert_eq!(verdict.most_suspicious(), Some(1));
+    }
+
+    #[test]
+    fn voter_agrees_again_after_a_transient_fault_is_scrubbed() {
+        use crate::platform::EhwPlatform;
+        use ehw_fabric::fault::FaultKind;
+
+        let mut platform = EhwPlatform::paper_three_arrays();
+        let img = synth::shapes(32, 32, 3);
+        platform.inject_pe_fault(2, 0, 2, FaultKind::Seu);
+        let outputs = platform.process_parallel(&img);
+        assert_eq!(
+            PixelVoter.vote([&outputs[0], &outputs[1], &outputs[2]]).most_suspicious(),
+            Some(2)
+        );
+
+        platform.scrub_array(2);
+        let healed = platform.process_parallel(&img);
+        let verdict = PixelVoter.vote([&healed[0], &healed[1], &healed[2]]);
+        assert_eq!(verdict.disagreeing_pixels, 0);
+        assert_eq!(verdict.most_suspicious(), None);
+    }
 }

@@ -12,6 +12,7 @@ use ehw_array::genotype::Genotype;
 use ehw_array::pe::FaultBehaviour;
 use ehw_image::image::GrayImage;
 use ehw_image::metrics::mae;
+use ehw_parallel::ParallelConfig;
 
 /// Anything that can score a candidate genotype.  Lower fitness is better.
 pub trait FitnessEvaluator {
@@ -24,6 +25,18 @@ pub trait FitnessEvaluator {
     /// parallel evolution mode of §IV.B does.
     fn evaluate_batch(&mut self, batch: &[Genotype]) -> Vec<u64> {
         batch.iter().map(|g| self.evaluate(g)).collect()
+    }
+
+    /// Evaluates a batch under an explicit [`ParallelConfig`].
+    ///
+    /// Results must be returned in batch order and be independent of the
+    /// worker count — candidate fitness is a pure function of the genotype,
+    /// so any two configurations must agree bit for bit.  The default ignores
+    /// the knob and defers to [`evaluate_batch`](Self::evaluate_batch);
+    /// evaluators whose batch path is parallel override this instead.
+    fn evaluate_batch_with(&mut self, batch: &[Genotype], parallel: ParallelConfig) -> Vec<u64> {
+        let _ = parallel;
+        self.evaluate_batch(batch)
     }
 
     /// Number of single-candidate evaluations performed so far.
@@ -132,25 +145,20 @@ impl FitnessEvaluator for SoftwareEvaluator {
     }
 
     fn evaluate_batch(&mut self, batch: &[Genotype]) -> Vec<u64> {
-        // Candidates are independent, so they are evaluated on parallel host
-        // threads (one cloned array model per candidate), mirroring the
-        // parallel evaluation across physical arrays.
+        self.evaluate_batch_with(batch, ParallelConfig::from_env())
+    }
+
+    fn evaluate_batch_with(&mut self, batch: &[Genotype], parallel: ParallelConfig) -> Vec<u64> {
+        // Candidates are independent, so they are fanned over the worker pool
+        // (one cloned array model per candidate), mirroring the parallel
+        // evaluation across physical arrays; the pool merges fitness values in
+        // candidate order, so the result is identical at any worker count.
         self.evaluations += batch.len() as u64;
-        let input = &self.input;
-        let reference = &self.reference;
         let base = &self.array;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = batch
-                .iter()
-                .map(|g| {
-                    scope.spawn(move || {
-                        let mut array = base.clone();
-                        array.set_genotype(g.clone());
-                        mae(&array.filter_image(input), reference)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("evaluator thread panicked")).collect()
+        ehw_parallel::ordered_map(parallel, batch, |_, g| {
+            let mut array = base.clone();
+            array.set_genotype(g.clone());
+            mae(&array.filter_image(&self.input), &self.reference)
         })
     }
 

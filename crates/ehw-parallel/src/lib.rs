@@ -1,0 +1,284 @@
+//! Deterministic parallel execution layer for the evolvable-hardware platform.
+//!
+//! The paper's headline scalability claim (§VI.B, Figs. 12–14) is that
+//! replicating the PE array over multiple reconfigurable regions lets
+//! candidate evaluation proceed in parallel and cuts evolution time.  This
+//! crate is the software counterpart of those replicated regions: a
+//! scoped-thread worker pool that fans independent units of work (candidate
+//! evaluations, fault-campaign positions, per-array filtering) over host
+//! threads and merges the results in **deterministic order**.
+//!
+//! Two rules make every consumer of this crate bit-for-bit reproducible at
+//! any worker count:
+//!
+//! 1. **Work is position-addressed.**  [`ordered_map`] hands each closure its
+//!    item index; results are stitched back together by index, never by
+//!    completion order.
+//! 2. **Randomness is stream-split, not shared.**  Workers never pull from a
+//!    shared RNG; each unit of work derives its own [`rand::SeedSequence`]
+//!    stream from the run seed and its logical position (generation,
+//!    candidate, shard).  The schedule can then change freely — the values
+//!    cannot.
+//!
+//! The [`ParallelConfig`] knob travels through `EsConfig` and `EhwPlatform`
+//! so benches can sweep worker counts (`--workers=`, `EHW_WORKERS=`) and
+//! measure the speedup-vs-arrays curves of Figs. 12–13 as wall-clock time
+//! rather than modelled cycles.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+/// Environment variable overriding the default worker count.
+pub const WORKERS_ENV: &str = "EHW_WORKERS";
+
+/// Environment variable overriding the default chunk size (0 = auto).
+pub const CHUNK_ENV: &str = "EHW_CHUNK";
+
+/// How a batch of independent work items is spread over host threads.
+///
+/// The configuration only affects *scheduling*; results are merged in item
+/// order, so any two configurations produce identical output for the same
+/// input (the cross-thread determinism suite in `tests/` enforces this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelConfig {
+    /// Number of worker threads (0 is normalised to 1; 1 runs inline on the
+    /// calling thread with no spawning at all).
+    pub workers: usize,
+    /// Items handed to a worker at a time; 0 picks a chunk size that gives
+    /// each worker a handful of chunks for load balancing.
+    pub chunk: usize,
+}
+
+impl ParallelConfig {
+    /// Strictly sequential execution on the calling thread.
+    pub fn serial() -> Self {
+        ParallelConfig { workers: 1, chunk: 0 }
+    }
+
+    /// `workers` threads with automatic chunking.
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelConfig { workers, chunk: 0 }
+    }
+
+    /// The process-wide default: `EHW_WORKERS` / `EHW_CHUNK` from the
+    /// environment, falling back to the host's available parallelism.
+    ///
+    /// The lookup is cached — the environment is read once per process, so
+    /// per-generation hot paths can call this freely.
+    pub fn from_env() -> Self {
+        static CACHED: OnceLock<ParallelConfig> = OnceLock::new();
+        *CACHED.get_or_init(|| {
+            Self::parse(
+                std::env::var(WORKERS_ENV).ok().as_deref(),
+                std::env::var(CHUNK_ENV).ok().as_deref(),
+            )
+        })
+    }
+
+    /// Builds a configuration from the textual forms of the two environment
+    /// variables (exposed separately so it can be tested without touching the
+    /// process environment).
+    pub fn parse(workers: Option<&str>, chunk: Option<&str>) -> Self {
+        let workers = workers
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&w| w > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            });
+        let chunk = chunk.and_then(|v| v.trim().parse::<usize>().ok()).unwrap_or(0);
+        ParallelConfig { workers, chunk }
+    }
+
+    /// Worker threads actually used for a batch of `items` work items.
+    pub fn effective_workers(&self, items: usize) -> usize {
+        self.workers.max(1).min(items.max(1))
+    }
+
+    /// Chunk size actually used for a batch of `items` work items.
+    pub fn effective_chunk(&self, items: usize) -> usize {
+        if self.chunk > 0 {
+            return self.chunk;
+        }
+        // Aim for ~4 chunks per worker so stragglers can be rebalanced, but
+        // never less than one item per chunk.
+        let workers = self.effective_workers(items);
+        items.div_ceil(workers * 4).max(1)
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Maps `f` over `items`, in parallel, returning results in **item order**.
+///
+/// `f` receives `(index, &item)` so position-addressed seed derivation works
+/// (see the crate docs).  Work is distributed in chunks through a shared
+/// atomic cursor; each worker records `(chunk_index, results)` pairs and the
+/// final vector is stitched by chunk index, so the output is independent of
+/// thread scheduling.  With one (effective) worker everything runs inline on
+/// the calling thread.
+///
+/// # Panics
+/// Propagates the first panic raised by `f` (the pool joins all workers
+/// first, so no work is silently lost).
+pub fn ordered_map<T, R, F>(config: ParallelConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = config.effective_workers(items.len());
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let chunk = config.effective_chunk(items.len());
+    let num_chunks = items.len().div_ceil(chunk);
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(num_chunks));
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= num_chunks {
+                    return;
+                }
+                let start = c * chunk;
+                let end = (start + chunk).min(items.len());
+                let results: Vec<R> =
+                    (start..end).map(|i| f(i, &items[i])).collect();
+                done.lock().expect("pool poisoned").push((c, results));
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("worker thread panicked");
+        }
+    });
+
+    let mut chunks = done.into_inner().expect("pool poisoned");
+    chunks.sort_unstable_by_key(|&(c, _)| c);
+    debug_assert_eq!(chunks.len(), num_chunks);
+    chunks.into_iter().flat_map(|(_, r)| r).collect()
+}
+
+/// [`ordered_map`] over the index range `0..count` (for work that is defined
+/// by position alone).
+pub fn ordered_map_indices<R, F>(config: ParallelConfig, count: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..count).collect();
+    ordered_map(config, &indices, |_, &i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let serial = ordered_map(ParallelConfig::serial(), &items, |i, &x| x * 3 + i as u64);
+        for workers in [2, 3, 8, 16] {
+            for chunk in [0, 1, 5, 1000] {
+                let cfg = ParallelConfig { workers, chunk };
+                let parallel = ordered_map(cfg, &items, |i, &x| x * 3 + i as u64);
+                assert_eq!(serial, parallel, "workers={workers} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(ordered_map(ParallelConfig::with_workers(4), &empty, |_, &x| x).is_empty());
+        let one = [7u8];
+        assert_eq!(ordered_map(ParallelConfig::with_workers(4), &one, |_, &x| x), vec![7]);
+    }
+
+    #[test]
+    fn indices_variant_matches_slice_variant() {
+        let cfg = ParallelConfig::with_workers(3);
+        let via_indices = ordered_map_indices(cfg, 10, |i| i * i);
+        let items: Vec<usize> = (0..10).collect();
+        let via_slice = ordered_map(cfg, &items, |_, &i| i * i);
+        assert_eq!(via_indices, via_slice);
+    }
+
+    #[test]
+    fn workers_receive_position_addressed_indices() {
+        // Every index must be passed exactly once and in the right slot.
+        let items = vec![0u8; 57];
+        let got = ordered_map(ParallelConfig { workers: 4, chunk: 3 }, &items, |i, _| i);
+        assert_eq!(got, (0..57).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_workers_normalises_to_one() {
+        let cfg = ParallelConfig { workers: 0, chunk: 0 };
+        assert_eq!(cfg.effective_workers(10), 1);
+        let items = [1u8, 2, 3];
+        assert_eq!(ordered_map(cfg, &items, |_, &x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parse_prefers_explicit_values() {
+        let cfg = ParallelConfig::parse(Some("6"), Some("2"));
+        assert_eq!(cfg, ParallelConfig { workers: 6, chunk: 2 });
+        // Invalid and zero values fall back to host parallelism / auto chunk.
+        let fallback = ParallelConfig::parse(Some("zero"), None);
+        assert!(fallback.workers >= 1);
+        assert_eq!(fallback.chunk, 0);
+        assert!(ParallelConfig::parse(Some("0"), None).workers >= 1);
+    }
+
+    #[test]
+    fn effective_chunk_covers_all_items() {
+        for items in [1usize, 2, 9, 100, 1000] {
+            for workers in [1usize, 2, 8] {
+                let cfg = ParallelConfig::with_workers(workers);
+                let chunk = cfg.effective_chunk(items);
+                assert!(chunk >= 1);
+                assert!(chunk * items.div_ceil(chunk) >= items);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        let _ = ordered_map(ParallelConfig { workers: 4, chunk: 1 }, &items, |_, &x| {
+            if x == 33 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn results_do_not_depend_on_chunking_with_stateful_costs() {
+        // Simulate uneven per-item cost: determinism must still hold.
+        let items: Vec<u64> = (0..200).collect();
+        let expensive = |i: usize, x: &u64| {
+            let mut acc = *x;
+            for _ in 0..(i % 7) * 100 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let a = ordered_map(ParallelConfig { workers: 8, chunk: 1 }, &items, expensive);
+        let b = ordered_map(ParallelConfig { workers: 2, chunk: 13 }, &items, expensive);
+        assert_eq!(a, b);
+    }
+}

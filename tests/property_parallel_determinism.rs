@@ -1,0 +1,187 @@
+//! Cross-thread determinism suite: the parallel execution layer is
+//! *scheduling only*.
+//!
+//! Every property here drives the same seeded workload through 1, 2 and 8
+//! workers and asserts byte-identical results: the same best genotype, the
+//! same fitness trajectory, the same fault-campaign report.  This is the
+//! contract that makes `EHW_WORKERS` safe to sweep in benches and CI — worker
+//! count changes wall-clock time, never results.
+
+use ehw_array::genotype::Genotype;
+use ehw_evolution::fitness::{FitnessEvaluator, SoftwareEvaluator};
+use ehw_evolution::strategy::{run_evolution, EsConfig, MutationStrategy, NullObserver};
+use ehw_image::noise::salt_pepper;
+use ehw_image::synth;
+use ehw_parallel::{ordered_map, ParallelConfig};
+use ehw_platform::evo_modes::{evolve_parallel, EvolutionTask};
+use ehw_platform::fault_campaign::systematic_fault_campaign_with;
+use ehw_platform::platform::EhwPlatform;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn denoise_task(size: usize, seed: u64) -> EvolutionTask {
+    let clean = synth::shapes(size, size, 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noisy = salt_pepper(&clean, 0.3, &mut rng);
+    EvolutionTask::new(noisy, clean)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // ------------------------------------------------------------------
+    // EvolutionStrategy: serial == parallel at 1, 2 and 8 workers
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn evolution_strategy_is_worker_count_invariant(
+        seed in any::<u64>(),
+        mutation_rate in 1usize..5,
+        two_level in any::<bool>(),
+    ) {
+        let task = denoise_task(16, seed ^ 0xA5A5);
+        let runs: Vec<_> = WORKER_COUNTS
+            .iter()
+            .map(|&workers| {
+                let mut config = EsConfig::paper(mutation_rate, 3, 12, seed);
+                config.parallel = ParallelConfig::with_workers(workers);
+                if two_level {
+                    config.strategy = MutationStrategy::two_level();
+                }
+                let mut evaluator =
+                    SoftwareEvaluator::new(task.input.clone(), task.reference.clone());
+                run_evolution(&config, &mut evaluator, &mut NullObserver)
+            })
+            .collect();
+        for r in &runs[1..] {
+            prop_assert_eq!(r.best_genotype.encode(), runs[0].best_genotype.encode());
+            prop_assert_eq!(r.best_fitness, runs[0].best_fitness);
+            prop_assert_eq!(&r.history, &runs[0].history);
+            prop_assert_eq!(r.total_pe_reconfigurations, runs[0].total_pe_reconfigurations);
+            prop_assert_eq!(r.evaluations, runs[0].evaluations);
+        }
+    }
+
+    #[test]
+    fn platform_evolution_is_worker_count_invariant(seed in any::<u64>()) {
+        let task = denoise_task(16, seed ^ 0x3C3C);
+        let results: Vec<_> = WORKER_COUNTS
+            .iter()
+            .map(|&workers| {
+                let mut platform =
+                    EhwPlatform::with_parallel(3, ParallelConfig::with_workers(workers));
+                let config = EsConfig::paper(2, 3, 10, seed);
+                let (result, _time) = evolve_parallel(&mut platform, &task, &config);
+                (result, platform.acb(0).genotype().encode())
+            })
+            .collect();
+        for (result, configured) in &results[1..] {
+            prop_assert_eq!(
+                result.best_genotype.encode(),
+                results[0].0.best_genotype.encode()
+            );
+            prop_assert_eq!(&result.history, &results[0].0.history);
+            prop_assert_eq!(configured, &results[0].1);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // FaultCampaign: serial == parallel at 1, 2 and 8 workers
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn fault_campaign_is_worker_count_invariant(seed in any::<u64>()) {
+        let task = denoise_task(12, seed ^ 0x7E7E);
+        let baseline = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Genotype::random(&mut rng)
+        };
+        let recovery = EsConfig::paper(1, 1, 2, seed ^ 1);
+        let reports: Vec<_> = WORKER_COUNTS
+            .iter()
+            .map(|&workers| {
+                let mut platform = EhwPlatform::new(2);
+                systematic_fault_campaign_with(
+                    &mut platform,
+                    &baseline,
+                    &task,
+                    &recovery,
+                    &[0, 1],
+                    ParallelConfig::with_workers(workers),
+                )
+            })
+            .collect();
+        for report in &reports[1..] {
+            prop_assert_eq!(&report.positions, &reports[0].positions);
+        }
+        prop_assert_eq!(reports[0].len(), 32);
+    }
+
+    // ------------------------------------------------------------------
+    // The pool primitive itself, over adversarial chunk sizes
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn ordered_map_is_schedule_invariant(
+        items in proptest::collection::vec(any::<u64>(), 0..80),
+        workers in 1usize..9,
+        chunk in 0usize..10,
+    ) {
+        let serial = ordered_map(ParallelConfig::serial(), &items, |i, &x| {
+            x.wrapping_mul(31).wrapping_add(i as u64)
+        });
+        let parallel = ordered_map(ParallelConfig { workers, chunk }, &items, |i, &x| {
+            x.wrapping_mul(31).wrapping_add(i as u64)
+        });
+        prop_assert_eq!(serial, parallel);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Deterministic spot checks (non-property, fixed seeds)
+// ----------------------------------------------------------------------
+
+#[test]
+fn evaluate_batch_with_matches_sequential_evaluation() {
+    let task = denoise_task(24, 99);
+    let mut rng = StdRng::seed_from_u64(5);
+    let batch: Vec<Genotype> = (0..9).map(|_| Genotype::random(&mut rng)).collect();
+
+    let mut eval = SoftwareEvaluator::new(task.input.clone(), task.reference.clone());
+    let sequential: Vec<u64> = batch.iter().map(|g| eval.evaluate(g)).collect();
+    for workers in WORKER_COUNTS {
+        let mut eval = SoftwareEvaluator::new(task.input.clone(), task.reference.clone());
+        let parallel =
+            eval.evaluate_batch_with(&batch, ParallelConfig::with_workers(workers));
+        assert_eq!(parallel, sequential, "diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn processing_modes_are_worker_count_invariant() {
+    let img = synth::shapes(32, 32, 4);
+    let mut rng = StdRng::seed_from_u64(17);
+    let genotypes: Vec<Genotype> = (0..3).map(|_| Genotype::random(&mut rng)).collect();
+
+    let outputs: Vec<_> = WORKER_COUNTS
+        .iter()
+        .map(|&workers| {
+            let mut platform =
+                EhwPlatform::with_parallel(3, ParallelConfig::with_workers(workers));
+            for (i, g) in genotypes.iter().enumerate() {
+                platform.configure_array(i, g);
+            }
+            (
+                platform.process_parallel(&img),
+                platform.process_independent(&[img.clone(), img.clone(), img.clone()]),
+            )
+        })
+        .collect();
+    for out in &outputs[1..] {
+        assert_eq!(out.0, outputs[0].0);
+        assert_eq!(out.1, outputs[0].1);
+    }
+}

@@ -9,6 +9,13 @@ use std::marker::PhantomData;
 pub trait Arbitrary: Sized {
     /// Draws an arbitrary value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Proposes strictly simpler variants of `value` (see
+    /// [`Strategy::shrink`]); the default offers none.
+    fn shrink_value(value: &Self) -> Vec<Self> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_uint {
@@ -17,16 +24,58 @@ macro_rules! impl_arbitrary_uint {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.rng.gen::<$t>()
             }
+            fn shrink_value(value: &Self) -> Vec<Self> {
+                let v = *value;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, v / 2, v - 1];
+                out.dedup();
+                out.into_iter().filter(|&c| c < v).collect()
+            }
         }
     )*};
 }
-impl_arbitrary_uint!(u8, u16, u32, u64, usize, bool, f64, f32);
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng.gen::<bool>()
+    }
+    fn shrink_value(value: &Self) -> Vec<Self> {
+        if *value { vec![false] } else { Vec::new() }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng.gen::<f64>()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng.gen::<f32>()
+    }
+}
 
 macro_rules! impl_arbitrary_int {
     ($($t:ty as $u:ty),*) => {$(
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.rng.gen::<$u>() as $t
+            }
+            fn shrink_value(value: &Self) -> Vec<Self> {
+                // Towards zero from either side; every candidate is strictly
+                // closer to zero than `value`, so shrinking terminates.
+                let v = *value;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let step = if v > 0 { -1 } else { 1 };
+                let mut out = vec![0, v / 2, v + step];
+                out.dedup();
+                out
             }
         }
     )*};
@@ -60,6 +109,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_value(value)
     }
 }
 

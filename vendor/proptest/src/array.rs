@@ -8,10 +8,25 @@ pub struct UniformArray<S, const N: usize> {
     strategy: S,
 }
 
-impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N>
+where
+    S::Value: Clone,
+{
     type Value = [S::Value; N];
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         std::array::from_fn(|_| self.strategy.generate(rng))
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        // Simplify one element at a time (the length is fixed).
+        let mut out = Vec::new();
+        for (i, element) in value.iter().enumerate() {
+            for candidate in self.strategy.shrink(element) {
+                let mut v = value.clone();
+                v[i] = candidate;
+                out.push(v);
+            }
+        }
+        out
     }
 }
 

@@ -31,7 +31,10 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         let len = if self.size.hi - self.size.lo <= 1 {
@@ -40,6 +43,37 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
             rng.rng.gen_range(self.size.lo..self.size.hi)
         };
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        // Shorter first: binary-search the length towards the minimum —
+        // the minimal prefix, the half-way prefix, then one element less.
+        let lo = self.size.lo;
+        let len = value.len();
+        if len > lo {
+            let mut lengths = vec![lo, lo + (len - lo) / 2, len - 1];
+            lengths.dedup();
+            for l in lengths.into_iter().filter(|&l| l < len) {
+                out.push(value[..l].to_vec());
+            }
+            // Dropping a single non-tail element (the `len - 1` prefix above
+            // already covers the tail) so a failing element can surface at
+            // the front of the minimal case.
+            for i in 0..len - 1 {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        // Then simplify elements in place, one at a time.
+        for (i, element) in value.iter().enumerate() {
+            for candidate in self.element.shrink(element) {
+                let mut v = value.clone();
+                v[i] = candidate;
+                out.push(v);
+            }
+        }
+        out
     }
 }
 

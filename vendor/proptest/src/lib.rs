@@ -7,10 +7,13 @@
 //! [`array`]`::uniformN`, [`collection`]`::vec`, `Just`, `prop_oneof!`,
 //! `ProptestConfig` and the `proptest!` test-harness macro itself.
 //!
-//! Unlike real proptest there is **no shrinking** and **no persistence** —
-//! a failing case panics with the standard assertion message. Generation is
-//! deterministic: every test function derives its RNG seed from its own name,
-//! so runs are reproducible from one invocation to the next.
+//! Failing cases are **shrunk** before being reported: strategies propose
+//! simpler variants ([`strategy::Strategy::shrink`] — binary search towards
+//! the minimum for integer ranges, shorter vectors and simpler elements for
+//! collections), and the harness panics with the minimal failing input.
+//! Unlike real proptest there is **no persistence** — generation is
+//! deterministic instead: every test function derives its RNG seed from its
+//! own name, so runs are reproducible from one invocation to the next.
 
 #![warn(missing_docs)]
 
@@ -63,6 +66,14 @@ macro_rules! prop_oneof {
 
 /// Declares property tests: each `fn name(arg in strategy, ...) { body }`
 /// becomes a `#[test]` that runs the body for `cases` generated inputs.
+///
+/// On failure the input is **shrunk**: the argument strategies propose
+/// simpler variants (binary search towards the minimum for integer ranges,
+/// shorter vectors and simpler elements for collections), the first variant
+/// that still fails replaces the input, and the process repeats until a
+/// fixed point.  The test then panics with the minimal failing input, e.g.
+/// `minimal failing input: (10,)`.  Argument values must be `Clone + Debug`
+/// for this (every value generated in this workspace is).
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -79,11 +90,57 @@ macro_rules! proptest {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
                 let mut rng =
                     $crate::test_runner::TestRng::for_test(stringify!($name));
+                let __strategy = ($($strat,)+);
+                let __run = $crate::strategy::property_fn(
+                    &__strategy,
+                    |($(mut $arg,)+)| { $body },
+                );
                 for _case in 0..config.cases {
-                    let ($(mut $arg,)+) = (
-                        $($crate::strategy::Strategy::generate(&$strat, &mut rng),)+
-                    );
-                    $body
+                    let __value =
+                        $crate::strategy::Strategy::generate(&__strategy, &mut rng);
+                    let __failed = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || __run(::std::clone::Clone::clone(&__value)),
+                        ),
+                    )
+                    .is_err();
+                    if __failed {
+                        // Quiet the default hook while `minimize` probes
+                        // candidates — each failing probe would otherwise
+                        // print a full panic report.  (The initial failure
+                        // above already printed one with full context; a
+                        // concurrently failing test in another thread loses
+                        // its report during this window, which is the same
+                        // trade-off real proptest makes.)
+                        let __hook = ::std::panic::take_hook();
+                        ::std::panic::set_hook(Box::new(|_| {}));
+                        let __minimal =
+                            $crate::strategy::minimize(&__strategy, __value, |__cand| {
+                                ::std::panic::catch_unwind(
+                                    ::std::panic::AssertUnwindSafe(
+                                        || __run(::std::clone::Clone::clone(__cand)),
+                                    ),
+                                )
+                                .is_err()
+                            });
+                        // Re-run the minimal case once to capture the
+                        // assertion message explaining *why* it fails.
+                        let __message = ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(
+                                || __run(::std::clone::Clone::clone(&__minimal)),
+                            ),
+                        )
+                        .err()
+                        .map(|p| $crate::test_runner::panic_message(&*p))
+                        .unwrap_or_default();
+                        ::std::panic::set_hook(__hook);
+                        panic!(
+                            "proptest: property '{}' failed: {}; minimal failing input: {:?}",
+                            stringify!($name),
+                            __message,
+                            __minimal,
+                        );
+                    }
                 }
             }
         )*

@@ -6,14 +6,24 @@ use std::ops::Range;
 
 /// A recipe for generating values of some type.
 ///
-/// Object-safe core (`generate`) plus `Sized`-gated combinators, so that
-/// `Box<dyn Strategy<Value = T>>` works for [`Union`] / `prop_oneof!`.
+/// Object-safe core (`generate` / `shrink`) plus `Sized`-gated combinators,
+/// so that `Box<dyn Strategy<Value = T>>` works for [`Union`] / `prop_oneof!`.
 pub trait Strategy {
     /// The type of value this strategy generates.
     type Value;
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes strictly simpler variants of a failing `value`, most
+    /// aggressive first (the shrink driver, [`minimize`], takes the first
+    /// candidate that still fails and repeats).  Strategies whose values have
+    /// no natural order — `prop_map`ped values, unions, `Just` — return no
+    /// candidates, which simply reports the original failure unshrunk.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -47,6 +57,49 @@ impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         (**self).generate(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
+    }
+}
+
+/// Ties the parameter type of a property-body closure to a strategy's value
+/// type — a type-inference helper for the `proptest!` macro, which needs the
+/// closure's tuple parameter fully typed before the body is checked.
+pub fn property_fn<S: Strategy + ?Sized, F: Fn(S::Value)>(strategy: &S, f: F) -> F {
+    let _ = strategy;
+    f
+}
+
+/// Drives shrinking to a fixed point: starting from a failing `value`,
+/// repeatedly replaces it with the first shrink candidate that still fails
+/// (checked by `fails`), until no candidate fails or the evaluation budget is
+/// spent.  Returns the minimal failing value found.
+///
+/// The budget bounds the number of `fails` evaluations, so a property with an
+/// expensive body cannot loop unreasonably long while shrinking.
+pub fn minimize<S, F>(strategy: &S, mut value: S::Value, mut fails: F) -> S::Value
+where
+    S: Strategy + ?Sized,
+    F: FnMut(&S::Value) -> bool,
+{
+    let mut budget = 1_000usize;
+    loop {
+        let mut advanced = false;
+        for candidate in strategy.shrink(&value) {
+            if budget == 0 {
+                return value;
+            }
+            budget -= 1;
+            if fails(&candidate) {
+                value = candidate;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return value;
+        }
     }
 }
 
@@ -115,26 +168,54 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Binary search towards the range start: try the start
+                // itself, the midpoint, then the predecessor.  Arithmetic in
+                // i128 so signed spans (e.g. the full i64 range) cannot
+                // overflow the element type.
+                let (lo, v) = (self.start as i128, *value as i128);
+                if v <= lo {
+                    return Vec::new();
+                }
+                let mut out = vec![lo, lo + (v - lo) / 2, v - 1];
+                out.dedup();
+                out.into_iter().filter(|&c| c < v).map(|c| c as $t).collect()
+            }
         }
     )*};
 }
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
             #[allow(non_snake_case)]
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
             }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Shrink one component at a time, holding the others fixed.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = candidate;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
         }
     };
 }
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A:0);
+impl_tuple_strategy!(A:0, B:1);
+impl_tuple_strategy!(A:0, B:1, C:2);
+impl_tuple_strategy!(A:0, B:1, C:2, D:3);
+impl_tuple_strategy!(A:0, B:1, C:2, D:3, E:4);
+impl_tuple_strategy!(A:0, B:1, C:2, D:3, E:4, F:5);

@@ -23,6 +23,18 @@ impl Default for ProptestConfig {
     }
 }
 
+/// Extracts the human-readable message from a caught panic payload (the
+/// assertion text of a failed property).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// The generation RNG handed to strategies.
 ///
 /// Seeded from the FNV-1a hash of the test function's name, so every test

@@ -1,0 +1,88 @@
+//! Shrinking behaviour: failing cases reduce to a minimal counterexample.
+
+use proptest::prelude::*;
+use proptest::strategy::minimize;
+
+#[test]
+fn integer_range_shrinks_to_the_smallest_failing_value() {
+    // The property "x < 37" fails for every x >= 37; binary-search shrinking
+    // must land exactly on the boundary, not merely somewhere below the
+    // first observed failure.
+    let strategy = 0u32..100_000;
+    let minimal = minimize(&strategy, 91_234, |v| *v >= 37);
+    assert_eq!(minimal, 37);
+}
+
+#[test]
+fn integer_range_respects_the_range_start() {
+    let strategy = 10u8..200;
+    // Everything fails: the minimum of the range is the minimal case.
+    let minimal = minimize(&strategy, 137, |_| true);
+    assert_eq!(minimal, 10);
+}
+
+#[test]
+fn signed_any_shrinks_towards_zero() {
+    let strategy = any::<i32>();
+    let minimal = minimize(&strategy, -4_821, |v| v.abs() >= 12);
+    assert_eq!(minimal.abs(), 12);
+}
+
+#[test]
+fn vec_shrinks_length_and_elements_to_a_minimal_case() {
+    // Failing when any element >= 10: the minimal counterexample is the
+    // single-element vector [10].
+    let strategy = proptest::collection::vec(0u8..100, 0..20);
+    let start = vec![55, 3, 99, 12, 4, 4, 61];
+    let minimal = minimize(&strategy, start, |v| v.iter().any(|&x| x >= 10));
+    assert_eq!(minimal, vec![10]);
+}
+
+#[test]
+fn vec_shrink_honours_the_minimum_length() {
+    let strategy = proptest::collection::vec(0u8..100, 3..20);
+    let minimal = minimize(&strategy, vec![9, 9, 9, 9, 9], |v| v.len() >= 3);
+    assert_eq!(minimal, vec![0, 0, 0]);
+}
+
+#[test]
+fn tuple_shrink_minimises_each_component_independently() {
+    let strategy = (0u32..1000, 0u32..1000);
+    let minimal = minimize(&strategy, (900, 650), |&(a, b)| a >= 25 && b >= 75);
+    assert_eq!(minimal, (25, 75));
+}
+
+#[test]
+fn passing_values_are_left_alone() {
+    let strategy = 0u64..1000;
+    assert_eq!(minimize(&strategy, 421, |_| false), 421);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // A seeded failure must be reported as its minimal shrunk case: the
+    // property "x < 10" over 0..100_000 virtually always first fails far from
+    // the boundary, and the harness must walk it down to exactly 10.
+    #[test]
+    #[should_panic(expected = "minimal failing input: (10,)")]
+    fn seeded_failure_is_reported_minimal(x in 0u32..100_000) {
+        prop_assert!(x < 10);
+    }
+
+    // Multi-argument properties shrink every argument.
+    #[test]
+    #[should_panic(expected = "minimal failing input: (5, [7])")]
+    fn multi_argument_failure_shrinks_all_arguments(
+        threshold in 0usize..50,
+        data in proptest::collection::vec(0u8..50, 0..8),
+    ) {
+        prop_assert!(threshold < 5 || !data.iter().any(|&x| x >= 7));
+    }
+
+    // Properties that hold never trigger the shrinking machinery.
+    #[test]
+    fn passing_properties_stay_green(a in 0u16..100, b in 0u16..100) {
+        prop_assert!(u32::from(a) + u32::from(b) <= 198);
+    }
+}

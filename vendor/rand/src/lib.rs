@@ -14,6 +14,9 @@
 #![warn(missing_docs)]
 
 pub mod rngs;
+pub mod seq;
+
+pub use seq::SeedSequence;
 
 /// A random number generator core: the source of raw random words.
 pub trait RngCore {

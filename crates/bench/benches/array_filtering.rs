@@ -43,8 +43,12 @@ fn bench_image_filtering(c: &mut Criterion) {
 fn bench_reference_filters(c: &mut Criterion) {
     let img = synth::paper_scene_128();
     let mut group = c.benchmark_group("reference_filters/128x128");
-    group.bench_function("median", |b| b.iter(|| black_box(ehw_image::filters::median(&img))));
-    group.bench_function("sobel", |b| b.iter(|| black_box(ehw_image::filters::sobel_edge(&img))));
+    group.bench_function("median", |b| {
+        b.iter(|| black_box(ehw_image::filters::median(&img)))
+    });
+    group.bench_function("sobel", |b| {
+        b.iter(|| black_box(ehw_image::filters::sobel_edge(&img)))
+    });
     group.bench_function("gaussian", |b| {
         b.iter(|| black_box(ehw_image::filters::gaussian_blur(&img)))
     });

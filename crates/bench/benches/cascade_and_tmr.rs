@@ -15,8 +15,7 @@ use std::hint::black_box;
 fn configured_platform() -> EhwPlatform {
     // Processing modes fan over the worker pool; honour EHW_WORKERS so the
     // bench reflects the same pool configuration the binaries run with.
-    let mut platform =
-        EhwPlatform::with_parallel(3, ehw_parallel::ParallelConfig::from_env());
+    let mut platform = EhwPlatform::with_parallel(3, ehw_parallel::ParallelConfig::from_env());
     let mut rng = StdRng::seed_from_u64(7);
     let genotype = Genotype::random(&mut rng);
     platform.configure_all_arrays(&genotype);
@@ -60,5 +59,10 @@ fn bench_self_healing_check(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_processing_modes, bench_voters, bench_self_healing_check);
+criterion_group!(
+    benches,
+    bench_processing_modes,
+    bench_voters,
+    bench_self_healing_check
+);
 criterion_main!(benches);

@@ -5,9 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ehw_evolution::fitness::{FitnessEvaluator, SoftwareEvaluator};
 use ehw_evolution::strategy::{run_evolution, EsConfig, MutationStrategy, NullObserver};
-use ehw_parallel::ParallelConfig;
 use ehw_image::noise::salt_pepper;
 use ehw_image::synth;
+use ehw_parallel::ParallelConfig;
 use ehw_platform::timing::PipelineTimer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -11,8 +11,8 @@ use ehw_evolution::strategy::{run_evolution, EsConfig, NullObserver};
 use ehw_image::noise::salt_pepper;
 use ehw_image::synth;
 use ehw_parallel::ParallelConfig;
-use ehw_platform::fault_campaign::systematic_fault_campaign_with;
 use ehw_platform::evo_modes::EvolutionTask;
+use ehw_platform::fault_campaign::systematic_fault_campaign_with;
 use ehw_platform::platform::EhwPlatform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -75,5 +75,10 @@ fn bench_genotype_bookkeeping(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_configure_pe, bench_copy_and_scrub, bench_genotype_bookkeeping);
+criterion_group!(
+    benches,
+    bench_configure_pe,
+    bench_copy_and_scrub,
+    bench_genotype_bookkeeping
+);
 criterion_main!(benches);

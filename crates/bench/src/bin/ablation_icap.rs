@@ -34,15 +34,22 @@ fn main() {
         let mut scale = 0.25_f64;
         while scale <= max_scale {
             let timing = TimingModel::paper().with_icap_scale(scale);
-            let single = PipelineTimer::new(timing, 1, size, size).generation_time(&vec![k; offspring]);
-            let triple = PipelineTimer::new(timing, 3, size, size).generation_time(&vec![k; offspring]);
+            let single =
+                PipelineTimer::new(timing, 1, size, size).generation_time(&vec![k; offspring]);
+            let triple =
+                PipelineTimer::new(timing, 3, size, size).generation_time(&vec![k; offspring]);
             let reconfig_bound = timing.reconfig_time(k) > timing.evaluation_time(size, size);
             rows.push(vec![
                 format!("{:.2}x (PE = {})", scale, fmt_time(timing.reconfig_time(1))),
                 fmt_time(single),
                 fmt_time(triple),
                 format!("{:.2}x", single / triple),
-                if reconfig_bound { "reconfiguration" } else { "evaluation" }.to_string(),
+                if reconfig_bound {
+                    "reconfiguration"
+                } else {
+                    "evaluation"
+                }
+                .to_string(),
             ]);
             scale *= 2.0;
         }

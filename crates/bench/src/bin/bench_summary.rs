@@ -1,0 +1,209 @@
+//! Evaluation-engine benchmark summary — the recorded perf trajectory.
+//!
+//! Measures the candidate-evaluation hot path three ways on the paper's
+//! 128×128 / 40 % salt & pepper workload and writes the numbers to
+//! `BENCH_evaluation.json` so every future PR can prove (or disprove) that it
+//! moved the needle:
+//!
+//! * **interpreter** — the pre-engine baseline: per-candidate window
+//!   extraction, per-pixel genotype resolution and fault-map lookups,
+//! * **compiled** — the engine: one shared window-extraction pass per image,
+//!   one flat compiled plan per candidate,
+//! * **evolution** — a real (1+λ) run with the engine's early-exit bound and
+//!   per-generation memo, at 1 and 4 workers, reporting the early-exit rate.
+//!
+//! Usage: `cargo run --release -p ehw-bench --bin bench_summary`
+//! (`--size=`, `--reps=`, `--generations=`, `--out=` to adjust).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ehw_array::compiled::{interpret_filter_image, CompiledArray};
+use ehw_array::genotype::Genotype;
+use ehw_evolution::fitness::{plan_mae, FitnessEvaluator, SoftwareEvaluator};
+use ehw_evolution::strategy::{run_evolution, EsConfig, EvalEngine, NullObserver};
+use ehw_image::metrics::mae;
+use ehw_image::window::SharedWindows;
+use ehw_parallel::ParallelConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+const LAMBDA: usize = 9;
+
+/// Throughput of one measured configuration.
+struct Throughput {
+    evals_per_sec: f64,
+    pixels_per_sec: f64,
+}
+
+fn time_batches(reps: usize, pixels_per_eval: usize, mut run: impl FnMut() -> u64) -> Throughput {
+    // One warm-up round keeps first-touch page faults out of the measurement.
+    let mut checksum = run();
+    let start = Instant::now();
+    for _ in 0..reps {
+        checksum = checksum.wrapping_add(run());
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    std::hint::black_box(checksum);
+    let evals = (reps * LAMBDA) as f64;
+    Throughput {
+        evals_per_sec: evals / elapsed,
+        pixels_per_sec: evals * pixels_per_eval as f64 / elapsed,
+    }
+}
+
+fn main() {
+    let size = ehw_bench::arg_usize("size", 128);
+    let reps = ehw_bench::arg_usize("reps", 20);
+    let generations = ehw_bench::arg_usize("generations", 60);
+    let out = std::env::args()
+        .find_map(|a| a.strip_prefix("--out=").map(str::to_owned))
+        .unwrap_or_else(|| "BENCH_evaluation.json".to_owned());
+
+    ehw_bench::banner(
+        "bench_summary",
+        "compiled evaluation engine vs. the reference interpreter",
+        reps,
+        generations,
+    );
+
+    let task = ehw_bench::denoise_task(size, 0.4, 1);
+    let pixels = task.input.width() * task.input.height();
+    let mut rng = StdRng::seed_from_u64(7);
+    let batch: Vec<Genotype> = (0..LAMBDA).map(|_| Genotype::random(&mut rng)).collect();
+
+    // --- interpreter baseline (1 worker by construction) -------------------
+    let no_faults = BTreeMap::new();
+    let interp = time_batches(reps, pixels, || {
+        batch
+            .iter()
+            .map(|g| {
+                mae(
+                    &interpret_filter_image(g, &no_faults, &task.input),
+                    &task.reference,
+                )
+            })
+            .sum()
+    });
+
+    // --- compiled engine, unbounded, 1 and 4 workers -----------------------
+    let windows = SharedWindows::new(&task.input);
+    let compiled_1w = time_batches(reps, pixels, || {
+        batch
+            .iter()
+            .map(|g| plan_mae(&CompiledArray::new(g), &windows, &task.reference))
+            .sum()
+    });
+    let compiled_4w = {
+        let mut eval = SoftwareEvaluator::new(task.input.clone(), task.reference.clone());
+        let cfg = ParallelConfig::with_workers(4);
+        time_batches(reps, pixels, || {
+            eval.evaluate_batch_with(&batch, cfg).into_iter().sum()
+        })
+    };
+
+    // Consistency gate: the engine must agree with the interpreter bit for
+    // bit before any of its numbers mean anything.
+    for g in &batch {
+        let plan_fit = plan_mae(&CompiledArray::new(g), &windows, &task.reference);
+        let interp_fit = mae(
+            &interpret_filter_image(g, &no_faults, &task.input),
+            &task.reference,
+        );
+        assert_eq!(plan_fit, interp_fit, "engine diverged from the interpreter");
+    }
+
+    // --- in-evolution early-exit rate at 1 and 4 workers -------------------
+    let mut evolution = Vec::new();
+    for workers in [1usize, 4] {
+        let config = EsConfig {
+            engine: EvalEngine::Bounded,
+            parallel: ParallelConfig::with_workers(workers),
+            ..EsConfig::paper(3, 1, generations, 42)
+        };
+        let mut eval = SoftwareEvaluator::new(task.input.clone(), task.reference.clone());
+        let start = Instant::now();
+        let result = run_evolution(&config, &mut eval, &mut NullObserver);
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        let stats = eval.engine_stats();
+        evolution.push((
+            workers,
+            result.evaluations as f64 / elapsed,
+            stats.early_exit_rate(),
+            stats.memo_hits,
+            result.best_fitness,
+        ));
+    }
+
+    let speedup_1w = compiled_1w.evals_per_sec / interp.evals_per_sec;
+
+    // --- report ------------------------------------------------------------
+    ehw_bench::print_table(
+        &["configuration", "evals/s", "Mpixels/s", "speedup vs interp"],
+        &[
+            vec![
+                "interpreter 1w".into(),
+                format!("{:.1}", interp.evals_per_sec),
+                format!("{:.2}", interp.pixels_per_sec / 1e6),
+                "1.00x".into(),
+            ],
+            vec![
+                "compiled 1w".into(),
+                format!("{:.1}", compiled_1w.evals_per_sec),
+                format!("{:.2}", compiled_1w.pixels_per_sec / 1e6),
+                format!("{speedup_1w:.2}x"),
+            ],
+            vec![
+                "compiled 4w".into(),
+                format!("{:.1}", compiled_4w.evals_per_sec),
+                format!("{:.2}", compiled_4w.pixels_per_sec / 1e6),
+                format!("{:.2}x", compiled_4w.evals_per_sec / interp.evals_per_sec),
+            ],
+        ],
+    );
+    for (workers, evals_per_sec, rate, memo_hits, best) in &evolution {
+        println!(
+            "evolution {workers}w: {evals_per_sec:.1} evals/s, early-exit rate {:.1}%, \
+             {memo_hits} memo hits, best fitness {best}",
+            rate * 100.0
+        );
+    }
+
+    // --- BENCH_evaluation.json ---------------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"workload\": {{");
+    let _ = writeln!(json, "    \"image\": \"{size}x{size} salt&pepper 40%\",");
+    let _ = writeln!(json, "    \"lambda\": {LAMBDA},");
+    let _ = writeln!(json, "    \"reps\": {reps},");
+    let _ = writeln!(json, "    \"generations\": {generations}");
+    let _ = writeln!(json, "  }},");
+    let mut tp = |name: &str, t: &Throughput, trailing: &str| {
+        let _ = writeln!(json, "  \"{name}\": {{");
+        let _ = writeln!(json, "    \"evals_per_sec\": {:.1},", t.evals_per_sec);
+        let _ = writeln!(json, "    \"pixels_per_sec\": {:.0}", t.pixels_per_sec);
+        let _ = writeln!(json, "  }}{trailing}");
+    };
+    tp("interpreter_1_worker", &interp, ",");
+    tp("compiled_1_worker", &compiled_1w, ",");
+    tp("compiled_4_workers", &compiled_4w, ",");
+    let _ = writeln!(
+        json,
+        "  \"speedup_compiled_vs_interpreter_1_worker\": {speedup_1w:.2},"
+    );
+    let _ = writeln!(json, "  \"evolution\": [");
+    for (i, (workers, evals_per_sec, rate, memo_hits, best)) in evolution.iter().enumerate() {
+        let comma = if i + 1 < evolution.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"workers\": {workers}, \"evals_per_sec\": {evals_per_sec:.1}, \
+             \"early_exit_rate\": {rate:.4}, \"memo_hits\": {memo_hits}, \
+             \"best_fitness\": {best} }}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out, &json).expect("write benchmark summary");
+    println!("wrote {out}");
+}

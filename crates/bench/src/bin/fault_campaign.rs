@@ -63,7 +63,14 @@ fn main() {
         })
         .collect();
     print_table(
-        &["PE (row, col)", "clean", "faulty", "recovered", "critical", "recovery"],
+        &[
+            "PE (row, col)",
+            "clean",
+            "faulty",
+            "recovered",
+            "critical",
+            "recovery",
+        ],
         &rows,
     );
 

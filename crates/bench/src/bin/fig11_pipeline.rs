@@ -45,7 +45,14 @@ fn main() {
             })
             .collect();
         print_table(
-            &["candidate", "evaluated on", "PEs", "R start", "R end", "F end"],
+            &[
+                "candidate",
+                "evaluated on",
+                "PEs",
+                "R start",
+                "R end",
+                "F end",
+            ],
             &rows,
         );
         let total = timer.generation_time(&reconfigs);

@@ -86,8 +86,11 @@ fn main() {
         pgm::write_pgm(&task.reference, dir.join("clean.pgm")).expect("write clean");
         pgm::write_pgm(&task.input, dir.join("noisy.pgm")).expect("write noisy");
         pgm::write_pgm(&median1, dir.join("median.pgm")).expect("write median");
-        pgm::write_pgm(outputs.last().expect("three stages"), dir.join("cascade.pgm"))
-            .expect("write cascade");
+        pgm::write_pgm(
+            outputs.last().expect("three stages"),
+            dir.join("cascade.pgm"),
+        )
+        .expect("write cascade");
         println!("\nimages written to {}", dir.display());
     }
 }

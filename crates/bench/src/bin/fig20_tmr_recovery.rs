@@ -56,7 +56,10 @@ fn main() {
     let supervisor = TmrSupervisor::new(100);
 
     let healthy = supervisor.process(&platform, &task.input, &reference);
-    println!("phase 1 (healthy TMR): per-array fitness = {:?}, vote = {:?}", healthy.fitnesses, healthy.vote);
+    println!(
+        "phase 1 (healthy TMR): per-array fitness = {:?}, vote = {:?}",
+        healthy.fitnesses, healthy.vote
+    );
 
     // Phase 2: permanent fault in an active PE of array 2.
     let (row, col) = find_injectable_pe(&platform, 2, &task.input);
@@ -71,14 +74,19 @@ fn main() {
 
     // Scrubbing does not help: the fault is permanent.
     platform.scrub_array(2);
-    println!("after scrubbing: permanent fault present = {}\n", platform.array_has_permanent_fault(2));
+    println!(
+        "after scrubbing: permanent fault present = {}\n",
+        platform.array_has_permanent_fault(2)
+    );
 
     // Phase 3: recovery by imitation, recording the fitness timeline.
     let recovery = EsConfig {
         target_fitness: Some(0),
         ..EsConfig::paper(1, 1, recovery_generations, 4711)
     };
-    let mut timeline = Timeline { history: Vec::new() };
+    let mut timeline = Timeline {
+        history: Vec::new(),
+    };
     let result = evolve_imitation(
         &mut platform,
         2,
@@ -89,7 +97,10 @@ fn main() {
         &mut timeline,
     );
 
-    println!("phase 3 (imitation recovery): {} generations executed", result.generations_run);
+    println!(
+        "phase 3 (imitation recovery): {} generations executed",
+        result.generations_run
+    );
     let rows: Vec<Vec<String>> = (0..samples)
         .filter_map(|i| {
             let idx = (i * timeline.history.len().saturating_sub(1)) / samples.max(1);
@@ -99,11 +110,18 @@ fn main() {
                 .map(|f| vec![idx.to_string(), f.to_string()])
         })
         .collect();
-    print_table(&["generation", "imitation fitness (faulty vs master)"], &rows);
+    print_table(
+        &["generation", "imitation fitness (faulty vs master)"],
+        &rows,
+    );
     println!(
         "final imitation fitness: {} ({} recovery)",
         result.best_fitness,
-        if result.best_fitness == 0 { "complete" } else { "partial" }
+        if result.best_fitness == 0 {
+            "complete"
+        } else {
+            "partial"
+        }
     );
 
     let after = supervisor.process(&platform, &task.input, &reference);

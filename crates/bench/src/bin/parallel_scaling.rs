@@ -18,8 +18,8 @@
 //! on a single-core host every row reports ~1.0×.
 
 use ehw_bench::{arg_usize, banner, denoise_task, fmt_time, print_table};
-use ehw_evolution::strategy::{run_evolution, EsConfig, NullObserver};
 use ehw_evolution::fitness::SoftwareEvaluator;
+use ehw_evolution::strategy::{run_evolution, EsConfig, NullObserver};
 use ehw_parallel::ParallelConfig;
 use std::time::Instant;
 
@@ -36,7 +36,9 @@ fn main() {
     );
     println!(
         "host parallelism: {} (std::thread::available_parallelism)",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     println!();
 
@@ -52,8 +54,7 @@ fn main() {
         let mut total = 0.0f64;
         for run in 0..runs {
             let task = denoise_task(size, 0.4, 2000 + run as u64);
-            let mut evaluator =
-                SoftwareEvaluator::new(task.input.clone(), task.reference.clone());
+            let mut evaluator = SoftwareEvaluator::new(task.input.clone(), task.reference.clone());
             let config = EsConfig {
                 parallel: ParallelConfig::with_workers(workers),
                 ..EsConfig::paper(3, 3, generations, 77 + run as u64)
@@ -85,7 +86,10 @@ fn main() {
         ]);
     }
 
-    print_table(&["workers", "mean evolution time", "speed-up vs 1 worker"], &rows);
+    print_table(
+        &["workers", "mean evolution time", "speed-up vs 1 worker"],
+        &rows,
+    );
     println!();
     println!("All worker counts produced identical fitness trajectories (verified).");
     println!("Paper (Figs. 12-13): three arrays evaluate three candidates concurrently;");

@@ -23,7 +23,10 @@ fn main() {
         let total = r.total_static_logic();
         rows.push(vec![
             arrays.to_string(),
-            format!("{}/{}/{}", r.static_control.slices, r.static_control.ffs, r.static_control.luts),
+            format!(
+                "{}/{}/{}",
+                r.static_control.slices, r.static_control.ffs, r.static_control.luts
+            ),
             format!("{}/{}/{}", r.per_acb.slices, r.per_acb.ffs, r.per_acb.luts),
             format!("{}/{}/{}", total.slices, total.ffs, total.luts),
             r.array_clbs.to_string(),

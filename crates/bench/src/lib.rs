@@ -83,7 +83,11 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len()))
+                format!(
+                    "{:width$}",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
             })
             .collect();
         println!("| {} |", joined.join(" | "));
@@ -152,7 +156,10 @@ mod tests {
     fn table_printing_does_not_panic_on_ragged_rows() {
         print_table(
             &["a", "b"],
-            &[vec!["1".into(), "2".into(), "extra".into()], vec!["x".into()]],
+            &[
+                vec!["1".into(), "2".into(), "extra".into()],
+                vec!["x".into()],
+            ],
         );
     }
 }

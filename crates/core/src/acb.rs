@@ -128,7 +128,8 @@ impl ArrayControlBlock {
         neighbour: Option<&GrayImage>,
     ) -> Option<u64> {
         let output = self.raw_output(input);
-        self.fitness_unit.compute(&output, input, reference, neighbour)
+        self.fitness_unit
+            .compute(&output, input, reference, neighbour)
     }
 
     /// Injects a PE-level fault into the array.

@@ -62,13 +62,16 @@ impl EvolutionTask {
 /// evaluating them on parallel host threads — the software counterpart of the
 /// parallel evolution mode, where each array evaluates one candidate of the
 /// generation.  Array faults are honoured: a candidate assigned to a damaged
-/// array is scored on the damaged array.
+/// array is scored on the damaged array — the candidate's genotype is
+/// compiled against that array's fault overlay, so the fault corrupts the
+/// *plan*, never a per-pixel lookup.
 #[derive(Debug)]
 pub struct PlatformEvaluator {
     arrays: Vec<ProcessingArray>,
-    input: GrayImage,
+    windows: ehw_image::window::SharedWindows,
     reference: GrayImage,
     evaluations: u64,
+    stats: ehw_evolution::fitness::EngineStats,
 }
 
 impl PlatformEvaluator {
@@ -76,20 +79,30 @@ impl PlatformEvaluator {
     /// training pair.
     pub fn new(platform: &EhwPlatform, task: &EvolutionTask) -> Self {
         Self {
-            arrays: platform.acbs().iter().map(|acb| acb.array().clone()).collect(),
-            input: task.input.clone(),
+            arrays: platform
+                .acbs()
+                .iter()
+                .map(|acb| acb.array().clone())
+                .collect(),
+            windows: ehw_image::window::SharedWindows::new(&task.input),
             reference: task.reference.clone(),
             evaluations: 0,
+            stats: ehw_evolution::fitness::EngineStats::default(),
         }
+    }
+
+    /// Work-saved counters of the engine paths (memo hits, early exits).
+    pub fn engine_stats(&self) -> ehw_evolution::fitness::EngineStats {
+        self.stats
     }
 }
 
 impl FitnessEvaluator for PlatformEvaluator {
     fn evaluate(&mut self, genotype: &Genotype) -> u64 {
         self.evaluations += 1;
-        let mut array = self.arrays[0].clone();
-        array.set_genotype(genotype.clone());
-        mae(&array.filter_image(&self.input), &self.reference)
+        self.stats.plans_evaluated += 1;
+        let plan = self.arrays[0].compile_with(genotype);
+        ehw_evolution::fitness::plan_mae(&plan, &self.windows, &self.reference)
     }
 
     fn evaluate_batch(&mut self, batch: &[Genotype]) -> Vec<u64> {
@@ -97,17 +110,41 @@ impl FitnessEvaluator for PlatformEvaluator {
     }
 
     fn evaluate_batch_with(&mut self, batch: &[Genotype], parallel: ParallelConfig) -> Vec<u64> {
+        self.evaluate_batch_bounded(batch, None, None, parallel)
+    }
+
+    fn evaluate_batch_bounded(
+        &mut self,
+        batch: &[Genotype],
+        bound: Option<u64>,
+        incumbent: Option<(&Genotype, u64)>,
+        parallel: ParallelConfig,
+    ) -> Vec<u64> {
         // Candidate i is scored on array i % num_arrays (round-robin, like
         // the hardware's candidate distribution); the pool merges fitness
         // values in candidate order, so results are identical at any worker
-        // count.
+        // count.  Two arrays may carry different faults, so the duplicate
+        // memo is keyed by (array, genotype), and the incumbent shortcut is
+        // ignored — the incumbent's fitness belongs to whichever array scored
+        // it, which is unknowable here.  Early exit stays sound per candidate:
+        // a value is exact iff it is `<= bound` on *its* array.
+        let _ = incumbent;
         self.evaluations += batch.len() as u64;
+        let num_arrays = self.arrays.len();
+        let (slots, unique) = ehw_evolution::fitness::dedupe_batch(
+            batch,
+            None,
+            |i, g| (i % num_arrays, g),
+            |_| false,
+        );
         let arrays = &self.arrays;
-        ehw_parallel::ordered_map(parallel, batch, |i, g| {
-            let mut array = arrays[i % arrays.len()].clone();
-            array.set_genotype(g.clone());
-            mae(&array.filter_image(&self.input), &self.reference)
-        })
+        let windows = &self.windows;
+        let reference = &self.reference;
+        let results = ehw_parallel::ordered_map(parallel, &unique, |_, &i| {
+            let plan = arrays[i % num_arrays].compile_with(&batch[i]);
+            ehw_evolution::fitness::plan_mae_bounded(&plan, windows, reference, bound)
+        });
+        ehw_evolution::fitness::scatter_results(slots, &results, &mut self.stats)
     }
 
     fn evaluations(&self) -> u64 {
@@ -299,8 +336,11 @@ pub fn evolve_cascade(
     config: &CascadeConfig,
 ) -> CascadeResult {
     let stages = platform.num_arrays();
-    let arrays: Vec<ProcessingArray> =
-        platform.acbs().iter().map(|acb| acb.array().clone()).collect();
+    let arrays: Vec<ProcessingArray> = platform
+        .acbs()
+        .iter()
+        .map(|acb| acb.array().clone())
+        .collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Current parent (and its fitness) per stage.
@@ -335,7 +375,10 @@ pub fn evolve_cascade(
         }
     };
 
-    let one_generation = |stage: usize, parents: &mut Vec<Genotype>, parent_fitness: &mut Vec<u64>, rng: &mut StdRng| {
+    let one_generation = |stage: usize,
+                          parents: &mut Vec<Genotype>,
+                          parent_fitness: &mut Vec<u64>,
+                          rng: &mut StdRng| {
         // Re-evaluate the parent: in interleaved scheduling the upstream
         // stages may have changed since this stage was last visited, which
         // changes the input (and therefore the fitness) of its parent.
@@ -475,11 +518,38 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let batch: Vec<Genotype> = (0..6).map(|_| Genotype::random(&mut rng)).collect();
         let parallel = eval.evaluate_batch(&batch);
-        let sequential: Vec<u64> = batch.iter().map(|g| {
-            let mut e = PlatformEvaluator::new(&platform, &task);
-            e.evaluate(g)
-        }).collect();
+        let sequential: Vec<u64> = batch
+            .iter()
+            .map(|g| {
+                let mut e = PlatformEvaluator::new(&platform, &task);
+                e.evaluate(g)
+            })
+            .collect();
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn platform_evaluator_memo_is_keyed_by_array() {
+        // The same genotype lands on array 0 (healthy) and array 1 (damaged)
+        // via round-robin; the per-batch memo must NOT share their results.
+        let mut platform = EhwPlatform::new(2);
+        platform.inject_pe_fault(1, 0, 3, FaultKind::Lpd);
+        let task = denoise_task(24, 0.3, 2);
+        let mut eval = PlatformEvaluator::new(&platform, &task);
+        let g = Genotype::identity();
+        let batch = vec![g.clone(), g.clone(), g.clone(), g.clone()];
+        let fits = eval.evaluate_batch(&batch);
+        // Candidates 0/2 run on the healthy array, 1/3 on the damaged one.
+        assert_eq!(fits[0], fits[2]);
+        assert_eq!(fits[1], fits[3]);
+        assert_ne!(
+            fits[0], fits[1],
+            "fault overlay must be baked into the plan"
+        );
+        // Two of the four were memo hits (one per array).
+        assert_eq!(eval.engine_stats().plans_evaluated, 2);
+        assert_eq!(eval.engine_stats().memo_hits, 2);
+        assert_eq!(eval.evaluations(), 4);
     }
 
     #[test]
@@ -530,7 +600,11 @@ mod tests {
         // With pass-through initialisation and elitist selection the chain can
         // only improve stage by stage (the shape of Figs. 16-17)...
         for w in result.stage_fitness.windows(2) {
-            assert!(w[1] <= w[0], "stage fitness must not degrade: {:?}", result.stage_fitness);
+            assert!(
+                w[1] <= w[0],
+                "stage fitness must not degrade: {:?}",
+                result.stage_fitness
+            );
         }
         // ...and the whole chain beats the unfiltered noisy input.
         let identity_fitness = mae(&task.input, &task.reference);

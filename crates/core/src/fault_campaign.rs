@@ -17,7 +17,6 @@ use ehw_array::genotype::{Genotype, ARRAY_COLS, ARRAY_ROWS};
 use ehw_array::pe::FaultBehaviour;
 use ehw_evolution::fitness::SoftwareEvaluator;
 use ehw_evolution::strategy::{run_evolution_with_parent, EsConfig, NullObserver};
-use ehw_image::metrics::mae;
 use ehw_parallel::ParallelConfig;
 use serde::{Deserialize, Serialize};
 
@@ -90,7 +89,10 @@ impl CampaignReport {
 
     /// Positions whose recovery reached (at least) the pre-fault quality.
     pub fn fully_recovered_positions(&self) -> usize {
-        self.positions.iter().filter(|p| p.fully_recovered()).count()
+        self.positions
+            .iter()
+            .filter(|p| p.fully_recovered())
+            .count()
     }
 
     /// Mean recovery ratio across all positions.
@@ -98,7 +100,11 @@ impl CampaignReport {
         if self.positions.is_empty() {
             return 0.0;
         }
-        self.positions.iter().map(|p| p.recovery_ratio()).sum::<f64>() / self.positions.len() as f64
+        self.positions
+            .iter()
+            .map(|p| p.recovery_ratio())
+            .sum::<f64>()
+            / self.positions.len() as f64
     }
 }
 
@@ -144,25 +150,32 @@ pub fn find_injectable_pe(
 /// working genotype — the per-position unit of work the campaign shards over
 /// workers.  Pure: no shared state is touched, so positions can be evaluated
 /// in any order, on any thread, with identical results.
+///
+/// The clean/faulty measurements compile the baseline genotype against the
+/// position's fault overlay ([`ehw_array::CompiledArray`]) and score it over
+/// `windows`, the one shared extraction pass of the training input — the
+/// fault corrupts the plan, not a per-pixel interpreter lookup.
 fn evaluate_position(
     base: &ProcessingArray,
     baseline: &Genotype,
     task: &EvolutionTask,
+    windows: &ehw_image::window::SharedWindows,
     recovery: &EsConfig,
-    array: usize,
-    row: usize,
-    col: usize,
+    (array, row, col): (usize, usize, usize),
 ) -> PositionResult {
     // Restore a clean, known-good configuration of this position.
     let mut clean_array = base.clone();
     clean_array.clear_fault(row, col);
     clean_array.set_genotype(baseline.clone());
-    let fitness_clean = mae(&clean_array.filter_image(&task.input), &task.reference);
+    let fitness_clean =
+        ehw_evolution::fitness::plan_mae(clean_array.plan(), windows, &task.reference);
 
-    // Inject the permanent dummy-PE fault.
+    // Inject the permanent dummy-PE fault: the overlay is baked into the
+    // execution plan the measurements and the recovery evolution run on.
     let mut faulty_array = clean_array;
     faulty_array.inject_fault(row, col, FaultBehaviour::dummy());
-    let fitness_faulty = mae(&faulty_array.filter_image(&task.input), &task.reference);
+    let fitness_faulty =
+        ehw_evolution::fitness::plan_mae(faulty_array.plan(), windows, &task.reference);
 
     // Recovery: re-evolve on the damaged array, seeded with the working
     // genotype.
@@ -224,8 +237,7 @@ pub fn systematic_fault_campaign_with(
     let positions: Vec<(usize, usize, usize)> = arrays
         .iter()
         .flat_map(|&array| {
-            (0..ARRAY_ROWS)
-                .flat_map(move |row| (0..ARRAY_COLS).map(move |col| (array, row, col)))
+            (0..ARRAY_ROWS).flat_map(move |row| (0..ARRAY_COLS).map(move |col| (array, row, col)))
         })
         .collect();
 
@@ -235,10 +247,24 @@ pub fn systematic_fault_campaign_with(
     let mut recovery_cfg = *recovery;
     recovery_cfg.parallel = ParallelConfig::serial();
 
-    let snapshots: Vec<ProcessingArray> =
-        platform.acbs().iter().map(|acb| acb.array().clone()).collect();
-    let results = ehw_parallel::ordered_map(parallel, &positions, |_, &(array, row, col)| {
-        evaluate_position(&snapshots[array], baseline, task, &recovery_cfg, array, row, col)
+    let snapshots: Vec<ProcessingArray> = platform
+        .acbs()
+        .iter()
+        .map(|acb| acb.array().clone())
+        .collect();
+    // One window-extraction pass of the training input serves every position
+    // of every array (the per-position recovery evolutions build their own,
+    // through their SoftwareEvaluator).
+    let windows = ehw_image::window::SharedWindows::new(&task.input);
+    let results = ehw_parallel::ordered_map(parallel, &positions, |_, &position| {
+        evaluate_position(
+            &snapshots[position.0],
+            baseline,
+            task,
+            &windows,
+            &recovery_cfg,
+            position,
+        )
     });
 
     // Leave the campaigned arrays configured with the baseline, exactly as
@@ -291,7 +317,12 @@ mod tests {
         let report = systematic_fault_campaign(&mut platform, &baseline, &task, &recovery, &[0]);
         for p in &report.positions {
             if p.row == 0 {
-                assert!(p.is_critical(), "row-0 PE ({},{}) should be critical", p.row, p.col);
+                assert!(
+                    p.is_critical(),
+                    "row-0 PE ({},{}) should be critical",
+                    p.row,
+                    p.col
+                );
             } else {
                 assert!(!p.is_critical(), "PE ({},{}) should be inert", p.row, p.col);
             }
@@ -358,8 +389,11 @@ mod tests {
         let recovery = EsConfig::paper(1, 1, 2, 3);
         let report = systematic_fault_campaign(&mut platform, &baseline, &task, &recovery, &[1, 0]);
         assert_eq!(report.len(), 32);
-        let order: Vec<(usize, usize, usize)> =
-            report.positions.iter().map(|p| (p.array, p.row, p.col)).collect();
+        let order: Vec<(usize, usize, usize)> = report
+            .positions
+            .iter()
+            .map(|p| (p.array, p.row, p.col))
+            .collect();
         let mut expected = Vec::new();
         for &array in &[1usize, 0] {
             for row in 0..ARRAY_ROWS {
@@ -368,7 +402,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(order, expected, "report must list positions in injection order");
+        assert_eq!(
+            order, expected,
+            "report must list positions in injection order"
+        );
     }
 
     #[test]

@@ -131,7 +131,9 @@ mod tests {
         let out = input.map(|p| p.saturating_add(2));
         let mut unit = FitnessUnit::new();
         unit.set_source(FitnessSource::Input);
-        let f = unit.compute(&out, &input, None, None).expect("input always available");
+        let f = unit
+            .compute(&out, &input, None, None)
+            .expect("input always available");
         // Every pixel below 254 differs by exactly 2.
         assert!(f > 0);
         assert!(f <= 2 * input.len() as u64);

@@ -176,8 +176,11 @@ impl EhwPlatform {
             self.registers
                 .write(RegisterFile::input_select_address(index, i), sel as u32);
         }
-        self.registers
-            .write_acb(index, AcbRegister::OutputSelect, genotype.output_gene as u32);
+        self.registers.write_acb(
+            index,
+            AcbRegister::OutputSelect,
+            genotype.output_gene as u32,
+        );
     }
 
     fn write_full_configuration(&mut self, index: usize, genotype: &Genotype) -> f64 {
@@ -190,7 +193,8 @@ impl EhwPlatform {
         self.write_mux_registers(index, genotype);
         self.acbs[index].set_genotype(genotype.clone());
         let latency = self.acbs[index].latency().total_cycles() as u32;
-        self.registers.write_acb(index, AcbRegister::Latency, latency);
+        self.registers
+            .write_acb(index, AcbRegister::Latency, latency);
         time
     }
 
@@ -211,7 +215,8 @@ impl EhwPlatform {
         self.acbs[index].set_genotype(genotype.clone());
         // The register file mirrors the latest latency measurement.
         let latency = self.acbs[index].latency().total_cycles() as u32;
-        self.registers.write_acb(index, AcbRegister::Latency, latency);
+        self.registers
+            .write_acb(index, AcbRegister::Latency, latency);
         time
     }
 
@@ -258,7 +263,9 @@ impl EhwPlatform {
             self.acbs.len(),
             "independent mode needs one input per array"
         );
-        ehw_parallel::ordered_map(self.parallel, &self.acbs, |i, acb| acb.raw_output(&inputs[i]))
+        ehw_parallel::ordered_map(self.parallel, &self.acbs, |i, acb| {
+            acb.raw_output(&inputs[i])
+        })
     }
 
     /// Enables or disables bypass for one stage.
@@ -316,11 +323,8 @@ impl EhwPlatform {
     /// functional model; permanent faults survive.  Returns the aggregate
     /// scrub report.
     pub fn scrub_array(&mut self, array: usize) -> ScrubReport {
-        let regions: Vec<ReconfigurableRegion> = self
-            .floorplan
-            .array_regions(array)
-            .copied()
-            .collect();
+        let regions: Vec<ReconfigurableRegion> =
+            self.floorplan.array_regions(array).copied().collect();
         let mut total = ScrubReport::default();
         for region in &regions {
             let report = self.engine.scrub_region(region);
@@ -411,7 +415,9 @@ mod tests {
         g.output_gene = 3;
         platform.configure_array(0, &g);
         assert_eq!(
-            platform.registers().peek(RegisterFile::input_select_address(0, 2)),
+            platform
+                .registers()
+                .peek(RegisterFile::input_select_address(0, 2)),
             7
         );
         assert_eq!(
@@ -471,7 +477,9 @@ mod tests {
         let bypassed = platform.process_cascaded(&img);
         assert_eq!(bypassed[2], img);
         assert_eq!(
-            platform.registers().peek(RegisterFile::address(1, AcbRegister::Bypass)),
+            platform
+                .registers()
+                .peek(RegisterFile::address(1, AcbRegister::Bypass)),
             1
         );
     }

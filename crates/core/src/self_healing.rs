@@ -274,7 +274,11 @@ impl TmrSupervisor {
         input: &GrayImage,
         reference: &GrayImage,
     ) -> TmrStep {
-        assert_eq!(platform.num_arrays(), 3, "TMR requires exactly three arrays");
+        assert_eq!(
+            platform.num_arrays(),
+            3,
+            "TMR requires exactly three arrays"
+        );
         let outputs = platform.process_parallel(input);
         let fitnesses = [
             mae(&outputs[0], reference),
@@ -282,7 +286,9 @@ impl TmrSupervisor {
             mae(&outputs[2], reference),
         ];
         let vote = self.fitness_voter.vote(fitnesses);
-        let pixel = self.pixel_voter.vote([&outputs[0], &outputs[1], &outputs[2]]);
+        let pixel = self
+            .pixel_voter
+            .vote([&outputs[0], &outputs[1], &outputs[2]]);
         TmrStep {
             voted_output: pixel.image,
             fitnesses,
@@ -387,7 +393,10 @@ mod tests {
     /// the selected output row, so an injected fault is guaranteed to corrupt
     /// the array output.
     fn critical_pe(genotype: &Genotype) -> (usize, usize) {
-        (genotype.output_gene as usize, ehw_array::genotype::ARRAY_COLS - 1)
+        (
+            genotype.output_gene as usize,
+            ehw_array::genotype::ARRAY_COLS - 1,
+        )
     }
 
     fn recovery_config(generations: usize, reference: Option<GrayImage>) -> RecoveryConfig {
@@ -463,8 +472,7 @@ mod tests {
 
         let (row, col) = critical_pe(&genotype);
         platform.inject_pe_fault(0, row, col, FaultKind::Lpd);
-        let events =
-            supervisor.check_and_heal(&mut platform, &recovery_config(20, Some(clean)));
+        let events = supervisor.check_and_heal(&mut platform, &recovery_config(20, Some(clean)));
         match events[0].outcome {
             HealingOutcome::PermanentRecovered { method, .. } => {
                 assert_eq!(method, RecoveryMethod::ReEvolution);
@@ -533,7 +541,10 @@ mod tests {
         let (step, event) = supervisor.step_and_heal(&mut platform, &clean, &reference, &es);
         assert_eq!(step.faulty_array(), Some(0));
         match event.expect("healing triggered").outcome {
-            HealingOutcome::PermanentRecovered { method, residual_fitness } => {
+            HealingOutcome::PermanentRecovered {
+                method,
+                residual_fitness,
+            } => {
                 assert!(matches!(method, RecoveryMethod::Imitation { .. }));
                 // Recovery can be exact or approximate, but it must not be
                 // worse than the damaged state it started from.

@@ -108,7 +108,9 @@ impl PipelineTimer {
     /// diagram of Fig. 11.  All times are in seconds from the start of the
     /// generation.
     pub fn generation_schedule(&self, candidate_pe_reconfigs: &[usize]) -> Vec<CandidateSchedule> {
-        let eval = self.timing.evaluation_time(self.image_width, self.image_height);
+        let eval = self
+            .timing
+            .evaluation_time(self.image_width, self.image_height);
         let mutation = self.timing.mutation_time();
 
         // The single engine serializes reconfigurations; each array can start
@@ -163,7 +165,9 @@ pub struct CandidateSchedule {
 
 impl GenerationObserver for PipelineTimer {
     fn on_generation(&mut self, _generation: usize, candidate_pe_reconfigs: &[usize], _best: u64) {
-        let eval = self.timing.evaluation_time(self.image_width, self.image_height);
+        let eval = self
+            .timing
+            .evaluation_time(self.image_width, self.image_height);
         let pes: u64 = candidate_pe_reconfigs.iter().map(|&p| p as u64).sum();
         self.estimate.total_s += self.generation_time(candidate_pe_reconfigs);
         self.estimate.reconfiguration_s += self.timing.reconfig_time(pes as usize);
@@ -204,7 +208,10 @@ mod tests {
         let timing = TimingModel::paper();
         let expected = timing.mutation_time()
             + 9.0 * (timing.reconfig_time(3) + timing.evaluation_time(128, 128));
-        assert!((gen - expected).abs() < 1e-9, "gen={gen}, expected={expected}");
+        assert!(
+            (gen - expected).abs() < 1e-9,
+            "gen={gen}, expected={expected}"
+        );
     }
 
     #[test]
@@ -240,8 +247,10 @@ mod tests {
     fn saving_scales_with_image_size() {
         // Fig. 13: with 256×256 images the evaluation time quadruples, and so
         // does (approximately) the benefit of evaluating in parallel.
-        let saving_small = timer(1, 128).generation_time(&[3; 9]) - timer(3, 128).generation_time(&[3; 9]);
-        let saving_large = timer(1, 256).generation_time(&[3; 9]) - timer(3, 256).generation_time(&[3; 9]);
+        let saving_small =
+            timer(1, 128).generation_time(&[3; 9]) - timer(3, 128).generation_time(&[3; 9]);
+        let saving_large =
+            timer(1, 256).generation_time(&[3; 9]) - timer(3, 256).generation_time(&[3; 9]);
         let ratio = saving_large / saving_small;
         assert!(ratio > 3.0 && ratio < 5.0, "ratio = {ratio}");
     }

@@ -67,7 +67,9 @@ impl FitnessVoter {
             // Degenerate cases (threshold makes "closeness" non-transitive):
             // treat as agreement if at least two pairs agree, otherwise no
             // majority can be formed.
-            (true, true, false) | (true, false, true) | (false, true, true) => FitnessVote::Agreement,
+            (true, true, false) | (true, false, true) | (false, true, true) => {
+                FitnessVote::Agreement
+            }
             (false, false, false) => FitnessVote::NoMajority,
         }
     }
@@ -130,7 +132,11 @@ impl PixelVoter {
         let mut disagreeing = 0usize;
         let mut outvoted = [0usize; 3];
 
-        let slices = [outputs[0].as_slice(), outputs[1].as_slice(), outputs[2].as_slice()];
+        let slices = [
+            outputs[0].as_slice(),
+            outputs[1].as_slice(),
+            outputs[2].as_slice(),
+        ];
         for ((&p0, &p1), &p2) in slices[0].iter().zip(slices[1]).zip(slices[2]) {
             let p = [p0, p1, p2];
             let majority = if p[0] == p[1] || p[0] == p[2] {
@@ -178,9 +184,18 @@ mod tests {
     #[test]
     fn fitness_divergence_identifies_the_outlier() {
         let voter = FitnessVoter::strict();
-        assert_eq!(voter.vote([100, 100, 999]), FitnessVote::Divergent { array: 2 });
-        assert_eq!(voter.vote([100, 999, 100]), FitnessVote::Divergent { array: 1 });
-        assert_eq!(voter.vote([999, 100, 100]), FitnessVote::Divergent { array: 0 });
+        assert_eq!(
+            voter.vote([100, 100, 999]),
+            FitnessVote::Divergent { array: 2 }
+        );
+        assert_eq!(
+            voter.vote([100, 999, 100]),
+            FitnessVote::Divergent { array: 1 }
+        );
+        assert_eq!(
+            voter.vote([999, 100, 100]),
+            FitnessVote::Divergent { array: 0 }
+        );
     }
 
     #[test]
@@ -265,9 +280,16 @@ mod tests {
         let c = GrayImage::new(4, 4, 250);
         let result = PixelVoter.vote([&a, &b, &c]);
         assert_eq!(result.disagreeing_pixels, 16);
-        assert_eq!(result.outvoted, [16, 0, 16], "only the median stream survives");
+        assert_eq!(
+            result.outvoted,
+            [16, 0, 16],
+            "only the median stream survives"
+        );
         // The fitness voter reports the same situation as NoMajority.
-        assert_eq!(FitnessVoter::strict().vote([10, 90, 250]), FitnessVote::NoMajority);
+        assert_eq!(
+            FitnessVoter::strict().vote([10, 90, 250]),
+            FitnessVote::NoMajority
+        );
     }
 
     #[test]
@@ -280,8 +302,15 @@ mod tests {
         let good = synth::shapes(16, 16, 3);
         let faulty = good.map(|p| p.wrapping_add(40));
         let result = PixelVoter.vote([&faulty, &good, &faulty]);
-        assert_eq!(result.image, faulty, "the agreeing wrong pair wins the vote");
-        assert_eq!(result.most_suspicious(), Some(1), "the healthy array is blamed");
+        assert_eq!(
+            result.image, faulty,
+            "the agreeing wrong pair wins the vote"
+        );
+        assert_eq!(
+            result.most_suspicious(),
+            Some(1),
+            "the healthy array is blamed"
+        );
         // The fitness voter has the same blind spot.
         assert_eq!(
             FitnessVoter::strict().vote([500, 100, 500]),
@@ -303,7 +332,10 @@ mod tests {
 
         let outputs = platform.process_parallel(&img);
         let result = PixelVoter.vote([&outputs[0], &outputs[1], &outputs[2]]);
-        assert_eq!(result.image, clean, "two healthy arrays outvote the damaged one");
+        assert_eq!(
+            result.image, clean,
+            "two healthy arrays outvote the damaged one"
+        );
         assert_eq!(result.most_suspicious(), Some(1));
         assert_eq!(result.outvoted[0], 0);
         assert_eq!(result.outvoted[2], 0);
@@ -328,7 +360,9 @@ mod tests {
         platform.inject_pe_fault(2, 0, 2, FaultKind::Seu);
         let outputs = platform.process_parallel(&img);
         assert_eq!(
-            PixelVoter.vote([&outputs[0], &outputs[1], &outputs[2]]).most_suspicious(),
+            PixelVoter
+                .vote([&outputs[0], &outputs[1], &outputs[2]])
+                .most_suspicious(),
             Some(2)
         );
 

@@ -20,25 +20,52 @@ use std::collections::BTreeMap;
 
 use ehw_image::image::GrayImage;
 use ehw_image::metrics::mae;
-use ehw_image::window::{Window3x3, map_windows};
+use ehw_image::window::{for_each_window_in_rows, Window3x3};
 
+use crate::compiled::CompiledArray;
 use crate::genotype::{Genotype, ARRAY_COLS, ARRAY_ROWS};
 use crate::pe::FaultBehaviour;
 
 /// The functional model of one evolvable processing array.
+///
+/// The genotype and fault overlay are the *state*; every mutation of either
+/// recompiles the flat [`CompiledArray`] execution plan the hot paths
+/// actually run (compilation is a handful of array writes — far cheaper than
+/// filtering even a single row of pixels).
 #[derive(Debug, Clone)]
 pub struct ProcessingArray {
     genotype: Genotype,
     faults: BTreeMap<(usize, usize), FaultBehaviour>,
+    plan: CompiledArray,
 }
 
 impl ProcessingArray {
     /// Creates an array configured with the given genotype and no faults.
     pub fn new(genotype: Genotype) -> Self {
+        let plan = CompiledArray::new(&genotype);
         Self {
             genotype,
             faults: BTreeMap::new(),
+            plan,
         }
+    }
+
+    /// Recompiles the execution plan after a genotype or overlay change.
+    fn recompile(&mut self) {
+        self.plan = self.compile_with(&self.genotype);
+    }
+
+    /// Compiles `genotype` against this array's *current* fault overlay,
+    /// without reconfiguring the array.  This is how a fitness evaluator
+    /// scores a candidate on (possibly damaged) hardware: one plan per
+    /// candidate, no array clone, no per-pixel fault lookups.
+    pub fn compile_with(&self, genotype: &Genotype) -> CompiledArray {
+        CompiledArray::with_faults(genotype, self.faults.iter().map(|(&p, &b)| (p, b)))
+    }
+
+    /// The execution plan currently configured (genotype + fault overlay).
+    pub fn plan(&self) -> &CompiledArray {
+        &self.plan
     }
 
     /// Creates an array configured with the identity genotype.
@@ -57,6 +84,7 @@ impl ProcessingArray {
     /// experiments.
     pub fn set_genotype(&mut self, genotype: Genotype) {
         self.genotype = genotype;
+        self.recompile();
     }
 
     /// Injects a PE-level fault at array position `(row, col)`.
@@ -64,19 +92,28 @@ impl ProcessingArray {
     /// # Panics
     /// Panics if the position is outside the 4×4 array.
     pub fn inject_fault(&mut self, row: usize, col: usize, behaviour: FaultBehaviour) {
-        assert!(row < ARRAY_ROWS && col < ARRAY_COLS, "PE position out of range");
+        assert!(
+            row < ARRAY_ROWS && col < ARRAY_COLS,
+            "PE position out of range"
+        );
         self.faults.insert((row, col), behaviour);
+        self.recompile();
     }
 
     /// Removes the fault at `(row, col)`, if any (models repairing a transient
     /// fault by scrubbing).
     pub fn clear_fault(&mut self, row: usize, col: usize) {
-        self.faults.remove(&(row, col));
+        if self.faults.remove(&(row, col)).is_some() {
+            self.recompile();
+        }
     }
 
     /// Removes every injected fault.
     pub fn clear_all_faults(&mut self) {
-        self.faults.clear();
+        if !self.faults.is_empty() {
+            self.faults.clear();
+            self.recompile();
+        }
     }
 
     /// Positions currently marked as faulty.
@@ -90,42 +127,17 @@ impl ProcessingArray {
     }
 
     /// Computes the array output for one 3×3 window — the per-pixel kernel of
-    /// the evolved filter.
+    /// the evolved filter.  Delegates to the compiled plan; the reference
+    /// interpreter in [`crate::compiled`] is the (bit-identical) oracle.
+    #[inline]
     pub fn evaluate_window(&self, window: &Window3x3) -> u8 {
-        // Array inputs after the 9-to-1 selection muxes.
-        let mut north = [0u8; ARRAY_COLS];
-        for (c, n) in north.iter_mut().enumerate() {
-            *n = window.select(self.genotype.north_selector(c));
-        }
-        let mut west = [0u8; ARRAY_ROWS];
-        for (r, w) in west.iter_mut().enumerate() {
-            *w = window.select(self.genotype.west_selector(r));
-        }
-
-        // Systolic propagation: each PE consumes the output of its west and
-        // north neighbours (or the corresponding array input on the first
-        // column / row) and forwards its registered result east and south.
-        let mut outputs = [[0u8; ARRAY_COLS]; ARRAY_ROWS];
-        for r in 0..ARRAY_ROWS {
-            for c in 0..ARRAY_COLS {
-                let w_in = if c == 0 { west[r] } else { outputs[r][c - 1] };
-                let n_in = if r == 0 { north[c] } else { outputs[r - 1][c] };
-                let correct = self.genotype.pe_function(r, c).apply(w_in, n_in);
-                outputs[r][c] = match self.faults.get(&(r, c)) {
-                    Some(fault) => fault.corrupt(correct, w_in, n_in),
-                    None => correct,
-                };
-            }
-        }
-
-        let out_row = (self.genotype.output_gene as usize) % ARRAY_ROWS;
-        outputs[out_row][ARRAY_COLS - 1]
+        self.plan.evaluate_window(window)
     }
 
     /// Filters a whole image: every output pixel is the array's response to
     /// the 3×3 window centred on the corresponding input pixel.
     pub fn filter_image(&self, img: &GrayImage) -> GrayImage {
-        map_windows(img, |w| self.evaluate_window(w))
+        self.plan.filter_image(img)
     }
 
     /// Row-parallel variant of [`filter_image`](Self::filter_image).
@@ -162,13 +174,11 @@ impl ProcessingArray {
             for (y0, band) in bands {
                 scope.spawn(move || {
                     let rows = band.len() / width;
-                    for dy in 0..rows {
-                        let y = y0 + dy;
-                        for x in 0..width {
-                            let w = Window3x3::from_image(img, x, y);
-                            band[dy * width + x] = self.evaluate_window(&w);
-                        }
-                    }
+                    let mut k = 0;
+                    for_each_window_in_rows(img, y0, y0 + rows, |_, _, w| {
+                        band[k] = self.plan.evaluate_window(w);
+                        k += 1;
+                    });
                 });
             }
         });

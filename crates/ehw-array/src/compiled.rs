@@ -1,0 +1,500 @@
+//! Compiled execution plans for the processing array.
+//!
+//! The genotype is a *description* of a circuit; evaluating it through
+//! [`Genotype`] accessors means re-decoding PE genes and re-resolving fault
+//! overlays for every pixel of every image — exactly the per-pixel interpreter
+//! overhead the evaluation engine removes.  [`CompiledArray`] bakes one
+//! genotype plus one fault overlay into a flat structure-of-arrays plan:
+//!
+//! * per-PE function opcodes, already decoded from the 4-bit genes,
+//! * pre-clamped input-mux selectors (out-of-range selectors resolve to the
+//!   window centre at compile time, mirroring the hardware's safe decode),
+//! * a dense `[Option<FaultBehaviour>; 16]` overlay replacing the per-pixel
+//!   `BTreeMap` lookups of the interpreter,
+//! * the resolved output row.
+//!
+//! Compilation costs a few dozen nanoseconds and happens once per candidate;
+//! the inner loop then touches only flat arrays.  The original interpreter is
+//! kept verbatim in this module ([`interpret_window`] /
+//! [`interpret_filter_image`]) as the correctness oracle for the equivalence
+//! suite and as the baseline the evaluation benches measure the plan against;
+//! `CompiledArray` is bit-identical to it by construction and by test.
+
+use std::collections::BTreeMap;
+
+use ehw_image::image::GrayImage;
+use ehw_image::window::{map_windows, Window3x3};
+
+use crate::genotype::{Genotype, ARRAY_COLS, ARRAY_ROWS, PE_GENES};
+use crate::pe::{FaultBehaviour, PeFunction};
+
+/// A genotype + fault overlay compiled into a flat execution plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledArray {
+    /// Decoded PE functions in row-major order.
+    fns: [PeFunction; PE_GENES],
+    /// Fault overlay in row-major order (`None` = healthy PE).
+    faults: [Option<FaultBehaviour>; PE_GENES],
+    /// Pre-clamped window selectors for the four north inputs.
+    north: [usize; ARRAY_COLS],
+    /// Pre-clamped window selectors for the four west inputs.
+    west: [usize; ARRAY_ROWS],
+    /// Resolved output row (`output_gene % ARRAY_ROWS`).
+    out_row: usize,
+    /// `true` if at least one PE carries a fault (selects the overlay loop).
+    has_faults: bool,
+}
+
+impl CompiledArray {
+    /// Compiles a genotype with no fault overlay.
+    pub fn new(genotype: &Genotype) -> Self {
+        Self::with_faults(genotype, std::iter::empty())
+    }
+
+    /// Compiles a genotype with the given fault overlay.  Positions outside
+    /// the 4×4 array are ignored (they can never influence the output).
+    pub fn with_faults(
+        genotype: &Genotype,
+        overlay: impl IntoIterator<Item = ((usize, usize), FaultBehaviour)>,
+    ) -> Self {
+        let mut fns = [PeFunction::IdentityW; PE_GENES];
+        for (i, f) in fns.iter_mut().enumerate() {
+            *f = PeFunction::from_gene(genotype.pe_genes[i]);
+        }
+        let mut faults = [None; PE_GENES];
+        let mut has_faults = false;
+        for ((row, col), behaviour) in overlay {
+            if row < ARRAY_ROWS && col < ARRAY_COLS {
+                faults[row * ARRAY_COLS + col] = Some(behaviour);
+                has_faults = true;
+            }
+        }
+        // Selector values above 8 decode to the window centre, exactly like
+        // `Window3x3::select`; resolving that here removes the per-pixel
+        // branch.
+        let clamp = |sel: u8| -> usize {
+            if (sel as usize) < 9 {
+                sel as usize
+            } else {
+                Window3x3::CENTER
+            }
+        };
+        let mut north = [0usize; ARRAY_COLS];
+        for (c, n) in north.iter_mut().enumerate() {
+            *n = clamp(genotype.north_selector(c));
+        }
+        let mut west = [0usize; ARRAY_ROWS];
+        for (r, w) in west.iter_mut().enumerate() {
+            *w = clamp(genotype.west_selector(r));
+        }
+        Self {
+            fns,
+            faults,
+            north,
+            west,
+            out_row: (genotype.output_gene as usize) % ARRAY_ROWS,
+            has_faults,
+        }
+    }
+
+    /// `true` if the plan carries at least one faulty PE.
+    pub fn has_faults(&self) -> bool {
+        self.has_faults
+    }
+
+    /// Windows per block of the lane-parallel evaluation path.  Each PE
+    /// opcode is dispatched once per block and applied across the whole lane
+    /// buffer, which the compiler vectorises on `u8` lanes.
+    pub const BLOCK: usize = 64;
+
+    /// Computes the array output for one 3×3 window — bit-identical to
+    /// [`interpret_window`] on the same genotype and overlay.
+    #[inline]
+    pub fn evaluate_window(&self, window: &Window3x3) -> u8 {
+        if self.has_faults {
+            self.evaluate_faulty(window)
+        } else {
+            self.evaluate_clean(window)
+        }
+    }
+
+    #[inline]
+    fn evaluate_clean(&self, window: &Window3x3) -> u8 {
+        let px = &window.0;
+        // `prev` holds the north inputs of the current row: the selected
+        // window pixels for row 0, the previous row's outputs afterwards.
+        let mut prev = [0u8; ARRAY_COLS];
+        for (c, p) in prev.iter_mut().enumerate() {
+            *p = px[self.north[c]];
+        }
+        let mut out = 0u8;
+        // Data only flows east and south, so rows below the output row can
+        // never reach the east output — stop there.
+        for r in 0..=self.out_row {
+            let mut w_in = px[self.west[r]];
+            for (c, p) in prev.iter_mut().enumerate() {
+                let v = self.fns[r * ARRAY_COLS + c].apply(w_in, *p);
+                *p = v;
+                w_in = v;
+            }
+            out = w_in;
+        }
+        out
+    }
+
+    #[inline]
+    fn evaluate_faulty(&self, window: &Window3x3) -> u8 {
+        let px = &window.0;
+        let mut prev = [0u8; ARRAY_COLS];
+        for (c, p) in prev.iter_mut().enumerate() {
+            *p = px[self.north[c]];
+        }
+        let mut out = 0u8;
+        for r in 0..=self.out_row {
+            let mut w_in = px[self.west[r]];
+            for (c, p) in prev.iter_mut().enumerate() {
+                let idx = r * ARRAY_COLS + c;
+                let correct = self.fns[idx].apply(w_in, *p);
+                let v = match self.faults[idx] {
+                    Some(fault) => fault.corrupt(correct, w_in, *p),
+                    None => correct,
+                };
+                *p = v;
+                w_in = v;
+            }
+            out = w_in;
+        }
+        out
+    }
+
+    /// Evaluates a block of at most [`BLOCK`](Self::BLOCK) windows with the
+    /// per-PE opcode dispatch hoisted out of the pixel loop: each opcode is
+    /// matched once and applied across the whole lane buffer, which the
+    /// compiler turns into `u8` SIMD.
+    fn evaluate_block_clean(&self, windows: &[Window3x3], out: &mut [u8]) {
+        let len = windows.len();
+        debug_assert!(len <= Self::BLOCK);
+        debug_assert_eq!(out.len(), len);
+        // `north[c]` holds the north inputs of the current row for every
+        // window of the block: the selected window pixels before row 0, the
+        // row's own outputs afterwards.
+        let mut north = [[0u8; Self::BLOCK]; ARRAY_COLS];
+        for (c, lanes) in north.iter_mut().enumerate() {
+            let sel = self.north[c];
+            for (lane, w) in lanes.iter_mut().zip(windows) {
+                *lane = w.0[sel];
+            }
+        }
+        let mut west = [0u8; Self::BLOCK];
+        for r in 0..=self.out_row {
+            let sel = self.west[r];
+            for (lane, w) in west.iter_mut().zip(windows) {
+                *lane = w.0[sel];
+            }
+            for (c, lanes) in north.iter_mut().enumerate() {
+                apply_lanes(
+                    self.fns[r * ARRAY_COLS + c],
+                    &mut west[..len],
+                    &lanes[..len],
+                );
+                lanes[..len].copy_from_slice(&west[..len]);
+            }
+        }
+        out.copy_from_slice(&west[..len]);
+    }
+
+    /// Evaluates every window of `windows` into `out` (same length), using
+    /// the lane-parallel block path for fault-free plans and the scalar
+    /// overlay path otherwise.  Bit-identical to calling
+    /// [`evaluate_window`](Self::evaluate_window) per element.
+    pub fn evaluate_windows_into(&self, windows: &[Window3x3], out: &mut [u8]) {
+        assert_eq!(windows.len(), out.len(), "window/output length mismatch");
+        if self.has_faults {
+            for (o, w) in out.iter_mut().zip(windows) {
+                *o = self.evaluate_faulty(w);
+            }
+        } else {
+            for (wc, oc) in windows.chunks(Self::BLOCK).zip(out.chunks_mut(Self::BLOCK)) {
+                self.evaluate_block_clean(wc, oc);
+            }
+        }
+    }
+
+    /// Filters a whole image through the plan (streaming window extraction
+    /// followed by the block evaluation path).
+    pub fn filter_image(&self, img: &GrayImage) -> GrayImage {
+        if self.has_faults {
+            return map_windows(img, |w| self.evaluate_faulty(w));
+        }
+        // Extract one row of windows at a time and push it through the block
+        // path: lane-parallel evaluation without materialising the whole
+        // window set.
+        let width = img.width();
+        let mut row_windows: Vec<Window3x3> = Vec::with_capacity(width);
+        let mut data = vec![0u8; img.len()];
+        for y in 0..img.height() {
+            row_windows.clear();
+            ehw_image::window::for_each_window_in_rows(img, y, y + 1, |_, _, w| {
+                row_windows.push(*w);
+            });
+            self.evaluate_windows_into(&row_windows, &mut data[y * width..(y + 1) * width]);
+        }
+        GrayImage::from_vec(width, img.height(), data)
+    }
+}
+
+/// Applies one PE opcode across a block of lanes: `w[k] = f(w[k], n[k])`.
+/// The single dispatch per block (instead of per pixel) is what lets the
+/// compiler vectorise the arithmetic.
+fn apply_lanes(f: PeFunction, w: &mut [u8], n: &[u8]) {
+    debug_assert_eq!(w.len(), n.len());
+    match f {
+        PeFunction::IdentityW => {}
+        PeFunction::IdentityN => w.copy_from_slice(n),
+        PeFunction::ConstMax => w.fill(255),
+        PeFunction::InvertW => {
+            for x in w.iter_mut() {
+                *x = 255 - *x;
+            }
+        }
+        PeFunction::Or => {
+            for (x, &y) in w.iter_mut().zip(n) {
+                *x |= y;
+            }
+        }
+        PeFunction::And => {
+            for (x, &y) in w.iter_mut().zip(n) {
+                *x &= y;
+            }
+        }
+        PeFunction::Xor => {
+            for (x, &y) in w.iter_mut().zip(n) {
+                *x ^= y;
+            }
+        }
+        PeFunction::ShiftRightW => {
+            for x in w.iter_mut() {
+                *x >>= 1;
+            }
+        }
+        PeFunction::AddSat => {
+            for (x, &y) in w.iter_mut().zip(n) {
+                *x = x.saturating_add(y);
+            }
+        }
+        PeFunction::SubSatWN => {
+            for (x, &y) in w.iter_mut().zip(n) {
+                *x = x.saturating_sub(y);
+            }
+        }
+        PeFunction::SubSatNW => {
+            for (x, &y) in w.iter_mut().zip(n) {
+                *x = y.saturating_sub(*x);
+            }
+        }
+        PeFunction::AbsDiff => {
+            for (x, &y) in w.iter_mut().zip(n) {
+                *x = x.abs_diff(y);
+            }
+        }
+        PeFunction::Average => {
+            for (x, &y) in w.iter_mut().zip(n) {
+                *x = ((*x as u16 + y as u16) / 2) as u8;
+            }
+        }
+        PeFunction::Max => {
+            for (x, &y) in w.iter_mut().zip(n) {
+                *x = (*x).max(y);
+            }
+        }
+        PeFunction::Min => {
+            for (x, &y) in w.iter_mut().zip(n) {
+                *x = (*x).min(y);
+            }
+        }
+        PeFunction::ShiftRightN => {
+            for (x, &y) in w.iter_mut().zip(n) {
+                *x = y >> 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The reference interpreter
+// ---------------------------------------------------------------------------
+
+/// The original per-pixel interpreter: resolves the genotype's accessors and
+/// the `BTreeMap` fault overlay for every window.  Kept as the correctness
+/// oracle of the proptest equivalence suite and as the baseline of the
+/// candidate-evaluation bench; production paths go through [`CompiledArray`].
+pub fn interpret_window(
+    genotype: &Genotype,
+    faults: &BTreeMap<(usize, usize), FaultBehaviour>,
+    window: &Window3x3,
+) -> u8 {
+    // Array inputs after the 9-to-1 selection muxes.
+    let mut north = [0u8; ARRAY_COLS];
+    for (c, n) in north.iter_mut().enumerate() {
+        *n = window.select(genotype.north_selector(c));
+    }
+    let mut west = [0u8; ARRAY_ROWS];
+    for (r, w) in west.iter_mut().enumerate() {
+        *w = window.select(genotype.west_selector(r));
+    }
+
+    // Systolic propagation: each PE consumes the output of its west and
+    // north neighbours (or the corresponding array input on the first
+    // column / row) and forwards its registered result east and south.
+    let mut outputs = [[0u8; ARRAY_COLS]; ARRAY_ROWS];
+    for r in 0..ARRAY_ROWS {
+        for c in 0..ARRAY_COLS {
+            let w_in = if c == 0 { west[r] } else { outputs[r][c - 1] };
+            let n_in = if r == 0 { north[c] } else { outputs[r - 1][c] };
+            let correct = genotype.pe_function(r, c).apply(w_in, n_in);
+            outputs[r][c] = match faults.get(&(r, c)) {
+                Some(fault) => fault.corrupt(correct, w_in, n_in),
+                None => correct,
+            };
+        }
+    }
+
+    let out_row = (genotype.output_gene as usize) % ARRAY_ROWS;
+    outputs[out_row][ARRAY_COLS - 1]
+}
+
+/// Filters a whole image through the reference interpreter, extracting every
+/// window with the clamped per-pixel builder (the pre-engine hot path).
+pub fn interpret_filter_image(
+    genotype: &Genotype,
+    faults: &BTreeMap<(usize, usize), FaultBehaviour>,
+    img: &GrayImage,
+) -> GrayImage {
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        interpret_window(genotype, faults, &Window3x3::from_image(img, x, y))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehw_image::synth;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_overlay(rng: &mut StdRng, density: f64) -> BTreeMap<(usize, usize), FaultBehaviour> {
+        let mut overlay = BTreeMap::new();
+        for row in 0..ARRAY_ROWS {
+            for col in 0..ARRAY_COLS {
+                if rng.gen_bool(density) {
+                    let behaviour = match rng.gen_range(0..3) {
+                        0 => FaultBehaviour::RandomOutput { seed: rng.gen() },
+                        1 => FaultBehaviour::StuckAt { value: rng.gen() },
+                        _ => FaultBehaviour::InvertedOutput,
+                    };
+                    overlay.insert((row, col), behaviour);
+                }
+            }
+        }
+        overlay
+    }
+
+    #[test]
+    fn identity_plan_passes_center() {
+        let plan = CompiledArray::new(&Genotype::identity());
+        let w = Window3x3([10, 20, 30, 40, 50, 60, 70, 80, 90]);
+        assert_eq!(plan.evaluate_window(&w), 50);
+        assert!(!plan.has_faults());
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_on_random_circuits() {
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        for case in 0..200 {
+            let g = Genotype::random(&mut rng);
+            let overlay = random_overlay(&mut rng, 0.2);
+            let plan = CompiledArray::with_faults(&g, overlay.iter().map(|(&p, &b)| (p, b)));
+            for _ in 0..16 {
+                let w = Window3x3(std::array::from_fn(|_| rng.gen()));
+                assert_eq!(
+                    plan.evaluate_window(&w),
+                    interpret_window(&g, &overlay, &w),
+                    "case {case} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_filter_matches_interpreter_filter() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let img = synth::shapes(33, 21, 4);
+        for _ in 0..10 {
+            let g = Genotype::random(&mut rng);
+            let overlay = random_overlay(&mut rng, 0.15);
+            let plan = CompiledArray::with_faults(&g, overlay.iter().map(|(&p, &b)| (p, b)));
+            assert_eq!(
+                plan.filter_image(&img),
+                interpret_filter_image(&g, &overlay, &img)
+            );
+        }
+    }
+
+    #[test]
+    fn block_path_matches_scalar_path() {
+        let mut rng = StdRng::seed_from_u64(0xB10C);
+        for _ in 0..50 {
+            let g = Genotype::random(&mut rng);
+            let plan = CompiledArray::new(&g);
+            // An awkward length: several full blocks plus a ragged tail.
+            let windows: Vec<Window3x3> = (0..CompiledArray::BLOCK * 2 + 17)
+                .map(|_| Window3x3(std::array::from_fn(|_| rng.gen())))
+                .collect();
+            let mut block = vec![0u8; windows.len()];
+            plan.evaluate_windows_into(&windows, &mut block);
+            for (k, w) in windows.iter().enumerate() {
+                assert_eq!(block[k], plan.evaluate_window(w), "window {k}");
+                assert_eq!(
+                    block[k],
+                    interpret_window(&g, &BTreeMap::new(), w),
+                    "window {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_selectors_compile_to_center() {
+        let mut g = Genotype::identity();
+        g.input_genes = [9, 42, 255, 10, 100, 9, 200, 11];
+        let plan = CompiledArray::new(&g);
+        let w = Window3x3([1, 2, 3, 4, 99, 6, 7, 8, 9]);
+        // Every input mux decodes to the centre; identity PEs pass it through.
+        assert_eq!(plan.evaluate_window(&w), 99);
+        assert_eq!(
+            plan.evaluate_window(&w),
+            interpret_window(&g, &BTreeMap::new(), &w)
+        );
+    }
+
+    #[test]
+    fn overlay_outside_array_is_ignored() {
+        let g = Genotype::identity();
+        let plan = CompiledArray::with_faults(&g, [((7, 7), FaultBehaviour::StuckAt { value: 1 })]);
+        assert!(!plan.has_faults());
+        let w = Window3x3([0, 0, 0, 0, 50, 0, 0, 0, 0]);
+        assert_eq!(plan.evaluate_window(&w), 50);
+    }
+
+    #[test]
+    fn stuck_fault_on_output_path_dominates() {
+        let g = Genotype::identity();
+        let plan = CompiledArray::with_faults(
+            &g,
+            [((0, ARRAY_COLS - 1), FaultBehaviour::StuckAt { value: 7 })],
+        );
+        assert!(plan.has_faults());
+        let img = synth::gradient(16, 16);
+        assert!(plan.filter_image(&img).pixels().all(|p| p == 7));
+    }
+}

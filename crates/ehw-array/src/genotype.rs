@@ -175,7 +175,9 @@ impl Genotype {
             return None;
         }
         let bit = |i: usize| (bytes[i / 8] >> (i % 8)) & 1;
-        let nibble = |start: usize| bit(start) | bit(start + 1) << 1 | bit(start + 2) << 2 | bit(start + 3) << 3;
+        let nibble = |start: usize| {
+            bit(start) | bit(start + 1) << 1 | bit(start + 2) << 2 | bit(start + 3) << 3
+        };
 
         let mut pe_genes = [0u8; PE_GENES];
         for (i, g) in pe_genes.iter_mut().enumerate() {

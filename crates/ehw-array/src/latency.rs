@@ -79,7 +79,10 @@ mod tests {
         let g = Genotype::identity();
         let lat = ArrayLatency::of(&g);
         assert_eq!(lat.pipeline_cycles, ARRAY_COLS as u64);
-        assert_eq!(lat.total_cycles(), ARRAY_COLS as u64 + WINDOW_FORMATION_CYCLES);
+        assert_eq!(
+            lat.total_cycles(),
+            ARRAY_COLS as u64 + WINDOW_FORMATION_CYCLES
+        );
     }
 
     #[test]

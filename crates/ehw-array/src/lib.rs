@@ -26,6 +26,9 @@
 //!   mux) and its mutation/encoding operations,
 //! * [`array`] — the functional model of the systolic array: evaluate a
 //!   window, filter whole images (serially or with row-parallel threads),
+//! * [`compiled`] — the flat execution plan the hot paths run (genotype +
+//!   fault overlay baked once per candidate), plus the reference interpreter
+//!   kept as its correctness oracle,
 //! * [`latency`] — the variable-latency model the Array Control Blocks use to
 //!   align data streams,
 //! * [`reconfig_map`] — translation of genotype changes into reconfiguration
@@ -34,11 +37,13 @@
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod compiled;
 pub mod genotype;
 pub mod latency;
 pub mod pe;
 pub mod reconfig_map;
 
 pub use array::ProcessingArray;
+pub use compiled::CompiledArray;
 pub use genotype::{Genotype, ARRAY_COLS, ARRAY_ROWS, INPUT_GENES, PE_GENES};
 pub use pe::{FaultBehaviour, PeFunction};

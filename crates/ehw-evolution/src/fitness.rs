@@ -6,12 +6,42 @@
 //! is a [`FitnessEvaluator`]: given a genotype it configures the functional
 //! array model, filters the training image and returns the aggregated MAE —
 //! lower is better, zero means a pixel-exact match.
+//!
+//! # The compiled evaluation engine
+//!
+//! Scoring one candidate touches every pixel of the training image; scoring a
+//! λ-batch of them is the hot loop of the whole platform.  The engine path
+//! ([`FitnessEvaluator::evaluate_batch_bounded`]) removes the three sources
+//! of redundant work the naive path pays for:
+//!
+//! 1. **Plans, not interpreters** — each candidate is compiled once into a
+//!    [`CompiledArray`] (flat opcodes + dense fault overlay); the per-pixel
+//!    loop performs zero map lookups and zero gene decoding.
+//! 2. **Shared window streaming** — the training image's 3×3 windows are
+//!    extracted once ([`SharedWindows`]) and shared by every candidate of
+//!    every batch, instead of re-extracted per candidate with clamped reads.
+//! 3. **Early-exit fitness** — given the incumbent (parent) fitness as a
+//!    bound, a candidate's MAE accumulation stops as soon as the running sum
+//!    exceeds it: under elitist selection such a candidate can never be
+//!    selected, so its exact value is irrelevant.  Early-exited candidates
+//!    report their (deterministic) partial sum, which is `> bound`; complete
+//!    evaluations report the exact fitness, which is `<= bound`.  Duplicate
+//!    candidates inside a batch are evaluated once (a pure-function memo) and
+//!    candidates identical to the incumbent reuse its known fitness.
+//!
+//! Every shortcut is observationally equivalent: the evolution trajectory
+//! (best genotype, fitness history, evaluation counts) is byte-identical with
+//! the engine on or off, at any worker count — enforced by the equivalence
+//! proptest suite.
+
+use std::collections::HashMap;
 
 use ehw_array::array::ProcessingArray;
+use ehw_array::compiled::CompiledArray;
 use ehw_array::genotype::Genotype;
 use ehw_array::pe::FaultBehaviour;
 use ehw_image::image::GrayImage;
-use ehw_image::metrics::mae;
+use ehw_image::window::SharedWindows;
 use ehw_parallel::ParallelConfig;
 
 /// Anything that can score a candidate genotype.  Lower fitness is better.
@@ -39,8 +69,181 @@ pub trait FitnessEvaluator {
         self.evaluate_batch(batch)
     }
 
+    /// Evaluates a batch with the engine shortcuts of the module docs.
+    ///
+    /// * `bound` — the incumbent fitness: a returned value is the exact
+    ///   fitness whenever it is `<= bound`, and some deterministic value
+    ///   `> bound` otherwise (the candidate was early-exited).  `None`
+    ///   disables early exit and every value is exact.
+    /// * `incumbent` — the genotype the bound belongs to and its (exact)
+    ///   fitness; candidates equal to it may reuse the value without being
+    ///   re-evaluated.  Implementations must only honour this when a
+    ///   candidate would provably score identically (same array, same
+    ///   faults); when in doubt, ignore it.
+    ///
+    /// Every candidate counts towards [`evaluations`](Self::evaluations),
+    /// memoised or not, so the counter is identical across the serial, batch
+    /// and bounded paths at any worker count.  The default implementation
+    /// ignores the shortcuts and defers to
+    /// [`evaluate_batch_with`](Self::evaluate_batch_with).
+    fn evaluate_batch_bounded(
+        &mut self,
+        batch: &[Genotype],
+        bound: Option<u64>,
+        incumbent: Option<(&Genotype, u64)>,
+        parallel: ParallelConfig,
+    ) -> Vec<u64> {
+        let _ = (bound, incumbent);
+        self.evaluate_batch_with(batch, parallel)
+    }
+
     /// Number of single-candidate evaluations performed so far.
     fn evaluations(&self) -> u64;
+}
+
+/// Work-saved counters of an engine-backed evaluator.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Candidates actually run through a compiled plan (memo misses).
+    pub plans_evaluated: u64,
+    /// Candidates answered from the per-batch memo or the incumbent shortcut.
+    pub memo_hits: u64,
+    /// Plan evaluations that stopped before the last pixel because the
+    /// running MAE sum exceeded the incumbent bound.
+    pub early_exits: u64,
+}
+
+impl EngineStats {
+    /// Fraction of plan evaluations that early-exited, in `[0, 1]`.
+    pub fn early_exit_rate(&self) -> f64 {
+        if self.plans_evaluated == 0 {
+            return 0.0;
+        }
+        self.early_exits as f64 / self.plans_evaluated as f64
+    }
+}
+
+/// Aggregated MAE of a compiled plan over a shared window buffer.
+///
+/// Bit-identical to `mae(&plan.filter_image(input), reference)` — the sum of
+/// absolute differences between the plan's response to every window and the
+/// corresponding reference pixel.
+pub fn plan_mae(plan: &CompiledArray, windows: &SharedWindows, reference: &GrayImage) -> u64 {
+    plan_mae_bounded(plan, windows, reference, None).0
+}
+
+/// [`plan_mae`] with an early-exit bound: the windows are evaluated in
+/// lane-parallel blocks and accumulation stops at the first block boundary
+/// where the running sum exceeds `bound`.  Returns the sum and whether the
+/// evaluation exited early; the sum is the exact MAE iff it is `<= bound`
+/// (equivalently, iff the exit flag is `false`), and is a deterministic
+/// partial sum otherwise.
+pub fn plan_mae_bounded(
+    plan: &CompiledArray,
+    windows: &SharedWindows,
+    reference: &GrayImage,
+    bound: Option<u64>,
+) -> (u64, bool) {
+    // Hard assert (not debug): the pre-engine path funnelled through `mae`,
+    // which checks dimensions in every build profile; a silent truncation
+    // here would evolve against a quietly wrong objective.
+    assert_eq!(windows.len(), reference.len(), "window/reference mismatch");
+    let mut sum = 0u64;
+    let mut buf = [0u8; CompiledArray::BLOCK];
+    for (wchunk, rchunk) in windows
+        .as_slice()
+        .chunks(CompiledArray::BLOCK)
+        .zip(reference.as_slice().chunks(CompiledArray::BLOCK))
+    {
+        let out = &mut buf[..wchunk.len()];
+        plan.evaluate_windows_into(wchunk, out);
+        sum += out
+            .iter()
+            .zip(rchunk)
+            .map(|(&o, &r)| o.abs_diff(r) as u64)
+            .sum::<u64>();
+        if let Some(bound) = bound {
+            if sum > bound {
+                return (sum, true);
+            }
+        }
+    }
+    (sum, false)
+}
+
+/// How one batch slot is resolved by the per-batch memo: evaluated through a
+/// plan (index into the unique list) or answered from a known value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// The slot shares the result of the `n`-th unique evaluation.
+    Unique(usize),
+    /// The slot's fitness is already known (incumbent shortcut).
+    Known(u64),
+}
+
+/// Resolves batch slots against an incumbent and a per-batch memo keyed by
+/// `key(i, genotype)` (evaluators whose candidates land on different arrays
+/// key by array index as well; `incumbent_applies(i)` gates the incumbent
+/// shortcut per slot).  Returns the slot list and the batch indices whose
+/// candidates must actually be evaluated, in batch order.  Building block
+/// for [`FitnessEvaluator::evaluate_batch_bounded`] implementations.
+pub fn dedupe_batch<'a, K: std::hash::Hash + Eq>(
+    batch: &'a [Genotype],
+    incumbent: Option<(&Genotype, u64)>,
+    key: impl Fn(usize, &'a Genotype) -> K,
+    incumbent_applies: impl Fn(usize) -> bool,
+) -> (Vec<Slot>, Vec<usize>) {
+    let mut slots = Vec::with_capacity(batch.len());
+    let mut unique: Vec<usize> = Vec::with_capacity(batch.len());
+    let mut seen: HashMap<K, usize> = HashMap::with_capacity(batch.len());
+    for (i, g) in batch.iter().enumerate() {
+        if let Some((parent, fit)) = incumbent {
+            if incumbent_applies(i) && g == parent {
+                slots.push(Slot::Known(fit));
+                continue;
+            }
+        }
+        match seen.get(&key(i, g)) {
+            Some(&u) => slots.push(Slot::Unique(u)),
+            None => {
+                let u = unique.len();
+                seen.insert(key(i, g), u);
+                unique.push(i);
+                slots.push(Slot::Unique(u));
+            }
+        }
+    }
+    (slots, unique)
+}
+
+/// Scatters unique results (as returned by [`plan_mae_bounded`], in the order
+/// of [`dedupe_batch`]'s unique list) back into batch order and tallies memo
+/// hits and early exits into `stats`.
+pub fn scatter_results(
+    slots: Vec<Slot>,
+    results: &[(u64, bool)],
+    stats: &mut EngineStats,
+) -> Vec<u64> {
+    stats.plans_evaluated += results.len() as u64;
+    stats.early_exits += results.iter().filter(|r| r.1).count() as u64;
+    let mut seen_unique = vec![false; results.len()];
+    slots
+        .into_iter()
+        .map(|slot| match slot {
+            Slot::Known(f) => {
+                stats.memo_hits += 1;
+                f
+            }
+            Slot::Unique(u) => {
+                if seen_unique[u] {
+                    stats.memo_hits += 1;
+                } else {
+                    seen_unique[u] = true;
+                }
+                results[u].0
+            }
+        })
+        .collect()
 }
 
 /// Software fitness evaluator: one functional array model, one training
@@ -54,8 +257,12 @@ pub trait FitnessEvaluator {
 pub struct SoftwareEvaluator {
     array: ProcessingArray,
     input: GrayImage,
+    /// The input's 3×3 windows, extracted once and shared by every candidate
+    /// of every batch (rebuilt only when the input changes).
+    windows: SharedWindows,
     reference: GrayImage,
     evaluations: u64,
+    stats: EngineStats,
 }
 
 impl SoftwareEvaluator {
@@ -64,14 +271,7 @@ impl SoftwareEvaluator {
     /// # Panics
     /// Panics if the images have different dimensions.
     pub fn new(input: GrayImage, reference: GrayImage) -> Self {
-        assert_eq!(input.width(), reference.width(), "image width mismatch");
-        assert_eq!(input.height(), reference.height(), "image height mismatch");
-        Self {
-            array: ProcessingArray::identity(),
-            input,
-            reference,
-            evaluations: 0,
-        }
+        Self::with_array(ProcessingArray::identity(), input, reference)
     }
 
     /// Creates an evaluator that scores candidates on a specific array model
@@ -83,11 +283,14 @@ impl SoftwareEvaluator {
     pub fn with_array(array: ProcessingArray, input: GrayImage, reference: GrayImage) -> Self {
         assert_eq!(input.width(), reference.width(), "image width mismatch");
         assert_eq!(input.height(), reference.height(), "image height mismatch");
+        let windows = SharedWindows::new(&input);
         Self {
             array,
             input,
+            windows,
             reference,
             evaluations: 0,
+            stats: EngineStats::default(),
         }
     }
 
@@ -105,16 +308,38 @@ impl SoftwareEvaluator {
     /// Replaces the reference image (e.g. to retarget evolution to a new
     /// task, or to imitate a neighbouring array's output).
     pub fn set_reference(&mut self, reference: GrayImage) {
-        assert_eq!(self.input.width(), reference.width(), "image width mismatch");
-        assert_eq!(self.input.height(), reference.height(), "image height mismatch");
+        assert_eq!(
+            self.input.width(),
+            reference.width(),
+            "image width mismatch"
+        );
+        assert_eq!(
+            self.input.height(),
+            reference.height(),
+            "image height mismatch"
+        );
         self.reference = reference;
     }
 
     /// Replaces the training input image.
     pub fn set_input(&mut self, input: GrayImage) {
-        assert_eq!(input.width(), self.reference.width(), "image width mismatch");
-        assert_eq!(input.height(), self.reference.height(), "image height mismatch");
+        assert_eq!(
+            input.width(),
+            self.reference.width(),
+            "image width mismatch"
+        );
+        assert_eq!(
+            input.height(),
+            self.reference.height(),
+            "image height mismatch"
+        );
+        self.windows = SharedWindows::new(&input);
         self.input = input;
+    }
+
+    /// Work-saved counters of the engine paths (memo hits, early exits).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.stats
     }
 
     /// The training input image.
@@ -140,8 +365,9 @@ impl SoftwareEvaluator {
 impl FitnessEvaluator for SoftwareEvaluator {
     fn evaluate(&mut self, genotype: &Genotype) -> u64 {
         self.evaluations += 1;
-        self.array.set_genotype(genotype.clone());
-        mae(&self.array.filter_image(&self.input), &self.reference)
+        self.stats.plans_evaluated += 1;
+        let plan = self.array.compile_with(genotype);
+        plan_mae(&plan, &self.windows, &self.reference)
     }
 
     fn evaluate_batch(&mut self, batch: &[Genotype]) -> Vec<u64> {
@@ -149,17 +375,32 @@ impl FitnessEvaluator for SoftwareEvaluator {
     }
 
     fn evaluate_batch_with(&mut self, batch: &[Genotype], parallel: ParallelConfig) -> Vec<u64> {
-        // Candidates are independent, so they are fanned over the worker pool
-        // (one cloned array model per candidate), mirroring the parallel
-        // evaluation across physical arrays; the pool merges fitness values in
-        // candidate order, so the result is identical at any worker count.
+        self.evaluate_batch_bounded(batch, None, None, parallel)
+    }
+
+    fn evaluate_batch_bounded(
+        &mut self,
+        batch: &[Genotype],
+        bound: Option<u64>,
+        incumbent: Option<(&Genotype, u64)>,
+        parallel: ParallelConfig,
+    ) -> Vec<u64> {
+        // Every candidate is scored on the same base array, so the incumbent
+        // shortcut is always sound here, and the memo keys on the genotype
+        // alone.  Unique candidates are fanned over the worker pool (one
+        // compiled plan per candidate, sharing the window buffer); the pool
+        // merges results in candidate order, so the outcome is identical at
+        // any worker count.
         self.evaluations += batch.len() as u64;
+        let (slots, unique) = dedupe_batch(batch, incumbent, |_, g| g, |_| true);
         let base = &self.array;
-        ehw_parallel::ordered_map(parallel, batch, |_, g| {
-            let mut array = base.clone();
-            array.set_genotype(g.clone());
-            mae(&array.filter_image(&self.input), &self.reference)
-        })
+        let windows = &self.windows;
+        let reference = &self.reference;
+        let results = ehw_parallel::ordered_map(parallel, &unique, |_, &i| {
+            let plan = base.compile_with(&batch[i]);
+            plan_mae_bounded(&plan, windows, reference, bound)
+        });
+        scatter_results(slots, &results, &mut self.stats)
     }
 
     fn evaluations(&self) -> u64 {
@@ -170,6 +411,7 @@ impl FitnessEvaluator for SoftwareEvaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ehw_image::metrics::mae;
     use ehw_image::noise::salt_pepper;
     use ehw_image::synth;
     use rand::rngs::StdRng;
@@ -247,5 +489,151 @@ mod tests {
         let a = synth::gradient(16, 16);
         let b = synth::gradient(16, 17);
         let _ = SoftwareEvaluator::new(a, b);
+    }
+
+    fn toy_batch(seed: u64, n: usize) -> Vec<Genotype> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Genotype::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn evaluations_counter_matches_batch_sizes_on_every_path() {
+        // Regression: the serial, batch, parallel-batch and bounded paths
+        // must all count one evaluation per *requested* candidate — memo hits
+        // and early exits included — at any worker count.
+        let clean = synth::shapes(24, 24, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let noisy = salt_pepper(&clean, 0.3, &mut rng);
+        for workers in [1usize, 2, 8] {
+            let mut eval = SoftwareEvaluator::new(noisy.clone(), clean.clone());
+            let cfg = ehw_parallel::ParallelConfig::with_workers(workers);
+            let mut batch = toy_batch(7, 5);
+            // Duplicates (memo hits) still count.
+            batch.push(batch[0].clone());
+            batch.push(batch[2].clone());
+
+            eval.evaluate(&batch[0]); // serial: 1
+            eval.evaluate_batch(&batch); // batch: 7
+            eval.evaluate_batch_with(&batch, cfg); // parallel batch: 7
+                                                   // Bounded with a tight bound (early exits) and the incumbent
+                                                   // shortcut: still 7.
+            eval.evaluate_batch_bounded(&batch, Some(0), Some((&batch[0], 123)), cfg);
+            assert_eq!(eval.evaluations(), 1 + 7 + 7 + 7, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn bounded_matches_unbounded_when_bound_not_hit() {
+        let clean = synth::shapes(24, 24, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let noisy = salt_pepper(&clean, 0.3, &mut rng);
+        let batch = toy_batch(11, 9);
+        let mut eval = SoftwareEvaluator::new(noisy, clean);
+        let exact = eval.evaluate_batch_with(&batch, ehw_parallel::ParallelConfig::serial());
+        let max = *exact.iter().max().unwrap();
+        let bounded = eval.evaluate_batch_bounded(
+            &batch,
+            Some(max),
+            None,
+            ehw_parallel::ParallelConfig::serial(),
+        );
+        assert_eq!(bounded, exact, "no candidate exceeds the bound");
+    }
+
+    #[test]
+    fn bounded_early_exits_report_values_above_the_bound() {
+        let clean = synth::shapes(24, 24, 3);
+        let mut rng = StdRng::seed_from_u64(6);
+        let noisy = salt_pepper(&clean, 0.4, &mut rng);
+        let batch = toy_batch(13, 9);
+        let mut eval = SoftwareEvaluator::new(noisy, clean);
+        let exact = eval.evaluate_batch_with(&batch, ehw_parallel::ParallelConfig::serial());
+        let bound = exact.iter().copied().min().unwrap();
+        let bounded = eval.evaluate_batch_bounded(
+            &batch,
+            Some(bound),
+            None,
+            ehw_parallel::ParallelConfig::serial(),
+        );
+        for (i, (&b, &e)) in bounded.iter().zip(exact.iter()).enumerate() {
+            if e <= bound {
+                assert_eq!(b, e, "candidate {i}: exact values must survive");
+            } else {
+                assert!(b > bound, "candidate {i}: early exit must report > bound");
+                assert!(
+                    b <= e,
+                    "candidate {i}: partial sum cannot exceed the exact MAE"
+                );
+            }
+        }
+        assert!(eval.engine_stats().early_exits > 0);
+    }
+
+    #[test]
+    fn bounded_results_are_identical_at_any_worker_count() {
+        let clean = synth::shapes(24, 24, 3);
+        let mut rng = StdRng::seed_from_u64(8);
+        let noisy = salt_pepper(&clean, 0.3, &mut rng);
+        let batch = toy_batch(17, 12);
+        let reference = {
+            let mut eval = SoftwareEvaluator::new(noisy.clone(), clean.clone());
+            eval.evaluate_batch_bounded(
+                &batch,
+                Some(500),
+                None,
+                ehw_parallel::ParallelConfig::serial(),
+            )
+        };
+        for workers in [2usize, 8] {
+            let mut eval = SoftwareEvaluator::new(noisy.clone(), clean.clone());
+            let got = eval.evaluate_batch_bounded(
+                &batch,
+                Some(500),
+                None,
+                ehw_parallel::ParallelConfig::with_workers(workers),
+            );
+            assert_eq!(got, reference, "diverged at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn memo_and_incumbent_shortcuts_preserve_values() {
+        let clean = synth::shapes(20, 20, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let noisy = salt_pepper(&clean, 0.3, &mut rng);
+        let mut batch = toy_batch(19, 4);
+        let parent = batch[1].clone();
+        batch.push(batch[0].clone()); // in-batch duplicate
+        batch.push(parent.clone()); // incumbent duplicate
+
+        let mut plain = SoftwareEvaluator::new(noisy.clone(), clean.clone());
+        let exact = plain.evaluate_batch_with(&batch, ehw_parallel::ParallelConfig::serial());
+        let parent_fitness = exact[1];
+
+        let mut engine = SoftwareEvaluator::new(noisy, clean);
+        let got = engine.evaluate_batch_bounded(
+            &batch,
+            None,
+            Some((&parent, parent_fitness)),
+            ehw_parallel::ParallelConfig::serial(),
+        );
+        assert_eq!(got, exact);
+        let stats = engine.engine_stats();
+        // Duplicate of candidate 0 is a memo hit; the two parent copies are
+        // both answered from the incumbent.
+        assert_eq!(stats.memo_hits, 3);
+        assert_eq!(stats.plans_evaluated, 3);
+        assert_eq!(engine.evaluations(), batch.len() as u64);
+    }
+
+    #[test]
+    fn engine_stats_rate_is_bounded() {
+        let stats = EngineStats {
+            plans_evaluated: 8,
+            early_exits: 2,
+            memo_hits: 1,
+        };
+        assert!((stats.early_exit_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(EngineStats::default().early_exit_rate(), 0.0);
     }
 }

@@ -32,8 +32,8 @@ pub mod fitness;
 pub mod stats;
 pub mod strategy;
 
-pub use fitness::{FitnessEvaluator, SoftwareEvaluator};
+pub use fitness::{EngineStats, FitnessEvaluator, SoftwareEvaluator};
 pub use strategy::{
-    run_evolution, run_evolution_with_parent, EsConfig, EvolutionResult, GenerationObserver,
-    MutationStrategy, NullObserver,
+    run_evolution, run_evolution_with_parent, EsConfig, EvalEngine, EvolutionResult,
+    GenerationObserver, MutationStrategy, NullObserver,
 };

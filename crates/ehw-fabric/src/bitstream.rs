@@ -33,7 +33,10 @@ impl PartialBitstream {
     /// # Panics
     /// Panics if `frames` is empty.
     pub fn new(name: impl Into<String>, base: FrameAddress, frames: Vec<Frame>) -> Self {
-        assert!(!frames.is_empty(), "a partial bitstream needs at least one frame");
+        assert!(
+            !frames.is_empty(),
+            "a partial bitstream needs at least one frame"
+        );
         Self {
             name: name.into(),
             base,
@@ -44,7 +47,12 @@ impl PartialBitstream {
     /// Creates a bitstream whose frame payloads are derived deterministically
     /// from a seed — used to give each presynthesized PE variant a distinct,
     /// reproducible bit pattern.
-    pub fn synthesize(name: impl Into<String>, base: FrameAddress, frames: usize, seed: u64) -> Self {
+    pub fn synthesize(
+        name: impl Into<String>,
+        base: FrameAddress,
+        frames: usize,
+        seed: u64,
+    ) -> Self {
         assert!(frames > 0, "a partial bitstream needs at least one frame");
         let payload = (0..frames)
             .map(|i| {
@@ -80,7 +88,11 @@ impl PartialBitstream {
     pub fn addressed_frames(&self) -> impl Iterator<Item = (FrameAddress, &Frame)> + '_ {
         self.frames.iter().enumerate().map(move |(i, f)| {
             (
-                FrameAddress::new(self.base.region, self.base.major, self.base.minor + i as u16),
+                FrameAddress::new(
+                    self.base.region,
+                    self.base.major,
+                    self.base.minor + i as u16,
+                ),
                 f,
             )
         })

@@ -64,7 +64,10 @@ impl FaultInjector {
     /// # Panics
     /// Panics if `targets` is empty or the probability is outside `[0, 1]`.
     pub fn new(targets: Vec<FrameAddress>, seu_probability: f64) -> Self {
-        assert!(!targets.is_empty(), "fault injector needs at least one target frame");
+        assert!(
+            !targets.is_empty(),
+            "fault injector needs at least one target frame"
+        );
         assert!(
             (0.0..=1.0).contains(&seu_probability),
             "seu_probability must be within [0, 1]"

@@ -55,7 +55,11 @@ impl ReconfigurableRegion {
     /// All frame addresses belonging to this region.
     pub fn frame_addresses(&self) -> impl Iterator<Item = FrameAddress> + '_ {
         (0..self.frames).map(move |i| {
-            FrameAddress::new(self.base.region, self.base.major, self.base.minor + i as u16)
+            FrameAddress::new(
+                self.base.region,
+                self.base.major,
+                self.base.minor + i as u16,
+            )
         })
     }
 
@@ -88,7 +92,10 @@ impl Floorplan {
     /// Panics if the requested number of arrays does not fit on the device or
     /// any dimension is zero.
     pub fn new(geometry: DeviceGeometry, arrays: usize, rows: usize, cols: usize) -> Self {
-        assert!(arrays > 0 && rows > 0 && cols > 0, "floorplan dimensions must be non-zero");
+        assert!(
+            arrays > 0 && rows > 0 && cols > 0,
+            "floorplan dimensions must be non-zero"
+        );
         assert!(
             arrays <= geometry.clock_regions,
             "not enough clock regions: requested {arrays}, device has {}",

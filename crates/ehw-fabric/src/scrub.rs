@@ -194,7 +194,10 @@ mod tests {
         let (mut mem, scrubber, _) = setup();
         let foreign = FrameAddress::new(5, 5, 5);
         mem.inject_fault(foreign, 1, FaultKind::Seu);
-        assert_eq!(scrubber.scrub_frame(&mut mem, foreign), FrameScrubOutcome::Clean);
+        assert_eq!(
+            scrubber.scrub_frame(&mut mem, foreign),
+            FrameScrubOutcome::Clean
+        );
     }
 
     #[test]

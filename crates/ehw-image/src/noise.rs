@@ -257,7 +257,10 @@ mod tests {
         let img = base();
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
-        assert_eq!(salt_pepper(&img, 0.3, &mut a), salt_pepper(&img, 0.3, &mut b));
+        assert_eq!(
+            salt_pepper(&img, 0.3, &mut a),
+            salt_pepper(&img, 0.3, &mut b)
+        );
     }
 
     #[test]

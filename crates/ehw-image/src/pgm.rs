@@ -134,8 +134,8 @@ fn read_token(bytes: &[u8], cursor: &mut usize) -> Option<String> {
 }
 
 fn read_number(bytes: &[u8], cursor: &mut usize) -> Result<usize, PgmError> {
-    let tok =
-        read_token(bytes, cursor).ok_or_else(|| PgmError::Format("unexpected end of header".into()))?;
+    let tok = read_token(bytes, cursor)
+        .ok_or_else(|| PgmError::Format("unexpected end of header".into()))?;
     tok.parse::<usize>()
         .map_err(|_| PgmError::Format(format!("expected number, found '{tok}'")))
 }

@@ -46,11 +46,7 @@ pub fn checkerboard(width: usize, height: usize, cell: usize) -> GrayImage {
 
 /// Vertical step edge: left half dark, right half bright.
 pub fn step_edge(width: usize, height: usize) -> GrayImage {
-    GrayImage::from_fn(
-        width,
-        height,
-        |x, _| if x < width / 2 { 40 } else { 215 },
-    )
+    GrayImage::from_fn(width, height, |x, _| if x < width / 2 { 40 } else { 215 })
 }
 
 /// Concentric rings of varying intensity, centred on the image.

@@ -103,13 +103,150 @@ pub fn windows(img: &GrayImage) -> impl Iterator<Item = (usize, usize, Window3x3
     (0..h).flat_map(move |y| (0..w).map(move |x| (x, y, Window3x3::from_image(img, x, y))))
 }
 
+/// Streams the 3×3 window of every pixel in rows `y0..y1` (raster order) to
+/// `f(x, y, window)`.
+///
+/// This is the software equivalent of the hardware's three image-line FIFOs:
+/// each output row is assembled from exactly three row slices (the row above,
+/// the row itself and the row below, clamped at the top/bottom borders), and
+/// only the first and last pixel of a row pay for horizontal clamping — the
+/// interior is read straight out of the row buffers with no coordinate
+/// arithmetic.  Windows produced here are bit-identical to
+/// [`Window3x3::from_image`].
+pub fn for_each_window_in_rows(
+    img: &GrayImage,
+    y0: usize,
+    y1: usize,
+    mut f: impl FnMut(usize, usize, &Window3x3),
+) {
+    let w = img.width();
+    let h = img.height();
+    debug_assert!(y0 <= y1 && y1 <= h, "row range out of bounds");
+    for y in y0..y1 {
+        let above = img.row(y.saturating_sub(1));
+        let center = img.row(y);
+        let below = img.row(if y + 1 < h { y + 1 } else { h - 1 });
+        if w < 3 {
+            // Degenerate widths: every pixel is a border pixel; fall back to
+            // the clamped builder.
+            for x in 0..w {
+                f(x, y, &Window3x3::from_image(img, x, y));
+            }
+            continue;
+        }
+        // Left border: the column to the west replicates column 0.
+        let win = Window3x3([
+            above[0], above[0], above[1], center[0], center[0], center[1], below[0], below[0],
+            below[1],
+        ]);
+        f(0, y, &win);
+        // Interior fast path: unclamped reads from the three row buffers.
+        for x in 1..w - 1 {
+            let win = Window3x3([
+                above[x - 1],
+                above[x],
+                above[x + 1],
+                center[x - 1],
+                center[x],
+                center[x + 1],
+                below[x - 1],
+                below[x],
+                below[x + 1],
+            ]);
+            f(x, y, &win);
+        }
+        // Right border: the column to the east replicates the last column.
+        let l = w - 1;
+        let win = Window3x3([
+            above[l - 1],
+            above[l],
+            above[l],
+            center[l - 1],
+            center[l],
+            center[l],
+            below[l - 1],
+            below[l],
+            below[l],
+        ]);
+        f(l, y, &win);
+    }
+}
+
+/// Streams the 3×3 window of every pixel of the image in raster order —
+/// the whole-image form of [`for_each_window_in_rows`].
+pub fn for_each_window(img: &GrayImage, f: impl FnMut(usize, usize, &Window3x3)) {
+    for_each_window_in_rows(img, 0, img.height(), f);
+}
+
+/// Every 3×3 window of one image, extracted once and shared.
+///
+/// A λ-batch of candidate circuits all filter the *same* training image, so
+/// extracting the windows per candidate multiplies the (clamped, per-pixel)
+/// extraction cost by λ.  `SharedWindows` runs the streaming extraction of
+/// [`for_each_window`] exactly once and hands every consumer the same flat
+/// window buffer; candidate evaluation then reduces to a linear scan.
+#[derive(Debug, Clone)]
+pub struct SharedWindows {
+    width: usize,
+    height: usize,
+    windows: Vec<Window3x3>,
+}
+
+impl SharedWindows {
+    /// Extracts every window of `img` (one streaming pass).
+    pub fn new(img: &GrayImage) -> Self {
+        let mut windows = Vec::with_capacity(img.len());
+        for_each_window(img, |_, _, w| windows.push(*w));
+        Self {
+            width: img.width(),
+            height: img.height(),
+            windows,
+        }
+    }
+
+    /// Width of the source image.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height of the source image.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of windows (= pixels of the source image).
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// `true` if the buffer holds no windows (never the case for a
+    /// constructed image; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The flat window buffer, in raster order.
+    #[inline]
+    pub fn as_slice(&self) -> &[Window3x3] {
+        &self.windows
+    }
+
+    /// Maps a per-window kernel over the shared buffer, producing an image of
+    /// the source dimensions.
+    pub fn map(&self, mut f: impl FnMut(&Window3x3) -> u8) -> GrayImage {
+        let data: Vec<u8> = self.windows.iter().map(&mut f).collect();
+        GrayImage::from_vec(self.width, self.height, data)
+    }
+}
+
 /// Applies a per-window function over the whole image, producing a new image
 /// of the same dimensions.  This is the generic "window filter" driver used by
-/// the reference filters and by the software model of the evolvable array.
+/// the reference filters and by the software model of the evolvable array;
+/// both consume the same streaming extraction pass of [`for_each_window`].
 pub fn map_windows(img: &GrayImage, mut f: impl FnMut(&Window3x3) -> u8) -> GrayImage {
-    GrayImage::from_fn(img.width(), img.height(), |x, y| {
-        f(&Window3x3::from_image(img, x, y))
-    })
+    let mut data = Vec::with_capacity(img.len());
+    for_each_window(img, |_, _, w| data.push(f(w)));
+    GrayImage::from_vec(img.width(), img.height(), data)
 }
 
 #[cfg(test)]
@@ -187,5 +324,63 @@ mod tests {
         assert!(out.pixels().all(|p| p == 42));
         assert_eq!(out.width(), img.width());
         assert_eq!(out.height(), img.height());
+    }
+
+    #[test]
+    fn streaming_windows_match_clamped_builder() {
+        // The streaming extraction (interior fast path + border clamping)
+        // must agree with the per-pixel clamped builder everywhere, for all
+        // degenerate shapes.
+        for (w, h) in [
+            (1, 1),
+            (1, 5),
+            (2, 2),
+            (2, 7),
+            (3, 3),
+            (4, 3),
+            (7, 5),
+            (16, 9),
+        ] {
+            let img = crate::image::GrayImage::from_fn(w, h, |x, y| (x * 31 + y * 7) as u8);
+            let mut count = 0;
+            for_each_window(&img, |x, y, win| {
+                assert_eq!(
+                    *win,
+                    Window3x3::from_image(&img, x, y),
+                    "({x},{y}) of {w}x{h}"
+                );
+                count += 1;
+            });
+            assert_eq!(count, w * h);
+        }
+    }
+
+    #[test]
+    fn streaming_row_range_covers_requested_rows_only() {
+        let img = test_image();
+        let mut visited = Vec::new();
+        for_each_window_in_rows(&img, 1, 3, |x, y, _| visited.push((x, y)));
+        assert_eq!(visited.len(), 8);
+        assert!(visited.iter().all(|&(_, y)| y == 1 || y == 2));
+        assert_eq!(visited[0], (0, 1));
+        assert_eq!(visited[7], (3, 2));
+    }
+
+    #[test]
+    fn shared_windows_match_iterator_and_map() {
+        let img = test_image();
+        let shared = SharedWindows::new(&img);
+        assert_eq!(shared.len(), img.len());
+        assert_eq!(shared.width(), img.width());
+        assert_eq!(shared.height(), img.height());
+        assert!(!shared.is_empty());
+        for (i, (x, y, w)) in windows(&img).enumerate() {
+            assert_eq!(shared.as_slice()[i], w, "window ({x},{y})");
+        }
+        // Mapping the shared buffer equals mapping the image directly.
+        assert_eq!(
+            shared.map(|w| w.median()),
+            map_windows(&img, |w| w.median())
+        );
     }
 }

@@ -56,7 +56,10 @@ pub struct ParallelConfig {
 impl ParallelConfig {
     /// Strictly sequential execution on the calling thread.
     pub fn serial() -> Self {
-        ParallelConfig { workers: 1, chunk: 0 }
+        ParallelConfig {
+            workers: 1,
+            chunk: 0,
+        }
     }
 
     /// `workers` threads with automatic chunking.
@@ -87,9 +90,13 @@ impl ParallelConfig {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&w| w > 0)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
             });
-        let chunk = chunk.and_then(|v| v.trim().parse::<usize>().ok()).unwrap_or(0);
+        let chunk = chunk
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
         ParallelConfig { workers, chunk }
     }
 
@@ -136,7 +143,11 @@ where
 {
     let workers = config.effective_workers(items.len());
     if workers <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
     }
 
     let chunk = config.effective_chunk(items.len());
@@ -154,8 +165,7 @@ where
                 }
                 let start = c * chunk;
                 let end = (start + chunk).min(items.len());
-                let results: Vec<R> =
-                    (start..end).map(|i| f(i, &items[i])).collect();
+                let results: Vec<R> = (start..end).map(|i| f(i, &items[i])).collect();
                 done.lock().expect("pool poisoned").push((c, results));
             }));
         }
@@ -203,7 +213,10 @@ mod tests {
         let empty: Vec<u8> = Vec::new();
         assert!(ordered_map(ParallelConfig::with_workers(4), &empty, |_, &x| x).is_empty());
         let one = [7u8];
-        assert_eq!(ordered_map(ParallelConfig::with_workers(4), &one, |_, &x| x), vec![7]);
+        assert_eq!(
+            ordered_map(ParallelConfig::with_workers(4), &one, |_, &x| x),
+            vec![7]
+        );
     }
 
     #[test]
@@ -219,13 +232,23 @@ mod tests {
     fn workers_receive_position_addressed_indices() {
         // Every index must be passed exactly once and in the right slot.
         let items = vec![0u8; 57];
-        let got = ordered_map(ParallelConfig { workers: 4, chunk: 3 }, &items, |i, _| i);
+        let got = ordered_map(
+            ParallelConfig {
+                workers: 4,
+                chunk: 3,
+            },
+            &items,
+            |i, _| i,
+        );
         assert_eq!(got, (0..57).collect::<Vec<_>>());
     }
 
     #[test]
     fn zero_workers_normalises_to_one() {
-        let cfg = ParallelConfig { workers: 0, chunk: 0 };
+        let cfg = ParallelConfig {
+            workers: 0,
+            chunk: 0,
+        };
         assert_eq!(cfg.effective_workers(10), 1);
         let items = [1u8, 2, 3];
         assert_eq!(ordered_map(cfg, &items, |_, &x| x), vec![1, 2, 3]);
@@ -234,7 +257,13 @@ mod tests {
     #[test]
     fn parse_prefers_explicit_values() {
         let cfg = ParallelConfig::parse(Some("6"), Some("2"));
-        assert_eq!(cfg, ParallelConfig { workers: 6, chunk: 2 });
+        assert_eq!(
+            cfg,
+            ParallelConfig {
+                workers: 6,
+                chunk: 2
+            }
+        );
         // Invalid and zero values fall back to host parallelism / auto chunk.
         let fallback = ParallelConfig::parse(Some("zero"), None);
         assert!(fallback.workers >= 1);
@@ -258,12 +287,19 @@ mod tests {
     #[should_panic(expected = "worker thread panicked")]
     fn worker_panics_propagate() {
         let items: Vec<usize> = (0..64).collect();
-        let _ = ordered_map(ParallelConfig { workers: 4, chunk: 1 }, &items, |_, &x| {
-            if x == 33 {
-                panic!("boom");
-            }
-            x
-        });
+        let _ = ordered_map(
+            ParallelConfig {
+                workers: 4,
+                chunk: 1,
+            },
+            &items,
+            |_, &x| {
+                if x == 33 {
+                    panic!("boom");
+                }
+                x
+            },
+        );
     }
 
     #[test]
@@ -277,8 +313,22 @@ mod tests {
             }
             acc
         };
-        let a = ordered_map(ParallelConfig { workers: 8, chunk: 1 }, &items, expensive);
-        let b = ordered_map(ParallelConfig { workers: 2, chunk: 13 }, &items, expensive);
+        let a = ordered_map(
+            ParallelConfig {
+                workers: 8,
+                chunk: 1,
+            },
+            &items,
+            expensive,
+        );
+        let b = ordered_map(
+            ParallelConfig {
+                workers: 2,
+                chunk: 13,
+            },
+            &items,
+            expensive,
+        );
         assert_eq!(a, b);
     }
 }

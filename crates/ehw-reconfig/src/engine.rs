@@ -128,7 +128,11 @@ impl ReconfigEngine {
 
     /// Writes a caller-provided bitstream (e.g. one previously read back from
     /// another region) into the region.  Returns the model time spent.
-    pub fn write_bitstream(&mut self, region: &ReconfigurableRegion, pbs: &PartialBitstream) -> f64 {
+    pub fn write_bitstream(
+        &mut self,
+        region: &ReconfigurableRegion,
+        pbs: &PartialBitstream,
+    ) -> f64 {
         self.write_relocated(region, pbs)
     }
 
@@ -168,7 +172,10 @@ impl ReconfigEngine {
             })
             .collect();
         PartialBitstream::new(
-            format!("readback-a{}r{}c{}", region.slot.array, region.slot.row, region.slot.col),
+            format!(
+                "readback-a{}r{}c{}",
+                region.slot.array, region.slot.row, region.slot.col
+            ),
             region.base,
             frames,
         )

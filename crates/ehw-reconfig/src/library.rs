@@ -45,7 +45,8 @@ impl PbsLibrary {
                 )
             })
             .collect();
-        let dummy = PartialBitstream::synthesize("pe-dummy-fault", origin, pe_frames(), 0xDEAD_BEEF);
+        let dummy =
+            PartialBitstream::synthesize("pe-dummy-fault", origin, pe_frames(), 0xDEAD_BEEF);
         Self { variants, dummy }
     }
 

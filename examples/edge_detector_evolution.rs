@@ -44,7 +44,11 @@ fn main() {
     let config = EsConfig::paper(3, 1, generations, 17);
     let (results, time) = evolve_independent(&mut platform, &tasks, &config);
 
-    for (i, (result, name)) in results.iter().zip(["edge detector", "smoother"]).enumerate() {
+    for (i, (result, name)) in results
+        .iter()
+        .zip(["edge detector", "smoother"])
+        .enumerate()
+    {
         println!(
             "array {i} ({name}): initial {} -> best {} ({:.1}% better)",
             result.initial_fitness,

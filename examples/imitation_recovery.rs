@@ -15,9 +15,7 @@ use ehw_evolution::strategy::{EsConfig, NullObserver};
 use ehw_fabric::fault::FaultKind;
 use ehw_image::noise::NoiseModel;
 use ehw_image::synth;
-use ehw_platform::evo_modes::{
-    evolve_imitation, evolve_parallel, EvolutionTask, ImitationStart,
-};
+use ehw_platform::evo_modes::{evolve_imitation, evolve_parallel, EvolutionTask, ImitationStart};
 use ehw_platform::fault_campaign::find_injectable_pe;
 use ehw_platform::platform::EhwPlatform;
 use rand::rngs::StdRng;
@@ -77,8 +75,14 @@ fn main() {
         &mut NullObserver,
     );
 
-    println!("imitation fitness, inherited start: {} (threshold ~100 means 'functionally identical')", inherited.best_fitness);
-    println!("imitation fitness, random start:    {}", random.best_fitness);
+    println!(
+        "imitation fitness, inherited start: {} (threshold ~100 means 'functionally identical')",
+        inherited.best_fitness
+    );
+    println!(
+        "imitation fitness, random start:    {}",
+        random.best_fitness
+    );
     println!(
         "inherited start is {:.0}x closer to an exact copy",
         (random.best_fitness.max(1)) as f64 / (inherited.best_fitness.max(1)) as f64

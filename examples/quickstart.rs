@@ -46,9 +46,15 @@ fn main() {
     println!("generations:            {}", result.generations_run);
     println!("initial fitness:        {}", result.initial_fitness);
     println!("best fitness:           {}", result.best_fitness);
-    println!("improvement:            {:.1}%", result.improvement() * 100.0);
+    println!(
+        "improvement:            {:.1}%",
+        result.improvement() * 100.0
+    );
     println!("candidate evaluations:  {}", result.evaluations);
-    println!("PE reconfigurations:    {}", result.total_pe_reconfigurations);
+    println!(
+        "PE reconfigurations:    {}",
+        result.total_pe_reconfigurations
+    );
     println!(
         "modelled on-FPGA time:  {:.2} s ({:.1} ms/generation)",
         time.total_s,

@@ -95,11 +95,8 @@ fn adapted_cascade_beats_replicating_the_same_filter() {
     let task = denoise_task(32, 0.4, 9);
 
     let mut same_platform = EhwPlatform::paper_three_arrays();
-    let same = evolve_same_filter_cascade(
-        &mut same_platform,
-        &task,
-        &EsConfig::paper(2, 1, 150, 21),
-    );
+    let same =
+        evolve_same_filter_cascade(&mut same_platform, &task, &EsConfig::paper(2, 1, 150, 21));
 
     let mut adapted_platform = EhwPlatform::paper_three_arrays();
     let adapted = evolve_cascade(
@@ -176,6 +173,9 @@ fn pipeline_timer_integrates_with_a_real_evolution_run() {
     let estimate = timer.estimate();
     assert_eq!(estimate.generations, 30);
     assert_eq!(estimate.candidates, 30 * 9);
-    assert_eq!(estimate.pe_reconfigurations, result.total_pe_reconfigurations);
+    assert_eq!(
+        estimate.pe_reconfigurations,
+        result.total_pe_reconfigurations
+    );
     assert!(estimate.total_s > 0.0);
 }

@@ -83,7 +83,9 @@ fn register_file_reflects_platform_configuration() {
 
     for (i, &sel) in g.input_genes.iter().enumerate() {
         assert_eq!(
-            platform.registers().peek(RegisterFile::input_select_address(1, i)),
+            platform
+                .registers()
+                .peek(RegisterFile::input_select_address(1, i)),
             sel as u32
         );
     }

@@ -5,10 +5,10 @@
 
 use ehw_fabric::device::{DeviceGeometry, ARRAY_CLBS};
 use ehw_fabric::resources::ResourceUsage;
-use ehw_reconfig::timing::{TimingModel, PE_RECONFIG_TIME_US};
 use ehw_platform::platform::EhwPlatform;
 use ehw_platform::resources::PlatformResources;
 use ehw_platform::timing::{analytic_generation_time, PipelineTimer};
+use ehw_reconfig::timing::{TimingModel, PE_RECONFIG_TIME_US};
 
 #[test]
 fn paper_resource_table_is_reproduced() {
@@ -16,7 +16,10 @@ fn paper_resource_table_is_reproduced() {
     let r = PlatformResources::paper_three_stage();
     assert_eq!(r.static_control, ResourceUsage::new(733, 1365, 1817));
     assert_eq!(r.per_acb, ResourceUsage::new(754, 1642, 1528));
-    assert_eq!(r.total_acb_logic(), ResourceUsage::new(3 * 754, 3 * 1642, 3 * 1528));
+    assert_eq!(
+        r.total_acb_logic(),
+        ResourceUsage::new(3 * 754, 3 * 1642, 3 * 1528)
+    );
     assert_eq!(r.array_clbs, 3 * ARRAY_CLBS);
     assert_eq!(r.array_clbs, 480);
     assert!((r.pe_reconfig_us - 67.53).abs() < 1e-9);
@@ -45,8 +48,9 @@ fn evolution_time_model_reproduces_figure_12_and_13_shapes() {
     let timing = TimingModel::paper();
     let gens = 100_000.0;
 
-    let total =
-        |k: usize, arrays: usize, size: usize| analytic_generation_time(&timing, 9, k, arrays, size, size) * gens;
+    let total = |k: usize, arrays: usize, size: usize| {
+        analytic_generation_time(&timing, 9, k, arrays, size, size) * gens
+    };
 
     // For 128×128 images the single reconfiguration engine is the bottleneck,
     // so the saving of the 3-array pipeline is essentially constant across
@@ -86,7 +90,10 @@ fn evolution_time_model_reproduces_figure_12_and_13_shapes() {
     // Orders of magnitude match the paper: 100 000 generations of the
     // single-array 128×128 setup take minutes, not hours.
     let single_128_k5 = total(5, 1, 128);
-    assert!(single_128_k5 > 60.0 && single_128_k5 < 2_000.0, "t = {single_128_k5}");
+    assert!(
+        single_128_k5 > 60.0 && single_128_k5 < 2_000.0,
+        "t = {single_128_k5}"
+    );
 }
 
 #[test]
@@ -144,6 +151,9 @@ fn resource_model_scales_with_the_number_of_arrays() {
         previous = total.slices;
         // Static control is constant; ACB logic strictly linear.
         assert_eq!(r.static_control, ResourceUsage::paper_static_control());
-        assert_eq!(r.total_acb_logic(), ResourceUsage::paper_acb().scaled(arrays as u32));
+        assert_eq!(
+            r.total_acb_logic(),
+            ResourceUsage::paper_acb().scaled(arrays as u32)
+        );
     }
 }

@@ -32,11 +32,10 @@ fn arb_genotype() -> impl Strategy<Value = Genotype> {
 
 /// Strategy generating a small grayscale image with arbitrary content.
 fn arb_image() -> impl Strategy<Value = GrayImage> {
-    (4usize..24, 4usize..24)
-        .prop_flat_map(|(w, h)| {
-            proptest::collection::vec(any::<u8>(), w * h)
-                .prop_map(move |data| GrayImage::from_vec(w, h, data))
-        })
+    (4usize..24, 4usize..24).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<u8>(), w * h)
+            .prop_map(move |data| GrayImage::from_vec(w, h, data))
+    })
 }
 
 /// Strategy generating a 3×3 window.

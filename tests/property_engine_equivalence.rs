@@ -1,0 +1,191 @@
+//! Property suite pinning the compiled evaluation engine to the reference
+//! interpreter: the plan must be bit-identical to the interpreter for random
+//! genotype × fault-overlay × image triples, bounded fitness must equal
+//! unbounded fitness whenever the bound is not hit, and a whole evolution run
+//! must be byte-identical with the engine on or off, at any worker count.
+
+use std::collections::BTreeMap;
+
+use ehw_array::array::ProcessingArray;
+use ehw_array::compiled::{interpret_filter_image, interpret_window, CompiledArray};
+use ehw_array::genotype::{Genotype, ARRAY_COLS, ARRAY_ROWS};
+use ehw_array::pe::FaultBehaviour;
+use ehw_evolution::fitness::{plan_mae, plan_mae_bounded, SoftwareEvaluator};
+use ehw_evolution::strategy::{run_evolution, EsConfig, EvalEngine, NullObserver};
+use ehw_image::image::GrayImage;
+use ehw_image::metrics::mae;
+use ehw_image::window::{SharedWindows, Window3x3};
+use ehw_parallel::ParallelConfig;
+use proptest::prelude::*;
+
+/// Strategy generating an arbitrary (always valid) genotype.
+fn arb_genotype() -> impl Strategy<Value = Genotype> {
+    (
+        proptest::array::uniform16(0u8..16),
+        proptest::array::uniform8(0u8..9),
+        0u8..ARRAY_ROWS as u8,
+    )
+        .prop_map(|(pe_genes, input_genes, output_gene)| Genotype {
+            pe_genes,
+            input_genes,
+            output_gene,
+        })
+}
+
+/// Strategy generating one fault behaviour.
+fn arb_fault() -> impl Strategy<Value = FaultBehaviour> {
+    prop_oneof![
+        any::<u64>().prop_map(|seed| FaultBehaviour::RandomOutput { seed }),
+        any::<u8>().prop_map(|value| FaultBehaviour::StuckAt { value }),
+        Just(FaultBehaviour::InvertedOutput),
+    ]
+}
+
+/// Strategy generating a fault overlay of up to six damaged PEs.
+fn arb_overlay() -> impl Strategy<Value = BTreeMap<(usize, usize), FaultBehaviour>> {
+    proptest::collection::vec((0usize..ARRAY_ROWS, 0usize..ARRAY_COLS, arb_fault()), 0..6)
+        .prop_map(|faults| faults.into_iter().map(|(r, c, b)| ((r, c), b)).collect())
+}
+
+/// Strategy generating a small grayscale image with arbitrary content.
+fn arb_image() -> impl Strategy<Value = GrayImage> {
+    (3usize..20, 3usize..20).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<u8>(), w * h)
+            .prop_map(move |data| GrayImage::from_vec(w, h, data))
+    })
+}
+
+fn compile(g: &Genotype, overlay: &BTreeMap<(usize, usize), FaultBehaviour>) -> CompiledArray {
+    CompiledArray::with_faults(g, overlay.iter().map(|(&p, &b)| (p, b)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ------------------------------------------------------------------
+    // Plan == interpreter
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn compiled_plan_matches_interpreter_per_window(
+        g in arb_genotype(),
+        overlay in arb_overlay(),
+        window in proptest::array::uniform9(any::<u8>()).prop_map(Window3x3),
+    ) {
+        let plan = compile(&g, &overlay);
+        prop_assert_eq!(plan.evaluate_window(&window), interpret_window(&g, &overlay, &window));
+    }
+
+    #[test]
+    fn compiled_plan_matches_interpreter_per_image(
+        g in arb_genotype(),
+        overlay in arb_overlay(),
+        img in arb_image(),
+    ) {
+        let plan = compile(&g, &overlay);
+        prop_assert_eq!(plan.filter_image(&img), interpret_filter_image(&g, &overlay, &img));
+    }
+
+    #[test]
+    fn processing_array_matches_interpreter(
+        g in arb_genotype(),
+        overlay in arb_overlay(),
+        img in arb_image(),
+    ) {
+        // The array type itself (the thing every platform path goes through)
+        // must agree with the interpreter too — it delegates to its plan.
+        let mut array = ProcessingArray::new(g.clone());
+        for (&(r, c), &b) in &overlay {
+            array.inject_fault(r, c, b);
+        }
+        prop_assert_eq!(array.filter_image(&img), interpret_filter_image(&g, &overlay, &img));
+    }
+
+    #[test]
+    fn block_evaluation_matches_scalar(
+        g in arb_genotype(),
+        overlay in arb_overlay(),
+        img in arb_image(),
+    ) {
+        let plan = compile(&g, &overlay);
+        let windows = SharedWindows::new(&img);
+        let mut block = vec![0u8; windows.len()];
+        plan.evaluate_windows_into(windows.as_slice(), &mut block);
+        for (k, w) in windows.as_slice().iter().enumerate() {
+            prop_assert_eq!(block[k], plan.evaluate_window(w));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bounded == unbounded fitness
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn plan_mae_matches_filter_then_mae(
+        g in arb_genotype(),
+        overlay in arb_overlay(),
+        input in arb_image(),
+    ) {
+        let plan = compile(&g, &overlay);
+        let windows = SharedWindows::new(&input);
+        let reference = interpret_filter_image(&Genotype::identity(), &BTreeMap::new(), &input);
+        prop_assert_eq!(
+            plan_mae(&plan, &windows, &reference),
+            mae(&plan.filter_image(&input), &reference)
+        );
+    }
+
+    #[test]
+    fn bounded_fitness_is_exact_iff_under_the_bound(
+        g in arb_genotype(),
+        overlay in arb_overlay(),
+        input in arb_image(),
+        bound in 0u64..5_000,
+    ) {
+        let plan = compile(&g, &overlay);
+        let windows = SharedWindows::new(&input);
+        let reference = GrayImage::new(input.width(), input.height(), 128);
+        let exact = plan_mae(&plan, &windows, &reference);
+        let (bounded, exited) = plan_mae_bounded(&plan, &windows, &reference, Some(bound));
+        if exact <= bound {
+            prop_assert_eq!(bounded, exact, "bound not hit: values must agree");
+            prop_assert!(!exited);
+        } else {
+            prop_assert!(exited);
+            prop_assert!(bounded > bound, "early exit must report above the bound");
+            prop_assert!(bounded <= exact, "partial sum cannot exceed the exact MAE");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Evolution: engine on == engine off, at any worker count
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn evolution_is_identical_with_engine_on_or_off(
+        seed in any::<u64>(),
+        img_seed in 0u64..1_000,
+    ) {
+        let clean = ehw_image::synth::shapes(16, 16, 3);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(img_seed);
+        let noisy = ehw_image::noise::salt_pepper(&clean, 0.3, &mut rng);
+        let run = |engine: EvalEngine, workers: usize| {
+            let config = EsConfig {
+                engine,
+                parallel: ParallelConfig::with_workers(workers),
+                ..EsConfig::paper(3, 1, 15, seed)
+            };
+            let mut eval = SoftwareEvaluator::new(noisy.clone(), clean.clone());
+            run_evolution(&config, &mut eval, &mut NullObserver)
+        };
+        let reference = run(EvalEngine::Exhaustive, 1);
+        for workers in [1usize, 2, 8] {
+            let r = run(EvalEngine::Bounded, workers);
+            prop_assert_eq!(r.best_genotype.encode(), reference.best_genotype.encode());
+            prop_assert_eq!(r.best_fitness, reference.best_fitness);
+            prop_assert_eq!(&r.history, &reference.history);
+            prop_assert_eq!(r.evaluations, reference.evaluations);
+            prop_assert_eq!(r.total_pe_reconfigurations, reference.total_pe_reconfigurations);
+        }
+    }
+}

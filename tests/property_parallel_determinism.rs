@@ -154,8 +154,7 @@ fn evaluate_batch_with_matches_sequential_evaluation() {
     let sequential: Vec<u64> = batch.iter().map(|g| eval.evaluate(g)).collect();
     for workers in WORKER_COUNTS {
         let mut eval = SoftwareEvaluator::new(task.input.clone(), task.reference.clone());
-        let parallel =
-            eval.evaluate_batch_with(&batch, ParallelConfig::with_workers(workers));
+        let parallel = eval.evaluate_batch_with(&batch, ParallelConfig::with_workers(workers));
         assert_eq!(parallel, sequential, "diverged at {workers} workers");
     }
 }
@@ -169,8 +168,7 @@ fn processing_modes_are_worker_count_invariant() {
     let outputs: Vec<_> = WORKER_COUNTS
         .iter()
         .map(|&workers| {
-            let mut platform =
-                EhwPlatform::with_parallel(3, ParallelConfig::with_workers(workers));
+            let mut platform = EhwPlatform::with_parallel(3, ParallelConfig::with_workers(workers));
             for (i, g) in genotypes.iter().enumerate() {
                 platform.configure_array(i, g);
             }

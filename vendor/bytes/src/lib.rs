@@ -17,12 +17,16 @@ pub struct Bytes {
 impl Bytes {
     /// Creates an empty `Bytes`.
     pub fn new() -> Self {
-        Bytes { data: Arc::from([]) }
+        Bytes {
+            data: Arc::from([]),
+        }
     }
 
     /// Creates `Bytes` by copying a static slice.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(bytes) }
+        Bytes {
+            data: Arc::from(bytes),
+        }
     }
 
     /// Length in bytes.
@@ -68,6 +72,8 @@ impl From<&[u8]> for Bytes {
 
 impl FromIterator<u8> for Bytes {
     fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
-        Bytes { data: iter.into_iter().collect::<Vec<u8>>().into() }
+        Bytes {
+            data: iter.into_iter().collect::<Vec<u8>>().into(),
+        }
     }
 }

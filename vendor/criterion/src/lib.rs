@@ -28,12 +28,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A two-part id: `function_name/parameter`.
     pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// An id consisting of the parameter alone.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -79,7 +83,10 @@ impl Bencher {
 }
 
 fn run_bench(id: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
-    let mut b = Bencher { samples, result_ns: f64::NAN };
+    let mut b = Bencher {
+        samples,
+        result_ns: f64::NAN,
+    };
     f(&mut b);
     let ns = b.result_ns;
     let pretty = if ns < 1_000.0 {
@@ -120,7 +127,11 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
     }
 }
 
@@ -155,7 +166,9 @@ impl BenchmarkGroup<'_> {
         input: &I,
         f: F,
     ) -> &mut Self {
-        run_bench(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b, input));
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
         self
     }
 

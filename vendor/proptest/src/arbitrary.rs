@@ -43,7 +43,11 @@ impl Arbitrary for bool {
         rng.rng.gen::<bool>()
     }
     fn shrink_value(value: &Self) -> Vec<Self> {
-        if *value { vec![false] } else { Vec::new() }
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 

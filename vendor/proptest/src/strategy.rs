@@ -148,7 +148,10 @@ pub struct Union<T> {
 impl<T> Union<T> {
     /// Builds the union; panics if `options` is empty.
     pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
-        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
         Union { options }
     }
 }

@@ -53,6 +53,8 @@ impl TestRng {
             hash ^= u64::from(b);
             hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        TestRng { rng: StdRng::seed_from_u64(hash) }
+        TestRng {
+            rng: StdRng::seed_from_u64(hash),
+        }
     }
 }

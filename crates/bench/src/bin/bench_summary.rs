@@ -10,10 +10,14 @@
 //! * **compiled** — the engine: one shared window-extraction pass per image,
 //!   one flat compiled plan per candidate,
 //! * **evolution** — a real (1+λ) run with the engine's early-exit bound and
-//!   per-generation memo, at 1 and 4 workers, reporting the early-exit rate.
+//!   per-generation memo, at 1 and 4 workers, reporting the early-exit rate,
+//! * **cascade** — a three-stage cascaded evolution (the Fig. 16 workload)
+//!   run through the naive oracle and the compiled cascade engine, single
+//!   worker, with a byte-identity gate between the two.
 //!
 //! Usage: `cargo run --release -p ehw-bench --bin bench_summary`
-//! (`--size=`, `--reps=`, `--generations=`, `--out=` to adjust).
+//! (`--size=`, `--reps=`, `--generations=`, `--cascade-generations=`,
+//! `--out=` to adjust).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -25,6 +29,8 @@ use ehw_evolution::strategy::{run_evolution, EsConfig, EvalEngine, NullObserver}
 use ehw_image::metrics::mae;
 use ehw_image::window::SharedWindows;
 use ehw_parallel::ParallelConfig;
+use ehw_platform::evo_modes::{evolve_cascade, CascadeConfig, CascadeEngine};
+use ehw_platform::platform::EhwPlatform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -136,6 +142,47 @@ fn main() {
         ));
     }
 
+    // --- cascaded evolution: naive oracle vs compiled engine ---------------
+    // The Fig. 16 workload (three stages, 64×64, 40 % salt & pepper,
+    // separate fitness, sequential schedule), single worker, so the number
+    // is the pure engine effect.  The generation budget is pinned
+    // independently of `--generations` so the gated speedup is always
+    // measured under the committed baseline's conditions, and each engine is
+    // timed best-of-N (identical deterministic runs, so min = least noise).
+    let cascade_size = ehw_bench::arg_usize("cascade-size", 64);
+    let cascade_generations = ehw_bench::arg_usize("cascade-generations", 60);
+    let cascade_reps = ehw_bench::arg_usize("cascade-reps", 3).max(1);
+    let cascade_task = ehw_bench::denoise_task(cascade_size, 0.4, 9);
+    let cascade_config = CascadeConfig::paper(cascade_generations, 2, 4242);
+    let run_cascade = |engine: CascadeEngine| {
+        let config = CascadeConfig {
+            engine,
+            ..cascade_config
+        };
+        let mut best_s = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..cascade_reps {
+            let mut platform = EhwPlatform::with_parallel(3, ParallelConfig::serial());
+            let start = Instant::now();
+            let r = evolve_cascade(&mut platform, &cascade_task, &config);
+            best_s = best_s.min(start.elapsed().as_secs_f64().max(1e-9));
+            result = Some(r);
+        }
+        (best_s, result.expect("at least one cascade rep"))
+    };
+    let (naive_s, naive_result) = run_cascade(CascadeEngine::Naive);
+    let (compiled_s, compiled_result) = run_cascade(CascadeEngine::Compiled);
+    // Byte-identity gate: the engines must agree exactly before the speedup
+    // means anything.
+    assert_eq!(
+        naive_result.stage_genotypes, compiled_result.stage_genotypes,
+        "cascade engine diverged from the naive oracle"
+    );
+    assert_eq!(naive_result.stage_fitness, compiled_result.stage_fitness);
+    assert_eq!(naive_result.evaluations, compiled_result.evaluations);
+    let cascade_speedup = naive_s / compiled_s;
+    let cascade_stats = compiled_result.stats;
+
     let speedup_1w = compiled_1w.evals_per_sec / interp.evals_per_sec;
 
     // --- report ------------------------------------------------------------
@@ -169,6 +216,14 @@ fn main() {
             rate * 100.0
         );
     }
+    println!(
+        "cascade 1w ({cascade_size}x{cascade_size}, 3 stages, {cascade_generations} gens/stage): \
+         naive {naive_s:.3}s, compiled {compiled_s:.3}s, speedup {cascade_speedup:.2}x, \
+         early-exit rate {:.1}%, {} memo hits, {} evaluations",
+        cascade_stats.early_exit_rate() * 100.0,
+        cascade_stats.memo_hits,
+        compiled_result.evaluations
+    );
 
     // --- BENCH_evaluation.json ---------------------------------------------
     let mut json = String::new();
@@ -192,6 +247,26 @@ fn main() {
         json,
         "  \"speedup_compiled_vs_interpreter_1_worker\": {speedup_1w:.2},"
     );
+    let _ = writeln!(json, "  \"cascade\": {{");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"{cascade_size}x{cascade_size} salt&pepper 40%, 3 stages, \
+         separate/sequential, {cascade_generations} generations per stage\","
+    );
+    let _ = writeln!(json, "    \"naive_s\": {naive_s:.4},");
+    let _ = writeln!(json, "    \"compiled_s\": {compiled_s:.4},");
+    let _ = writeln!(
+        json,
+        "    \"speedup_compiled_vs_naive_1_worker\": {cascade_speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"early_exit_rate\": {:.4},",
+        cascade_stats.early_exit_rate()
+    );
+    let _ = writeln!(json, "    \"memo_hits\": {},", cascade_stats.memo_hits);
+    let _ = writeln!(json, "    \"evaluations\": {}", compiled_result.evaluations);
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"evolution\": [");
     for (i, (workers, evals_per_sec, rate, memo_hits, best)) in evolution.iter().enumerate() {
         let comma = if i + 1 < evolution.len() { "," } else { "" };

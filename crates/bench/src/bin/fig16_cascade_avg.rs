@@ -6,10 +6,12 @@
 //! cargo run --release -p ehw-bench --bin fig16_cascade_avg -- [--runs=3] [--generations=300]
 //! ```
 
-use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, print_table};
+use ehw_bench::{arg_cascade_engine, arg_parallel, arg_usize, banner, denoise_task, print_table};
 use ehw_evolution::stats::Summary;
 use ehw_evolution::strategy::EsConfig;
-use ehw_platform::evo_modes::{evolve_cascade, evolve_same_filter_cascade, CascadeConfig};
+use ehw_platform::evo_modes::{
+    evolve_cascade, evolve_same_filter_cascade, CascadeConfig, CascadeEngine,
+};
 use ehw_platform::modes::CascadeSchedule;
 use ehw_platform::platform::EhwPlatform;
 
@@ -21,6 +23,7 @@ fn collect(
     size: usize,
     variant: &str,
     parallel: ehw_parallel::ParallelConfig,
+    engine: CascadeEngine,
 ) -> Vec<Vec<u64>> {
     let mut per_stage: Vec<Vec<u64>> = vec![Vec::new(); 3];
     for run in 0..runs {
@@ -34,6 +37,7 @@ fn collect(
             "sequential" => {
                 let config = CascadeConfig {
                     schedule: CascadeSchedule::Sequential,
+                    engine,
                     ..CascadeConfig::paper(generations, 2, 300 + run as u64)
                 };
                 evolve_cascade(&mut platform, &task, &config).stage_fitness
@@ -41,6 +45,7 @@ fn collect(
             "interleaved" => {
                 let config = CascadeConfig {
                     schedule: CascadeSchedule::Interleaved,
+                    engine,
                     ..CascadeConfig::paper(generations, 2, 400 + run as u64)
                 };
                 evolve_cascade(&mut platform, &task, &config).stage_fitness
@@ -56,6 +61,7 @@ fn collect(
 
 fn main() {
     let parallel = arg_parallel();
+    let engine = arg_cascade_engine();
     let runs = arg_usize("runs", 3);
     let generations = arg_usize("generations", 300);
     let size = arg_usize("size", 64);
@@ -65,11 +71,14 @@ fn main() {
         runs,
         generations,
     );
-    println!("(every evolved circuit gets {generations} generations, matching the same-filter baseline)\n");
+    println!(
+        "(every evolved circuit gets {generations} generations, matching the same-filter baseline)"
+    );
+    println!("cascade engine: {engine:?} (pass --naive for the oracle baseline)\n");
 
-    let same = collect(runs, generations, size, "same", parallel);
-    let sequential = collect(runs, generations, size, "sequential", parallel);
-    let interleaved = collect(runs, generations, size, "interleaved", parallel);
+    let same = collect(runs, generations, size, "same", parallel, engine);
+    let sequential = collect(runs, generations, size, "sequential", parallel, engine);
+    let interleaved = collect(runs, generations, size, "interleaved", parallel, engine);
 
     let rows: Vec<Vec<String>> = (0..3)
         .map(|stage| {

@@ -5,7 +5,7 @@
 //! cargo run --release -p ehw-bench --bin fig17_cascade_best -- [--runs=3] [--generations=300]
 //! ```
 
-use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, print_table};
+use ehw_bench::{arg_cascade_engine, arg_parallel, arg_usize, banner, denoise_task, print_table};
 use ehw_evolution::strategy::EsConfig;
 use ehw_platform::evo_modes::{evolve_cascade, evolve_same_filter_cascade, CascadeConfig};
 use ehw_platform::modes::CascadeSchedule;
@@ -23,6 +23,7 @@ fn best_per_stage(all_runs: &[Vec<u64>]) -> Vec<u64> {
 
 fn main() {
     let parallel = arg_parallel();
+    let engine = arg_cascade_engine();
     let runs = arg_usize("runs", 3);
     let generations = arg_usize("generations", 300);
     let size = arg_usize("size", 64);
@@ -32,6 +33,7 @@ fn main() {
         runs,
         generations,
     );
+    println!("cascade engine: {engine:?} (pass --naive for the oracle baseline)\n");
 
     let mut same_runs = Vec::new();
     let mut seq_runs = Vec::new();
@@ -46,6 +48,7 @@ fn main() {
         let mut platform = EhwPlatform::with_parallel(3, parallel);
         let config = CascadeConfig {
             schedule: CascadeSchedule::Sequential,
+            engine,
             ..CascadeConfig::paper(generations, 2, 600 + run as u64)
         };
         seq_runs.push(evolve_cascade(&mut platform, &task, &config).stage_fitness);
@@ -53,6 +56,7 @@ fn main() {
         let mut platform = EhwPlatform::with_parallel(3, parallel);
         let config = CascadeConfig {
             schedule: CascadeSchedule::Interleaved,
+            engine,
             ..CascadeConfig::paper(generations, 2, 700 + run as u64)
         };
         int_runs.push(evolve_cascade(&mut platform, &task, &config).stage_fitness);

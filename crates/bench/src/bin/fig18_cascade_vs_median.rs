@@ -10,7 +10,7 @@
 //! cargo run --release -p ehw-bench --bin fig18_cascade_vs_median -- [--generations=600] [--out=DIR]
 //! ```
 
-use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, print_table};
+use ehw_bench::{arg_cascade_engine, arg_parallel, arg_usize, banner, denoise_task, print_table};
 use ehw_image::filters;
 use ehw_image::metrics::{mae, psnr};
 use ehw_image::pgm;
@@ -19,6 +19,7 @@ use ehw_platform::platform::EhwPlatform;
 
 fn main() {
     let parallel = arg_parallel();
+    let engine = arg_cascade_engine();
     let generations = arg_usize("generations", 1500);
     let size = arg_usize("size", 128);
     banner(
@@ -37,8 +38,17 @@ fn main() {
 
     // Evolved cascade.
     let mut platform = EhwPlatform::with_parallel(3, parallel);
-    let config = CascadeConfig::paper(generations / 3, 2, 4242);
+    let config = CascadeConfig {
+        engine,
+        ..CascadeConfig::paper(generations / 3, 2, 4242)
+    };
     let result = evolve_cascade(&mut platform, &task, &config);
+    println!(
+        "cascade engine: {engine:?} — {} evaluations, early-exit rate {:.1}%, {} memo hits",
+        result.evaluations,
+        result.stats.early_exit_rate() * 100.0,
+        result.stats.memo_hits
+    );
     let outputs = platform.process_cascaded(&task.input);
 
     let rows = vec![

@@ -11,7 +11,7 @@ use ehw_image::image::GrayImage;
 use ehw_image::noise::NoiseModel;
 use ehw_image::synth;
 use ehw_parallel::ParallelConfig;
-use ehw_platform::evo_modes::EvolutionTask;
+use ehw_platform::evo_modes::{CascadeEngine, EvolutionTask};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,6 +48,18 @@ pub fn arg_parallel() -> ParallelConfig {
     let mut cfg = ParallelConfig::from_env();
     cfg.workers = arg_usize("workers", cfg.workers);
     cfg
+}
+
+/// The cascade-evaluation engine knob shared by the cascade figure binaries:
+/// `--naive` selects the oracle path (per-candidate chain refiltering), the
+/// default is the compiled engine.  Results are byte-identical either way;
+/// only wall-clock time changes.
+pub fn arg_cascade_engine() -> CascadeEngine {
+    if arg_flag("naive") {
+        CascadeEngine::Naive
+    } else {
+        CascadeEngine::Compiled
+    }
 }
 
 /// The salt & pepper denoising workload the paper evaluates on: a synthetic
@@ -150,6 +162,7 @@ mod tests {
         assert_eq!(arg_usize("definitely-not-passed", 7), 7);
         assert_eq!(arg_f64("definitely-not-passed", 0.5), 0.5);
         assert!(!arg_flag("definitely-not-passed"));
+        assert_eq!(arg_cascade_engine(), CascadeEngine::Compiled);
     }
 
     #[test]

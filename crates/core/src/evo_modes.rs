@@ -131,20 +131,21 @@ impl FitnessEvaluator for PlatformEvaluator {
         let _ = incumbent;
         self.evaluations += batch.len() as u64;
         let num_arrays = self.arrays.len();
-        let (slots, unique) = ehw_evolution::fitness::dedupe_batch(
-            batch,
-            None,
-            |i, g| (i % num_arrays, g),
-            |_| false,
-        );
         let arrays = &self.arrays;
         let windows = &self.windows;
         let reference = &self.reference;
-        let results = ehw_parallel::ordered_map(parallel, &unique, |_, &i| {
-            let plan = arrays[i % num_arrays].compile_with(&batch[i]);
-            ehw_evolution::fitness::plan_mae_bounded(&plan, windows, reference, bound)
-        });
-        ehw_evolution::fitness::scatter_results(slots, &results, &mut self.stats)
+        ehw_evolution::fitness::batch_mae_bounded(
+            batch,
+            None,
+            parallel,
+            |i, g| (i % num_arrays, g),
+            |_| false,
+            |i| {
+                let plan = arrays[i % num_arrays].compile_with(&batch[i]);
+                ehw_evolution::fitness::plan_mae_bounded(&plan, windows, reference, bound)
+            },
+            &mut self.stats,
+        )
     }
 
     fn evaluations(&self) -> u64 {
@@ -248,6 +249,21 @@ pub enum CascadeInit {
     Random,
 }
 
+/// Which execution engine scores the candidates of a cascaded evolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CascadeEngine {
+    /// The pre-engine behaviour: every candidate clones interpreter arrays
+    /// and re-filters the full chain from the source image.  Kept verbatim as
+    /// the equivalence oracle and the bench baseline, exactly like the
+    /// reference interpreter of the single-array engine.
+    Naive,
+    /// Compiled plans + per-generation shared stage windows + early-exit
+    /// bounds + upstream-prefix caching (the default).  Byte-identical
+    /// results to [`Naive`](Self::Naive) — enforced by
+    /// `tests/property_cascade_equivalence.rs`.
+    Compiled,
+}
+
 /// Configuration of a cascaded evolution run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CascadeConfig {
@@ -264,6 +280,9 @@ pub struct CascadeConfig {
     pub schedule: CascadeSchedule,
     /// Parent initialisation of each stage.
     pub init: CascadeInit,
+    /// Candidate-evaluation engine; results are byte-identical in either
+    /// mode.
+    pub engine: CascadeEngine,
     /// RNG seed.
     pub seed: u64,
 }
@@ -271,7 +290,7 @@ pub struct CascadeConfig {
 impl CascadeConfig {
     /// A reasonable default mirroring the paper's EA parameters (nine
     /// offspring, separate fitness, sequential stages, pass-through
-    /// initialisation).
+    /// initialisation, compiled engine).
     pub fn paper(generations: usize, mutation_rate: usize, seed: u64) -> Self {
         Self {
             generations,
@@ -280,6 +299,7 @@ impl CascadeConfig {
             fitness: CascadeFitness::Separate,
             schedule: CascadeSchedule::Sequential,
             init: CascadeInit::Identity,
+            engine: CascadeEngine::Compiled,
             seed,
         }
     }
@@ -293,22 +313,30 @@ pub struct CascadeResult {
     /// MAE of the chain output after each stage against the reference (the
     /// per-stage values plotted in Figs. 16–17).
     pub stage_fitness: Vec<u64>,
+    /// Candidate evaluations performed (parent re-evaluations + offspring);
+    /// identical between the two engines.
+    pub evaluations: u64,
+    /// Work-saved counters of the compiled engine (all zero for the naive
+    /// oracle, which takes no shortcuts).
+    pub stats: ehw_evolution::fitness::EngineStats,
 }
 
 impl CascadeResult {
-    /// Fitness at the end of the chain.
-    pub fn final_fitness(&self) -> u64 {
-        *self.stage_fitness.last().expect("at least one stage")
+    /// Fitness at the end of the chain, or `None` for a zero-stage result
+    /// (no platform can be built with zero arrays, but a `CascadeResult` is
+    /// plain data and may legitimately be empty, e.g. when deserialised or
+    /// aggregated).
+    pub fn final_fitness(&self) -> Option<u64> {
+        self.stage_fitness.last().copied()
     }
 }
 
-/// Computes the MAE of every cascaded stage output against the reference.
+/// Computes the MAE of every cascaded stage output against the reference —
+/// one entry per stage, so the vector is empty exactly when the platform has
+/// no stages (unconstructible via [`EhwPlatform::new`], which requires at
+/// least one array).  Delegates to the platform's compiled streaming path.
 pub fn chain_fitness(platform: &EhwPlatform, input: &GrayImage, reference: &GrayImage) -> Vec<u64> {
-    platform
-        .process_cascaded(input)
-        .iter()
-        .map(|out| mae(out, reference))
-        .collect()
+    platform.chain_fitness(input, reference)
 }
 
 fn filter_chain(
@@ -328,9 +356,61 @@ fn filter_chain(
 
 /// Cascaded evolution (§IV.B, Fig. 6): evolves one circuit per stage so the
 /// chain progressively approaches the reference.  Honours the configured
-/// fitness arrangement and schedule, and configures the evolved circuits into
-/// the platform before returning.
+/// fitness arrangement, schedule and engine, and configures the evolved
+/// circuits into the platform before returning.
+///
+/// The two engines are byte-identical in everything observable
+/// (`stage_genotypes`, `stage_fitness`, `evaluations`), at any worker count;
+/// they differ only in the work performed.  See [`CascadeEngine`].
 pub fn evolve_cascade(
+    platform: &mut EhwPlatform,
+    task: &EvolutionTask,
+    config: &CascadeConfig,
+) -> CascadeResult {
+    match config.engine {
+        CascadeEngine::Naive => evolve_cascade_naive(platform, task, config),
+        CascadeEngine::Compiled => evolve_cascade_compiled(platform, task, config),
+    }
+}
+
+/// Drives the configured schedule: sequential scheduling exhausts each
+/// stage's generation budget before moving on; interleaved scheduling gives
+/// every stage one generation per round.  `step(stage)` runs one generation.
+fn drive_schedule(
+    schedule: CascadeSchedule,
+    stages: usize,
+    generations: usize,
+    mut step: impl FnMut(usize),
+) {
+    match schedule {
+        CascadeSchedule::Sequential => {
+            for stage in 0..stages {
+                for _ in 0..generations {
+                    step(stage);
+                }
+            }
+        }
+        CascadeSchedule::Interleaved => {
+            for _ in 0..generations {
+                for stage in 0..stages {
+                    step(stage);
+                }
+            }
+        }
+    }
+}
+
+fn initial_parents(stages: usize, init: CascadeInit, rng: &mut StdRng) -> Vec<Genotype> {
+    (0..stages)
+        .map(|_| match init {
+            CascadeInit::Identity => Genotype::identity(),
+            CascadeInit::Random => Genotype::random(rng),
+        })
+        .collect()
+}
+
+/// The naive oracle: per-candidate interpreter-style chain refiltering.
+fn evolve_cascade_naive(
     platform: &mut EhwPlatform,
     task: &EvolutionTask,
     config: &CascadeConfig,
@@ -344,19 +424,16 @@ pub fn evolve_cascade(
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Current parent (and its fitness) per stage.
-    let mut parents: Vec<Genotype> = (0..stages)
-        .map(|_| match config.init {
-            CascadeInit::Identity => Genotype::identity(),
-            CascadeInit::Random => Genotype::random(&mut rng),
-        })
-        .collect();
+    let mut parents: Vec<Genotype> = initial_parents(stages, config.init, &mut rng);
     let mut parent_fitness: Vec<u64> = vec![u64::MAX; stages];
+    let evaluations = std::cell::Cell::new(0u64);
 
     // Evaluates the candidate for `stage`, honouring the fitness arrangement:
     // separate fitness scores the stage's own output; merged fitness scores
     // the output at the end of the chain (later stages use their current
     // parents).
     let evaluate = |stage: usize, candidate: &Genotype, parents: &[Genotype]| -> u64 {
+        evaluations.set(evaluations.get() + 1);
         let stage_input = filter_chain(&arrays, parents, stage, &task.input);
         let mut array = arrays[stage].clone();
         array.set_genotype(candidate.clone());
@@ -375,18 +452,15 @@ pub fn evolve_cascade(
         }
     };
 
-    let one_generation = |stage: usize,
-                          parents: &mut Vec<Genotype>,
-                          parent_fitness: &mut Vec<u64>,
-                          rng: &mut StdRng| {
+    drive_schedule(config.schedule, stages, config.generations, |stage| {
         // Re-evaluate the parent: in interleaved scheduling the upstream
         // stages may have changed since this stage was last visited, which
         // changes the input (and therefore the fitness) of its parent.
-        parent_fitness[stage] = evaluate(stage, &parents[stage], parents);
+        parent_fitness[stage] = evaluate(stage, &parents[stage], &parents);
         let mut best_child: Option<(Genotype, u64)> = None;
         for _ in 0..config.offspring {
-            let child = parents[stage].mutated(config.mutation_rate, rng);
-            let fitness = evaluate(stage, &child, parents);
+            let child = parents[stage].mutated(config.mutation_rate, &mut rng);
+            let fitness = evaluate(stage, &child, &parents);
             if best_child.as_ref().is_none_or(|(_, f)| fitness < *f) {
                 best_child = Some((child, fitness));
             }
@@ -397,24 +471,7 @@ pub fn evolve_cascade(
                 parent_fitness[stage] = fitness;
             }
         }
-    };
-
-    match config.schedule {
-        CascadeSchedule::Sequential => {
-            for stage in 0..stages {
-                for _ in 0..config.generations {
-                    one_generation(stage, &mut parents, &mut parent_fitness, &mut rng);
-                }
-            }
-        }
-        CascadeSchedule::Interleaved => {
-            for _ in 0..config.generations {
-                for stage in 0..stages {
-                    one_generation(stage, &mut parents, &mut parent_fitness, &mut rng);
-                }
-            }
-        }
-    }
+    });
 
     for (stage, genotype) in parents.iter().enumerate() {
         platform.configure_array(stage, genotype);
@@ -423,6 +480,261 @@ pub fn evolve_cascade(
     CascadeResult {
         stage_genotypes: parents,
         stage_fitness,
+        evaluations: evaluations.get(),
+        stats: ehw_evolution::fitness::EngineStats::default(),
+    }
+}
+
+/// Mutable state of the compiled cascade engine.
+///
+/// Everything a candidate's fitness depends on besides its own genotype —
+/// upstream parents (via the stage input) and, for merged fitness, downstream
+/// parents — is cached and tagged with the *epoch* (a counter bumped on every
+/// parent replacement) at which it was computed.  A cached item is fresh iff
+/// none of the stages it depends on changed after its epoch, so sequential
+/// scheduling reuses one stage-input extraction across the stage's whole
+/// generation budget, and interleaved scheduling reuses every prefix that the
+/// intervening rounds left untouched.
+struct CascadeState<'a> {
+    arrays: &'a [ProcessingArray],
+    task: &'a EvolutionTask,
+    fitness_mode: CascadeFitness,
+    parallel: ParallelConfig,
+    parents: Vec<Genotype>,
+    /// Compiled plan of each stage's current parent (each stage's fault
+    /// overlay baked in).
+    parent_plans: Vec<ehw_array::compiled::CompiledArray>,
+    /// Epoch at which each stage's parent was last replaced.
+    changed_at: Vec<u64>,
+    epoch: u64,
+    /// `inputs[s]`: the chain input of stage `s` (the task input filtered
+    /// through parents `0..s`), tagged with its epoch.  Index 0 is unused —
+    /// stage 0's input is the task input itself, which never changes.
+    inputs: Vec<Option<(GrayImage, u64)>>,
+    /// The 3×3 windows of each stage's input, extracted once per (stage,
+    /// prefix-epoch) and shared by the parent re-evaluation and the whole
+    /// offspring batch of every generation the prefix survives.
+    windows: Vec<Option<(ehw_image::window::SharedWindows, u64)>>,
+    /// Exact parent fitness per stage, tagged with its epoch.
+    parent_fitness: Vec<Option<(u64, u64)>>,
+    evaluations: u64,
+    stats: ehw_evolution::fitness::EngineStats,
+}
+
+impl CascadeState<'_> {
+    /// `true` if a value computed at `epoch` that depends on the parents of
+    /// stages `0..s` is still current.
+    fn prefix_fresh(&self, s: usize, epoch: u64) -> bool {
+        self.changed_at[..s].iter().all(|&c| c <= epoch)
+    }
+
+    /// `true` if stage `s`'s cached parent fitness from `epoch` is still
+    /// current: the upstream prefix is fresh, the parent itself has not been
+    /// replaced since, and — for merged fitness — neither has any downstream
+    /// parent.
+    fn fitness_fresh(&self, s: usize, epoch: u64) -> bool {
+        self.prefix_fresh(s, epoch)
+            && self.changed_at[s] <= epoch
+            && (self.fitness_mode == CascadeFitness::Separate
+                || self.changed_at[s + 1..].iter().all(|&c| c <= epoch))
+    }
+
+    /// Makes `inputs[s]` and `windows[s]` current, refiltering forward from
+    /// the deepest still-fresh cached prefix (never from the source image
+    /// unless everything upstream changed) and caching every intermediate
+    /// prefix on the way.
+    fn ensure_stage_windows(&mut self, s: usize) {
+        // Deepest t <= s whose cached input is fresh; t == 0 is the task
+        // input, which is always fresh.
+        let mut t = s;
+        while t > 0 {
+            if let Some((_, e)) = self.inputs[t].as_ref() {
+                if self.prefix_fresh(t, *e) {
+                    break;
+                }
+            }
+            t -= 1;
+        }
+        while t < s {
+            let next = {
+                let prev: &GrayImage = match t {
+                    0 => &self.task.input,
+                    _ => &self.inputs[t].as_ref().expect("prefix is cached").0,
+                };
+                self.parent_plans[t].filter_image(prev)
+            };
+            self.inputs[t + 1] = Some((next, self.epoch));
+            t += 1;
+        }
+        let windows_fresh = match self.windows[s].as_ref() {
+            Some((_, e)) => self.prefix_fresh(s, *e),
+            None => false,
+        };
+        if !windows_fresh {
+            let img: &GrayImage = match s {
+                0 => &self.task.input,
+                _ => &self.inputs[s].as_ref().expect("input was ensured").0,
+            };
+            self.windows[s] = Some((ehw_image::window::SharedWindows::new(img), self.epoch));
+        }
+    }
+
+    /// The exact fitness of stage `s`'s current parent, from the cache when
+    /// fresh (a memo hit — the value is a pure function of state that has not
+    /// changed) or recomputed through the compiled plans.  Counts one
+    /// evaluation either way, mirroring the naive oracle's unconditional
+    /// parent re-evaluation.
+    fn parent_fitness(&mut self, s: usize) -> u64 {
+        self.evaluations += 1;
+        if let Some((fit, e)) = self.parent_fitness[s] {
+            if self.fitness_fresh(s, e) {
+                self.stats.memo_hits += 1;
+                return fit;
+            }
+        }
+        self.stats.plans_evaluated += 1;
+        let windows = &self.windows[s].as_ref().expect("windows were ensured").0;
+        let fit = match self.fitness_mode {
+            CascadeFitness::Separate => ehw_evolution::fitness::plan_mae(
+                &self.parent_plans[s],
+                windows,
+                &self.task.reference,
+            ),
+            CascadeFitness::Merged => {
+                ehw_evolution::fitness::chain_mae_bounded(
+                    &self.parent_plans[s],
+                    windows,
+                    &self.parent_plans[s + 1..],
+                    &self.task.reference,
+                    None,
+                )
+                .0
+            }
+        };
+        self.parent_fitness[s] = Some((fit, self.epoch));
+        fit
+    }
+
+    /// One (1+λ) generation of stage `s`: compute the stage input once,
+    /// evaluate the offspring batch against it through compiled plans over
+    /// the worker pool with the parent's fitness as the early-exit bound, and
+    /// apply elitist selection with neutral drift.
+    fn one_generation(&mut self, s: usize, config: &CascadeConfig, rng: &mut StdRng) {
+        self.ensure_stage_windows(s);
+        let bound = self.parent_fitness(s);
+        let offspring: Vec<Genotype> = (0..config.offspring)
+            .map(|_| self.parents[s].mutated(config.mutation_rate, rng))
+            .collect();
+        self.evaluations += offspring.len() as u64;
+
+        let windows = &self.windows[s].as_ref().expect("windows were ensured").0;
+        let stage_array = &self.arrays[s];
+        let downstream = &self.parent_plans[s + 1..];
+        let merged = self.fitness_mode == CascadeFitness::Merged;
+        let reference = &self.task.reference;
+        let parent = &self.parents[s];
+        // Early exit is sound under elitist selection: a candidate whose
+        // running sum exceeds the parent's fitness can never be selected, so
+        // its deterministic partial sum (> bound) stands in for the exact
+        // value without changing the argmin below.  Offspring identical to
+        // the parent reuse its exact fitness; duplicates inside the batch are
+        // evaluated once.
+        let fitnesses = ehw_evolution::fitness::batch_mae_bounded(
+            &offspring,
+            Some((parent, bound)),
+            self.parallel,
+            |_, g| g,
+            |_| true,
+            |i| {
+                let plan = stage_array.compile_with(&offspring[i]);
+                if merged {
+                    ehw_evolution::fitness::chain_mae_bounded(
+                        &plan,
+                        windows,
+                        downstream,
+                        reference,
+                        Some(bound),
+                    )
+                } else {
+                    ehw_evolution::fitness::plan_mae_bounded(&plan, windows, reference, Some(bound))
+                }
+            },
+            &mut self.stats,
+        );
+
+        let mut best_child: Option<(usize, u64)> = None;
+        for (i, &fitness) in fitnesses.iter().enumerate() {
+            if best_child.is_none_or(|(_, f)| fitness < f) {
+                best_child = Some((i, fitness));
+            }
+        }
+        if let Some((i, fitness)) = best_child {
+            // A neutrally-drifting child that is genotype-identical to the
+            // parent replaces nothing observable: skipping it keeps every
+            // downstream prefix/window/fitness cache valid instead of
+            // recompiling an identical plan and invalidating them all.
+            if fitness <= bound && self.parents[s] != offspring[i] {
+                // `fitness <= bound` implies the value is exact, so the cache
+                // stores the true parent fitness for the generations ahead.
+                self.epoch += 1;
+                self.parents[s] = offspring[i].clone();
+                self.parent_plans[s] = self.arrays[s].compile_with(&self.parents[s]);
+                self.changed_at[s] = self.epoch;
+                self.parent_fitness[s] = Some((fitness, self.epoch));
+            }
+        }
+    }
+}
+
+/// The compiled engine behind [`evolve_cascade`].
+fn evolve_cascade_compiled(
+    platform: &mut EhwPlatform,
+    task: &EvolutionTask,
+    config: &CascadeConfig,
+) -> CascadeResult {
+    let stages = platform.num_arrays();
+    let arrays: Vec<ProcessingArray> = platform
+        .acbs()
+        .iter()
+        .map(|acb| acb.array().clone())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let parents = initial_parents(stages, config.init, &mut rng);
+    let parent_plans = arrays
+        .iter()
+        .zip(&parents)
+        .map(|(a, g)| a.compile_with(g))
+        .collect();
+
+    let mut state = CascadeState {
+        arrays: &arrays,
+        task,
+        fitness_mode: config.fitness,
+        parallel: platform.parallel_config(),
+        parents,
+        parent_plans,
+        changed_at: vec![0; stages],
+        epoch: 0,
+        inputs: vec![None; stages],
+        windows: vec![None; stages],
+        parent_fitness: vec![None; stages],
+        evaluations: 0,
+        stats: ehw_evolution::fitness::EngineStats::default(),
+    };
+
+    drive_schedule(config.schedule, stages, config.generations, |stage| {
+        state.one_generation(stage, config, &mut rng);
+    });
+
+    for (stage, genotype) in state.parents.iter().enumerate() {
+        platform.configure_array(stage, genotype);
+    }
+    let stage_fitness = chain_fitness(platform, &task.input, &task.reference);
+    CascadeResult {
+        stage_genotypes: state.parents,
+        stage_fitness,
+        evaluations: state.evaluations,
+        stats: state.stats,
     }
 }
 
@@ -447,6 +759,8 @@ pub fn evolve_same_filter_cascade(
     CascadeResult {
         stage_genotypes: vec![result.best_genotype; platform.num_arrays()],
         stage_fitness,
+        evaluations: result.evaluations,
+        stats: evaluator.engine_stats(),
     }
 }
 
@@ -608,7 +922,7 @@ mod tests {
         }
         // ...and the whole chain beats the unfiltered noisy input.
         let identity_fitness = mae(&task.input, &task.reference);
-        assert!(result.final_fitness() < identity_fitness);
+        assert!(result.final_fitness().expect("three stages") < identity_fitness);
     }
 
     #[test]
@@ -633,8 +947,8 @@ mod tests {
             },
         );
         let identity_fitness = mae(&task.input, &task.reference);
-        assert!(seq.final_fitness() < identity_fitness);
-        assert!(interleaved.final_fitness() < identity_fitness);
+        assert!(seq.final_fitness().expect("stages") < identity_fitness);
+        assert!(interleaved.final_fitness().expect("stages") < identity_fitness);
         // Sequential scheduling guarantees monotone per-stage improvement
         // (each stage starts as a pass-through of the previous one);
         // interleaved scheduling only converges towards it.
@@ -654,7 +968,7 @@ mod tests {
         };
         let result = evolve_cascade(&mut platform, &task, &config);
         assert_eq!(result.stage_fitness.len(), 2);
-        assert!(result.final_fitness() < mae(&task.input, &task.reference));
+        assert!(result.final_fitness().expect("stages") < mae(&task.input, &task.reference));
     }
 
     #[test]
@@ -667,6 +981,86 @@ mod tests {
         };
         let result = evolve_cascade(&mut platform, &task, &config);
         assert_eq!(result.stage_fitness.len(), 2);
+    }
+
+    #[test]
+    fn empty_cascade_result_has_no_final_fitness() {
+        // Regression: `final_fitness` used to `expect("at least one stage")`
+        // and panic on zero-stage data; an empty result is valid plain data
+        // and must answer gracefully.
+        let empty = CascadeResult {
+            stage_genotypes: Vec::new(),
+            stage_fitness: Vec::new(),
+            evaluations: 0,
+            stats: ehw_evolution::fitness::EngineStats::default(),
+        };
+        assert_eq!(empty.final_fitness(), None);
+    }
+
+    #[test]
+    fn compiled_and_naive_cascades_are_byte_identical() {
+        // Unit-level spot check of the engine equivalence (the root proptest
+        // suite broadens it): same config and seed ⇒ identical genotypes,
+        // stage fitness and evaluation counts, and the compiled engine must
+        // actually have saved work.
+        let task = denoise_task(20, 0.35, 71);
+        for fitness in [CascadeFitness::Separate, CascadeFitness::Merged] {
+            for schedule in [CascadeSchedule::Sequential, CascadeSchedule::Interleaved] {
+                let config = CascadeConfig {
+                    fitness,
+                    schedule,
+                    ..CascadeConfig::paper(8, 2, 67)
+                };
+                let naive = {
+                    let mut platform = EhwPlatform::paper_three_arrays();
+                    evolve_cascade(
+                        &mut platform,
+                        &task,
+                        &CascadeConfig {
+                            engine: CascadeEngine::Naive,
+                            ..config
+                        },
+                    )
+                };
+                let compiled = {
+                    let mut platform = EhwPlatform::paper_three_arrays();
+                    evolve_cascade(&mut platform, &task, &config)
+                };
+                assert_eq!(
+                    naive.stage_genotypes, compiled.stage_genotypes,
+                    "{fitness:?}/{schedule:?}"
+                );
+                assert_eq!(naive.stage_fitness, compiled.stage_fitness);
+                assert_eq!(naive.evaluations, compiled.evaluations);
+                assert!(
+                    compiled.stats.early_exits > 0 || compiled.stats.memo_hits > 0,
+                    "engine saved nothing: {:?}",
+                    compiled.stats
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_cascade_is_identical_at_any_worker_count() {
+        let task = denoise_task(20, 0.3, 73);
+        let config = CascadeConfig {
+            schedule: CascadeSchedule::Interleaved,
+            ..CascadeConfig::paper(6, 2, 79)
+        };
+        let reference = {
+            let mut platform =
+                EhwPlatform::with_parallel(3, ehw_parallel::ParallelConfig::serial());
+            evolve_cascade(&mut platform, &task, &config)
+        };
+        for workers in [2usize, 8] {
+            let mut platform =
+                EhwPlatform::with_parallel(3, ehw_parallel::ParallelConfig::with_workers(workers));
+            let r = evolve_cascade(&mut platform, &task, &config);
+            assert_eq!(r.stage_genotypes, reference.stage_genotypes);
+            assert_eq!(r.stage_fitness, reference.stage_fitness);
+            assert_eq!(r.evaluations, reference.evaluations);
+        }
     }
 
     #[test]

@@ -234,15 +234,33 @@ impl EhwPlatform {
 
     /// Cascaded mode: the output of each stage feeds the next one (bypassed
     /// stages forward their input unchanged).  Returns the output of every
-    /// stage, in order; the last entry is the chain output.
+    /// stage, in order; the last entry is the chain output.  Each stage runs
+    /// its cached compiled plan and the stage outputs are moved, not copied —
+    /// no per-stage clone of the stream.
     pub fn process_cascaded(&self, input: &GrayImage) -> Vec<GrayImage> {
-        let mut outputs = Vec::with_capacity(self.acbs.len());
-        let mut stream = input.clone();
+        let mut outputs: Vec<GrayImage> = Vec::with_capacity(self.acbs.len());
         for acb in &self.acbs {
-            stream = acb.process(&stream);
-            outputs.push(stream.clone());
+            let out = acb.process(outputs.last().unwrap_or(input));
+            outputs.push(out);
         }
         outputs
+    }
+
+    /// MAE of every cascaded stage output against `reference` — the values
+    /// the per-stage fitness units report in cascaded mode (Figs. 16–17),
+    /// computed by streaming through the stages' cached compiled plans while
+    /// holding only the current stage output.  One entry per stage; the
+    /// vector is empty exactly when the platform has no stages, which
+    /// [`EhwPlatform::new`] makes unconstructible.
+    pub fn chain_fitness(&self, input: &GrayImage, reference: &GrayImage) -> Vec<u64> {
+        let mut fitnesses = Vec::with_capacity(self.acbs.len());
+        let mut stream: Option<GrayImage> = None;
+        for acb in &self.acbs {
+            let out = acb.process(stream.as_ref().unwrap_or(input));
+            fitnesses.push(ehw_image::metrics::mae(&out, reference));
+            stream = Some(out);
+        }
+        fitnesses
     }
 
     /// Parallel mode: every array receives the same input and filters it
@@ -441,6 +459,26 @@ mod tests {
         for (i, out) in outputs.iter().enumerate() {
             assert_eq!(*out, platform.acb(i).raw_output(&img));
         }
+    }
+
+    #[test]
+    fn chain_fitness_matches_process_cascaded() {
+        let mut platform = EhwPlatform::paper_three_arrays();
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..3 {
+            platform.configure_array(i, &Genotype::random(&mut rng));
+        }
+        // A bypassed stage must forward its input in both paths.
+        platform.set_bypass(1, true);
+        let input = synth::shapes(24, 24, 3);
+        let reference = synth::shapes(24, 24, 4);
+        let expected: Vec<u64> = platform
+            .process_cascaded(&input)
+            .iter()
+            .map(|out| mae(out, &reference))
+            .collect();
+        assert_eq!(platform.chain_fitness(&input, &reference), expected);
+        assert_eq!(expected.len(), 3);
     }
 
     #[test]

@@ -20,9 +20,10 @@
 
 use ehw_image::image::GrayImage;
 use ehw_image::metrics::mae;
+use ehw_image::window::SharedWindows;
 use serde::{Deserialize, Serialize};
 
-use ehw_evolution::fitness::SoftwareEvaluator;
+use ehw_evolution::fitness::{plan_filter_windows, plan_mae, plan_mae_bounded, SoftwareEvaluator};
 use ehw_evolution::strategy::{run_evolution_with_parent, EsConfig, NullObserver};
 
 use crate::evo_modes::{evolve_imitation, ImitationStart};
@@ -84,9 +85,16 @@ pub struct RecoveryConfig {
 // ---------------------------------------------------------------------------
 
 /// Supervisor implementing the calibration-based strategy of §V.A.
+///
+/// The calibration image's 3×3 windows are extracted once at calibration
+/// time and shared by every subsequent check: a deviation measurement runs
+/// each array's cached compiled plan over the shared window buffer instead
+/// of refiltering the calibration image from scratch, and the internal
+/// "deviating at all?" checks early-exit at the first differing block.
 #[derive(Debug, Clone)]
 pub struct CascadedSelfHealing {
     calibration_input: GrayImage,
+    calibration_windows: SharedWindows,
     golden_outputs: Vec<GrayImage>,
 }
 
@@ -95,13 +103,15 @@ impl CascadedSelfHealing {
     /// calibration image, captured right after the initial evolution
     /// (§V.A step b).
     pub fn calibrate(platform: &EhwPlatform, calibration_input: GrayImage) -> Self {
+        let calibration_windows = SharedWindows::new(&calibration_input);
         let golden_outputs = platform
             .acbs()
             .iter()
-            .map(|acb| acb.raw_output(&calibration_input))
+            .map(|acb| plan_filter_windows(acb.array().plan(), &calibration_windows))
             .collect();
         Self {
             calibration_input,
+            calibration_windows,
             golden_outputs,
         }
     }
@@ -118,7 +128,7 @@ impl CascadedSelfHealing {
             .acbs()
             .iter()
             .zip(self.golden_outputs.iter())
-            .map(|(acb, golden)| mae(&acb.raw_output(&self.calibration_input), golden))
+            .map(|(acb, golden)| plan_mae(acb.array().plan(), &self.calibration_windows, golden))
             .collect()
     }
 
@@ -137,11 +147,18 @@ impl CascadedSelfHealing {
         events
     }
 
-    fn deviation_of(&self, platform: &EhwPlatform, array: usize) -> u64 {
-        mae(
-            &platform.acb(array).raw_output(&self.calibration_input),
+    /// `true` if the array's current behaviour differs from its calibration
+    /// baseline at all.  Bounded with bound 0, so the comparison stops at the
+    /// first 64-window block that deviates — a damaged array is typically
+    /// flagged after a fraction of the calibration image.
+    fn is_deviating(&self, platform: &EhwPlatform, array: usize) -> bool {
+        plan_mae_bounded(
+            platform.acb(array).array().plan(),
+            &self.calibration_windows,
             &self.golden_outputs[array],
+            Some(0),
         )
+        .0 > 0
     }
 
     fn heal_array(
@@ -151,7 +168,7 @@ impl CascadedSelfHealing {
         recovery: &RecoveryConfig,
     ) -> HealingOutcome {
         // Steps d–e: re-evaluate and compare against the calibration value.
-        if self.deviation_of(platform, array) == 0 {
+        if !self.is_deviating(platform, array) {
             return HealingOutcome::NoFaultDetected;
         }
 
@@ -160,7 +177,7 @@ impl CascadedSelfHealing {
 
         // Steps g–h: re-evaluate; if the deviation is gone the fault was
         // transient.
-        if self.deviation_of(platform, array) == 0 {
+        if !self.is_deviating(platform, array) {
             return HealingOutcome::TransientScrubbed;
         }
 
@@ -208,8 +225,11 @@ impl CascadedSelfHealing {
         platform.set_bypass(array, false);
 
         // The recovered behaviour becomes the new calibration baseline for
-        // this array.
-        self.golden_outputs[array] = platform.acb(array).raw_output(&self.calibration_input);
+        // this array (same shared window pass as every other check).
+        self.golden_outputs[array] = plan_filter_windows(
+            platform.acb(array).array().plan(),
+            &self.calibration_windows,
+        );
 
         HealingOutcome::PermanentRecovered {
             method,

@@ -116,18 +116,21 @@ impl PipelineTimer {
         // The single engine serializes reconfigurations; each array can start
         // evaluating as soon as its own reconfiguration finishes, and must
         // finish evaluating before its next reconfiguration may begin.
-        let mut engine_free = 0.0_f64;
+        // Mutation happens in software before the generation's first frame
+        // write can be issued, so the engine starts the generation busy until
+        // `mutation`; every later candidate overlaps its mutation with the
+        // preceding activity for free.  (Seeding the engine clock this way
+        // replaces a per-candidate `earliest == 0.0` float-equality gate that
+        // encoded the same intent but charged mutation to *any* candidate
+        // whose engine and array happened to be idle at exactly t = 0.)
+        let mut engine_free = mutation;
         let mut array_free = vec![0.0_f64; self.num_arrays];
         let mut schedule = Vec::with_capacity(candidate_pe_reconfigs.len());
 
         for (i, &pes) in candidate_pe_reconfigs.iter().enumerate() {
             let array = i % self.num_arrays;
             let reconfig = self.timing.reconfig_time(pes);
-            // Mutation happens in software, overlapped with previous activity;
-            // it only delays the schedule if both the engine and the target
-            // array are idle (first candidates of a run).
-            let earliest = engine_free.max(array_free[array]);
-            let start_reconfig = if earliest == 0.0 { mutation } else { earliest };
+            let start_reconfig = engine_free.max(array_free[array]);
             let end_reconfig = start_reconfig + reconfig;
             engine_free = end_reconfig;
             let end_eval = end_reconfig + eval;
@@ -169,8 +172,22 @@ impl GenerationObserver for PipelineTimer {
             .timing
             .evaluation_time(self.image_width, self.image_height);
         let pes: u64 = candidate_pe_reconfigs.iter().map(|&p| p as u64).sum();
-        self.estimate.total_s += self.generation_time(candidate_pe_reconfigs);
-        self.estimate.reconfiguration_s += self.timing.reconfig_time(pes as usize);
+        // Every accounted quantity is derived from the one schedule the
+        // generation actually follows: total time is the last evaluation to
+        // finish, and engine-busy time is the sum of the per-candidate
+        // reconfiguration slots — the same per-candidate pricing the schedule
+        // uses.  (A single `reconfig_time(total_pes)` call happens to agree
+        // while the model is linear, but silently diverges from the schedule
+        // the moment it gains a per-reconfiguration overhead.)
+        let schedule = self.generation_schedule(candidate_pe_reconfigs);
+        self.estimate.total_s += schedule
+            .iter()
+            .map(|c| c.evaluation_end)
+            .fold(0.0, f64::max);
+        self.estimate.reconfiguration_s += schedule
+            .iter()
+            .map(|c| c.reconfiguration_end - c.reconfiguration_start)
+            .sum::<f64>();
         self.estimate.evaluation_s += eval * candidate_pe_reconfigs.len() as f64;
         self.estimate.generations += 1;
         self.estimate.candidates += candidate_pe_reconfigs.len() as u64;
@@ -289,6 +306,51 @@ mod tests {
         let gen = t.generation_time(&[0; 9]);
         let expected = timing.mutation_time() + 9.0 * timing.evaluation_time(128, 128);
         assert!((gen - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconfiguration_accounting_matches_schedule_engine_busy_time() {
+        // The estimate's `reconfiguration_s` must equal the engine-busy time
+        // of the schedule it claims to summarise: the sum of every
+        // candidate's reconfiguration slot, priced per candidate.
+        let counts = [3usize, 0, 5, 1, 2, 0, 4, 1, 1];
+        let mut t = timer(3, 128);
+        t.on_generation(0, &counts, 1000);
+        let schedule = t.generation_schedule(&counts);
+        let engine_busy: f64 = schedule
+            .iter()
+            .map(|c| c.reconfiguration_end - c.reconfiguration_start)
+            .sum();
+        let per_candidate: f64 = counts
+            .iter()
+            .map(|&p| TimingModel::paper().reconfig_time(p))
+            .sum();
+        let est = t.estimate();
+        assert!((est.reconfiguration_s - engine_busy).abs() < 1e-12);
+        assert!((est.reconfiguration_s - per_candidate).abs() < 1e-12);
+        assert!((est.total_s - t.generation_time(&counts)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutation_is_charged_once_even_with_zero_reconfig_candidates() {
+        // Zero-PE candidates on a multi-array platform leave the engine idle;
+        // the mutation fill must still be paid exactly once per generation,
+        // never re-charged to later candidates that find everything idle.
+        let timing = TimingModel::paper();
+        let t = timer(3, 128);
+        let gen = t.generation_time(&[0; 9]);
+        // Three arrays each evaluate three candidates back to back after the
+        // single software mutation slot.
+        let expected = timing.mutation_time() + 3.0 * timing.evaluation_time(128, 128);
+        assert!(
+            (gen - expected).abs() < 1e-9,
+            "gen={gen}, expected={expected}"
+        );
+        // Every reconfiguration slot is still placed at or after the
+        // mutation slot.
+        for c in t.generation_schedule(&[0; 9]) {
+            assert!(c.reconfiguration_start >= timing.mutation_time() - 1e-15);
+        }
     }
 
     #[test]

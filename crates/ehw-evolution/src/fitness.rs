@@ -171,6 +171,114 @@ pub fn plan_mae_bounded(
     (sum, false)
 }
 
+/// Filters a shared window buffer through a plan, producing the stage output
+/// image — bit-identical to `plan.filter_image(source)` on the image the
+/// windows were extracted from.  This is the cascade engine's bridge from a
+/// stage's one-time extraction pass to the downstream chain, and lets
+/// monitoring paths (calibration baselines, deviation checks) reuse one
+/// window pass across every stage plan.
+pub fn plan_filter_windows(plan: &CompiledArray, windows: &SharedWindows) -> GrayImage {
+    let mut data = vec![0u8; windows.len()];
+    plan.evaluate_windows_into(windows.as_slice(), &mut data);
+    GrayImage::from_vec(windows.width(), windows.height(), data)
+}
+
+/// [`plan_mae_bounded`] applied to a raw image instead of a pre-extracted
+/// window buffer: windows are extracted one row at a time (streaming, never
+/// materialising the full window set) and accumulation stops at the first
+/// row boundary where the running sum exceeds `bound`.  The exit granularity
+/// is a row rather than a 64-window block, so the partial sum of an
+/// early-exited evaluation may differ from [`plan_mae_bounded`]'s — both are
+/// deterministic, `> bound`, and exact iff `<= bound`, which is the only
+/// contract bounded callers may rely on.
+pub fn plan_image_mae_bounded(
+    plan: &CompiledArray,
+    input: &GrayImage,
+    reference: &GrayImage,
+    bound: Option<u64>,
+) -> (u64, bool) {
+    // Width and height individually: a same-area reference of a different
+    // shape would otherwise silently truncate every row's comparison in the
+    // zip below — the quietly-wrong-objective failure the plan_mae_bounded
+    // hard assert exists to prevent.
+    assert_eq!(input.width(), reference.width(), "image width mismatch");
+    assert_eq!(input.height(), reference.height(), "image height mismatch");
+    let width = input.width();
+    let mut row_windows: Vec<ehw_image::window::Window3x3> = Vec::with_capacity(width);
+    let mut buf = vec![0u8; width];
+    let mut sum = 0u64;
+    for y in 0..input.height() {
+        row_windows.clear();
+        ehw_image::window::for_each_window_in_rows(input, y, y + 1, |_, _, w| {
+            row_windows.push(*w);
+        });
+        plan.evaluate_windows_into(&row_windows, &mut buf);
+        sum += buf
+            .iter()
+            .zip(reference.row(y))
+            .map(|(&o, &r)| o.abs_diff(r) as u64)
+            .sum::<u64>();
+        if let Some(bound) = bound {
+            if sum > bound {
+                return (sum, true);
+            }
+        }
+    }
+    (sum, false)
+}
+
+/// MAE at the end of a cascade chain: `plan`'s response to `windows` is
+/// filtered through the `downstream` plans in order and the final image is
+/// compared against `reference`.  The early-exit bound applies to the final
+/// accumulation (the only one whose value is selected on), so the last
+/// downstream stage is fused with the bounded comparison and stops filtering
+/// as soon as the running sum exceeds `bound`; with no downstream stages this
+/// is exactly [`plan_mae_bounded`].
+pub fn chain_mae_bounded(
+    plan: &CompiledArray,
+    windows: &SharedWindows,
+    downstream: &[CompiledArray],
+    reference: &GrayImage,
+    bound: Option<u64>,
+) -> (u64, bool) {
+    match downstream.split_last() {
+        None => plan_mae_bounded(plan, windows, reference, bound),
+        Some((last, mid)) => {
+            let mut stream = plan_filter_windows(plan, windows);
+            for p in mid {
+                stream = p.filter_image(&stream);
+            }
+            plan_image_mae_bounded(last, &stream, reference, bound)
+        }
+    }
+}
+
+/// Drives the full dedup → worker pool → scatter pipeline over a candidate
+/// batch for any caller that can score one candidate — the building block
+/// behind every [`FitnessEvaluator::evaluate_batch_bounded`] implementation
+/// and the cascade engine, which evaluates per-stage offspring batches
+/// without owning an evaluator.  `eval(i)` scores batch slot `i` (returning
+/// the [`plan_mae_bounded`]-style `(sum, early_exited)` pair) and must be a
+/// pure function of the slot so results are identical at any worker count;
+/// `key` / `incumbent_applies` are forwarded to [`dedupe_batch`].
+pub fn batch_mae_bounded<'a, K, F>(
+    batch: &'a [Genotype],
+    incumbent: Option<(&Genotype, u64)>,
+    parallel: ParallelConfig,
+    key: impl Fn(usize, &'a Genotype) -> K,
+    incumbent_applies: impl Fn(usize) -> bool,
+    eval: F,
+    stats: &mut EngineStats,
+) -> Vec<u64>
+where
+    K: std::hash::Hash + Eq,
+    F: Fn(usize) -> (u64, bool) + Sync,
+{
+    let (slots, unique) = dedupe_batch(batch, incumbent, key, incumbent_applies);
+    let results = ehw_parallel::ordered_map(parallel, &unique, |_, &i| eval(i));
+    scatter_results(slots, &results, stats)
+}
+
 /// How one batch slot is resolved by the per-batch memo: evaluated through a
 /// plan (index into the unique list) or answered from a known value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -392,15 +500,21 @@ impl FitnessEvaluator for SoftwareEvaluator {
         // merges results in candidate order, so the outcome is identical at
         // any worker count.
         self.evaluations += batch.len() as u64;
-        let (slots, unique) = dedupe_batch(batch, incumbent, |_, g| g, |_| true);
         let base = &self.array;
         let windows = &self.windows;
         let reference = &self.reference;
-        let results = ehw_parallel::ordered_map(parallel, &unique, |_, &i| {
-            let plan = base.compile_with(&batch[i]);
-            plan_mae_bounded(&plan, windows, reference, bound)
-        });
-        scatter_results(slots, &results, &mut self.stats)
+        batch_mae_bounded(
+            batch,
+            incumbent,
+            parallel,
+            |_, g| g,
+            |_| true,
+            |i| {
+                let plan = base.compile_with(&batch[i]);
+                plan_mae_bounded(&plan, windows, reference, bound)
+            },
+            &mut self.stats,
+        )
     }
 
     fn evaluations(&self) -> u64 {
@@ -624,6 +738,38 @@ mod tests {
         assert_eq!(stats.memo_hits, 3);
         assert_eq!(stats.plans_evaluated, 3);
         assert_eq!(engine.evaluations(), batch.len() as u64);
+    }
+
+    #[test]
+    fn plan_image_mae_bounded_matches_filter_then_mae() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let img = synth::shapes(23, 17, 3);
+        let reference = synth::shapes(23, 17, 4);
+        for _ in 0..5 {
+            let plan = CompiledArray::new(&Genotype::random(&mut rng));
+            let exact = mae(&plan.filter_image(&img), &reference);
+            assert_eq!(
+                plan_image_mae_bounded(&plan, &img, &reference, None),
+                (exact, false)
+            );
+            // Bounded: exact iff under the bound, deterministic partial
+            // otherwise.
+            let (sum, exited) = plan_image_mae_bounded(&plan, &img, &reference, Some(exact / 2));
+            if exact > exact / 2 {
+                assert!(exited && sum > exact / 2 && sum <= exact);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn plan_image_mae_bounded_rejects_same_area_shape_mismatch() {
+        // Regression: a same-area reference of a different shape must fail
+        // loudly, not silently truncate every row's comparison.
+        let input = synth::gradient(20, 10);
+        let reference = synth::gradient(10, 20);
+        let plan = CompiledArray::new(&Genotype::identity());
+        let _ = plan_image_mae_bounded(&plan, &input, &reference, None);
     }
 
     #[test]

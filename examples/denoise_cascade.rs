@@ -46,7 +46,10 @@ fn main() {
     for (stage, fitness) in result.stage_fitness.iter().enumerate() {
         println!("evolved cascade, stage {}: {}", stage + 1, fitness);
     }
-    println!("final chain MAE:           {}", result.final_fitness());
+    println!(
+        "final chain MAE:           {}",
+        result.final_fitness().expect("three stages")
+    );
 
     let outputs = platform.process_cascaded(&noisy);
     if let Some(dir) = output_dir {

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate for BENCH_evaluation.json.
+
+Compares a freshly measured benchmark summary against the committed baseline
+and fails (exit 1) when a tracked speedup regressed by more than the allowed
+fraction (default 20%).  Metrics absent from the *baseline* are reported but
+never gated, so newly introduced numbers start recording history without
+breaking the first CI run that produces them.
+
+Usage: perf_gate.py BASELINE.json FRESH.json [--max-regression=0.20]
+"""
+
+import json
+import sys
+
+TRACKED = [
+    ("speedup_compiled_vs_interpreter_1_worker",),
+    ("cascade", "speedup_compiled_vs_naive_1_worker"),
+]
+
+
+def lookup(doc, path):
+    node = doc
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if len(args) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+    max_regression = 0.20
+    for a in argv[1:]:
+        if a.startswith("--max-regression="):
+            max_regression = float(a.split("=", 1)[1])
+
+    with open(args[0]) as f:
+        baseline = json.load(f)
+    with open(args[1]) as f:
+        fresh = json.load(f)
+
+    failures = []
+    for path in TRACKED:
+        name = ".".join(path)
+        base = lookup(baseline, path)
+        new = lookup(fresh, path)
+        if new is None:
+            failures.append(f"{name}: missing from the fresh summary")
+            continue
+        if base is None:
+            print(f"{name}: {new:.2f} (no baseline yet — recorded, not gated)")
+            continue
+        floor = base * (1.0 - max_regression)
+        status = "OK" if new >= floor else "REGRESSION"
+        print(f"{name}: baseline {base:.2f} -> fresh {new:.2f} (floor {floor:.2f}) {status}")
+        if new < floor:
+            failures.append(
+                f"{name} regressed: {new:.2f} < {floor:.2f} "
+                f"({max_regression:.0%} below baseline {base:.2f})"
+            )
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

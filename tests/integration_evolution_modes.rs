@@ -108,11 +108,11 @@ fn adapted_cascade_beats_replicating_the_same_filter() {
         },
     );
 
+    let adapted_final = adapted.final_fitness().expect("three stages");
+    let same_final = same.final_fitness().expect("three stages");
     assert!(
-        adapted.final_fitness() <= same.final_fitness(),
-        "adapted {} vs same-filter {}",
-        adapted.final_fitness(),
-        same.final_fitness()
+        adapted_final <= same_final,
+        "adapted {adapted_final} vs same-filter {same_final}"
     );
 
     // chain_fitness agrees with the result the cascade reported.

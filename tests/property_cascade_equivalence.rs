@@ -1,0 +1,136 @@
+//! Property suite pinning the compiled cascade engine to the naive oracle:
+//! for random fitness arrangement × schedule × initialisation × seed — on
+//! healthy and damaged platforms — a whole cascaded evolution run must be
+//! byte-identical between `CascadeEngine::Naive` and `CascadeEngine::Compiled`
+//! (stage genotypes, per-stage chain fitness and evaluation counts), and the
+//! compiled engine must be independent of the worker count (1, 2 and 8).
+
+use ehw_fabric::fault::FaultKind;
+use ehw_image::noise::salt_pepper;
+use ehw_image::synth;
+use ehw_parallel::ParallelConfig;
+use ehw_platform::evo_modes::{
+    evolve_cascade, CascadeConfig, CascadeEngine, CascadeInit, CascadeResult, EvolutionTask,
+};
+use ehw_platform::modes::{CascadeFitness, CascadeSchedule};
+use ehw_platform::platform::EhwPlatform;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_fitness() -> impl Strategy<Value = CascadeFitness> {
+    prop_oneof![Just(CascadeFitness::Separate), Just(CascadeFitness::Merged)]
+}
+
+fn arb_schedule() -> impl Strategy<Value = CascadeSchedule> {
+    prop_oneof![
+        Just(CascadeSchedule::Sequential),
+        Just(CascadeSchedule::Interleaved),
+    ]
+}
+
+fn arb_init() -> impl Strategy<Value = CascadeInit> {
+    prop_oneof![Just(CascadeInit::Identity), Just(CascadeInit::Random)]
+}
+
+fn denoise_task(size: usize, seed: u64) -> EvolutionTask {
+    let clean = synth::shapes(size, size, 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noisy = salt_pepper(&clean, 0.3, &mut rng);
+    EvolutionTask::new(noisy, clean)
+}
+
+/// Builds a three-stage platform, optionally with a permanent fault injected
+/// into stage 1 so the compiled engine's plans must carry the fault overlay
+/// exactly like the oracle's interpreter arrays do.
+fn platform(workers: usize, faulty: bool) -> EhwPlatform {
+    let mut p = EhwPlatform::with_parallel(3, ParallelConfig::with_workers(workers));
+    if faulty {
+        p.inject_pe_fault(1, 0, 3, FaultKind::Lpd);
+    }
+    p
+}
+
+fn run(
+    config: &CascadeConfig,
+    task: &EvolutionTask,
+    workers: usize,
+    faulty: bool,
+) -> CascadeResult {
+    let mut p = platform(workers, faulty);
+    evolve_cascade(&mut p, task, config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn compiled_cascade_equals_naive_oracle(
+        seed in any::<u64>(),
+        img_seed in 0u64..1_000,
+        fitness in arb_fitness(),
+        schedule in arb_schedule(),
+        init in arb_init(),
+        faulty in any::<bool>(),
+    ) {
+        let task = denoise_task(14, img_seed);
+        let config = CascadeConfig {
+            fitness,
+            schedule,
+            init,
+            offspring: 5,
+            ..CascadeConfig::paper(4, 2, seed)
+        };
+        let naive = run(
+            &CascadeConfig { engine: CascadeEngine::Naive, ..config },
+            &task,
+            1,
+            faulty,
+        );
+        for workers in [1usize, 2, 8] {
+            let compiled = run(&config, &task, workers, faulty);
+            prop_assert_eq!(
+                &compiled.stage_genotypes, &naive.stage_genotypes,
+                "genotypes diverged at {} workers ({:?}/{:?})", workers, fitness, schedule
+            );
+            prop_assert_eq!(&compiled.stage_fitness, &naive.stage_fitness);
+            prop_assert_eq!(compiled.evaluations, naive.evaluations);
+            prop_assert_eq!(compiled.final_fitness(), naive.final_fitness());
+        }
+    }
+
+    #[test]
+    fn compiled_cascade_configures_the_platform_like_the_oracle(
+        seed in any::<u64>(),
+        img_seed in 0u64..1_000,
+        schedule in arb_schedule(),
+    ) {
+        // Beyond the returned result: the platform both engines leave behind
+        // must hold the same circuits and report the same chain fitness.
+        let task = denoise_task(12, img_seed);
+        let config = CascadeConfig {
+            schedule,
+            offspring: 4,
+            ..CascadeConfig::paper(3, 2, seed)
+        };
+        let mut naive_platform = platform(1, false);
+        let _ = evolve_cascade(
+            &mut naive_platform,
+            &task,
+            &CascadeConfig { engine: CascadeEngine::Naive, ..config },
+        );
+        let mut compiled_platform = platform(1, false);
+        let _ = evolve_cascade(&mut compiled_platform, &task, &config);
+        for i in 0..3 {
+            prop_assert_eq!(
+                naive_platform.acb(i).genotype(),
+                compiled_platform.acb(i).genotype(),
+                "stage {} circuit diverged", i
+            );
+        }
+        prop_assert_eq!(
+            naive_platform.chain_fitness(&task.input, &task.reference),
+            compiled_platform.chain_fitness(&task.input, &task.reference)
+        );
+    }
+}

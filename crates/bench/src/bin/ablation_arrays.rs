@@ -11,16 +11,15 @@
 //! cargo run --release -p ehw-bench --bin ablation_arrays -- [--generations=150] [--size=128] [--max-arrays=6]
 //! ```
 
-use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, fmt_time, print_table};
+use ehw_bench::{arg_usize, banner, denoise_task, fmt_time, print_table, ExperimentArgs};
 use ehw_evolution::strategy::EsConfig;
 use ehw_platform::evo_modes::evolve_parallel;
 use ehw_platform::platform::EhwPlatform;
 use ehw_platform::resources::PlatformResources;
 
 fn main() {
-    let parallel = arg_parallel();
-    let generations = arg_usize("generations", 150);
-    let size = arg_usize("size", 128);
+    let args = ExperimentArgs::parse(1, 150, 128);
+    let (parallel, generations, size) = (args.parallel, args.generations, args.size);
     let max_arrays = arg_usize("max-arrays", 6).clamp(1, 8);
     banner(
         "Ablation",

@@ -7,46 +7,60 @@
 //! backs the paper's claim that the same mechanism used for adaptation also
 //! provides self-recovery from permanent and accumulated faults.
 //!
+//! Both phases run as typed jobs through the [`ehw_service`] front-end: an
+//! evolution job produces the working filter, a fault-campaign job sweeps the
+//! PE positions.  Seeds are pinned, so the report is byte-identical to the
+//! legacy path at any `--platforms=` / `--workers=` setting.
+//!
 //! ```text
 //! cargo run --release -p ehw-bench --bin fault_campaign -- [--generations=150] [--recovery=120] [--size=48]
 //! ```
 
-use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, print_table};
-use ehw_evolution::strategy::EsConfig;
-use ehw_platform::evo_modes::evolve_parallel;
-use ehw_platform::fault_campaign::systematic_fault_campaign;
-use ehw_platform::platform::EhwPlatform;
+use ehw_bench::{arg_usize, banner, denoise_task, print_table, ExperimentArgs};
+use ehw_service::JobSpec;
 
 fn main() {
-    let parallel = arg_parallel();
-    let generations = arg_usize("generations", 150);
+    let args = ExperimentArgs::parse(1, 150, 48);
     let recovery_generations = arg_usize("recovery", 120);
-    let size = arg_usize("size", 48);
     banner(
         "§VI.D",
         "systematic PE-level fault injection and recovery campaign (one array)",
         1,
-        generations,
+        args.generations,
     );
+
+    let service = args.service(0);
 
     // Evolve a working filter first.
-    let task = denoise_task(size, 0.4, 11000);
-    let mut platform = EhwPlatform::with_parallel(1, parallel);
-    let config = EsConfig::paper(3, 1, generations, 3);
-    let (evolved, _) = evolve_parallel(&mut platform, &task, &config);
-    println!("baseline evolved fitness: {}\n", evolved.best_fitness);
+    let task = denoise_task(args.size, 0.4, 11000);
+    let evolved = service
+        .submit(
+            JobSpec::evolution(task.input.clone(), task.reference.clone())
+                .mutation_rate(3)
+                .generations(args.generations)
+                .seed(3)
+                .build()
+                .expect("valid evolution spec"),
+        )
+        .expect("service accepts the job")
+        .wait();
+    let (evolution, _) = evolved.as_evolution().expect("evolution job");
+    println!("baseline evolved fitness: {}\n", evolution.best_fitness);
 
-    let recovery = EsConfig {
-        target_fitness: Some(evolved.best_fitness),
-        ..EsConfig::paper(2, 1, recovery_generations, 17)
-    };
-    let report = systematic_fault_campaign(
-        &mut platform,
-        &evolved.best_genotype,
-        &task,
-        &recovery,
-        &[0],
-    );
+    // Sweep every PE position of the array holding that filter.
+    let report = service
+        .submit(
+            JobSpec::fault_campaign(task.input, task.reference)
+                .baseline(evolution.best_genotype.clone())
+                .recovery_generations(recovery_generations)
+                .recovery_target(evolution.best_fitness)
+                .seed(17)
+                .build()
+                .expect("valid campaign spec"),
+        )
+        .expect("service accepts the job")
+        .wait();
+    let report = report.as_campaign().expect("campaign job").clone();
 
     let rows: Vec<Vec<String>> = report
         .positions

@@ -9,14 +9,15 @@
 //! cargo run --release -p ehw-bench --bin fig11_pipeline -- [--k=3] [--size=128]
 //! ```
 
-use ehw_bench::{arg_parallel, arg_usize, fmt_time, print_table};
+use ehw_bench::{arg_usize, fmt_time, print_table, ExperimentArgs};
 use ehw_platform::timing::PipelineTimer;
 
 fn main() {
+    let args = ExperimentArgs::parse(1, 1, 128);
     let k = arg_usize("k", 3);
-    let size = arg_usize("size", 128);
+    let size = args.size;
     let offspring = arg_usize("offspring", 9);
-    let parallel = arg_parallel();
+    let parallel = args.parallel;
 
     println!("Fig. 11: generation pipeline, k = {k}, image = {size}x{size}, {offspring} offspring");
     println!(

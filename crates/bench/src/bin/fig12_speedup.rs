@@ -8,47 +8,76 @@
 //! accumulated with the platform timing model, and the result is extrapolated
 //! to the paper's 100 000-generation budget for comparison.
 //!
+//! The whole sweep is submitted as one batch of typed jobs to the
+//! [`ehw_service`] front-end (`--platforms=` / `--queue-depth=` size the
+//! pool); seeds are pinned per run, so the figures are byte-identical to the
+//! legacy single-platform path at any pool size.
+//!
 //! ```text
 //! cargo run --release -p ehw-bench --bin fig12_speedup -- [--runs=3] [--generations=200] [--size=128]
 //! ```
 
-use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, fmt_time, print_table};
+use ehw_bench::{banner, denoise_task, fmt_time, print_table, ExperimentArgs};
 use ehw_evolution::stats::Summary;
-use ehw_evolution::strategy::EsConfig;
-use ehw_platform::evo_modes::evolve_parallel;
-use ehw_platform::platform::EhwPlatform;
+use ehw_service::JobSpec;
 
 fn main() {
-    let parallel = arg_parallel();
-    let runs = arg_usize("runs", 3);
-    let generations = arg_usize("generations", 200);
-    let size = arg_usize("size", 128);
+    let args = ExperimentArgs::parse(3, 200, 128);
     banner(
         "Fig. 12",
         "average evolution time vs mutation rate, 1 vs 3 arrays",
-        runs,
-        generations,
+        args.runs,
+        args.generations,
     );
 
+    // One evolution job per (k, arrays, run), submitted in a fixed order so
+    // the handles line up with the sweep; the pool executes them in whatever
+    // order frees up.
+    let sweep: Vec<(usize, usize)> = [1usize, 3, 5]
+        .iter()
+        .flat_map(|&k| [1usize, 3].iter().map(move |&arrays| (k, arrays)))
+        .collect();
+    let service = args.service(0);
+    let mut specs = Vec::new();
+    for &(k, arrays) in &sweep {
+        for run in 0..args.runs {
+            let task = denoise_task(args.size, 0.4, 1000 + run as u64);
+            specs.push(
+                JobSpec::evolution(task.input, task.reference)
+                    .num_arrays(arrays)
+                    .mutation_rate(k)
+                    .generations(args.generations)
+                    .seed(42 + run as u64)
+                    .build()
+                    .expect("valid evolution spec"),
+            );
+        }
+    }
+    let results = service.run_batch(specs).expect("service accepts the sweep");
+
+    // Pair each sweep entry with its per-run result chunk directly, so the
+    // grouping below cannot drift from the submission order above.
+    let mut mean_per_gen: Vec<((usize, usize), f64)> = Vec::new();
+    for (&(k, arrays), chunk) in sweep.iter().zip(results.chunks_exact(args.runs)) {
+        let per_gen: Vec<f64> = chunk
+            .iter()
+            .map(|r| {
+                let (_, time) = r.as_evolution().expect("evolution job");
+                time.per_generation_s()
+            })
+            .collect();
+        mean_per_gen.push(((k, arrays), Summary::of(&per_gen).mean));
+    }
+    let mean_of = |k: usize, arrays: usize| {
+        mean_per_gen
+            .iter()
+            .find(|((mk, ma), _)| *mk == k && *ma == arrays)
+            .expect("sweep covers (k, arrays)")
+            .1
+    };
     let mut rows = Vec::new();
     for &k in &[1usize, 3, 5] {
-        let mut per_arrays = Vec::new();
-        for &arrays in &[1usize, 3] {
-            let mut per_gen = Vec::new();
-            let mut fitness = Vec::new();
-            for run in 0..runs {
-                let task = denoise_task(size, 0.4, 1000 + run as u64);
-                let mut platform = EhwPlatform::with_parallel(arrays, parallel);
-                let config = EsConfig::paper(k, arrays, generations, 42 + run as u64);
-                let (result, time) = evolve_parallel(&mut platform, &task, &config);
-                per_gen.push(time.per_generation_s());
-                fitness.push(result.best_fitness);
-            }
-            let summary = Summary::of(&per_gen);
-            per_arrays.push((summary.mean, Summary::of_u64(&fitness).mean));
-        }
-        let (single, _) = per_arrays[0];
-        let (triple, _) = per_arrays[1];
+        let (single, triple) = (mean_of(k, 1), mean_of(k, 3));
         rows.push(vec![
             format!("k={k}"),
             fmt_time(single * 100_000.0),

@@ -9,17 +9,16 @@
 //! cargo run --release -p ehw-bench --bin fig13_speedup_large -- [--runs=2] [--generations=100]
 //! ```
 
-use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, fmt_time, print_table};
+use ehw_bench::{banner, denoise_task, fmt_time, print_table, ExperimentArgs};
 use ehw_evolution::stats::Summary;
 use ehw_evolution::strategy::EsConfig;
 use ehw_platform::evo_modes::evolve_parallel;
 use ehw_platform::platform::EhwPlatform;
 
 fn main() {
-    let parallel = arg_parallel();
-    let runs = arg_usize("runs", 2);
-    let generations = arg_usize("generations", 100);
-    let size = arg_usize("size", 256);
+    let args = ExperimentArgs::parse(2, 100, 256);
+    let (parallel, runs, generations, size) =
+        (args.parallel, args.runs, args.generations, args.size);
     banner(
         "Fig. 13",
         "average evolution time vs mutation rate, 256x256 images",

@@ -11,17 +11,16 @@
 //! cargo run --release -p ehw-bench --bin fig14_new_ea_time -- [--runs=3] [--generations=200]
 //! ```
 
-use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, fmt_time, print_table};
+use ehw_bench::{banner, denoise_task, fmt_time, print_table, ExperimentArgs};
 use ehw_evolution::stats::Summary;
 use ehw_evolution::strategy::{EsConfig, MutationStrategy};
 use ehw_platform::evo_modes::evolve_parallel;
 use ehw_platform::platform::EhwPlatform;
 
 fn main() {
-    let parallel = arg_parallel();
-    let runs = arg_usize("runs", 3);
-    let generations = arg_usize("generations", 200);
-    let size = arg_usize("size", 128);
+    let args = ExperimentArgs::parse(3, 200, 128);
+    let (parallel, runs, generations, size) =
+        (args.parallel, args.runs, args.generations, args.size);
     banner(
         "Fig. 14",
         "evolution time: classic EA vs new two-level EA (3 arrays)",

@@ -8,17 +8,16 @@
 //! cargo run --release -p ehw-bench --bin fig15_new_ea_fitness -- [--runs=5] [--generations=400]
 //! ```
 
-use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, print_table};
+use ehw_bench::{banner, denoise_task, print_table, ExperimentArgs};
 use ehw_evolution::stats::Summary;
 use ehw_evolution::strategy::{EsConfig, MutationStrategy};
 use ehw_platform::evo_modes::evolve_parallel;
 use ehw_platform::platform::EhwPlatform;
 
 fn main() {
-    let parallel = arg_parallel();
-    let runs = arg_usize("runs", 5);
-    let generations = arg_usize("generations", 1200);
-    let size = arg_usize("size", 48);
+    let args = ExperimentArgs::parse(5, 1200, 48);
+    let (parallel, runs, generations, size) =
+        (args.parallel, args.runs, args.generations, args.size);
     banner(
         "Fig. 15",
         "average fitness: classic EA vs new two-level EA (3 arrays)",

@@ -2,83 +2,75 @@
 //! same filter replicated vs. adapted filters (sequential) vs. adapted
 //! filters (interleaved).
 //!
+//! The adapted cascades are submitted as one batch of typed jobs to the
+//! [`ehw_service`] front-end (`--platforms=` / `--queue-depth=` size the
+//! pool); seeds are pinned per run, so the figure is byte-identical to the
+//! legacy single-platform path at any pool size.  The same-filter baseline
+//! stays on the legacy `evolve_same_filter_cascade` entry point — it is not a
+//! cascade job, it is the paper's non-adaptive control.
+//!
 //! ```text
 //! cargo run --release -p ehw-bench --bin fig16_cascade_avg -- [--runs=3] [--generations=300]
 //! ```
 
-use ehw_bench::{arg_cascade_engine, arg_parallel, arg_usize, banner, denoise_task, print_table};
+use ehw_bench::{banner, denoise_task, print_table, ExperimentArgs};
 use ehw_evolution::stats::Summary;
 use ehw_evolution::strategy::EsConfig;
-use ehw_platform::evo_modes::{
-    evolve_cascade, evolve_same_filter_cascade, CascadeConfig, CascadeEngine,
-};
-use ehw_platform::modes::CascadeSchedule;
-use ehw_platform::platform::EhwPlatform;
+use ehw_platform::evo_modes::evolve_same_filter_cascade;
+use ehw_service::JobResult;
 
-/// Collects the per-stage chain fitness of one cascade configuration over
-/// several runs.
-fn collect(
-    runs: usize,
-    generations: usize,
-    size: usize,
-    variant: &str,
-    parallel: ehw_parallel::ParallelConfig,
-    engine: CascadeEngine,
-) -> Vec<Vec<u64>> {
-    let mut per_stage: Vec<Vec<u64>> = vec![Vec::new(); 3];
-    for run in 0..runs {
-        let task = denoise_task(size, 0.4, 5000 + run as u64);
-        let mut platform = EhwPlatform::with_parallel(3, parallel);
-        let stage_fitness = match variant {
-            "same" => {
-                let config = EsConfig::paper(2, 1, generations, 200 + run as u64);
-                evolve_same_filter_cascade(&mut platform, &task, &config).stage_fitness
-            }
-            "sequential" => {
-                let config = CascadeConfig {
-                    schedule: CascadeSchedule::Sequential,
-                    engine,
-                    ..CascadeConfig::paper(generations, 2, 300 + run as u64)
-                };
-                evolve_cascade(&mut platform, &task, &config).stage_fitness
-            }
-            "interleaved" => {
-                let config = CascadeConfig {
-                    schedule: CascadeSchedule::Interleaved,
-                    engine,
-                    ..CascadeConfig::paper(generations, 2, 400 + run as u64)
-                };
-                evolve_cascade(&mut platform, &task, &config).stage_fitness
-            }
-            other => panic!("unknown variant {other}"),
-        };
-        for (stage, fitness) in stage_fitness.iter().enumerate() {
-            per_stage[stage].push(*fitness);
+/// Splits a batch's worth of per-run chain-fitness histories into per-stage
+/// columns.
+fn per_stage(results: &[JobResult]) -> Vec<Vec<u64>> {
+    let mut columns: Vec<Vec<u64>> = vec![Vec::new(); 3];
+    for result in results {
+        // A failed job has an empty history; averaging over the survivors
+        // would silently skew the figure, so fail loudly like the legacy
+        // path did.
+        assert!(!result.is_failed(), "cascade job {} failed", result.job_id);
+        for (stage, fitness) in result.history().iter().enumerate() {
+            columns[stage].push(*fitness);
         }
     }
-    per_stage
+    columns
 }
 
 fn main() {
-    let parallel = arg_parallel();
-    let engine = arg_cascade_engine();
-    let runs = arg_usize("runs", 3);
-    let generations = arg_usize("generations", 300);
-    let size = arg_usize("size", 64);
+    let args = ExperimentArgs::parse(3, 300, 64);
     banner(
         "Fig. 16",
         "average fitness per cascade stage: same filter vs adapted (sequential/interleaved)",
-        runs,
-        generations,
+        args.runs,
+        args.generations,
     );
     println!(
-        "(every evolved circuit gets {generations} generations, matching the same-filter baseline)"
+        "(every evolved circuit gets {} generations, matching the same-filter baseline)",
+        args.generations
     );
-    println!("cascade engine: {engine:?} (pass --naive for the oracle baseline)\n");
+    println!(
+        "cascade engine: {:?} (pass --naive for the oracle baseline)\n",
+        args.engine
+    );
 
-    let same = collect(runs, generations, size, "same", parallel, engine);
-    let sequential = collect(runs, generations, size, "sequential", parallel, engine);
-    let interleaved = collect(runs, generations, size, "interleaved", parallel, engine);
+    // Same-filter baseline (legacy path).
+    let mut same: Vec<Vec<u64>> = vec![Vec::new(); 3];
+    for run in 0..args.runs {
+        let task = denoise_task(args.size, 0.4, 5000 + run as u64);
+        let mut platform = args.platform(3);
+        let config = EsConfig::paper(2, 1, args.generations, 200 + run as u64);
+        let fitness = evolve_same_filter_cascade(&mut platform, &task, &config).stage_fitness;
+        for (stage, f) in fitness.iter().enumerate() {
+            same[stage].push(*f);
+        }
+    }
+
+    // Adapted cascades: 2 schedules × runs jobs, multiplexed over the pool
+    // (same sweep builder as Fig. 17, so the two figures stay in lockstep).
+    let service = args.service(0);
+    let specs = ehw_bench::cascade_sweep_specs(&args, 5000, 300, 400);
+    let results = service.run_batch(specs).expect("service accepts the batch");
+    let sequential = per_stage(&results[..args.runs]);
+    let interleaved = per_stage(&results[args.runs..]);
 
     let rows: Vec<Vec<String>> = (0..3)
         .map(|stage| {

@@ -1,15 +1,19 @@
 //! Fig. 17 — Best fitness per stage of the three-stage cascade (best run out
 //! of the sweep), for the same three configurations as Fig. 16.
 //!
+//! Like Fig. 16, the adapted cascades run as a batch of typed jobs through
+//! the [`ehw_service`] front-end with pinned per-run seeds, so the figure is
+//! byte-identical to the legacy path at any `--platforms=` / `--workers=`
+//! setting.
+//!
 //! ```text
 //! cargo run --release -p ehw-bench --bin fig17_cascade_best -- [--runs=3] [--generations=300]
 //! ```
 
-use ehw_bench::{arg_cascade_engine, arg_parallel, arg_usize, banner, denoise_task, print_table};
+use ehw_bench::{banner, denoise_task, print_table, ExperimentArgs};
 use ehw_evolution::strategy::EsConfig;
-use ehw_platform::evo_modes::{evolve_cascade, evolve_same_filter_cascade, CascadeConfig};
-use ehw_platform::modes::CascadeSchedule;
-use ehw_platform::platform::EhwPlatform;
+use ehw_platform::evo_modes::evolve_same_filter_cascade;
+use ehw_service::JobResult;
 
 fn best_per_stage(all_runs: &[Vec<u64>]) -> Vec<u64> {
     // Per the paper, Fig. 17 reports the best run: select the run with the
@@ -21,46 +25,47 @@ fn best_per_stage(all_runs: &[Vec<u64>]) -> Vec<u64> {
     best_run.clone()
 }
 
+fn histories(results: &[JobResult]) -> Vec<Vec<u64>> {
+    results
+        .iter()
+        .map(|r| {
+            // A failed job has an empty history; best_per_stage would then
+            // pick among fewer runs than requested — fail loudly instead.
+            assert!(!r.is_failed(), "cascade job {} failed", r.job_id);
+            r.history().to_vec()
+        })
+        .collect()
+}
+
 fn main() {
-    let parallel = arg_parallel();
-    let engine = arg_cascade_engine();
-    let runs = arg_usize("runs", 3);
-    let generations = arg_usize("generations", 300);
-    let size = arg_usize("size", 64);
+    let args = ExperimentArgs::parse(3, 300, 64);
     banner(
         "Fig. 17",
         "best fitness per cascade stage: same filter vs adapted (sequential/interleaved)",
-        runs,
-        generations,
+        args.runs,
+        args.generations,
     );
-    println!("cascade engine: {engine:?} (pass --naive for the oracle baseline)\n");
+    println!(
+        "cascade engine: {:?} (pass --naive for the oracle baseline)\n",
+        args.engine
+    );
 
+    // Same-filter baseline (legacy path).
     let mut same_runs = Vec::new();
-    let mut seq_runs = Vec::new();
-    let mut int_runs = Vec::new();
-    for run in 0..runs {
-        let task = denoise_task(size, 0.4, 6000 + run as u64);
-
-        let mut platform = EhwPlatform::with_parallel(3, parallel);
-        let config = EsConfig::paper(2, 1, generations, 500 + run as u64);
+    for run in 0..args.runs {
+        let task = denoise_task(args.size, 0.4, 6000 + run as u64);
+        let mut platform = args.platform(3);
+        let config = EsConfig::paper(2, 1, args.generations, 500 + run as u64);
         same_runs.push(evolve_same_filter_cascade(&mut platform, &task, &config).stage_fitness);
-
-        let mut platform = EhwPlatform::with_parallel(3, parallel);
-        let config = CascadeConfig {
-            schedule: CascadeSchedule::Sequential,
-            engine,
-            ..CascadeConfig::paper(generations, 2, 600 + run as u64)
-        };
-        seq_runs.push(evolve_cascade(&mut platform, &task, &config).stage_fitness);
-
-        let mut platform = EhwPlatform::with_parallel(3, parallel);
-        let config = CascadeConfig {
-            schedule: CascadeSchedule::Interleaved,
-            engine,
-            ..CascadeConfig::paper(generations, 2, 700 + run as u64)
-        };
-        int_runs.push(evolve_cascade(&mut platform, &task, &config).stage_fitness);
     }
+
+    // Adapted cascades as one service batch: 2 schedules × runs jobs (same
+    // sweep builder as Fig. 16, so the two figures stay in lockstep).
+    let service = args.service(0);
+    let specs = ehw_bench::cascade_sweep_specs(&args, 6000, 600, 700);
+    let results = service.run_batch(specs).expect("service accepts the batch");
+    let seq_runs = histories(&results[..args.runs]);
+    let int_runs = histories(&results[args.runs..]);
 
     let same = best_per_stage(&same_runs);
     let sequential = best_per_stage(&seq_runs);

@@ -10,7 +10,7 @@
 //! cargo run --release -p ehw-bench --bin fig18_cascade_vs_median -- [--generations=600] [--out=DIR]
 //! ```
 
-use ehw_bench::{arg_cascade_engine, arg_parallel, arg_usize, banner, denoise_task, print_table};
+use ehw_bench::{banner, denoise_task, print_table, ExperimentArgs};
 use ehw_image::filters;
 use ehw_image::metrics::{mae, psnr};
 use ehw_image::pgm;
@@ -18,10 +18,9 @@ use ehw_platform::evo_modes::{evolve_cascade, CascadeConfig};
 use ehw_platform::platform::EhwPlatform;
 
 fn main() {
-    let parallel = arg_parallel();
-    let engine = arg_cascade_engine();
-    let generations = arg_usize("generations", 1500);
-    let size = arg_usize("size", 128);
+    let args = ExperimentArgs::parse(1, 1500, 128);
+    let (parallel, engine, generations, size) =
+        (args.parallel, args.engine, args.generations, args.size);
     banner(
         "Fig. 18",
         "3-stage adapted cascade vs median filter, 40% salt & pepper",

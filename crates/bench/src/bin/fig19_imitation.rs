@@ -10,7 +10,7 @@
 //! cargo run --release -p ehw-bench --bin fig19_imitation -- [--runs=5] [--generations=800]
 //! ```
 
-use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, print_table};
+use ehw_bench::{arg_usize, banner, denoise_task, print_table, ExperimentArgs};
 use ehw_evolution::stats::Summary;
 use ehw_evolution::strategy::{EsConfig, NullObserver};
 use ehw_fabric::fault::FaultKind;
@@ -19,11 +19,10 @@ use ehw_platform::fault_campaign::find_injectable_pe;
 use ehw_platform::platform::EhwPlatform;
 
 fn main() {
-    let parallel = arg_parallel();
-    let runs = arg_usize("runs", 5);
-    let generations = arg_usize("generations", 800);
+    let args = ExperimentArgs::parse(5, 800, 64);
+    let (parallel, runs, generations, size) =
+        (args.parallel, args.runs, args.generations, args.size);
     let evolution_generations = arg_usize("evolution-generations", 250);
-    let size = arg_usize("size", 64);
     banner(
         "Fig. 19",
         "imitation recovery: inherited vs random starting genotype",

@@ -11,7 +11,7 @@
 //! cargo run --release -p ehw-bench --bin fig20_tmr_recovery -- [--generations=1500] [--samples=20]
 //! ```
 
-use ehw_bench::{arg_parallel, arg_usize, banner, denoise_task, print_table};
+use ehw_bench::{arg_usize, banner, denoise_task, print_table, ExperimentArgs};
 use ehw_evolution::strategy::{EsConfig, GenerationObserver};
 use ehw_fabric::fault::FaultKind;
 use ehw_platform::evo_modes::{evolve_imitation, evolve_parallel, ImitationStart};
@@ -32,11 +32,10 @@ impl GenerationObserver for Timeline {
 }
 
 fn main() {
-    let parallel = arg_parallel();
-    let recovery_generations = arg_usize("generations", 4000);
+    let args = ExperimentArgs::parse(1, 4000, 64);
+    let (parallel, recovery_generations, size) = (args.parallel, args.generations, args.size);
     let evolution_generations = arg_usize("evolution-generations", 250);
     let samples = arg_usize("samples", 20);
-    let size = arg_usize("size", 64);
     banner(
         "Fig. 20",
         "TMR mode: fault injection, divergence detection and imitation recovery",

@@ -17,16 +17,15 @@
 //! large enough for evaluation to dominate (the paper's 128×128 default is);
 //! on a single-core host every row reports ~1.0×.
 
-use ehw_bench::{arg_usize, banner, denoise_task, fmt_time, print_table};
+use ehw_bench::{arg_usize, banner, denoise_task, fmt_time, print_table, ExperimentArgs};
 use ehw_evolution::fitness::SoftwareEvaluator;
 use ehw_evolution::strategy::{run_evolution, EsConfig, NullObserver};
 use ehw_parallel::ParallelConfig;
 use std::time::Instant;
 
 fn main() {
-    let runs = arg_usize("runs", 3);
-    let generations = arg_usize("generations", 30);
-    let size = arg_usize("size", 128);
+    let args = ExperimentArgs::parse(3, 30, 128);
+    let (runs, generations, size) = (args.runs, args.generations, args.size);
     let max_workers = arg_usize("max-workers", 8).max(1);
     banner(
         "Parallel scaling",

@@ -12,6 +12,8 @@ use ehw_image::noise::NoiseModel;
 use ehw_image::synth;
 use ehw_parallel::ParallelConfig;
 use ehw_platform::evo_modes::{CascadeEngine, EvolutionTask};
+use ehw_platform::platform::EhwPlatform;
+use ehw_service::{EhwService, ServiceConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -60,6 +62,109 @@ pub fn arg_cascade_engine() -> CascadeEngine {
     } else {
         CascadeEngine::Compiled
     }
+}
+
+/// The one shared argument bundle of the experiment binaries.
+///
+/// Every figure binary used to copy-paste the same handful of
+/// `arg_usize`/`arg_parallel`/`arg_cascade_engine` lines; this struct parses
+/// them once — `--runs=`, `--generations=`, `--size=`, `--workers=`,
+/// `--naive`, `--platforms=`, `--queue-depth=` — and routes the
+/// parallelism/pool knobs into a [`ServiceConfig`], so the binaries exercise
+/// the same serving path production traffic takes.  Binary-specific flags
+/// stay next to the binary.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentArgs {
+    /// `--runs=` (independent repetitions of the experiment).
+    pub runs: usize,
+    /// `--generations=`.
+    pub generations: usize,
+    /// `--size=` (square image side).
+    pub size: usize,
+    /// `--workers=` / `EHW_WORKERS`, plus `EHW_CHUNK`.
+    pub parallel: ParallelConfig,
+    /// `--naive` flag → the oracle cascade engine.
+    pub engine: CascadeEngine,
+    /// `--platforms=` (service pool shards; default 1).
+    pub platforms: usize,
+    /// `--queue-depth=` (service backpressure depth; default 2 × platforms).
+    pub queue_depth: usize,
+}
+
+impl ExperimentArgs {
+    /// Parses the shared flags with binary-specific defaults for the
+    /// experiment shape (`runs`, `generations`, `size`).
+    pub fn parse(default_runs: usize, default_generations: usize, default_size: usize) -> Self {
+        let platforms = arg_usize("platforms", 1).max(1);
+        ExperimentArgs {
+            runs: arg_usize("runs", default_runs),
+            generations: arg_usize("generations", default_generations),
+            size: arg_usize("size", default_size),
+            parallel: arg_parallel(),
+            engine: arg_cascade_engine(),
+            platforms,
+            queue_depth: arg_usize("queue-depth", platforms * 2).max(1),
+        }
+    }
+
+    /// The service sizing these arguments describe: `--platforms=` shards ×
+    /// `--workers=` workers each (with the `EHW_CHUNK` chunking the flags
+    /// resolved), `--queue-depth=` backpressure.
+    pub fn service_config(&self, seed: u64) -> ServiceConfig {
+        let mut config = ServiceConfig::new(self.platforms)
+            .workers_per_platform(self.parallel.workers)
+            .queue_depth(self.queue_depth)
+            .seed(seed);
+        config.chunk = self.parallel.chunk;
+        config
+    }
+
+    /// Starts an [`EhwService`] sized from these arguments.
+    pub fn service(&self, seed: u64) -> EhwService {
+        EhwService::new(self.service_config(seed)).expect("experiment service config is valid")
+    }
+
+    /// A platform honouring the shared `--workers=` knob, for binaries that
+    /// drive the legacy entry points directly.
+    pub fn platform(&self, arrays: usize) -> EhwPlatform {
+        EhwPlatform::with_parallel(arrays, self.parallel)
+    }
+}
+
+/// The Fig. 16/17 adapted-cascade sweep as one service batch: for each of
+/// the two schedules, `args.runs` three-stage cascade jobs (λ = 9, k = 2,
+/// the configured engine) with pinned seeds `schedule_seed_base + run` over
+/// the tasks `denoise_task(args.size, 0.4, task_seed_base + run)`.  Returns
+/// the specs in `[sequential runs…, interleaved runs…]` order, so both
+/// figure binaries stay in lockstep by construction.
+pub fn cascade_sweep_specs(
+    args: &ExperimentArgs,
+    task_seed_base: u64,
+    sequential_seed_base: u64,
+    interleaved_seed_base: u64,
+) -> Vec<ehw_service::JobSpec> {
+    use ehw_platform::modes::CascadeSchedule;
+    let mut specs = Vec::new();
+    for &(schedule, seed_base) in &[
+        (CascadeSchedule::Sequential, sequential_seed_base),
+        (CascadeSchedule::Interleaved, interleaved_seed_base),
+    ] {
+        for run in 0..args.runs {
+            let task = denoise_task(args.size, 0.4, task_seed_base + run as u64);
+            specs.push(
+                ehw_service::JobSpec::cascade(task.input, task.reference)
+                    .stages(3)
+                    .generations(args.generations)
+                    .mutation_rate(2)
+                    .schedule(schedule)
+                    .engine(args.engine)
+                    .seed(seed_base + run as u64)
+                    .build()
+                    .expect("valid cascade spec"),
+            );
+        }
+    }
+    specs
 }
 
 /// The salt & pepper denoising workload the paper evaluates on: a synthetic
@@ -163,6 +268,22 @@ mod tests {
         assert_eq!(arg_f64("definitely-not-passed", 0.5), 0.5);
         assert!(!arg_flag("definitely-not-passed"));
         assert_eq!(arg_cascade_engine(), CascadeEngine::Compiled);
+    }
+
+    #[test]
+    fn experiment_args_fall_back_to_defaults_and_build_a_valid_service_config() {
+        let args = ExperimentArgs::parse(3, 100, 64);
+        assert_eq!(args.runs, 3);
+        assert_eq!(args.generations, 100);
+        assert_eq!(args.size, 64);
+        assert_eq!(args.platforms, 1);
+        assert_eq!(args.queue_depth, 2);
+        assert_eq!(args.engine, CascadeEngine::Compiled);
+        let cfg = args.service_config(9);
+        assert_eq!(cfg.platforms, 1);
+        assert_eq!(cfg.workers_per_platform, args.parallel.workers);
+        assert_eq!(cfg.seed, 9);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -162,6 +162,17 @@ impl ArrayControlBlock {
     pub fn calibration_fitness(&self) -> Option<u64> {
         self.calibration_fitness
     }
+
+    /// Clears the monitoring state — the fitness unit (source, counters,
+    /// last measurement) and the recorded calibration fitness — back to
+    /// bring-up values.  Part of [`EhwPlatform::reset`]'s
+    /// functionally-fresh guarantee.
+    ///
+    /// [`EhwPlatform::reset`]: crate::platform::EhwPlatform::reset
+    pub fn reset_monitoring(&mut self) {
+        self.fitness_unit = FitnessUnit::new();
+        self.calibration_fitness = None;
+    }
 }
 
 #[cfg(test)]

@@ -210,6 +210,12 @@ pub fn evolve_independent(
 /// arrays (parallel evolution, §IV.B, Fig. 5-b).  The evolved circuit is
 /// configured into **every** array, ready for parallel/TMR operation; callers
 /// that want per-array diversity should use [`evolve_independent`].
+///
+/// Thin shim over the job path: builds a [`crate::jobs::JobSpec`] from the
+/// config and runs it through [`crate::jobs::execute`] on this platform.
+/// `num_arrays` and host parallelism follow the platform the evolution
+/// actually runs on, as they always have.  New code should submit the spec to
+/// the `ehw-service` front-end instead.
 pub fn evolve_parallel(
     platform: &mut EhwPlatform,
     task: &EvolutionTask,
@@ -217,19 +223,12 @@ pub fn evolve_parallel(
 ) -> (EvolutionResult, EvolutionTimeEstimate) {
     let mut cfg = *config;
     cfg.num_arrays = platform.num_arrays();
-    // Like `num_arrays`, host parallelism follows the machine the evolution
-    // actually runs on.
-    cfg.parallel = platform.parallel_config();
-    let mut evaluator = PlatformEvaluator::new(platform, task);
-    let mut timer = PipelineTimer::new(
-        platform.timing(),
-        platform.num_arrays(),
-        task.input.width(),
-        task.input.height(),
-    );
-    let result = run_evolution(&cfg, &mut evaluator, &mut timer);
-    platform.configure_all_arrays(&result.best_genotype);
-    (result, timer.estimate())
+    let spec = crate::jobs::evolution_spec_from_config(task.clone(), &cfg);
+    let job = crate::jobs::execute(platform, &spec, config.seed);
+    match job.output {
+        crate::jobs::JobOutput::Evolution { result, time } => (result, time),
+        _ => unreachable!("an evolution spec produces an evolution output"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -362,7 +361,26 @@ fn filter_chain(
 /// The two engines are byte-identical in everything observable
 /// (`stage_genotypes`, `stage_fitness`, `evaluations`), at any worker count;
 /// they differ only in the work performed.  See [`CascadeEngine`].
+///
+/// Thin shim over the job path: builds a [`crate::jobs::JobSpec`] with one
+/// stage per platform array and runs it through [`crate::jobs::execute`].
+/// New code should submit the spec to the `ehw-service` front-end instead.
 pub fn evolve_cascade(
+    platform: &mut EhwPlatform,
+    task: &EvolutionTask,
+    config: &CascadeConfig,
+) -> CascadeResult {
+    let spec = crate::jobs::cascade_spec_from_config(task.clone(), platform.num_arrays(), config);
+    let job = crate::jobs::execute(platform, &spec, config.seed);
+    match job.output {
+        crate::jobs::JobOutput::Cascade(result) => result,
+        _ => unreachable!("a cascade spec produces a cascade output"),
+    }
+}
+
+/// Engine dispatch behind the job path (and therefore behind
+/// [`evolve_cascade`]).
+pub(crate) fn evolve_cascade_with_engine(
     platform: &mut EhwPlatform,
     task: &EvolutionTask,
     config: &CascadeConfig,

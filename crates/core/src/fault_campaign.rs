@@ -38,6 +38,9 @@ pub struct PositionResult {
     pub fitness_faulty: u64,
     /// Fitness after the recovery evolution.
     pub fitness_recovered: u64,
+    /// Candidate evaluations spent on this position: the clean and faulty
+    /// measurements plus every candidate of the recovery evolution.
+    pub evaluations: u64,
 }
 
 impl PositionResult {
@@ -93,6 +96,13 @@ impl CampaignReport {
             .iter()
             .filter(|p| p.fully_recovered())
             .count()
+    }
+
+    /// Total candidate evaluations across all positions (measurements plus
+    /// recovery evolutions) — the uniform work accounting the job-oriented
+    /// service reports for every job kind.
+    pub fn total_evaluations(&self) -> u64 {
+        self.positions.iter().map(|p| p.evaluations).sum()
     }
 
     /// Mean recovery ratio across all positions.
@@ -195,6 +205,7 @@ fn evaluate_position(
         fitness_clean,
         fitness_faulty,
         fitness_recovered: result.best_fitness,
+        evaluations: 2 + result.evaluations,
     }
 }
 
@@ -208,6 +219,10 @@ fn evaluate_position(
 /// positions in injection order — array by array, row-major — regardless of
 /// how the work was scheduled, and the platform is left clean and configured
 /// with the baseline.
+///
+/// Thin shim over the job path: builds a [`crate::jobs::JobSpec`] from the
+/// arguments and runs it through [`crate::jobs::execute`] on this platform.
+/// New code should submit the spec to the `ehw-service` front-end instead.
 pub fn systematic_fault_campaign(
     platform: &mut EhwPlatform,
     baseline: &Genotype,
@@ -215,8 +230,18 @@ pub fn systematic_fault_campaign(
     recovery: &EsConfig,
     arrays: &[usize],
 ) -> CampaignReport {
-    let parallel = platform.parallel_config();
-    systematic_fault_campaign_with(platform, baseline, task, recovery, arrays, parallel)
+    let spec = crate::jobs::campaign_spec_from_config(
+        task.clone(),
+        baseline.clone(),
+        arrays.to_vec(),
+        platform.num_arrays(),
+        recovery,
+    );
+    let job = crate::jobs::execute(platform, &spec, recovery.seed);
+    match job.output {
+        crate::jobs::JobOutput::FaultCampaign(report) => report,
+        _ => unreachable!("a campaign spec produces a campaign output"),
+    }
 }
 
 /// [`systematic_fault_campaign`] under an explicit [`ParallelConfig`].

@@ -1,0 +1,996 @@
+//! The job path: one typed request format for every workload the platform
+//! serves.
+//!
+//! Historically each workload had its own ad-hoc entry point — single-filter
+//! and parallel evolution through [`run_evolution`] plus a hand-wired
+//! evaluator, cascades through `evolve_cascade`, fault campaigns through
+//! `systematic_fault_campaign` — each owning one [`EhwPlatform`] and its own
+//! validation (mostly `assert!`s that fire mid-run).  This module turns those
+//! workloads into *data*:
+//!
+//! * [`JobSpec`] — a validated, self-contained description of one unit of
+//!   service work (an evolution, a cascade, or a fault campaign), built
+//!   through builder types that check λ, generation budgets and image shapes
+//!   at **construction**, returning [`SpecError`] instead of panicking once
+//!   the job is already holding a platform,
+//! * [`execute`] — the single execution path: given a platform and a seed it
+//!   runs any spec kind and returns a [`JobResult`],
+//! * [`JobResult`] — a uniform result envelope: every job kind reports its
+//!   genotype(s), fitness history, candidate-evaluation count and
+//!   [`EngineStats`] the same way, with the kind-specific payload preserved
+//!   in [`JobOutput`].
+//!
+//! The legacy free functions (`evolve_parallel`, `evolve_cascade`,
+//! `systematic_fault_campaign`) still exist but are thin shims that build a
+//! spec and call [`execute`] — new code should construct specs directly and
+//! submit them to the `ehw-service` front-end, which multiplexes jobs over a
+//! sharded pool of platforms.
+//!
+//! # Determinism
+//!
+//! A job's outcome is a pure function of `(spec, seed, platform shape)`:
+//! worker counts, queue order and pool size are scheduling only.  The service
+//! layer derives the seed of job `n` from its root [`rand::SeedSequence`] as
+//! `root.fork(n)` unless the spec pins one, so a batch of submitted jobs is
+//! byte-reproducible end to end (`tests/property_service_equivalence.rs`).
+
+use ehw_array::genotype::Genotype;
+use ehw_evolution::fitness::EngineStats;
+use ehw_evolution::strategy::{
+    run_evolution, EsConfig, EvalEngine, EvolutionResult, MutationStrategy,
+};
+use ehw_image::image::GrayImage;
+
+use crate::evo_modes::{
+    CascadeConfig, CascadeEngine, CascadeInit, CascadeResult, EvolutionTask, PlatformEvaluator,
+};
+use crate::fault_campaign::{systematic_fault_campaign_with, CampaignReport};
+use crate::modes::{CascadeFitness, CascadeSchedule};
+use crate::platform::{EhwPlatform, MAX_ARRAYS};
+use crate::timing::{EvolutionTimeEstimate, PipelineTimer};
+
+// ---------------------------------------------------------------------------
+// Validation errors
+// ---------------------------------------------------------------------------
+
+/// Why a job specification was rejected at construction.
+///
+/// Every variant carries the offending values, so a service front-end can
+/// relay the message to a remote client without extra context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// Training input and reference images have different shapes.
+    ImageShapeMismatch {
+        /// `(width, height)` of the training input.
+        input: (usize, usize),
+        /// `(width, height)` of the reference.
+        reference: (usize, usize),
+    },
+    /// λ (offspring per generation) must be at least 1.
+    ZeroOffspring,
+    /// The generation budget must be at least 1.
+    ZeroGenerations,
+    /// The requested array/stage count is outside `1..=MAX_ARRAYS`.
+    BadArrayCount {
+        /// What the spec asked for.
+        requested: usize,
+        /// The floorplan limit ([`MAX_ARRAYS`]).
+        max: usize,
+    },
+    /// A fault campaign must target at least one array.
+    EmptyCampaign,
+    /// A campaign target index is outside the platform the spec describes.
+    CampaignArrayOutOfRange {
+        /// The out-of-range target.
+        array: usize,
+        /// Number of arrays the campaign platform has.
+        arrays: usize,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::ImageShapeMismatch { input, reference } => write!(
+                f,
+                "training input is {}x{} but the reference is {}x{}",
+                input.0, input.1, reference.0, reference.1
+            ),
+            SpecError::ZeroOffspring => write!(f, "offspring (lambda) must be at least 1"),
+            SpecError::ZeroGenerations => write!(f, "generations must be at least 1"),
+            SpecError::BadArrayCount { requested, max } => {
+                write!(f, "array count {requested} is outside 1..={max}")
+            }
+            SpecError::EmptyCampaign => {
+                write!(f, "a fault campaign must target at least one array")
+            }
+            SpecError::CampaignArrayOutOfRange { array, arrays } => write!(
+                f,
+                "campaign targets array {array} but the platform has {arrays} arrays"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn validate_shapes(input: &GrayImage, reference: &GrayImage) -> Result<(), SpecError> {
+    if input.width() != reference.width() || input.height() != reference.height() {
+        return Err(SpecError::ImageShapeMismatch {
+            input: (input.width(), input.height()),
+            reference: (reference.width(), reference.height()),
+        });
+    }
+    Ok(())
+}
+
+fn validate_arrays(requested: usize) -> Result<(), SpecError> {
+    if requested == 0 || requested > MAX_ARRAYS {
+        return Err(SpecError::BadArrayCount {
+            requested,
+            max: MAX_ARRAYS,
+        });
+    }
+    Ok(())
+}
+
+fn validate_budget(offspring: usize, generations: usize) -> Result<(), SpecError> {
+    if offspring == 0 {
+        return Err(SpecError::ZeroOffspring);
+    }
+    if generations == 0 {
+        return Err(SpecError::ZeroGenerations);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Specs
+// ---------------------------------------------------------------------------
+
+/// A validated (1+λ) evolution request: one training pair evolved with the
+/// offspring distributed over `num_arrays` arrays (the parallel evolution
+/// mode; `num_arrays == 1` is the single-filter case).
+#[derive(Debug, Clone)]
+pub struct EvolutionSpec {
+    task: EvolutionTask,
+    config: EsConfig,
+    seed: Option<u64>,
+}
+
+impl EvolutionSpec {
+    /// The training pair.
+    pub fn task(&self) -> &EvolutionTask {
+        &self.task
+    }
+
+    /// The evolution-strategy parameters (the `seed`/`parallel` fields are
+    /// placeholders — the effective seed and host parallelism are supplied at
+    /// execution time).
+    pub fn config(&self) -> &EsConfig {
+        &self.config
+    }
+}
+
+/// Builder for [`JobSpec::Evolution`]; see [`JobSpec::evolution`].
+#[derive(Debug, Clone)]
+pub struct EvolutionBuilder {
+    input: GrayImage,
+    reference: GrayImage,
+    config: EsConfig,
+    seed: Option<u64>,
+}
+
+impl EvolutionBuilder {
+    /// Offspring per generation (λ, paper default 9).
+    pub fn offspring(mut self, offspring: usize) -> Self {
+        self.config.offspring = offspring;
+        self
+    }
+
+    /// Mutation rate k (genes mutated per offspring, paper default 3).
+    pub fn mutation_rate(mut self, k: usize) -> Self {
+        self.config.mutation_rate = k;
+        self
+    }
+
+    /// Generation budget.
+    pub fn generations(mut self, generations: usize) -> Self {
+        self.config.generations = generations;
+        self
+    }
+
+    /// Number of arrays the offspring are distributed over (default 1).
+    pub fn num_arrays(mut self, num_arrays: usize) -> Self {
+        self.config.num_arrays = num_arrays;
+        self
+    }
+
+    /// Offspring-generation scheme (default classic).
+    pub fn strategy(mut self, strategy: MutationStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Stop early once a candidate reaches this fitness.
+    pub fn target_fitness(mut self, target: u64) -> Self {
+        self.config.target_fitness = Some(target);
+        self
+    }
+
+    /// Candidate-evaluation engine (default bounded; results are
+    /// byte-identical in either mode).
+    pub fn engine(mut self, engine: EvalEngine) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Pins the RNG seed.  Unseeded jobs have their seed derived by the
+    /// service from its root sequence and the job id.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Validates the request and produces the spec.
+    pub fn build(self) -> Result<JobSpec, SpecError> {
+        validate_shapes(&self.input, &self.reference)?;
+        validate_budget(self.config.offspring, self.config.generations)?;
+        validate_arrays(self.config.num_arrays)?;
+        Ok(JobSpec::Evolution(EvolutionSpec {
+            task: EvolutionTask {
+                input: self.input,
+                reference: self.reference,
+            },
+            config: self.config,
+            seed: self.seed,
+        }))
+    }
+}
+
+/// A validated cascaded-evolution request: one circuit evolved per stage so
+/// the chain progressively approaches the reference.
+#[derive(Debug, Clone)]
+pub struct CascadeSpec {
+    task: EvolutionTask,
+    stages: usize,
+    config: CascadeConfig,
+    seed: Option<u64>,
+}
+
+impl CascadeSpec {
+    /// The training pair.
+    pub fn task(&self) -> &EvolutionTask {
+        &self.task
+    }
+
+    /// Number of cascade stages (one array per stage).
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// The cascade parameters (the `seed` field is a placeholder — the
+    /// effective seed is supplied at execution time).
+    pub fn config(&self) -> &CascadeConfig {
+        &self.config
+    }
+}
+
+/// Builder for [`JobSpec::Cascade`]; see [`JobSpec::cascade`].
+#[derive(Debug, Clone)]
+pub struct CascadeBuilder {
+    input: GrayImage,
+    reference: GrayImage,
+    stages: usize,
+    config: CascadeConfig,
+    seed: Option<u64>,
+}
+
+impl CascadeBuilder {
+    /// Number of cascade stages (default 3, the paper's demonstrator).
+    pub fn stages(mut self, stages: usize) -> Self {
+        self.stages = stages;
+        self
+    }
+
+    /// Generations per stage (sequential) or rounds (interleaved).
+    pub fn generations(mut self, generations: usize) -> Self {
+        self.config.generations = generations;
+        self
+    }
+
+    /// Offspring per generation (λ, paper default 9).
+    pub fn offspring(mut self, offspring: usize) -> Self {
+        self.config.offspring = offspring;
+        self
+    }
+
+    /// Mutation rate k (genes mutated per offspring).
+    pub fn mutation_rate(mut self, k: usize) -> Self {
+        self.config.mutation_rate = k;
+        self
+    }
+
+    /// Separate per-stage fitness or one merged fitness at the chain end.
+    pub fn fitness(mut self, fitness: CascadeFitness) -> Self {
+        self.config.fitness = fitness;
+        self
+    }
+
+    /// Sequential or interleaved stage scheduling.
+    pub fn schedule(mut self, schedule: CascadeSchedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Per-stage parent initialisation.
+    pub fn init(mut self, init: CascadeInit) -> Self {
+        self.config.init = init;
+        self
+    }
+
+    /// Candidate-evaluation engine (default compiled; results are
+    /// byte-identical in either mode).
+    pub fn engine(mut self, engine: CascadeEngine) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Pins the RNG seed (see [`EvolutionBuilder::seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Validates the request and produces the spec.
+    pub fn build(self) -> Result<JobSpec, SpecError> {
+        validate_shapes(&self.input, &self.reference)?;
+        validate_budget(self.config.offspring, self.config.generations)?;
+        validate_arrays(self.stages)?;
+        Ok(JobSpec::Cascade(CascadeSpec {
+            task: EvolutionTask {
+                input: self.input,
+                reference: self.reference,
+            },
+            stages: self.stages,
+            config: self.config,
+            seed: self.seed,
+        }))
+    }
+}
+
+/// A validated systematic fault-injection campaign: for every PE position of
+/// the targeted arrays, inject the dummy-PE fault, measure the degradation,
+/// and recover by re-evolving on the damaged fabric.
+#[derive(Debug, Clone)]
+pub struct FaultCampaignSpec {
+    task: EvolutionTask,
+    baseline: Genotype,
+    arrays: Vec<usize>,
+    platform_arrays: usize,
+    recovery: EsConfig,
+    seed: Option<u64>,
+}
+
+impl FaultCampaignSpec {
+    /// The training pair the degradation/recovery is measured on.
+    pub fn task(&self) -> &EvolutionTask {
+        &self.task
+    }
+
+    /// The known-good genotype restored before each injection.
+    pub fn baseline(&self) -> &Genotype {
+        &self.baseline
+    }
+
+    /// The targeted array indices, in injection order.
+    pub fn arrays(&self) -> &[usize] {
+        &self.arrays
+    }
+
+    /// The recovery-evolution parameters.
+    pub fn recovery(&self) -> &EsConfig {
+        &self.recovery
+    }
+}
+
+/// Builder for [`JobSpec::FaultCampaign`]; see [`JobSpec::fault_campaign`].
+#[derive(Debug, Clone)]
+pub struct FaultCampaignBuilder {
+    input: GrayImage,
+    reference: GrayImage,
+    baseline: Genotype,
+    arrays: Vec<usize>,
+    platform_arrays: usize,
+    recovery: EsConfig,
+    seed: Option<u64>,
+}
+
+impl FaultCampaignBuilder {
+    /// The known-good genotype restored before each injection (default
+    /// identity).
+    pub fn baseline(mut self, baseline: Genotype) -> Self {
+        self.baseline = baseline;
+        self
+    }
+
+    /// The array indices to campaign over, in injection order (default
+    /// `[0]`).
+    pub fn arrays(mut self, arrays: Vec<usize>) -> Self {
+        self.arrays = arrays;
+        self
+    }
+
+    /// Number of arrays the campaign platform has (default: enough for the
+    /// highest targeted index).
+    pub fn platform_arrays(mut self, platform_arrays: usize) -> Self {
+        self.platform_arrays = platform_arrays;
+        self
+    }
+
+    /// Replaces the whole recovery-evolution configuration (the granular
+    /// setters below tweak individual fields of it).
+    pub fn recovery_config(mut self, recovery: EsConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Recovery generation budget per position.
+    pub fn recovery_generations(mut self, generations: usize) -> Self {
+        self.recovery.generations = generations;
+        self
+    }
+
+    /// Recovery mutation rate.
+    pub fn recovery_mutation_rate(mut self, k: usize) -> Self {
+        self.recovery.mutation_rate = k;
+        self
+    }
+
+    /// Recovery offspring per generation.
+    pub fn recovery_offspring(mut self, offspring: usize) -> Self {
+        self.recovery.offspring = offspring;
+        self
+    }
+
+    /// Stop a position's recovery early once this fitness is reached.
+    pub fn recovery_target(mut self, target: u64) -> Self {
+        self.recovery.target_fitness = Some(target);
+        self
+    }
+
+    /// Pins the RNG seed (see [`EvolutionBuilder::seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Validates the request and produces the spec.
+    pub fn build(self) -> Result<JobSpec, SpecError> {
+        validate_shapes(&self.input, &self.reference)?;
+        validate_budget(self.recovery.offspring, self.recovery.generations)?;
+        if self.arrays.is_empty() {
+            return Err(SpecError::EmptyCampaign);
+        }
+        let highest = *self.arrays.iter().max().expect("arrays is non-empty");
+        let platform_arrays = if self.platform_arrays == 0 {
+            highest + 1
+        } else {
+            self.platform_arrays
+        };
+        validate_arrays(platform_arrays)?;
+        if highest >= platform_arrays {
+            return Err(SpecError::CampaignArrayOutOfRange {
+                array: highest,
+                arrays: platform_arrays,
+            });
+        }
+        Ok(JobSpec::FaultCampaign(FaultCampaignSpec {
+            task: EvolutionTask {
+                input: self.input,
+                reference: self.reference,
+            },
+            baseline: self.baseline,
+            arrays: self.arrays,
+            platform_arrays,
+            recovery: self.recovery,
+            seed: self.seed,
+        }))
+    }
+}
+
+/// One validated unit of service work.
+///
+/// Constructed through the builder entry points ([`evolution`](Self::evolution),
+/// [`cascade`](Self::cascade), [`fault_campaign`](Self::fault_campaign)),
+/// which validate λ, generation budgets, array counts and image shapes up
+/// front — a spec that exists is executable.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// A (1+λ) evolution over one training pair.
+    Evolution(EvolutionSpec),
+    /// A cascaded evolution (one circuit per stage).
+    Cascade(CascadeSpec),
+    /// A systematic PE-level fault-injection campaign.
+    FaultCampaign(FaultCampaignSpec),
+}
+
+impl JobSpec {
+    /// Starts building an evolution job over the given training pair, with
+    /// the paper's EA defaults (λ = 9, k = 3, classic mutation, one array).
+    pub fn evolution(input: GrayImage, reference: GrayImage) -> EvolutionBuilder {
+        EvolutionBuilder {
+            input,
+            reference,
+            config: EsConfig::paper(3, 1, 100, 0),
+            seed: None,
+        }
+    }
+
+    /// Starts building a cascade job over the given training pair, with the
+    /// paper's defaults (3 stages, λ = 9, k = 2, separate fitness, sequential
+    /// schedule, pass-through initialisation).
+    pub fn cascade(input: GrayImage, reference: GrayImage) -> CascadeBuilder {
+        CascadeBuilder {
+            input,
+            reference,
+            stages: 3,
+            config: CascadeConfig::paper(100, 2, 0),
+            seed: None,
+        }
+    }
+
+    /// Starts building a fault-campaign job over the given training pair
+    /// (identity baseline, array 0, a short inherited-start recovery).
+    pub fn fault_campaign(input: GrayImage, reference: GrayImage) -> FaultCampaignBuilder {
+        FaultCampaignBuilder {
+            input,
+            reference,
+            baseline: Genotype::identity(),
+            arrays: vec![0],
+            platform_arrays: 0,
+            recovery: EsConfig::paper(2, 1, 30, 0),
+            seed: None,
+        }
+    }
+
+    /// A short, human-readable kind tag (`"evolution"`, `"cascade"`,
+    /// `"fault_campaign"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Evolution(_) => "evolution",
+            JobSpec::Cascade(_) => "cascade",
+            JobSpec::FaultCampaign(_) => "fault_campaign",
+        }
+    }
+
+    /// Number of platform arrays this job needs — what the service sizes the
+    /// executing platform to.
+    pub fn arrays_needed(&self) -> usize {
+        match self {
+            JobSpec::Evolution(s) => s.config.num_arrays,
+            JobSpec::Cascade(s) => s.stages,
+            JobSpec::FaultCampaign(s) => s.platform_arrays,
+        }
+    }
+
+    /// The pinned seed, if any; unseeded specs are seeded by the service from
+    /// its root sequence and the job id.
+    pub fn seed(&self) -> Option<u64> {
+        match self {
+            JobSpec::Evolution(s) => s.seed,
+            JobSpec::Cascade(s) => s.seed,
+            JobSpec::FaultCampaign(s) => s.seed,
+        }
+    }
+}
+
+// Lossless spec construction for the legacy shims.  Deliberately skips the
+// builder validation: invalid values keep panicking inside the engines
+// exactly as they always did, so shimmed callers observe identical
+// behaviour.
+
+pub(crate) fn evolution_spec_from_config(task: EvolutionTask, config: &EsConfig) -> JobSpec {
+    JobSpec::Evolution(EvolutionSpec {
+        task,
+        config: *config,
+        seed: Some(config.seed),
+    })
+}
+
+pub(crate) fn cascade_spec_from_config(
+    task: EvolutionTask,
+    stages: usize,
+    config: &CascadeConfig,
+) -> JobSpec {
+    JobSpec::Cascade(CascadeSpec {
+        task,
+        stages,
+        config: *config,
+        seed: Some(config.seed),
+    })
+}
+
+pub(crate) fn campaign_spec_from_config(
+    task: EvolutionTask,
+    baseline: Genotype,
+    arrays: Vec<usize>,
+    platform_arrays: usize,
+    recovery: &EsConfig,
+) -> JobSpec {
+    JobSpec::FaultCampaign(FaultCampaignSpec {
+        task,
+        baseline,
+        arrays,
+        platform_arrays,
+        recovery: *recovery,
+        seed: Some(recovery.seed),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------------
+
+/// The kind-specific payload of a [`JobResult`].
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// Payload of an evolution job.
+    Evolution {
+        /// The evolution outcome (best genotype, history, counters).
+        result: EvolutionResult,
+        /// The modelled on-FPGA pipeline time of the run.
+        time: EvolutionTimeEstimate,
+    },
+    /// Payload of a cascade job.
+    Cascade(CascadeResult),
+    /// Payload of a fault-campaign job.
+    FaultCampaign(CampaignReport),
+    /// The job panicked while executing (service-side catch; the worker and
+    /// the rest of the queue survive).
+    Failed(String),
+}
+
+/// The uniform result envelope every job kind resolves to.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The id the service assigned at submission (0 for direct [`execute`]
+    /// calls).
+    pub job_id: u64,
+    /// The effective RNG seed the job ran with (pinned or derived).
+    pub seed: u64,
+    /// Total candidate evaluations performed.
+    pub evaluations: u64,
+    /// Work-saved counters of the evaluation engine.  Always zero for
+    /// fault-campaign jobs: each position's recovery evolution runs its own
+    /// short-lived evaluator whose counters are not aggregated into the
+    /// report (tracked as a serving-layer follow-up in the ROADMAP).
+    pub stats: EngineStats,
+    /// The kind-specific payload.
+    pub output: JobOutput,
+}
+
+impl JobResult {
+    /// The evolved genotype(s): one for an evolution job, one per stage for a
+    /// cascade, none for a campaign or a failed job.
+    pub fn genotypes(&self) -> Vec<&Genotype> {
+        match &self.output {
+            JobOutput::Evolution { result, .. } => vec![&result.best_genotype],
+            JobOutput::Cascade(r) => r.stage_genotypes.iter().collect(),
+            JobOutput::FaultCampaign(_) | JobOutput::Failed(_) => Vec::new(),
+        }
+    }
+
+    /// The headline genotype: the best circuit (evolution) or the last stage
+    /// of the chain (cascade).
+    pub fn best_genotype(&self) -> Option<&Genotype> {
+        match &self.output {
+            JobOutput::Evolution { result, .. } => Some(&result.best_genotype),
+            JobOutput::Cascade(r) => r.stage_genotypes.last(),
+            JobOutput::FaultCampaign(_) | JobOutput::Failed(_) => None,
+        }
+    }
+
+    /// The fitness trajectory: per-generation best (evolution) or per-stage
+    /// chain fitness (cascade); empty for campaigns and failures.
+    pub fn history(&self) -> &[u64] {
+        match &self.output {
+            JobOutput::Evolution { result, .. } => &result.history,
+            JobOutput::Cascade(r) => &r.stage_fitness,
+            JobOutput::FaultCampaign(_) | JobOutput::Failed(_) => &[],
+        }
+    }
+
+    /// The final fitness the job reached, when it has one.
+    pub fn final_fitness(&self) -> Option<u64> {
+        match &self.output {
+            JobOutput::Evolution { result, .. } => Some(result.best_fitness),
+            JobOutput::Cascade(r) => r.final_fitness(),
+            JobOutput::FaultCampaign(_) | JobOutput::Failed(_) => None,
+        }
+    }
+
+    /// The evolution payload, if this was an evolution job.
+    pub fn as_evolution(&self) -> Option<(&EvolutionResult, &EvolutionTimeEstimate)> {
+        match &self.output {
+            JobOutput::Evolution { result, time } => Some((result, time)),
+            _ => None,
+        }
+    }
+
+    /// The cascade payload, if this was a cascade job.
+    pub fn as_cascade(&self) -> Option<&CascadeResult> {
+        match &self.output {
+            JobOutput::Cascade(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The campaign payload, if this was a fault-campaign job.
+    pub fn as_campaign(&self) -> Option<&CampaignReport> {
+        match &self.output {
+            JobOutput::FaultCampaign(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// `true` if the job failed (service-side panic capture).
+    pub fn is_failed(&self) -> bool {
+        matches!(self.output, JobOutput::Failed(_))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Executes a job spec on the given platform with the given effective seed —
+/// the single path every entry point (legacy shims and the `ehw-service`
+/// front-end) funnels through.
+///
+/// The platform's array count must match [`JobSpec::arrays_needed`], and the
+/// platform's [`ParallelConfig`](ehw_parallel::ParallelConfig) governs host
+/// parallelism (scheduling only: results are byte-identical at any worker
+/// count).  The evolved circuits are left configured in the platform, exactly
+/// as the legacy entry points always did.
+pub fn execute(platform: &mut EhwPlatform, spec: &JobSpec, seed: u64) -> JobResult {
+    // Hard assert (not debug): a mismatched platform would not fail — it
+    // would silently run a *different* job (the engines iterate the
+    // platform's arrays, not the spec's count), defeating the builders'
+    // "a spec that exists is executable" contract.
+    assert_eq!(
+        platform.num_arrays(),
+        spec.arrays_needed(),
+        "platform has {} arrays but the {} spec needs {}",
+        platform.num_arrays(),
+        spec.kind(),
+        spec.arrays_needed()
+    );
+    match spec {
+        JobSpec::Evolution(s) => {
+            let config = EsConfig {
+                seed,
+                num_arrays: platform.num_arrays(),
+                parallel: platform.parallel_config(),
+                ..s.config
+            };
+            let mut evaluator = PlatformEvaluator::new(platform, &s.task);
+            let mut timer = PipelineTimer::new(
+                platform.timing(),
+                platform.num_arrays(),
+                s.task.input.width(),
+                s.task.input.height(),
+            );
+            let result = run_evolution(&config, &mut evaluator, &mut timer);
+            platform.configure_all_arrays(&result.best_genotype);
+            JobResult {
+                job_id: 0,
+                seed,
+                evaluations: result.evaluations,
+                stats: evaluator.engine_stats(),
+                output: JobOutput::Evolution {
+                    result,
+                    time: timer.estimate(),
+                },
+            }
+        }
+        JobSpec::Cascade(s) => {
+            let config = CascadeConfig { seed, ..s.config };
+            let result = crate::evo_modes::evolve_cascade_with_engine(platform, &s.task, &config);
+            JobResult {
+                job_id: 0,
+                seed,
+                evaluations: result.evaluations,
+                stats: result.stats,
+                output: JobOutput::Cascade(result),
+            }
+        }
+        JobSpec::FaultCampaign(s) => {
+            let recovery = EsConfig { seed, ..s.recovery };
+            let report = systematic_fault_campaign_with(
+                platform,
+                &s.baseline,
+                &s.task,
+                &recovery,
+                &s.arrays,
+                platform.parallel_config(),
+            );
+            JobResult {
+                job_id: 0,
+                seed,
+                evaluations: report.total_evaluations(),
+                // Campaign recovery evolutions each own a short-lived
+                // evaluator; their engine counters are not aggregated (see
+                // the `JobResult::stats` field docs).
+                stats: EngineStats::default(),
+                output: JobOutput::FaultCampaign(report),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehw_image::noise::salt_pepper;
+    use ehw_image::synth;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn training_pair(size: usize, seed: u64) -> (GrayImage, GrayImage) {
+        let clean = synth::shapes(size, size, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noisy = salt_pepper(&clean, 0.3, &mut rng);
+        (noisy, clean)
+    }
+
+    #[test]
+    fn builders_validate_shapes_at_construction() {
+        let a = synth::gradient(16, 16);
+        let b = synth::gradient(16, 17);
+        let err = JobSpec::evolution(a.clone(), b.clone())
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::ImageShapeMismatch {
+                input: (16, 16),
+                reference: (16, 17)
+            }
+        );
+        assert!(JobSpec::cascade(a.clone(), b.clone()).build().is_err());
+        assert!(JobSpec::fault_campaign(a, b).build().is_err());
+    }
+
+    #[test]
+    fn builders_validate_budgets_and_array_counts() {
+        let (noisy, clean) = training_pair(16, 1);
+        assert_eq!(
+            JobSpec::evolution(noisy.clone(), clean.clone())
+                .offspring(0)
+                .build()
+                .unwrap_err(),
+            SpecError::ZeroOffspring
+        );
+        assert_eq!(
+            JobSpec::evolution(noisy.clone(), clean.clone())
+                .generations(0)
+                .build()
+                .unwrap_err(),
+            SpecError::ZeroGenerations
+        );
+        assert_eq!(
+            JobSpec::evolution(noisy.clone(), clean.clone())
+                .num_arrays(MAX_ARRAYS + 1)
+                .build()
+                .unwrap_err(),
+            SpecError::BadArrayCount {
+                requested: MAX_ARRAYS + 1,
+                max: MAX_ARRAYS
+            }
+        );
+        assert_eq!(
+            JobSpec::cascade(noisy.clone(), clean.clone())
+                .stages(0)
+                .build()
+                .unwrap_err(),
+            SpecError::BadArrayCount {
+                requested: 0,
+                max: MAX_ARRAYS
+            }
+        );
+        assert_eq!(
+            JobSpec::fault_campaign(noisy.clone(), clean.clone())
+                .arrays(Vec::new())
+                .build()
+                .unwrap_err(),
+            SpecError::EmptyCampaign
+        );
+        assert_eq!(
+            JobSpec::fault_campaign(noisy, clean)
+                .arrays(vec![2])
+                .platform_arrays(2)
+                .build()
+                .unwrap_err(),
+            SpecError::CampaignArrayOutOfRange {
+                array: 2,
+                arrays: 2
+            }
+        );
+    }
+
+    #[test]
+    fn campaign_platform_is_sized_to_the_highest_target_by_default() {
+        let (noisy, clean) = training_pair(16, 2);
+        let spec = JobSpec::fault_campaign(noisy, clean)
+            .arrays(vec![1, 0])
+            .build()
+            .unwrap();
+        assert_eq!(spec.arrays_needed(), 2);
+        assert_eq!(spec.kind(), "fault_campaign");
+        assert_eq!(spec.seed(), None);
+    }
+
+    #[test]
+    fn execute_runs_every_kind_and_fills_the_envelope() {
+        let (noisy, clean) = training_pair(20, 3);
+        let specs = vec![
+            JobSpec::evolution(noisy.clone(), clean.clone())
+                .generations(5)
+                .build()
+                .unwrap(),
+            JobSpec::cascade(noisy.clone(), clean.clone())
+                .stages(2)
+                .generations(4)
+                .build()
+                .unwrap(),
+            JobSpec::fault_campaign(noisy, clean)
+                .recovery_generations(2)
+                .build()
+                .unwrap(),
+        ];
+        for spec in &specs {
+            let mut platform = EhwPlatform::new(spec.arrays_needed());
+            let result = execute(&mut platform, spec, 42);
+            assert_eq!(result.seed, 42);
+            assert!(result.evaluations > 0, "{} counted no work", spec.kind());
+            assert!(!result.is_failed());
+            match spec {
+                JobSpec::Evolution(_) => {
+                    assert!(result.as_evolution().is_some());
+                    assert_eq!(result.genotypes().len(), 1);
+                    assert_eq!(result.history().len(), 5);
+                    assert!(result.final_fitness().is_some());
+                }
+                JobSpec::Cascade(_) => {
+                    assert_eq!(result.genotypes().len(), 2);
+                    assert_eq!(result.history().len(), 2);
+                    assert!(result.best_genotype().is_some());
+                }
+                JobSpec::FaultCampaign(_) => {
+                    let report = result.as_campaign().expect("campaign payload");
+                    assert_eq!(report.len(), 16);
+                    assert_eq!(result.evaluations, report.total_evaluations());
+                    assert!(result.best_genotype().is_none());
+                    assert!(result.history().is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spec_errors_render_actionable_messages() {
+        let msg = SpecError::ImageShapeMismatch {
+            input: (8, 8),
+            reference: (8, 9),
+        }
+        .to_string();
+        assert!(msg.contains("8x8") && msg.contains("8x9"), "{msg}");
+        let msg = SpecError::CampaignArrayOutOfRange {
+            array: 5,
+            arrays: 2,
+        }
+        .to_string();
+        assert!(msg.contains('5') && msg.contains('2'), "{msg}");
+    }
+}

@@ -20,7 +20,12 @@
 //! * the **fault-injection campaign** of §VI.D (PE-level dummy-PE faults
 //!   injected through the reconfiguration engine),
 //! * the **generation-pipeline timing model** of Figs. 11–14 and the
-//!   **resource-utilisation model** of §VI.A.
+//!   **resource-utilisation model** of §VI.A,
+//! * the **job path** ([`jobs`]): every workload as a typed, validated
+//!   [`JobSpec`] executed through one uniform entry point — the layer the
+//!   `ehw-service` front-end multiplexes over a sharded platform pool.  The
+//!   legacy `evo_modes`/`fault_campaign` free functions are thin shims over
+//!   it.
 //!
 //! The top-level type is [`platform::EhwPlatform`]; see the examples for
 //! ready-to-run scenarios (quick start, cascaded denoising, TMR self-healing,
@@ -32,6 +37,7 @@ pub mod acb;
 pub mod evo_modes;
 pub mod fault_campaign;
 pub mod fitness_unit;
+pub mod jobs;
 pub mod modes;
 pub mod platform;
 pub mod registers;
@@ -41,6 +47,7 @@ pub mod timing;
 pub mod voter;
 
 pub use acb::ArrayControlBlock;
+pub use jobs::{JobOutput, JobResult, JobSpec, SpecError};
 pub use modes::{EvolutionMode, ProcessingMode};
 pub use platform::EhwPlatform;
 pub use timing::{EvolutionTimeEstimate, PipelineTimer};

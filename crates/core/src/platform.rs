@@ -164,6 +164,28 @@ impl EhwPlatform {
         self.parallel = parallel;
     }
 
+    /// Restores the platform to its bring-up functional state: every injected
+    /// fault cleared, bypass disabled everywhere, per-ACB monitoring state
+    /// (fitness units, calibration fitness) wiped and the identity filter
+    /// configured into every array.
+    ///
+    /// This is how the service layer recycles a pooled platform between jobs:
+    /// after a reset the platform is functionally indistinguishable from a
+    /// freshly constructed one (reconfiguration *statistics* keep
+    /// accumulating — they describe the platform's life, not its state, and
+    /// no result depends on them), so job outcomes cannot leak from one job
+    /// to the next.
+    pub fn reset(&mut self) {
+        for fault in self.injected_faults() {
+            self.clear_injected_fault(fault.array, fault.row, fault.col);
+        }
+        for index in 0..self.num_arrays() {
+            self.set_bypass(index, false);
+            self.acbs[index].reset_monitoring();
+        }
+        self.configure_all_arrays(&Genotype::identity());
+    }
+
     fn region(&self, array: usize, row: usize, col: usize) -> ReconfigurableRegion {
         *self
             .floorplan
@@ -556,6 +578,26 @@ mod tests {
         // Clearing (device replacement) restores the array — test helper only.
         platform.clear_injected_fault(1, 0, 1);
         assert_eq!(platform.acb(1).raw_output(&img), clean);
+    }
+
+    #[test]
+    fn reset_restores_bring_up_functional_state() {
+        let mut platform = EhwPlatform::paper_three_arrays();
+        let mut rng = StdRng::seed_from_u64(9);
+        platform.configure_all_arrays(&Genotype::random(&mut rng));
+        platform.inject_pe_fault(1, 0, 2, FaultKind::Lpd);
+        platform.set_bypass(2, true);
+        platform.acb_mut(0).set_calibration_fitness(1234);
+
+        platform.reset();
+
+        assert!(platform.injected_faults().is_empty());
+        assert!(!platform.array_has_permanent_fault(1));
+        assert_eq!(platform.acb(0).calibration_fitness(), None);
+        let img = synth::shapes(16, 16, 3);
+        for out in platform.process_cascaded(&img) {
+            assert_eq!(out, img, "reset platform must be an identity chain");
+        }
     }
 
     #[test]

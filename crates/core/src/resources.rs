@@ -2,7 +2,7 @@
 //!
 //! The footprint of the platform grows proportionally with the number of
 //! Array Control Blocks, following the design principles of run-time scalable
-//! systolic coprocessors (the paper's ref. [15]): the static control logic is
+//! systolic coprocessors (the paper's ref. \[15\]): the static control logic is
 //! paid once, and every additional ACB adds its own controller, FIFOs,
 //! fitness unit and a 160-CLB reconfigurable array.  The `resources`
 //! experiment binary prints this model next to the values published in the

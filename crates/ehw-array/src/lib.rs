@@ -1,6 +1,6 @@
 //! The single evolvable processing array.
 //!
-//! This crate models the reconfigurable core of the paper's ref. [4], which
+//! This crate models the reconfigurable core of the paper's ref. \[4\], which
 //! the multi-array platform replicates: a 2-D mesh of fine-grain Processing
 //! Elements (PEs) working in a systolic way, tailored for window-based image
 //! processing.
@@ -24,7 +24,7 @@
 //!   used for fault emulation (§VI.D),
 //! * [`genotype`] — the CGP-style genotype (PE genes + input muxes + output
 //!   mux) and its mutation/encoding operations,
-//! * [`array`] — the functional model of the systolic array: evaluate a
+//! * [`array`](mod@array) — the functional model of the systolic array: evaluate a
 //!   window, filter whole images (serially or with row-parallel threads),
 //! * [`compiled`] — the flat execution plan the hot paths run (genotype +
 //!   fault overlay baked once per candidate), plus the reference interpreter

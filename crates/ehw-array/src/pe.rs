@@ -3,7 +3,7 @@
 //! Each PE computes one operation over its west (W) and north (N) inputs.  The
 //! paper reduced the library to 16 elements after removing redundancies and
 //! symmetries; the exact list is not published, so we use the function set of
-//! the authors' single-array system (ref. [4], a CGP-style image-filter
+//! the authors' single-array system (ref. \[4\], a CGP-style image-filter
 //! library) which contains the usual mix of arithmetic, logic, min/max and
 //! pass-through operations.  What matters for the reproduced experiments is
 //! that the library (a) is 16 entries / 4 bits, (b) contains the ingredients

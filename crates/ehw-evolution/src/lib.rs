@@ -18,7 +18,7 @@
 //!
 //! Modules:
 //!
-//! * [`fitness`] — the [`FitnessEvaluator`](fitness::FitnessEvaluator) trait,
+//! * [`fitness`] — the [`fitness::FitnessEvaluator`] trait,
 //!   a software evaluator backed by the functional array model, and a
 //!   thread-parallel batch evaluator,
 //! * [`strategy`] — the (1+λ) ES with classic and two-level mutation, with

@@ -3,7 +3,7 @@
 //! On Virtex-5 devices the configuration memory is addressed in *frames* — the
 //! smallest unit the ICAP can read or write.  A partial bitstream is a
 //! sequence of frames plus their addresses.  The reconfiguration engine of the
-//! paper (ref. [14]) reads frames back, relocates them to another region and
+//! paper (ref. \[14\]) reads frames back, relocates them to another region and
 //! writes them again, which is also how faults are injected (a "dummy PE"
 //! bitstream is written over a working PE).
 //!

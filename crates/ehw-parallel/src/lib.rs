@@ -38,6 +38,37 @@ pub const WORKERS_ENV: &str = "EHW_WORKERS";
 /// Environment variable overriding the default chunk size (0 = auto).
 pub const CHUNK_ENV: &str = "EHW_CHUNK";
 
+/// A malformed `EHW_WORKERS` / `EHW_CHUNK` value, with enough context to tell
+/// the operator exactly what to fix.
+///
+/// The legacy [`ParallelConfig::parse`] / [`ParallelConfig::from_env`] pair
+/// silently falls back to defaults on malformed input (figure binaries should
+/// keep running); service front-ends validate through
+/// [`ParallelConfig::try_from_env`] instead, so a typo in a deployment
+/// manifest surfaces as a configuration error rather than a silently wrong
+/// worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvConfigError {
+    /// The environment variable that failed to parse.
+    pub var: &'static str,
+    /// The literal value that was rejected.
+    pub value: String,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for EnvConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {}={:?}: {} (unset the variable to use the default)",
+            self.var, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for EnvConfigError {}
+
 /// How a batch of independent work items is spread over host threads.
 ///
 /// The configuration only affects *scheduling*; results are merged in item
@@ -85,19 +116,77 @@ impl ParallelConfig {
     /// Builds a configuration from the textual forms of the two environment
     /// variables (exposed separately so it can be tested without touching the
     /// process environment).
+    ///
+    /// Malformed values fall back silently — each variable independently — so
+    /// experiment binaries keep running on a typo; validating callers use
+    /// [`try_parse`](Self::try_parse) instead.
     pub fn parse(workers: Option<&str>, chunk: Option<&str>) -> Self {
-        let workers = workers
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&w| w > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
+        ParallelConfig {
+            workers: Self::parse_workers(workers).unwrap_or_else(|_| Self::host_workers()),
+            chunk: Self::parse_chunk(chunk).unwrap_or(0),
+        }
+    }
+
+    /// [`parse`](Self::parse) with errors instead of silent fallbacks: a
+    /// malformed (or zero) worker count and a malformed chunk size are
+    /// reported as a descriptive [`EnvConfigError`].  `None` values use the
+    /// defaults (host parallelism, auto chunking).
+    pub fn try_parse(workers: Option<&str>, chunk: Option<&str>) -> Result<Self, EnvConfigError> {
+        let workers = match workers {
+            Some(v) => Self::parse_workers(Some(v))?,
+            None => Self::host_workers(),
+        };
+        Ok(ParallelConfig {
+            workers,
+            chunk: Self::parse_chunk(chunk)?,
+        })
+    }
+
+    /// Reads and validates `EHW_WORKERS` / `EHW_CHUNK` from the process
+    /// environment, reporting malformed values as an [`EnvConfigError`].
+    /// This is the validation entry point service configuration goes
+    /// through; [`from_env`](Self::from_env) keeps the legacy
+    /// silent-fallback behaviour (and its cache) for the experiment
+    /// binaries.
+    pub fn try_from_env() -> Result<Self, EnvConfigError> {
+        Self::try_parse(
+            std::env::var(WORKERS_ENV).ok().as_deref(),
+            std::env::var(CHUNK_ENV).ok().as_deref(),
+        )
+    }
+
+    fn host_workers() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    fn parse_workers(value: Option<&str>) -> Result<usize, EnvConfigError> {
+        let Some(v) = value else {
+            return Ok(Self::host_workers());
+        };
+        let workers = v.trim().parse::<usize>().map_err(|_| EnvConfigError {
+            var: WORKERS_ENV,
+            value: v.to_owned(),
+            reason: "expected an unsigned integer worker count",
+        })?;
+        if workers == 0 {
+            return Err(EnvConfigError {
+                var: WORKERS_ENV,
+                value: v.to_owned(),
+                reason: "worker count must be at least 1",
             });
-        let chunk = chunk
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(0);
-        ParallelConfig { workers, chunk }
+        }
+        Ok(workers)
+    }
+
+    fn parse_chunk(value: Option<&str>) -> Result<usize, EnvConfigError> {
+        let Some(v) = value else { return Ok(0) };
+        v.trim().parse::<usize>().map_err(|_| EnvConfigError {
+            var: CHUNK_ENV,
+            value: v.to_owned(),
+            reason: "expected an unsigned integer chunk size (0 = auto)",
+        })
     }
 
     /// Worker threads actually used for a batch of `items` work items.
@@ -269,6 +358,64 @@ mod tests {
         assert!(fallback.workers >= 1);
         assert_eq!(fallback.chunk, 0);
         assert!(ParallelConfig::parse(Some("0"), None).workers >= 1);
+    }
+
+    #[test]
+    fn try_parse_accepts_valid_and_default_values() {
+        assert_eq!(
+            ParallelConfig::try_parse(Some("6"), Some("2")),
+            Ok(ParallelConfig {
+                workers: 6,
+                chunk: 2
+            })
+        );
+        // Whitespace is tolerated, `None` means default.
+        assert_eq!(
+            ParallelConfig::try_parse(Some(" 3 "), None)
+                .unwrap()
+                .workers,
+            3
+        );
+        let defaults = ParallelConfig::try_parse(None, None).unwrap();
+        assert!(defaults.workers >= 1);
+        assert_eq!(defaults.chunk, 0);
+        // Chunk 0 is a valid value (auto chunking), not an error.
+        assert_eq!(ParallelConfig::try_parse(None, Some("0")).unwrap().chunk, 0);
+    }
+
+    #[test]
+    fn try_parse_reports_descriptive_errors() {
+        let err = ParallelConfig::try_parse(Some("zero"), None).unwrap_err();
+        assert_eq!(err.var, WORKERS_ENV);
+        assert_eq!(err.value, "zero");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("EHW_WORKERS"),
+            "error must name the variable: {msg}"
+        );
+        assert!(msg.contains("zero"), "error must quote the value: {msg}");
+
+        let err = ParallelConfig::try_parse(Some("0"), None).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+
+        let err = ParallelConfig::try_parse(Some("-3"), None).unwrap_err();
+        assert_eq!(err.var, WORKERS_ENV);
+
+        let err = ParallelConfig::try_parse(None, Some("many")).unwrap_err();
+        assert_eq!(err.var, CHUNK_ENV);
+        assert!(err.to_string().contains("EHW_CHUNK"), "{err}");
+    }
+
+    #[test]
+    fn silent_parse_still_falls_back_per_variable() {
+        // A malformed worker count must not eat a valid chunk size (and vice
+        // versa) — each variable falls back independently.
+        let cfg = ParallelConfig::parse(Some("oops"), Some("5"));
+        assert!(cfg.workers >= 1);
+        assert_eq!(cfg.chunk, 5);
+        let cfg = ParallelConfig::parse(Some("4"), Some("oops"));
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.chunk, 0);
     }
 
     #[test]

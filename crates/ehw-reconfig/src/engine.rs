@@ -1,6 +1,6 @@
 //! The reconfiguration engine.
 //!
-//! Models the DPR peripheral of the paper's ref. [14]: a single engine,
+//! Models the DPR peripheral of the paper's ref. \[14\]: a single engine,
 //! attached to the single ICAP, that performs every configuration write of
 //! the platform.  Its capabilities are:
 //!

@@ -1,6 +1,6 @@
 //! Dynamic Partial Reconfiguration engine model.
 //!
-//! The paper's reconfiguration engine (their ref. [14]) is a hardware
+//! The paper's reconfiguration engine (their ref. \[14\]) is a hardware
 //! peripheral attached to the ICAP that can:
 //!
 //! * write presynthesized partial bitstreams (PBS) from external memory into

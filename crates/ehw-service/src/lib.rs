@@ -1,0 +1,726 @@
+//! Job-oriented service front-end over a sharded platform pool.
+//!
+//! The paper's architecture is a shared reconfigurable fabric time-multiplexed
+//! across independent evolution tasks; this crate is the serving layer that
+//! story maps onto.  Every workload the platform supports — single-filter and
+//! parallel evolution, cascades, fault campaigns — is described by one typed
+//! request ([`JobSpec`], re-exported from `ehw_platform::jobs`) and submitted
+//! to an [`EhwService`], which owns a pool of [`EhwPlatform`] shards and a
+//! bounded job queue:
+//!
+//! ```no_run
+//! use ehw_service::{EhwService, JobSpec, ServiceConfig};
+//! # let (noisy, clean) = (ehw_image::synth::gradient(32, 32), ehw_image::synth::gradient(32, 32));
+//! let service = EhwService::new(ServiceConfig::new(2)).expect("valid config");
+//! let spec = JobSpec::evolution(noisy, clean)
+//!     .generations(200)
+//!     .build()
+//!     .expect("valid spec");
+//! let handle = service.submit(spec).expect("service accepts jobs");
+//! let result = handle.wait();
+//! println!("best fitness: {:?}", result.final_fitness());
+//! ```
+//!
+//! # Determinism contract
+//!
+//! A job's outcome is a pure function of its spec and its effective seed.
+//! The seed is either pinned in the spec or derived from the service root as
+//! `SeedSequence::new(config.seed).fork(job_id)`, and job ids number
+//! submissions in order — so a batch of N submitted jobs returns
+//! byte-identical results regardless of the platform count, the queue order,
+//! or the worker configuration.  `tests/property_service_equivalence.rs`
+//! pins this, together with byte-identity against the legacy entry points.
+//!
+//! # Backpressure
+//!
+//! The queue holds at most [`ServiceConfig::queue_depth`] pending jobs;
+//! [`EhwService::submit`] **blocks** once it is full and never drops a job.
+//! Every submitted job resolves its [`JobHandle`] — even if it panics while
+//! executing, in which case the result carries [`JobOutput::Failed`] and the
+//! shard survives to serve the rest of the queue.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use ehw_parallel::{EnvConfigError, ParallelConfig};
+use ehw_platform::jobs;
+use ehw_platform::platform::EhwPlatform;
+use rand::SeedSequence;
+
+pub use ehw_platform::jobs::{
+    CascadeBuilder, CascadeSpec, EvolutionBuilder, EvolutionSpec, FaultCampaignBuilder,
+    FaultCampaignSpec, JobOutput, JobResult, JobSpec, SpecError,
+};
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Sizing of an [`EhwService`]: how many platform shards it owns, how much
+/// host parallelism each shard may use, and how deep the submission queue is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Number of platform shards (each owns its platforms and executes one
+    /// job at a time).
+    pub platforms: usize,
+    /// Worker threads each shard's platform uses for intra-job parallelism
+    /// (candidate batches, campaign positions).  Scheduling only: results
+    /// are byte-identical at any value.
+    pub workers_per_platform: usize,
+    /// Work-items-per-chunk for the shards' intra-job parallelism (0 =
+    /// auto).  Scheduling only, like `workers_per_platform`;
+    /// [`from_env`](Self::from_env) fills it from a validated `EHW_CHUNK`.
+    pub chunk: usize,
+    /// Maximum number of submitted-but-not-yet-started jobs; a full queue
+    /// blocks [`EhwService::submit`] (backpressure) instead of dropping.
+    pub queue_depth: usize,
+    /// Root seed jobs without a pinned seed derive theirs from (job `n` runs
+    /// with `SeedSequence::new(seed).fork(n)`).
+    pub seed: u64,
+}
+
+impl ServiceConfig {
+    /// A configuration with `platforms` shards, one worker per shard, auto
+    /// chunking, a queue depth of twice the shard count and seed 0.  Fully
+    /// explicit — nothing is read from the environment.
+    pub fn new(platforms: usize) -> Self {
+        ServiceConfig {
+            platforms,
+            workers_per_platform: 1,
+            chunk: 0,
+            queue_depth: platforms.saturating_mul(2).max(1),
+            seed: 0,
+        }
+    }
+
+    /// A configuration sized from the environment: one shard, with
+    /// `EHW_WORKERS` / `EHW_CHUNK` **validated** for the per-shard worker
+    /// count and chunk size — a malformed variable is a deployment error and
+    /// comes back as [`ServiceError::Environment`], never a silent default.
+    /// This is the satellite contract on top of the legacy
+    /// [`ParallelConfig::from_env`] fallback behaviour, which the experiment
+    /// binaries keep.
+    pub fn from_env() -> Result<Self, ServiceError> {
+        let parallel = ParallelConfig::try_from_env().map_err(ServiceError::Environment)?;
+        Ok(ServiceConfig {
+            workers_per_platform: parallel.workers,
+            chunk: parallel.chunk,
+            ..Self::new(1)
+        })
+    }
+
+    /// Sets the per-shard worker count.
+    pub fn workers_per_platform(mut self, workers: usize) -> Self {
+        self.workers_per_platform = workers;
+        self
+    }
+
+    /// Sets the submission queue depth.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the sizing of the configuration.  The environment is only
+    /// consulted — and validated, surfacing malformed `EHW_WORKERS` /
+    /// `EHW_CHUNK` as [`ServiceError::Environment`] — by
+    /// [`from_env`](Self::from_env); an explicitly constructed config never
+    /// reads it, so binaries with their own flag handling keep working
+    /// whatever the environment contains.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        if self.platforms == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "platforms must be at least 1".into(),
+            ));
+        }
+        if self.workers_per_platform == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "workers_per_platform must be at least 1".into(),
+            ));
+        }
+        if self.queue_depth == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "queue_depth must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Why the service rejected a configuration or a submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// A sizing field is out of range.
+    InvalidConfig(String),
+    /// The process environment carries a malformed parallelism variable.
+    Environment(EnvConfigError),
+    /// The service is shutting down and no longer accepts jobs.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::InvalidConfig(why) => write!(f, "invalid service config: {why}"),
+            ServiceError::Environment(err) => write!(f, "invalid environment: {err}"),
+            ServiceError::Shutdown => write!(f, "the service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Environment(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Service
+// ---------------------------------------------------------------------------
+
+/// Monotonic counters of a service's lifetime (see [`EhwService::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Jobs accepted by [`EhwService::submit`].
+    pub submitted: u64,
+    /// Jobs whose result has been produced (including failed ones).
+    pub completed: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+}
+
+struct QueuedJob {
+    job_id: u64,
+    seed: u64,
+    spec: JobSpec,
+    reply: mpsc::Sender<JobResult>,
+}
+
+/// The serving front-end: a sharded pool of [`EhwPlatform`]s consuming a
+/// bounded queue of [`JobSpec`]s.
+///
+/// Each shard is one OS thread owning its platforms (one per array count it
+/// has seen, recycled via [`EhwPlatform::reset`] so no state leaks between
+/// jobs) and executing one job at a time through the single
+/// [`jobs::execute`] path; intra-job parallelism is governed by
+/// [`ServiceConfig::workers_per_platform`].  Dropping the service is a
+/// **graceful drain**, not a cancel: the queue stops accepting new jobs,
+/// every job already accepted still executes, the shards are joined, and
+/// every issued [`JobHandle`] remains resolvable (results are buffered in
+/// the handle's channel).  There is no cancellation primitive yet — see the
+/// ROADMAP's serving next steps.
+pub struct EhwService {
+    sender: Option<mpsc::SyncSender<QueuedJob>>,
+    shards: Vec<JoinHandle<()>>,
+    root: SeedSequence,
+    next_job_id: AtomicU64,
+    counters: Arc<Counters>,
+    config: ServiceConfig,
+}
+
+impl EhwService {
+    /// Validates the configuration and starts the shard threads.
+    pub fn new(config: ServiceConfig) -> Result<Self, ServiceError> {
+        config.validate()?;
+        let parallel = ParallelConfig {
+            workers: config.workers_per_platform,
+            chunk: config.chunk,
+        };
+        let (sender, receiver) = mpsc::sync_channel::<QueuedJob>(config.queue_depth);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let counters = Arc::new(Counters::default());
+        let shards = (0..config.platforms)
+            .map(|shard| {
+                let receiver = Arc::clone(&receiver);
+                let counters = Arc::clone(&counters);
+                std::thread::Builder::new()
+                    .name(format!("ehw-shard-{shard}"))
+                    .spawn(move || shard_loop(&receiver, parallel, &counters))
+                    .expect("spawn shard thread")
+            })
+            .collect();
+        Ok(EhwService {
+            sender: Some(sender),
+            shards,
+            root: SeedSequence::new(config.seed),
+            next_job_id: AtomicU64::new(0),
+            counters,
+            config,
+        })
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Lifetime counters: jobs submitted and completed so far.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.counters.submitted.load(Ordering::SeqCst),
+            completed: self.counters.completed.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Submits one job, blocking while the queue is at
+    /// [`ServiceConfig::queue_depth`] (backpressure — jobs are never
+    /// dropped).  Returns a handle resolving to the job's [`JobResult`].
+    ///
+    /// The job id numbers submissions in order; the effective seed is the
+    /// spec's pinned seed or `root.fork(job_id)`, so a deterministic
+    /// submission sequence is byte-reproducible no matter how the pool is
+    /// sized (see the crate docs).
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, ServiceError> {
+        let job_id = self.next_job_id.fetch_add(1, Ordering::SeqCst);
+        let seed = spec.seed().unwrap_or_else(|| self.root.fork(job_id).seed());
+        let (reply, receiver) = mpsc::channel();
+        // Count the submission before the send: a shard can pick the job up
+        // and complete it the instant `send` returns, and `completed` must
+        // never be observable above `submitted`.
+        self.counters.submitted.fetch_add(1, Ordering::SeqCst);
+        if self
+            .sender
+            .as_ref()
+            .expect("sender lives as long as the service")
+            .send(QueuedJob {
+                job_id,
+                seed,
+                spec,
+                reply,
+            })
+            .is_err()
+        {
+            self.counters.submitted.fetch_sub(1, Ordering::SeqCst);
+            return Err(ServiceError::Shutdown);
+        }
+        Ok(JobHandle {
+            job_id,
+            seed,
+            receiver,
+            received: std::cell::Cell::new(false),
+        })
+    }
+
+    /// Submits a batch in order, returning one handle per spec.  Blocks for
+    /// backpressure like [`submit`](Self::submit); the shards drain the queue
+    /// concurrently, so submitting arbitrarily many jobs from one thread
+    /// cannot deadlock.
+    pub fn submit_batch(
+        &self,
+        specs: impl IntoIterator<Item = JobSpec>,
+    ) -> Result<Vec<JobHandle>, ServiceError> {
+        specs.into_iter().map(|spec| self.submit(spec)).collect()
+    }
+
+    /// Convenience: submits a batch and waits for every result, in
+    /// submission order.
+    pub fn run_batch(
+        &self,
+        specs: impl IntoIterator<Item = JobSpec>,
+    ) -> Result<Vec<JobResult>, ServiceError> {
+        let handles = self.submit_batch(specs)?;
+        Ok(handles.into_iter().map(JobHandle::wait).collect())
+    }
+}
+
+impl Drop for EhwService {
+    fn drop(&mut self) {
+        // Disconnect the queue: shards finish what is in flight and exit.
+        self.sender.take();
+        for shard in self.shards.drain(..) {
+            let _ = shard.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for EhwService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EhwService")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A pending job: resolves to its [`JobResult`] via [`wait`](Self::wait).
+#[derive(Debug)]
+pub struct JobHandle {
+    job_id: u64,
+    seed: u64,
+    receiver: mpsc::Receiver<JobResult>,
+    /// Whether [`try_wait`](Self::try_wait) already took the result — lets a
+    /// later disconnect be reported as "already taken" instead of "service
+    /// dropped".
+    received: std::cell::Cell<bool>,
+}
+
+impl JobHandle {
+    /// The id the service assigned at submission (submission order).
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// The effective RNG seed the job runs with (pinned or derived) —
+    /// re-running the same spec through a legacy entry point with this seed
+    /// reproduces the result byte for byte.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Blocks until the job has executed and returns its result.  Dropping
+    /// the service drains the queue, so an accepted job's handle stays
+    /// resolvable even after the drop.
+    ///
+    /// # Panics
+    /// Panics if the result can never arrive: the executing shard died
+    /// abnormally, or a previous [`try_wait`](Self::try_wait) already took
+    /// the result.
+    pub fn wait(self) -> JobResult {
+        match self.receiver.recv() {
+            Ok(result) => result,
+            Err(_) if self.received.get() => {
+                panic!("job result was already taken by a previous try_wait")
+            }
+            Err(_) => panic!("the shard executing this job died before replying"),
+        }
+    }
+
+    /// Returns the result if the job has already finished, without blocking.
+    ///
+    /// # Panics
+    /// Panics if the result can never arrive: the executing shard died
+    /// abnormally, or a previous `try_wait` already took the result — a
+    /// poller would otherwise spin forever on `None`.
+    pub fn try_wait(&self) -> Option<JobResult> {
+        match self.receiver.try_recv() {
+            Ok(result) => {
+                self.received.set(true);
+                Some(result)
+            }
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                if self.received.get() {
+                    panic!("job result was already taken by a previous try_wait")
+                }
+                panic!("the shard executing this job died before replying")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard loop
+// ---------------------------------------------------------------------------
+
+fn shard_loop(
+    receiver: &Mutex<mpsc::Receiver<QueuedJob>>,
+    parallel: ParallelConfig,
+    counters: &Counters,
+) {
+    // One platform per array count this shard has served, recycled across
+    // jobs.  Holding the queue lock across `recv` is deliberate: exactly one
+    // idle shard waits at a time, hands the lock on as soon as it has taken a
+    // job, and executes outside the lock — shards only ever serialise on
+    // queue *pickup*, never on work.
+    let mut pool: HashMap<usize, EhwPlatform> = HashMap::new();
+    loop {
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // another shard panicked while holding the lock
+        };
+        let Ok(QueuedJob {
+            job_id,
+            seed,
+            spec,
+            reply,
+        }) = job
+        else {
+            return; // queue disconnected: the service is shutting down
+        };
+
+        let arrays = spec.arrays_needed();
+        let mut platform = pool
+            .remove(&arrays)
+            .map(|mut platform| {
+                platform.reset();
+                platform
+            })
+            .unwrap_or_else(|| EhwPlatform::with_parallel(arrays, parallel));
+
+        // A panicking job must not take the shard (or the queue) down with
+        // it: capture the panic, report it as a failed result, and retire
+        // the possibly half-mutated platform instead of pooling it.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            jobs::execute(&mut platform, &spec, seed)
+        }));
+        let result = match outcome {
+            Ok(mut result) => {
+                result.job_id = job_id;
+                pool.insert(arrays, platform);
+                result
+            }
+            Err(panic) => JobResult {
+                job_id,
+                seed,
+                evaluations: 0,
+                stats: Default::default(),
+                output: JobOutput::Failed(panic_message(&panic)),
+            },
+        };
+        counters.completed.fetch_add(1, Ordering::SeqCst);
+        // The handle may have been dropped without waiting; that is fine.
+        let _ = reply.send(result);
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehw_image::synth;
+
+    fn training_pair(size: usize) -> (ehw_image::image::GrayImage, ehw_image::image::GrayImage) {
+        // A deterministic non-trivial pair without pulling in an RNG: learn
+        // the gradient from a checkerboard.
+        (
+            synth::checkerboard(size, size, 4),
+            synth::gradient(size, size),
+        )
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_sizes() {
+        assert!(matches!(
+            EhwService::new(ServiceConfig {
+                platforms: 0,
+                ..ServiceConfig::new(1)
+            }),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ServiceConfig::new(1).workers_per_platform(0).validate(),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ServiceConfig::new(1).queue_depth(0).validate(),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+        assert!(ServiceConfig::new(2).validate().is_ok());
+    }
+
+    #[test]
+    fn from_env_surfaces_malformed_environment_with_a_descriptive_error() {
+        // Scoped env mutation: the value is restored below, and no other
+        // test in this binary depends on these variables (job results are
+        // worker-count invariant by contract).
+        let old = std::env::var(ehw_parallel::WORKERS_ENV).ok();
+        std::env::set_var(ehw_parallel::WORKERS_ENV, "not-a-number");
+        let err = ServiceConfig::from_env().unwrap_err();
+        match &err {
+            ServiceError::Environment(env) => {
+                assert_eq!(env.var, ehw_parallel::WORKERS_ENV);
+                assert_eq!(env.value, "not-a-number");
+            }
+            other => panic!("expected an environment error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("EHW_WORKERS"), "{err}");
+        match old {
+            Some(value) => std::env::set_var(ehw_parallel::WORKERS_ENV, value),
+            None => std::env::remove_var(ehw_parallel::WORKERS_ENV),
+        }
+        // Explicit configs never read the environment, so they were valid
+        // throughout.
+        assert!(ServiceConfig::new(1).validate().is_ok());
+    }
+
+    #[test]
+    fn submit_and_wait_roundtrips_every_job_kind() {
+        let (noisy, clean) = training_pair(20);
+        let service = EhwService::new(ServiceConfig::new(2)).unwrap();
+        let specs = vec![
+            JobSpec::evolution(noisy.clone(), clean.clone())
+                .generations(4)
+                .build()
+                .unwrap(),
+            JobSpec::cascade(noisy.clone(), clean.clone())
+                .stages(2)
+                .generations(3)
+                .build()
+                .unwrap(),
+            JobSpec::fault_campaign(noisy, clean)
+                .recovery_generations(2)
+                .build()
+                .unwrap(),
+        ];
+        let results = service.run_batch(specs).unwrap();
+        assert_eq!(results.len(), 3);
+        for (i, result) in results.iter().enumerate() {
+            assert_eq!(result.job_id, i as u64);
+            assert!(!result.is_failed());
+            assert!(result.evaluations > 0);
+        }
+        assert!(results[0].as_evolution().is_some());
+        assert!(results[1].as_cascade().is_some());
+        assert!(results[2].as_campaign().is_some());
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 3);
+    }
+
+    #[test]
+    fn derived_seeds_follow_the_root_sequence() {
+        let (noisy, clean) = training_pair(16);
+        let service = EhwService::new(ServiceConfig::new(1).seed(99)).unwrap();
+        let spec = JobSpec::evolution(noisy.clone(), clean.clone())
+            .generations(2)
+            .build()
+            .unwrap();
+        let h0 = service.submit(spec.clone()).unwrap();
+        let h1 = service.submit(spec).unwrap();
+        assert_eq!(h0.job_id(), 0);
+        assert_eq!(h1.job_id(), 1);
+        assert_eq!(h0.seed(), SeedSequence::new(99).fork(0).seed());
+        assert_eq!(h1.seed(), SeedSequence::new(99).fork(1).seed());
+        assert_ne!(h0.seed(), h1.seed());
+        // Pinned seeds win over derivation.
+        let pinned = JobSpec::evolution(noisy, clean)
+            .generations(2)
+            .seed(1234)
+            .build()
+            .unwrap();
+        let h2 = service.submit(pinned).unwrap();
+        assert_eq!(h2.seed(), 1234);
+        let results = [h0.wait(), h1.wait(), h2.wait()];
+        assert_eq!(results[2].seed, 1234);
+        // Different derived seeds explore differently.
+        let (a, _) = results[0].as_evolution().unwrap();
+        let (b, _) = results[1].as_evolution().unwrap();
+        assert_ne!(a.initial_fitness, b.initial_fitness);
+    }
+
+    #[test]
+    fn identical_submission_sequences_reproduce_byte_identically() {
+        let (noisy, clean) = training_pair(20);
+        let specs = || {
+            vec![
+                JobSpec::evolution(noisy.clone(), clean.clone())
+                    .generations(3)
+                    .build()
+                    .unwrap(),
+                JobSpec::cascade(noisy.clone(), clean.clone())
+                    .stages(2)
+                    .generations(2)
+                    .build()
+                    .unwrap(),
+            ]
+        };
+        let run = |config: ServiceConfig| {
+            let service = EhwService::new(config).unwrap();
+            service
+                .run_batch(specs())
+                .unwrap()
+                .into_iter()
+                .map(|r| {
+                    (
+                        r.seed,
+                        r.evaluations,
+                        r.history().to_vec(),
+                        r.genotypes()
+                            .into_iter()
+                            .map(|g| g.encode())
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let reference = run(ServiceConfig::new(1).seed(7));
+        // Pool size and worker count are scheduling only.
+        assert_eq!(reference, run(ServiceConfig::new(3).seed(7)));
+        assert_eq!(
+            reference,
+            run(ServiceConfig::new(2).workers_per_platform(4).seed(7))
+        );
+        // The root seed is load-bearing.
+        assert_ne!(reference, run(ServiceConfig::new(1).seed(8)));
+    }
+
+    #[test]
+    fn platforms_are_recycled_without_state_leaks() {
+        // A campaign job (which injects faults into its platform's snapshot
+        // space and reconfigures arrays) followed by an evolution job of the
+        // same shape on the same single shard must score identically to the
+        // evolution job on a fresh service.
+        let (noisy, clean) = training_pair(16);
+        let campaign = JobSpec::fault_campaign(noisy.clone(), clean.clone())
+            .recovery_generations(2)
+            .seed(5)
+            .build()
+            .unwrap();
+        let evolution = || {
+            JobSpec::evolution(noisy.clone(), clean.clone())
+                .generations(3)
+                .seed(6)
+                .build()
+                .unwrap()
+        };
+        let fresh = EhwService::new(ServiceConfig::new(1)).unwrap();
+        let expected = fresh.submit(evolution()).unwrap().wait();
+        let recycled = EhwService::new(ServiceConfig::new(1)).unwrap();
+        let _ = recycled.submit(campaign).unwrap().wait();
+        let got = recycled.submit(evolution()).unwrap().wait();
+        let (a, _) = expected.as_evolution().unwrap();
+        let (b, _) = got.as_evolution().unwrap();
+        assert_eq!(a.best_genotype.encode(), b.best_genotype.encode());
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn try_wait_is_nonblocking_and_eventually_resolves() {
+        let (noisy, clean) = training_pair(16);
+        let service = EhwService::new(ServiceConfig::new(1)).unwrap();
+        let handle = service
+            .submit(
+                JobSpec::evolution(noisy, clean)
+                    .generations(2)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        loop {
+            if let Some(result) = handle.try_wait() {
+                assert!(!result.is_failed());
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+}

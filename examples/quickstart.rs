@@ -1,21 +1,22 @@
-//! Quick start: evolve a salt & pepper denoising filter on a single array.
+//! Quick start: evolve a salt & pepper denoising filter through the service
+//! layer.
 //!
 //! ```text
 //! cargo run --release --example quickstart -- [generations]
 //! ```
 //!
 //! The example builds a synthetic training scene, corrupts it with 40 % salt &
-//! pepper noise (the paper's reference workload), evolves one processing array
-//! against the clean reference with the (1+λ) strategy, and reports how the
-//! fitness (pixel-aggregated MAE, lower is better) improved, together with the
-//! evolution time the platform model predicts for the same run on the FPGA.
+//! pepper noise (the paper's reference workload), submits one typed evolution
+//! job to an [`EhwService`] — the front-end that multiplexes every workload
+//! over a pool of platforms — and reports how the fitness (pixel-aggregated
+//! MAE, lower is better) improved, together with the evolution time the
+//! platform model predicts for the same run on the FPGA.
 
-use ehw_evolution::strategy::EsConfig;
+use ehw_array::array::ProcessingArray;
 use ehw_image::metrics::mae;
 use ehw_image::noise::NoiseModel;
 use ehw_image::synth;
-use ehw_platform::evo_modes::{evolve_parallel, EvolutionTask};
-use ehw_platform::platform::EhwPlatform;
+use ehw_service::{EhwService, JobSpec, ServiceConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,17 +32,28 @@ fn main() {
     let clean = synth::shapes(64, 64, 5);
     let mut rng = StdRng::seed_from_u64(2013);
     let noisy = NoiseModel::paper_salt_pepper().apply(&clean, &mut rng);
-    let task = EvolutionTask::new(noisy.clone(), clean.clone());
 
     println!("== Multi-array evolvable hardware: quick start ==");
     println!("image: 64x64, noise: 40% salt & pepper");
     println!("unfiltered MAE (identity): {}", mae(&noisy, &clean));
 
-    // A single-array platform, evolved with the paper's EA parameters
-    // (9 offspring per generation, mutation rate k = 3).
-    let mut platform = EhwPlatform::new(1);
-    let config = EsConfig::paper(3, 1, generations, 42);
-    let (result, time) = evolve_parallel(&mut platform, &task, &config);
+    // One service shard is plenty here; heavy traffic raises `platforms` /
+    // `workers_per_platform` and submits many jobs at once.
+    let service = EhwService::new(ServiceConfig::new(1)).expect("valid service config");
+
+    // A typed evolution job with the paper's EA parameters (9 offspring per
+    // generation, mutation rate k = 3); the spec validates shapes and budgets
+    // at construction.  The pinned seed makes the run byte-reproducible — the
+    // legacy `evolve_parallel` entry point with the same seed returns the
+    // exact same result.
+    let spec = JobSpec::evolution(noisy.clone(), clean.clone())
+        .mutation_rate(3)
+        .generations(generations)
+        .seed(42)
+        .build()
+        .expect("valid evolution spec");
+    let job = service.submit(spec).expect("service accepts jobs").wait();
+    let (result, time) = job.as_evolution().expect("evolution job");
 
     println!("generations:            {}", result.generations_run);
     println!("initial fitness:        {}", result.initial_fitness);
@@ -50,7 +62,7 @@ fn main() {
         "improvement:            {:.1}%",
         result.improvement() * 100.0
     );
-    println!("candidate evaluations:  {}", result.evaluations);
+    println!("candidate evaluations:  {}", job.evaluations);
     println!(
         "PE reconfigurations:    {}",
         result.total_pe_reconfigurations
@@ -61,8 +73,10 @@ fn main() {
         time.per_generation_s() * 1e3
     );
 
-    // The evolved filter is now configured in the array; filter the noisy
-    // image once more to confirm.
-    let filtered = platform.acb(0).raw_output(&noisy);
+    // Configure the evolved circuit into a local array model and filter the
+    // noisy image once more to confirm the reported fitness.
+    let mut array = ProcessingArray::identity();
+    array.set_genotype(result.best_genotype.clone());
+    let filtered = array.filter_image(&noisy);
     println!("filtered MAE (verify):  {}", mae(&filtered, &clean));
 }

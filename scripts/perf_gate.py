@@ -16,6 +16,11 @@ import sys
 TRACKED = [
     ("speedup_compiled_vs_interpreter_1_worker",),
     ("cascade", "speedup_compiled_vs_naive_1_worker"),
+    # Serving path: jobs/sec at 2 platforms over 1 platform.  A ratio of two
+    # same-machine measurements, like the speedups above; on a single-core
+    # host it sits at ~1.0, on multi-core hosts above it — the gate only
+    # fires if pool scaling regresses >20% below the committed baseline.
+    ("service_throughput", "scaling_2_platforms"),
 ]
 
 

@@ -13,7 +13,12 @@
 //!   per-generation memo, at 1 and 4 workers, reporting the early-exit rate,
 //! * **cascade** — a three-stage cascaded evolution (the Fig. 16 workload)
 //!   run through the naive oracle and the compiled cascade engine, single
-//!   worker, with a byte-identity gate between the two.
+//!   worker, with a byte-identity gate between the two,
+//! * **plan_compile** — ns/candidate of a fresh plan compile vs patching the
+//!   parent's plan with the gene diff (the software mirror of partial
+//!   reconfiguration),
+//! * **window_layout** — full-image evals/sec of the AoS window-gather path
+//!   vs the SoA per-selector plane path, same plan, single worker.
 //!
 //! Usage: `cargo run --release -p ehw-bench --bin bench_summary`
 //! (`--size=`, `--reps=`, `--generations=`, `--cascade-generations=`,
@@ -27,7 +32,7 @@ use ehw_array::genotype::Genotype;
 use ehw_evolution::fitness::{plan_mae, FitnessEvaluator, SoftwareEvaluator};
 use ehw_evolution::strategy::{run_evolution, EsConfig, EvalEngine, NullObserver};
 use ehw_image::metrics::mae;
-use ehw_image::window::SharedWindows;
+use ehw_image::window::{SharedWindows, Window3x3};
 use ehw_parallel::ParallelConfig;
 use ehw_platform::evo_modes::{evolve_cascade, CascadeConfig, CascadeEngine};
 use ehw_platform::platform::EhwPlatform;
@@ -120,6 +125,103 @@ fn main() {
         );
         assert_eq!(plan_fit, interp_fit, "engine diverged from the interpreter");
     }
+
+    // --- plan compilation: fresh vs patch ----------------------------------
+    // λ mutated children of one parent — the engine's per-generation unit.
+    // The fresh path is what the evaluator actually does without patching:
+    // `ProcessingArray::compile_with`, a full plan rebuild plus the fault
+    // overlay merge.  The patch path is what it does with patching: replay a
+    // precomputed ≤ k-entry gene diff into the worker-resident parent plan
+    // and replay it back after the evaluation.  The diffs themselves are
+    // mutation bookkeeping (computed once per candidate outside the workers,
+    // like a DPR frame list) and are priced separately below.
+    let parent = batch[0].clone();
+    let children: Vec<Genotype> = (1..=LAMBDA)
+        .map(|i| {
+            let mut child = parent.clone();
+            child.pe_genes[(3 * i) % 16] = (child.pe_genes[(3 * i) % 16] + 1) % 16;
+            child.input_genes[i % 8] = (child.input_genes[i % 8] + 1) % 9;
+            if i % 2 == 0 {
+                child.output_gene = (child.output_gene + 1) % 4;
+            }
+            child
+        })
+        .collect();
+    let parent_plan = CompiledArray::new(&parent);
+    // Identity gate: a patched plan must be the fresh compile, byte for byte.
+    for child in &children {
+        assert_eq!(
+            parent_plan.patch(&child.diff_from(&parent)),
+            CompiledArray::new(child),
+            "patched plan diverged from the fresh compile"
+        );
+    }
+    let compile_rounds = 100_000usize;
+    let compile_denom = (compile_rounds * children.len()) as f64;
+    let fresh_ns = {
+        let base = ehw_array::array::ProcessingArray::new(parent.clone());
+        let start = Instant::now();
+        for _ in 0..compile_rounds {
+            for child in &children {
+                std::hint::black_box(base.compile_with(std::hint::black_box(child)));
+            }
+        }
+        start.elapsed().as_nanos() as f64 / compile_denom
+    };
+    let diff_ns = {
+        let start = Instant::now();
+        for _ in 0..compile_rounds {
+            for child in &children {
+                std::hint::black_box(std::hint::black_box(child).diff_from(&parent));
+            }
+        }
+        start.elapsed().as_nanos() as f64 / compile_denom
+    };
+    let patch_ns = {
+        // The production data path keeps one resident plan per worker and
+        // applies/reverts each candidate's precomputed gene diff in place —
+        // no 352-byte struct copy and no diff recomputation per candidate.
+        let diffs: Vec<_> = children.iter().map(|c| c.diff_from(&parent)).collect();
+        let mut plan = parent_plan;
+        let start = Instant::now();
+        for _ in 0..compile_rounds {
+            for diff in &diffs {
+                plan.apply(std::hint::black_box(diff));
+                std::hint::black_box(&plan);
+                plan.revert(std::hint::black_box(diff));
+            }
+        }
+        let elapsed = start.elapsed().as_nanos() as f64 / compile_denom;
+        assert_eq!(plan, parent_plan, "apply/revert round trip drifted");
+        elapsed
+    };
+    let patch_speedup = fresh_ns / patch_ns.max(1e-9);
+
+    // --- window layout: AoS gather vs SoA planes ---------------------------
+    // Same plans, same windows; only the memory layout of the shared window
+    // pass differs.  The AoS path gathers nine strided bytes per window and
+    // lane; the plane path memcpys contiguous selector runs.
+    let aos: Vec<Window3x3> = (0..windows.len()).map(|k| windows.window(k)).collect();
+    let mut layout_out = vec![0u8; windows.len()];
+    let aos_tp = time_batches(reps, pixels, || {
+        let mut sum = 0u64;
+        for g in &batch {
+            let plan = CompiledArray::new(g);
+            plan.evaluate_windows_into(&aos, &mut layout_out);
+            sum = sum.wrapping_add(layout_out[0] as u64);
+        }
+        sum
+    });
+    let planes_tp = time_batches(reps, pixels, || {
+        let mut sum = 0u64;
+        for g in &batch {
+            let plan = CompiledArray::new(g);
+            plan.evaluate_planes_into(windows.planes(), 0, &mut layout_out);
+            sum = sum.wrapping_add(layout_out[0] as u64);
+        }
+        sum
+    });
+    let plane_speedup = planes_tp.evals_per_sec / aos_tp.evals_per_sec.max(1e-9);
 
     // --- in-evolution early-exit rate at 1 and 4 workers -------------------
     let mut evolution = Vec::new();
@@ -280,6 +382,14 @@ fn main() {
             ],
         ],
     );
+    println!(
+        "plan compile: fresh {fresh_ns:.1} ns/candidate, patch {patch_ns:.1} ns/candidate \
+         (+ {diff_ns:.1} ns diff bookkeeping), speedup {patch_speedup:.2}x"
+    );
+    println!(
+        "window layout 1w: AoS {:.1} evals/s, planes {:.1} evals/s, speedup {plane_speedup:.2}x",
+        aos_tp.evals_per_sec, planes_tp.evals_per_sec
+    );
     for (workers, evals_per_sec, rate, memo_hits, best) in &evolution {
         println!(
             "evolution {workers}w: {evals_per_sec:.1} evals/s, early-exit rate {:.1}%, \
@@ -323,6 +433,25 @@ fn main() {
         json,
         "  \"speedup_compiled_vs_interpreter_1_worker\": {speedup_1w:.2},"
     );
+    let _ = writeln!(json, "  \"plan_compile\": {{");
+    let _ = writeln!(json, "    \"fresh_ns_per_candidate\": {fresh_ns:.1},");
+    let _ = writeln!(json, "    \"patch_ns_per_candidate\": {patch_ns:.1},");
+    let _ = writeln!(json, "    \"diff_ns_per_candidate\": {diff_ns:.1},");
+    let _ = writeln!(json, "    \"patch_speedup\": {patch_speedup:.2}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"window_layout\": {{");
+    let _ = writeln!(
+        json,
+        "    \"aos_evals_per_sec\": {:.1},",
+        aos_tp.evals_per_sec
+    );
+    let _ = writeln!(
+        json,
+        "    \"plane_evals_per_sec\": {:.1},",
+        planes_tp.evals_per_sec
+    );
+    let _ = writeln!(json, "    \"plane_speedup\": {plane_speedup:.2}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"cascade\": {{");
     let _ = writeln!(
         json,

@@ -124,28 +124,59 @@ impl FitnessEvaluator for PlatformEvaluator {
         // the hardware's candidate distribution); the pool merges fitness
         // values in candidate order, so results are identical at any worker
         // count.  Two arrays may carry different faults, so the duplicate
-        // memo is keyed by (array, genotype), and the incumbent shortcut is
-        // ignored — the incumbent's fitness belongs to whichever array scored
-        // it, which is unknowable here.  Early exit stays sound per candidate:
-        // a value is exact iff it is `<= bound` on *its* array.
-        let _ = incumbent;
+        // memo is keyed by (array, genotype), and the incumbent *fitness*
+        // shortcut is ignored — the incumbent's fitness belongs to whichever
+        // array scored it, which is unknowable here.  The incumbent genotype
+        // is still useful: its plan is compiled once per array and each
+        // worker keeps resident copies that candidates are patched into
+        // (≤ k gene writes each way), which is bit-identical to a fresh
+        // compile under the same overlay.  Early exit stays sound per
+        // candidate: a value is exact iff it is `<= bound` on *its* array.
         self.evaluations += batch.len() as u64;
         let num_arrays = self.arrays.len();
         let arrays = &self.arrays;
         let windows = &self.windows;
         let reference = &self.reference;
-        ehw_evolution::fitness::batch_mae_bounded(
-            batch,
-            None,
-            parallel,
-            |i, g| (i % num_arrays, g),
-            |_| false,
-            |i| {
-                let plan = arrays[i % num_arrays].compile_with(&batch[i]);
-                ehw_evolution::fitness::plan_mae_bounded(&plan, windows, reference, bound)
-            },
-            &mut self.stats,
-        )
+        match incumbent {
+            Some((pg, _)) => {
+                let parent_plans: Vec<ehw_array::compiled::CompiledArray> =
+                    arrays.iter().map(|a| a.compile_with(pg)).collect();
+                // Diffs are computed once per candidate up front (mutation
+                // bookkeeping); the workers only replay them.
+                let diffs: Vec<_> = batch.iter().map(|g| g.diff_from(pg)).collect();
+                ehw_evolution::fitness::batch_mae_bounded_init(
+                    batch,
+                    None,
+                    parallel,
+                    |i, g| (i % num_arrays, g),
+                    |_| false,
+                    || parent_plans.clone(),
+                    |plans, i| {
+                        let plan = &mut plans[i % num_arrays];
+                        let diff = &diffs[i];
+                        plan.apply(diff);
+                        let result = ehw_evolution::fitness::plan_mae_bounded(
+                            plan, windows, reference, bound,
+                        );
+                        plan.revert(diff);
+                        result
+                    },
+                    &mut self.stats,
+                )
+            }
+            None => ehw_evolution::fitness::batch_mae_bounded(
+                batch,
+                None,
+                parallel,
+                |i, g| (i % num_arrays, g),
+                |_| false,
+                |i| {
+                    let plan = arrays[i % num_arrays].compile_with(&batch[i]);
+                    ehw_evolution::fitness::plan_mae_bounded(&plan, windows, reference, bound)
+                },
+                &mut self.stats,
+            ),
+        }
     }
 
     fn evaluations(&self) -> u64 {
@@ -256,9 +287,11 @@ pub enum CascadeEngine {
     /// the equivalence oracle and the bench baseline, exactly like the
     /// reference interpreter of the single-array engine.
     Naive,
-    /// Compiled plans + per-generation shared stage windows + early-exit
-    /// bounds + upstream-prefix caching (the default).  Byte-identical
-    /// results to [`Naive`](Self::Naive) — enforced by
+    /// Compiled plans patched from the stage parent's plan + per-generation
+    /// shared stage windows (SoA planes) + early-exit bounds +
+    /// upstream-prefix caching + generation-level downstream-suffix sharing
+    /// for merged fitness (the default).  Byte-identical results to
+    /// [`Naive`](Self::Naive) — enforced by
     /// `tests/property_cascade_equivalence.rs`.
     Compiled,
 }
@@ -514,7 +547,6 @@ fn evolve_cascade_naive(
 /// generation budget, and interleaved scheduling reuses every prefix that the
 /// intervening rounds left untouched.
 struct CascadeState<'a> {
-    arrays: &'a [ProcessingArray],
     task: &'a EvolutionTask,
     fitness_mode: CascadeFitness,
     parallel: ParallelConfig,
@@ -634,9 +666,19 @@ impl CascadeState<'_> {
     }
 
     /// One (1+λ) generation of stage `s`: compute the stage input once,
-    /// evaluate the offspring batch against it through compiled plans over
-    /// the worker pool with the parent's fitness as the early-exit bound, and
-    /// apply elitist selection with neutral drift.
+    /// evaluate the offspring batch against it through plans *patched* from
+    /// the parent's plan (≤ k gene rewrites per candidate instead of a fresh
+    /// compile) over the worker pool with the parent's fitness as the
+    /// early-exit bound, and apply elitist selection with neutral drift.
+    ///
+    /// Merged fitness additionally shares the downstream suffix at generation
+    /// level: the downstream parent plans are fixed across the λ candidates,
+    /// so the suffix pipeline (mid-stage refiltering + bounded final
+    /// comparison) runs once per *distinct stage output* — memoised on the
+    /// output bytes — instead of once per candidate.  Bit-identical to
+    /// running [`chain_mae_bounded`](ehw_evolution::fitness::chain_mae_bounded)
+    /// per candidate, including the `EngineStats` accounting, at any worker
+    /// count.
     fn one_generation(&mut self, s: usize, config: &CascadeConfig, rng: &mut StdRng) {
         self.ensure_stage_windows(s);
         let bound = self.parent_fitness(s);
@@ -646,7 +688,7 @@ impl CascadeState<'_> {
         self.evaluations += offspring.len() as u64;
 
         let windows = &self.windows[s].as_ref().expect("windows were ensured").0;
-        let stage_array = &self.arrays[s];
+        let parent_plan = self.parent_plans[s];
         let downstream = &self.parent_plans[s + 1..];
         let merged = self.fitness_mode == CascadeFitness::Merged;
         let reference = &self.task.reference;
@@ -657,28 +699,91 @@ impl CascadeState<'_> {
         // value without changing the argmin below.  Offspring identical to
         // the parent reuse its exact fitness; duplicates inside the batch are
         // evaluated once.
-        let fitnesses = ehw_evolution::fitness::batch_mae_bounded(
-            &offspring,
-            Some((parent, bound)),
-            self.parallel,
-            |_, g| g,
-            |_| true,
-            |i| {
-                let plan = stage_array.compile_with(&offspring[i]);
-                if merged {
-                    ehw_evolution::fitness::chain_mae_bounded(
-                        &plan,
-                        windows,
-                        downstream,
+        let fitnesses = if merged && !downstream.is_empty() {
+            // Shared-suffix merged path, phase 1: the stage outputs of the
+            // unique candidates, in parallel over the worker pool.
+            let (slots, unique) = ehw_evolution::fitness::dedupe_batch(
+                &offspring,
+                Some((parent, bound)),
+                |_, g| g,
+                |_| true,
+            );
+            let diffs: Vec<_> = offspring.iter().map(|g| g.diff_from(parent)).collect();
+            let outputs: Vec<GrayImage> = ehw_parallel::ordered_map_init(
+                self.parallel,
+                &unique,
+                || parent_plan,
+                |plan, _, &i| {
+                    let diff = &diffs[i];
+                    plan.apply(diff);
+                    let img = ehw_evolution::fitness::plan_filter_windows(plan, windows);
+                    plan.revert(diff);
+                    img
+                },
+            );
+            // Group unique candidates by stage-output bytes (first-occurrence
+            // order, so the grouping — and everything after it — is
+            // independent of the worker count).
+            let mut suffix_of: Vec<usize> = Vec::with_capacity(outputs.len());
+            let mut suffix_inputs: Vec<usize> = Vec::new();
+            {
+                let mut seen: std::collections::HashMap<&[u8], usize> =
+                    std::collections::HashMap::with_capacity(outputs.len());
+                for (u, img) in outputs.iter().enumerate() {
+                    let slot = *seen.entry(img.as_slice()).or_insert_with(|| {
+                        suffix_inputs.push(u);
+                        suffix_inputs.len() - 1
+                    });
+                    suffix_of.push(slot);
+                }
+            }
+            // Phase 2: one suffix pipeline per distinct stage output — the
+            // exact computation `chain_mae_bounded` performs after the stage
+            // filter, so shared results are bit-identical to per-candidate
+            // evaluation.
+            let suffix_results =
+                ehw_parallel::ordered_map(self.parallel, &suffix_inputs, |_, &u| {
+                    let (last, mid) = downstream.split_last().expect("downstream is non-empty");
+                    let mut stream = std::borrow::Cow::Borrowed(&outputs[u]);
+                    for p in mid {
+                        stream = std::borrow::Cow::Owned(p.filter_image(&stream));
+                    }
+                    ehw_evolution::fitness::plan_image_mae_bounded(
+                        last,
+                        &stream,
                         reference,
                         Some(bound),
                     )
-                } else {
-                    ehw_evolution::fitness::plan_mae_bounded(&plan, windows, reference, Some(bound))
-                }
-            },
-            &mut self.stats,
-        );
+                });
+            // Expand back to one result per unique candidate before the
+            // scatter, so `EngineStats` counts exactly what the unshared path
+            // would have counted.
+            let results: Vec<(u64, bool)> = suffix_of.iter().map(|&k| suffix_results[k]).collect();
+            ehw_evolution::fitness::scatter_results(slots, &results, &mut self.stats)
+        } else {
+            let diffs: Vec<_> = offspring.iter().map(|g| g.diff_from(parent)).collect();
+            ehw_evolution::fitness::batch_mae_bounded_init(
+                &offspring,
+                Some((parent, bound)),
+                self.parallel,
+                |_, g| g,
+                |_| true,
+                || parent_plan,
+                |plan, i| {
+                    let diff = &diffs[i];
+                    plan.apply(diff);
+                    let result = ehw_evolution::fitness::plan_mae_bounded(
+                        plan,
+                        windows,
+                        reference,
+                        Some(bound),
+                    );
+                    plan.revert(diff);
+                    result
+                },
+                &mut self.stats,
+            )
+        };
 
         let mut best_child: Option<(usize, u64)> = None;
         for (i, &fitness) in fitnesses.iter().enumerate() {
@@ -690,13 +795,14 @@ impl CascadeState<'_> {
             // A neutrally-drifting child that is genotype-identical to the
             // parent replaces nothing observable: skipping it keeps every
             // downstream prefix/window/fitness cache valid instead of
-            // recompiling an identical plan and invalidating them all.
+            // patching in an identical plan and invalidating them all.
             if fitness <= bound && self.parents[s] != offspring[i] {
                 // `fitness <= bound` implies the value is exact, so the cache
                 // stores the true parent fitness for the generations ahead.
                 self.epoch += 1;
+                let diff = offspring[i].diff_from(&self.parents[s]);
                 self.parents[s] = offspring[i].clone();
-                self.parent_plans[s] = self.arrays[s].compile_with(&self.parents[s]);
+                self.parent_plans[s] = self.parent_plans[s].patch(&diff);
                 self.changed_at[s] = self.epoch;
                 self.parent_fitness[s] = Some((fitness, self.epoch));
             }
@@ -725,7 +831,6 @@ fn evolve_cascade_compiled(
         .collect();
 
     let mut state = CascadeState {
-        arrays: &arrays,
         task,
         fitness_mode: config.fitness,
         parallel: platform.parallel_config(),
@@ -1078,6 +1183,41 @@ mod tests {
             assert_eq!(r.stage_genotypes, reference.stage_genotypes);
             assert_eq!(r.stage_fitness, reference.stage_fitness);
             assert_eq!(r.evaluations, reference.evaluations);
+            assert_eq!(
+                r.stats, reference.stats,
+                "EngineStats must be worker-invariant"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_cascade_stats_are_worker_invariant() {
+        // The shared-suffix merged path groups candidates by stage output
+        // before evaluating the downstream chain; the grouping (and the
+        // EngineStats accounting) must be independent of the worker count.
+        let task = denoise_task(20, 0.35, 83);
+        for schedule in [CascadeSchedule::Sequential, CascadeSchedule::Interleaved] {
+            let config = CascadeConfig {
+                fitness: CascadeFitness::Merged,
+                schedule,
+                ..CascadeConfig::paper(8, 2, 89)
+            };
+            let reference = {
+                let mut platform =
+                    EhwPlatform::with_parallel(3, ehw_parallel::ParallelConfig::serial());
+                evolve_cascade(&mut platform, &task, &config)
+            };
+            for workers in [2usize, 8] {
+                let mut platform = EhwPlatform::with_parallel(
+                    3,
+                    ehw_parallel::ParallelConfig::with_workers(workers),
+                );
+                let r = evolve_cascade(&mut platform, &task, &config);
+                assert_eq!(r.stage_genotypes, reference.stage_genotypes, "{schedule:?}");
+                assert_eq!(r.stage_fitness, reference.stage_fitness);
+                assert_eq!(r.evaluations, reference.evaluations);
+                assert_eq!(r.stats, reference.stats);
+            }
         }
     }
 

@@ -15,7 +15,7 @@
 use ehw_array::array::ProcessingArray;
 use ehw_array::genotype::{Genotype, ARRAY_COLS, ARRAY_ROWS};
 use ehw_array::pe::FaultBehaviour;
-use ehw_evolution::fitness::SoftwareEvaluator;
+use ehw_evolution::fitness::{EngineStats, SoftwareEvaluator};
 use ehw_evolution::strategy::{run_evolution_with_parent, EsConfig, NullObserver};
 use ehw_parallel::ParallelConfig;
 use serde::{Deserialize, Serialize};
@@ -41,6 +41,10 @@ pub struct PositionResult {
     /// Candidate evaluations spent on this position: the clean and faulty
     /// measurements plus every candidate of the recovery evolution.
     pub evaluations: u64,
+    /// Work-saved counters of the recovery evolution's compiled engine —
+    /// how many candidates ran through a plan, were answered from the memo,
+    /// or early-exited on the incumbent bound while repairing this position.
+    pub stats: EngineStats,
 }
 
 impl PositionResult {
@@ -103,6 +107,17 @@ impl CampaignReport {
     /// service reports for every job kind.
     pub fn total_evaluations(&self) -> u64 {
         self.positions.iter().map(|p| p.evaluations).sum()
+    }
+
+    /// Aggregate engine counters across every position's recovery evolution
+    /// — the campaign-level analogue of a single evolution's
+    /// [`EngineStats`], reported through the job layer.
+    pub fn total_stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for p in &self.positions {
+            total.accumulate(p.stats);
+        }
+        total
     }
 
     /// Mean recovery ratio across all positions.
@@ -206,6 +221,7 @@ fn evaluate_position(
         fitness_faulty,
         fitness_recovered: result.best_fitness,
         evaluations: 2 + result.evaluations,
+        stats: evaluator.engine_stats(),
     }
 }
 
@@ -329,6 +345,21 @@ mod tests {
         // The platform is left clean and configured with the baseline.
         assert!(platform.injected_faults().is_empty());
         assert_eq!(platform.acb(0).genotype(), &baseline);
+        // Every position carries the engine counters of its recovery
+        // evolution, and the aggregate is their sum.
+        let total = report.total_stats();
+        assert!(
+            total.plans_evaluated > 0,
+            "recovery evolutions run the bounded engine and must report work"
+        );
+        assert_eq!(
+            total.plans_evaluated,
+            report
+                .positions
+                .iter()
+                .map(|p| p.stats.plans_evaluated)
+                .sum::<u64>()
+        );
     }
 
     #[test]

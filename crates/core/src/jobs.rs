@@ -661,10 +661,11 @@ pub struct JobResult {
     pub seed: u64,
     /// Total candidate evaluations performed.
     pub evaluations: u64,
-    /// Work-saved counters of the evaluation engine.  Always zero for
-    /// fault-campaign jobs: each position's recovery evolution runs its own
-    /// short-lived evaluator whose counters are not aggregated into the
-    /// report (tracked as a serving-layer follow-up in the ROADMAP).
+    /// Work-saved counters of the evaluation engine.  For fault-campaign
+    /// jobs this aggregates the counters of every position's recovery
+    /// evolution ([`CampaignReport::total_stats`]).
+    ///
+    /// [`CampaignReport::total_stats`]: crate::fault_campaign::CampaignReport::total_stats
     pub stats: EngineStats,
     /// The kind-specific payload.
     pub output: JobOutput,
@@ -819,10 +820,7 @@ pub fn execute(platform: &mut EhwPlatform, spec: &JobSpec, seed: u64) -> JobResu
                 job_id: 0,
                 seed,
                 evaluations: report.total_evaluations(),
-                // Campaign recovery evolutions each own a short-lived
-                // evaluator; their engine counters are not aggregated (see
-                // the `JobResult::stats` field docs).
-                stats: EngineStats::default(),
+                stats: report.total_stats(),
                 output: JobOutput::FaultCampaign(report),
             }
         }

@@ -23,20 +23,29 @@ use ehw_image::metrics::mae;
 use ehw_image::window::{for_each_window_in_rows, Window3x3};
 
 use crate::compiled::CompiledArray;
-use crate::genotype::{Genotype, ARRAY_COLS, ARRAY_ROWS};
+use crate::genotype::{GeneDiff, Genotype, ARRAY_COLS, ARRAY_ROWS};
 use crate::pe::FaultBehaviour;
 
 /// The functional model of one evolvable processing array.
 ///
 /// The genotype and fault overlay are the *state*; every mutation of either
-/// recompiles the flat [`CompiledArray`] execution plan the hot paths
-/// actually run (compilation is a handful of array writes — far cheaper than
-/// filtering even a single row of pixels).
+/// *patches* the flat [`CompiledArray`] execution plan the hot paths actually
+/// run — only the entries of the genes (or the overlay position) that changed
+/// are rewritten, the software mirror of the paper's Dynamic Partial
+/// Reconfiguration where only changed PE bitstreams are shipped to the
+/// fabric.  The array remembers the plan it was configured with before the
+/// last reconfiguration ([`parent_plan`](Self::parent_plan)) and the gene
+/// diff that produced the current one ([`last_gene_diff`](Self::last_gene_diff)).
 #[derive(Debug, Clone)]
 pub struct ProcessingArray {
     genotype: Genotype,
     faults: BTreeMap<(usize, usize), FaultBehaviour>,
     plan: CompiledArray,
+    /// The plan configured before the most recent [`set_genotype`]
+    /// (under the *current* fault overlay — overlay edits patch both plans).
+    parent_plan: CompiledArray,
+    /// The gene diff applied by the most recent [`set_genotype`].
+    last_diff: GeneDiff,
 }
 
 impl ProcessingArray {
@@ -47,18 +56,18 @@ impl ProcessingArray {
             genotype,
             faults: BTreeMap::new(),
             plan,
+            parent_plan: plan,
+            last_diff: GeneDiff::default(),
         }
-    }
-
-    /// Recompiles the execution plan after a genotype or overlay change.
-    fn recompile(&mut self) {
-        self.plan = self.compile_with(&self.genotype);
     }
 
     /// Compiles `genotype` against this array's *current* fault overlay,
     /// without reconfiguring the array.  This is how a fitness evaluator
     /// scores a candidate on (possibly damaged) hardware: one plan per
-    /// candidate, no array clone, no per-pixel fault lookups.
+    /// candidate, no array clone, no per-pixel fault lookups.  Candidates
+    /// derived from an already-compiled parent should use
+    /// [`CompiledArray::patch`] on that parent's plan instead — bit-identical
+    /// and cheaper than a fresh compile.
     pub fn compile_with(&self, genotype: &Genotype) -> CompiledArray {
         CompiledArray::with_faults(genotype, self.faults.iter().map(|(&p, &b)| (p, b)))
     }
@@ -66,6 +75,19 @@ impl ProcessingArray {
     /// The execution plan currently configured (genotype + fault overlay).
     pub fn plan(&self) -> &CompiledArray {
         &self.plan
+    }
+
+    /// The plan that was configured before the most recent genotype change
+    /// (kept in sync with overlay edits), i.e. the parent of
+    /// [`plan`](Self::plan) under [`last_gene_diff`](Self::last_gene_diff).
+    pub fn parent_plan(&self) -> &CompiledArray {
+        &self.parent_plan
+    }
+
+    /// The gene diff applied by the most recent genotype change (empty until
+    /// the first [`set_genotype`](Self::set_genotype)).
+    pub fn last_gene_diff(&self) -> &GeneDiff {
+        &self.last_diff
     }
 
     /// Creates an array configured with the identity genotype.
@@ -78,13 +100,17 @@ impl ProcessingArray {
         &self.genotype
     }
 
-    /// Reconfigures the array with a new genotype.  Faults are a property of
-    /// the fabric, not of the configuration, so they persist across
-    /// reconfiguration — the key behaviour behind the self-healing
+    /// Reconfigures the array with a new genotype by patching the current
+    /// plan with the gene diff (partial reconfiguration).  Faults are a
+    /// property of the fabric, not of the configuration, so they persist
+    /// across reconfiguration — the key behaviour behind the self-healing
     /// experiments.
     pub fn set_genotype(&mut self, genotype: Genotype) {
+        let diff = genotype.diff_from(&self.genotype);
+        self.parent_plan = self.plan;
+        self.plan = self.parent_plan.patch(&diff);
+        self.last_diff = diff;
         self.genotype = genotype;
-        self.recompile();
     }
 
     /// Injects a PE-level fault at array position `(row, col)`.
@@ -97,22 +123,26 @@ impl ProcessingArray {
             "PE position out of range"
         );
         self.faults.insert((row, col), behaviour);
-        self.recompile();
+        self.plan = self.plan.patch_fault(row, col, Some(behaviour));
+        self.parent_plan = self.parent_plan.patch_fault(row, col, Some(behaviour));
     }
 
     /// Removes the fault at `(row, col)`, if any (models repairing a transient
     /// fault by scrubbing).
     pub fn clear_fault(&mut self, row: usize, col: usize) {
         if self.faults.remove(&(row, col)).is_some() {
-            self.recompile();
+            self.plan = self.plan.patch_fault(row, col, None);
+            self.parent_plan = self.parent_plan.patch_fault(row, col, None);
         }
     }
 
     /// Removes every injected fault.
     pub fn clear_all_faults(&mut self) {
-        if !self.faults.is_empty() {
-            self.faults.clear();
-            self.recompile();
+        let positions: Vec<(usize, usize)> = self.faults.keys().copied().collect();
+        for (row, col) in positions {
+            self.faults.remove(&(row, col));
+            self.plan = self.plan.patch_fault(row, col, None);
+            self.parent_plan = self.parent_plan.patch_fault(row, col, None);
         }
     }
 
@@ -333,6 +363,44 @@ mod tests {
             c
         };
         assert_ne!(array.filter_image(&img), clean.filter_image(&img));
+    }
+
+    #[test]
+    fn patched_plan_tracks_fresh_compile_across_mutation_and_faults() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut array = ProcessingArray::identity();
+        let mut previous = array.genotype().clone();
+        for step in 0..40 {
+            // Interleave genotype changes with overlay edits.
+            match step % 4 {
+                0 | 1 => {
+                    let next = array.genotype().mutated(3, &mut rng);
+                    let expected_diff = next.diff_from(array.genotype());
+                    let before = *array.plan();
+                    previous = array.genotype().clone();
+                    array.set_genotype(next.clone());
+                    assert_eq!(array.last_gene_diff(), &expected_diff);
+                    assert_eq!(array.parent_plan(), &before);
+                    assert_eq!(array.genotype(), &next);
+                }
+                2 => array.inject_fault(step % ARRAY_ROWS, (step / 3) % ARRAY_COLS, {
+                    FaultBehaviour::StuckAt { value: step as u8 }
+                }),
+                _ => {
+                    if let Some(&(r, c)) = array.faulty_positions().first() {
+                        array.clear_fault(r, c);
+                    }
+                }
+            }
+            // The patched plan must equal a from-scratch compile of the
+            // current genotype under the current overlay, and the tracked
+            // parent plan a from-scratch compile of the previous genotype.
+            assert_eq!(array.plan(), &array.compile_with(&array.genotype().clone()));
+            assert_eq!(array.parent_plan(), &array.compile_with(&previous));
+        }
+        array.clear_all_faults();
+        assert!(!array.has_faults());
+        assert_eq!(array.plan(), &array.compile_with(&array.genotype().clone()));
     }
 
     #[test]

@@ -23,13 +23,13 @@
 use std::collections::BTreeMap;
 
 use ehw_image::image::GrayImage;
-use ehw_image::window::{map_windows, Window3x3};
+use ehw_image::window::{map_windows, Window3x3, WindowPlanes};
 
-use crate::genotype::{Genotype, ARRAY_COLS, ARRAY_ROWS, PE_GENES};
+use crate::genotype::{GeneDiff, Genotype, ARRAY_COLS, ARRAY_ROWS, INPUT_GENES, PE_GENES};
 use crate::pe::{FaultBehaviour, PeFunction};
 
 /// A genotype + fault overlay compiled into a flat execution plan.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompiledArray {
     /// Decoded PE functions in row-major order.
     fns: [PeFunction; PE_GENES],
@@ -69,23 +69,13 @@ impl CompiledArray {
                 has_faults = true;
             }
         }
-        // Selector values above 8 decode to the window centre, exactly like
-        // `Window3x3::select`; resolving that here removes the per-pixel
-        // branch.
-        let clamp = |sel: u8| -> usize {
-            if (sel as usize) < 9 {
-                sel as usize
-            } else {
-                Window3x3::CENTER
-            }
-        };
         let mut north = [0usize; ARRAY_COLS];
         for (c, n) in north.iter_mut().enumerate() {
-            *n = clamp(genotype.north_selector(c));
+            *n = Self::clamp_selector(genotype.north_selector(c));
         }
         let mut west = [0usize; ARRAY_ROWS];
         for (r, w) in west.iter_mut().enumerate() {
-            *w = clamp(genotype.west_selector(r));
+            *w = Self::clamp_selector(genotype.west_selector(r));
         }
         Self {
             fns,
@@ -95,6 +85,86 @@ impl CompiledArray {
             out_row: (genotype.output_gene as usize) % ARRAY_ROWS,
             has_faults,
         }
+    }
+
+    /// Selector values above 8 decode to the window centre, exactly like
+    /// `Window3x3::select`; resolving that at compile/patch time removes the
+    /// per-pixel branch.
+    #[inline]
+    fn clamp_selector(sel: u8) -> usize {
+        if (sel as usize) < 9 {
+            sel as usize
+        } else {
+            Window3x3::CENTER
+        }
+    }
+
+    /// Re-derives a child's plan from its parent's by rewriting only the
+    /// entries of the genes in `diff` — the software mirror of the paper's
+    /// partial reconfiguration, where only changed PE genes are shipped to
+    /// the fabric.  Bit-identical to compiling the child genotype from
+    /// scratch under the same fault overlay (the overlay is carried over
+    /// untouched; see [`patch_fault`](Self::patch_fault) for overlay edits).
+    pub fn patch(&self, diff: &GeneDiff) -> CompiledArray {
+        let mut plan = *self;
+        plan.apply(diff);
+        plan
+    }
+
+    /// In-place [`patch`](Self::patch): rewrites only the entries of the
+    /// genes in `diff`, ≤ k writes with no struct copy.  Pair with
+    /// [`revert`](Self::revert) to keep one worker-resident plan that is
+    /// patched to each candidate and restored afterwards — the cheapest
+    /// possible reconfiguration round trip.
+    pub fn apply(&mut self, diff: &GeneDiff) {
+        for &(gene, value, _) in diff.entries() {
+            self.apply_gene(gene as usize, value);
+        }
+    }
+
+    /// Undoes an [`apply`](Self::apply) of `diff` by replaying the same gene
+    /// positions with the parent values carried in the diff — the return
+    /// trip that restores a worker-resident plan to the parent's plan after
+    /// a candidate was evaluated.  No genotype lookups: the diff is
+    /// self-contained in both directions.
+    pub fn revert(&mut self, diff: &GeneDiff) {
+        for &(gene, _, old) in diff.entries() {
+            self.apply_gene(gene as usize, old);
+        }
+    }
+
+    /// Rewrites one flat-ordered gene's compiled entry.
+    #[inline]
+    fn apply_gene(&mut self, gene: usize, value: u8) {
+        if gene < PE_GENES {
+            self.fns[gene] = PeFunction::from_gene(value);
+        } else if gene < PE_GENES + INPUT_GENES {
+            let input = gene - PE_GENES;
+            if input < ARRAY_COLS {
+                self.north[input] = Self::clamp_selector(value);
+            } else {
+                self.west[input - ARRAY_COLS] = Self::clamp_selector(value);
+            }
+        } else {
+            self.out_row = (value as usize) % ARRAY_ROWS;
+        }
+    }
+
+    /// Rewrites one fault-overlay entry (`None` clears the position) without
+    /// recompiling the genotype-derived entries.  Positions outside the 4×4
+    /// array are ignored, exactly like [`with_faults`](Self::with_faults).
+    pub fn patch_fault(
+        &self,
+        row: usize,
+        col: usize,
+        behaviour: Option<FaultBehaviour>,
+    ) -> CompiledArray {
+        let mut plan = *self;
+        if row < ARRAY_ROWS && col < ARRAY_COLS {
+            plan.faults[row * ARRAY_COLS + col] = behaviour;
+            plan.has_faults = plan.faults.iter().any(|f| f.is_some());
+        }
+        plan
     }
 
     /// `true` if the plan carries at least one faulty PE.
@@ -216,6 +286,89 @@ impl CompiledArray {
         } else {
             for (wc, oc) in windows.chunks(Self::BLOCK).zip(out.chunks_mut(Self::BLOCK)) {
                 self.evaluate_block_clean(wc, oc);
+            }
+        }
+    }
+
+    /// [`evaluate_block_clean`](Self::evaluate_block_clean) reading the SoA
+    /// plane layout: each lane buffer is filled with one contiguous `memcpy`
+    /// from the selected plane instead of a stride-9 gather across AoS
+    /// windows.  Evaluates windows `start..start + out.len()`.
+    fn evaluate_block_clean_planes(&self, planes: &WindowPlanes, start: usize, out: &mut [u8]) {
+        let len = out.len();
+        debug_assert!(len <= Self::BLOCK);
+        let mut north = [[0u8; Self::BLOCK]; ARRAY_COLS];
+        for (c, lanes) in north.iter_mut().enumerate() {
+            lanes[..len].copy_from_slice(&planes.plane(self.north[c])[start..start + len]);
+        }
+        let mut west = [0u8; Self::BLOCK];
+        for r in 0..=self.out_row {
+            west[..len].copy_from_slice(&planes.plane(self.west[r])[start..start + len]);
+            for (c, lanes) in north.iter_mut().enumerate() {
+                apply_lanes(
+                    self.fns[r * ARRAY_COLS + c],
+                    &mut west[..len],
+                    &lanes[..len],
+                );
+                lanes[..len].copy_from_slice(&west[..len]);
+            }
+        }
+        out.copy_from_slice(&west[..len]);
+    }
+
+    /// Scalar overlay path reading the SoA plane layout.  Only the (at most
+    /// eight) selected planes are touched, each at consecutive raster
+    /// indices across windows — sequential reads rather than the stride-9
+    /// AoS walk.  Bit-identical to [`evaluate_window`](Self::evaluate_window)
+    /// on the gathered window.
+    fn evaluate_faulty_planes(&self, planes: &WindowPlanes, i: usize) -> u8 {
+        let mut prev = [0u8; ARRAY_COLS];
+        for (c, p) in prev.iter_mut().enumerate() {
+            *p = planes.plane(self.north[c])[i];
+        }
+        let mut out = 0u8;
+        for r in 0..=self.out_row {
+            let mut w_in = planes.plane(self.west[r])[i];
+            for (c, p) in prev.iter_mut().enumerate() {
+                let idx = r * ARRAY_COLS + c;
+                let correct = self.fns[idx].apply(w_in, *p);
+                let v = match self.faults[idx] {
+                    Some(fault) => fault.corrupt(correct, w_in, *p),
+                    None => correct,
+                };
+                *p = v;
+                w_in = v;
+            }
+            out = w_in;
+        }
+        out
+    }
+
+    /// Evaluates the windows `start..start + out.len()` of the SoA plane
+    /// layout into `out` — the plane-layout counterpart of
+    /// [`evaluate_windows_into`](Self::evaluate_windows_into), bit-identical
+    /// to gathering each window and calling
+    /// [`evaluate_window`](Self::evaluate_window).
+    pub fn evaluate_planes_into(&self, planes: &WindowPlanes, start: usize, out: &mut [u8]) {
+        assert!(
+            start + out.len() <= planes.len(),
+            "plane range out of bounds"
+        );
+        if self.has_faults {
+            for (k, o) in out.iter_mut().enumerate() {
+                *o = self.evaluate_faulty_planes(planes, start + k);
+            }
+        } else {
+            let mut offset = 0;
+            let len = out.len();
+            while offset < len {
+                let chunk = (len - offset).min(Self::BLOCK);
+                self.evaluate_block_clean_planes(
+                    planes,
+                    start + offset,
+                    &mut out[offset..offset + chunk],
+                );
+                offset += chunk;
             }
         }
     }
@@ -460,6 +613,107 @@ mod tests {
                     "window {k}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn patched_plan_matches_fresh_compile() {
+        let mut rng = StdRng::seed_from_u64(0x9A7C);
+        for rate in [0usize, 1, 3, 5, 25] {
+            for _ in 0..50 {
+                let parent = Genotype::random(&mut rng);
+                let overlay = random_overlay(&mut rng, 0.2);
+                let parent_plan =
+                    CompiledArray::with_faults(&parent, overlay.iter().map(|(&p, &b)| (p, b)));
+                let child = parent.mutated(rate, &mut rng);
+                let patched = parent_plan.patch(&child.diff_from(&parent));
+                let fresh =
+                    CompiledArray::with_faults(&child, overlay.iter().map(|(&p, &b)| (p, b)));
+                assert_eq!(patched, fresh, "rate {rate}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_then_revert_restores_the_parent_plan() {
+        // The worker-resident round trip: apply the child's diff, evaluate,
+        // revert to the parent — the plan must come back byte-identical and
+        // equal the by-value patch in between.
+        let mut rng = StdRng::seed_from_u64(0x51DE);
+        for rate in [1usize, 3, 25] {
+            for _ in 0..50 {
+                let parent = Genotype::random(&mut rng);
+                let overlay = random_overlay(&mut rng, 0.2);
+                let parent_plan =
+                    CompiledArray::with_faults(&parent, overlay.iter().map(|(&p, &b)| (p, b)));
+                let child = parent.mutated(rate, &mut rng);
+                let diff = child.diff_from(&parent);
+                let mut resident = parent_plan;
+                resident.apply(&diff);
+                assert_eq!(resident, parent_plan.patch(&diff), "rate {rate}");
+                resident.revert(&diff);
+                assert_eq!(resident, parent_plan, "rate {rate}");
+            }
+        }
+    }
+
+    #[test]
+    fn patch_fault_matches_fresh_compile() {
+        let mut rng = StdRng::seed_from_u64(0xFA);
+        let g = Genotype::random(&mut rng);
+        let mut overlay = BTreeMap::new();
+        let mut plan = CompiledArray::new(&g);
+        // Inject, replace and clear faults one edit at a time; the patched
+        // plan must track a fresh compile of the full overlay throughout.
+        let edits: [((usize, usize), Option<FaultBehaviour>); 6] = [
+            ((1, 2), Some(FaultBehaviour::StuckAt { value: 9 })),
+            ((0, 3), Some(FaultBehaviour::InvertedOutput)),
+            ((1, 2), Some(FaultBehaviour::RandomOutput { seed: 7 })),
+            ((0, 3), None),
+            ((1, 2), None),
+            ((3, 3), Some(FaultBehaviour::StuckAt { value: 0 })),
+        ];
+        for ((row, col), behaviour) in edits {
+            match behaviour {
+                Some(b) => {
+                    overlay.insert((row, col), b);
+                }
+                None => {
+                    overlay.remove(&(row, col));
+                }
+            }
+            plan = plan.patch_fault(row, col, behaviour);
+            let fresh = CompiledArray::with_faults(&g, overlay.iter().map(|(&p, &b)| (p, b)));
+            assert_eq!(plan, fresh);
+            assert_eq!(plan.has_faults(), !overlay.is_empty());
+        }
+        // Out-of-array positions are ignored, like with_faults.
+        let before = plan;
+        plan = plan.patch_fault(7, 7, Some(FaultBehaviour::InvertedOutput));
+        assert_eq!(plan, before);
+    }
+
+    #[test]
+    fn planes_path_matches_window_path() {
+        use ehw_image::window::WindowPlanes;
+        let mut rng = StdRng::seed_from_u64(0x504C);
+        let img = synth::shapes(19, 11, 4);
+        let planes = WindowPlanes::new(&img);
+        for _ in 0..25 {
+            let g = Genotype::random(&mut rng);
+            let overlay = random_overlay(&mut rng, 0.15);
+            let plan = CompiledArray::with_faults(&g, overlay.iter().map(|(&p, &b)| (p, b)));
+            let mut out = vec![0u8; planes.len()];
+            plan.evaluate_planes_into(&planes, 0, &mut out);
+            for (i, &o) in out.iter().enumerate() {
+                assert_eq!(o, plan.evaluate_window(&planes.window(i)), "window {i}");
+            }
+            // Sub-range evaluation (arbitrary start, ragged length) agrees
+            // with the full pass.
+            let start = 7;
+            let mut sub = vec![0u8; planes.len() - start - 3];
+            plan.evaluate_planes_into(&planes, start, &mut sub);
+            assert_eq!(&sub[..], &out[start..start + sub.len()]);
         }
     }
 

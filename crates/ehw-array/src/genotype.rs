@@ -115,6 +115,61 @@ impl Genotype {
         child
     }
 
+    /// The value of the flat gene `index` (0..[`TOTAL_GENES`]): PE genes
+    /// first (row-major), then input genes (4 north, 4 west), then the output
+    /// gene — the ordering [`GeneDiff`] entries use.
+    #[inline]
+    pub fn flat_gene(&self, index: usize) -> u8 {
+        if index < PE_GENES {
+            self.pe_genes[index]
+        } else if index < PE_GENES + INPUT_GENES {
+            self.input_genes[index - PE_GENES]
+        } else {
+            self.output_gene
+        }
+    }
+
+    /// The gene-level diff turning `parent` into `self`: one entry per flat
+    /// gene position whose value differs, carrying this genotype's value.
+    /// This is the software mirror of the paper's partial reconfiguration —
+    /// only the changed genes are shipped to the array — and the input to
+    /// [`CompiledArray::patch`](crate::compiled::CompiledArray::patch).
+    pub fn diff_from(&self, parent: &Genotype) -> GeneDiff {
+        let mut diff = GeneDiff::default();
+        // XOR each gene section as one word and walk straight to the set
+        // bytes with trailing_zeros: an untouched section costs a single
+        // compare and a k-gene mutation costs k iterations — no 25-gene
+        // scan, no per-gene branches.  This runs once per candidate in the
+        // hottest loop of the platform, so it has to be nearly free.
+        let mut x = u128::from_le_bytes(self.pe_genes) ^ u128::from_le_bytes(parent.pe_genes);
+        while x != 0 {
+            let i = (x.trailing_zeros() / 8) as usize;
+            diff.entries[diff.len] = (i as u8, self.pe_genes[i], parent.pe_genes[i]);
+            diff.len += 1;
+            x &= !(0xFFu128 << (i * 8));
+        }
+        let mut x = u64::from_le_bytes(self.input_genes) ^ u64::from_le_bytes(parent.input_genes);
+        while x != 0 {
+            let i = (x.trailing_zeros() / 8) as usize;
+            diff.entries[diff.len] = (
+                (PE_GENES + i) as u8,
+                self.input_genes[i],
+                parent.input_genes[i],
+            );
+            diff.len += 1;
+            x &= !(0xFFu64 << (i * 8));
+        }
+        if self.output_gene != parent.output_gene {
+            diff.entries[diff.len] = (
+                (PE_GENES + INPUT_GENES) as u8,
+                self.output_gene,
+                parent.output_gene,
+            );
+            diff.len += 1;
+        }
+        diff
+    }
+
     /// Number of PE-function genes that differ from `other` — i.e. the number
     /// of PE reconfigurations needed to turn the circuit described by `other`
     /// into this one.
@@ -200,6 +255,40 @@ impl Genotype {
 impl Default for Genotype {
     fn default() -> Self {
         Genotype::identity()
+    }
+}
+
+/// A sparse set of `(flat gene index, new value)` pairs — the genes that
+/// changed between a parent genotype and a child, in ascending index order.
+///
+/// A (1+λ) mutation touches at most `k` genes, so the diff is tiny; it is
+/// stored inline (no allocation) because one is computed per candidate in the
+/// hottest loop of the platform.  Produced by [`Genotype::diff_from`],
+/// consumed by `CompiledArray::patch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GeneDiff {
+    entries: [(u8, u8, u8); TOTAL_GENES],
+    len: usize,
+}
+
+impl GeneDiff {
+    /// The `(flat gene index, child value, parent value)` entries, in
+    /// ascending index order.  Carrying the parent value makes reverting a
+    /// patched plan a pure diff replay — no genotype lookups on the return
+    /// trip.
+    #[inline]
+    pub fn entries(&self) -> &[(u8, u8, u8)] {
+        &self.entries[..self.len]
+    }
+
+    /// Number of genes that differ.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the two genotypes were identical.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 }
 
@@ -318,6 +407,43 @@ mod tests {
     #[test]
     fn decode_rejects_short_buffers() {
         assert!(Genotype::decode(&[0u8; 3]).is_none());
+    }
+
+    #[test]
+    fn gene_diff_matches_hamming_distance_and_reconstructs_the_child() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for rate in [0usize, 1, 3, 5, 25] {
+            for _ in 0..50 {
+                let parent = Genotype::random(&mut rng);
+                let child = parent.mutated(rate, &mut rng);
+                let diff = child.diff_from(&parent);
+                assert_eq!(diff.len(), child.hamming_distance(&parent));
+                assert_eq!(diff.is_empty(), child == parent);
+                // Applying the diff to the parent's flat genes reproduces the
+                // child exactly.
+                let mut flat: Vec<u8> = (0..TOTAL_GENES).map(|i| parent.flat_gene(i)).collect();
+                for &(gene, value, old) in diff.entries() {
+                    assert_eq!(old, parent.flat_gene(gene as usize), "parent value");
+                    flat[gene as usize] = value;
+                }
+                for (i, &v) in flat.iter().enumerate() {
+                    assert_eq!(v, child.flat_gene(i), "gene {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_gene_ordering_is_pe_then_input_then_output() {
+        let mut g = Genotype::identity();
+        g.pe_genes[3] = 7;
+        g.input_genes[2] = 1;
+        g.input_genes[6] = 8;
+        g.output_gene = 2;
+        assert_eq!(g.flat_gene(3), 7);
+        assert_eq!(g.flat_gene(PE_GENES + 2), 1);
+        assert_eq!(g.flat_gene(PE_GENES + 6), 8);
+        assert_eq!(g.flat_gene(TOTAL_GENES - 1), 2);
     }
 
     #[test]

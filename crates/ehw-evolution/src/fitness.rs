@@ -102,7 +102,7 @@ pub trait FitnessEvaluator {
 }
 
 /// Work-saved counters of an engine-backed evaluator.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct EngineStats {
     /// Candidates actually run through a compiled plan (memo misses).
     pub plans_evaluated: u64,
@@ -120,6 +120,15 @@ impl EngineStats {
             return 0.0;
         }
         self.early_exits as f64 / self.plans_evaluated as f64
+    }
+
+    /// Adds another evaluator's counters into this one — used to aggregate
+    /// the stats of many short-lived evaluators (e.g. the per-position
+    /// recovery evolutions of a fault campaign) into one report.
+    pub fn accumulate(&mut self, other: EngineStats) {
+        self.plans_evaluated += other.plans_evaluated;
+        self.memo_hits += other.memo_hits;
+        self.early_exits += other.early_exits;
     }
 }
 
@@ -148,15 +157,14 @@ pub fn plan_mae_bounded(
     // which checks dimensions in every build profile; a silent truncation
     // here would evolve against a quietly wrong objective.
     assert_eq!(windows.len(), reference.len(), "window/reference mismatch");
+    let planes = windows.planes();
     let mut sum = 0u64;
     let mut buf = [0u8; CompiledArray::BLOCK];
-    for (wchunk, rchunk) in windows
-        .as_slice()
-        .chunks(CompiledArray::BLOCK)
-        .zip(reference.as_slice().chunks(CompiledArray::BLOCK))
-    {
-        let out = &mut buf[..wchunk.len()];
-        plan.evaluate_windows_into(wchunk, out);
+    let mut start = 0;
+    for rchunk in reference.as_slice().chunks(CompiledArray::BLOCK) {
+        let out = &mut buf[..rchunk.len()];
+        plan.evaluate_planes_into(planes, start, out);
+        start += rchunk.len();
         sum += out
             .iter()
             .zip(rchunk)
@@ -179,7 +187,7 @@ pub fn plan_mae_bounded(
 /// window pass across every stage plan.
 pub fn plan_filter_windows(plan: &CompiledArray, windows: &SharedWindows) -> GrayImage {
     let mut data = vec![0u8; windows.len()];
-    plan.evaluate_windows_into(windows.as_slice(), &mut data);
+    plan.evaluate_planes_into(windows.planes(), 0, &mut data);
     GrayImage::from_vec(windows.width(), windows.height(), data)
 }
 
@@ -276,6 +284,35 @@ where
 {
     let (slots, unique) = dedupe_batch(batch, incumbent, key, incumbent_applies);
     let results = ehw_parallel::ordered_map(parallel, &unique, |_, &i| eval(i));
+    scatter_results(slots, &results, stats)
+}
+
+/// [`batch_mae_bounded`] with a per-worker scratch state (see
+/// [`ehw_parallel::ordered_map_init`]): `init` builds each worker's state
+/// once and `eval` receives it mutably per unique candidate.  This is the
+/// driver for worker-resident plans — patch the resident plan to the
+/// candidate, evaluate, revert — so the per-candidate reconfiguration cost
+/// is ≤ k gene writes each way instead of a full plan compile or copy.
+/// `eval`'s result must not depend on scratch-state history (restore the
+/// state before returning), which keeps results worker-count-invariant.
+#[allow(clippy::too_many_arguments)]
+pub fn batch_mae_bounded_init<'a, K, S, IF, F>(
+    batch: &'a [Genotype],
+    incumbent: Option<(&Genotype, u64)>,
+    parallel: ParallelConfig,
+    key: impl Fn(usize, &'a Genotype) -> K,
+    incumbent_applies: impl Fn(usize) -> bool,
+    init: IF,
+    eval: F,
+    stats: &mut EngineStats,
+) -> Vec<u64>
+where
+    K: std::hash::Hash + Eq,
+    IF: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> (u64, bool) + Sync,
+{
+    let (slots, unique) = dedupe_batch(batch, incumbent, key, incumbent_applies);
+    let results = ehw_parallel::ordered_map_init(parallel, &unique, init, |s, _, &i| eval(s, i));
     scatter_results(slots, &results, stats)
 }
 
@@ -495,26 +532,55 @@ impl FitnessEvaluator for SoftwareEvaluator {
     ) -> Vec<u64> {
         // Every candidate is scored on the same base array, so the incumbent
         // shortcut is always sound here, and the memo keys on the genotype
-        // alone.  Unique candidates are fanned over the worker pool (one
-        // compiled plan per candidate, sharing the window buffer); the pool
-        // merges results in candidate order, so the outcome is identical at
-        // any worker count.
+        // alone.  Unique candidates are fanned over the worker pool (sharing
+        // the window buffer); the pool merges results in candidate order, so
+        // the outcome is identical at any worker count.  When the incumbent
+        // is known its plan is compiled once per batch and each worker keeps
+        // a *resident copy* of it: a candidate is evaluated by applying its
+        // ≤ k-gene diff in place and reverting afterwards (bit-identical to
+        // a fresh compile, with no per-candidate plan copy at all).
         self.evaluations += batch.len() as u64;
         let base = &self.array;
         let windows = &self.windows;
         let reference = &self.reference;
-        batch_mae_bounded(
-            batch,
-            incumbent,
-            parallel,
-            |_, g| g,
-            |_| true,
-            |i| {
-                let plan = base.compile_with(&batch[i]);
-                plan_mae_bounded(&plan, windows, reference, bound)
-            },
-            &mut self.stats,
-        )
+        match incumbent {
+            Some((pg, _)) => {
+                let parent_plan = base.compile_with(pg);
+                // Gene diffs are mutation bookkeeping: computed once per
+                // candidate up front (the DPR "frame list"), so the
+                // per-candidate patch step inside the workers is just the
+                // ≤ k-entry apply/revert replay.
+                let diffs: Vec<_> = batch.iter().map(|g| g.diff_from(pg)).collect();
+                batch_mae_bounded_init(
+                    batch,
+                    incumbent,
+                    parallel,
+                    |_, g| g,
+                    |_| true,
+                    || parent_plan,
+                    |plan, i| {
+                        let diff = &diffs[i];
+                        plan.apply(diff);
+                        let result = plan_mae_bounded(plan, windows, reference, bound);
+                        plan.revert(diff);
+                        result
+                    },
+                    &mut self.stats,
+                )
+            }
+            None => batch_mae_bounded(
+                batch,
+                incumbent,
+                parallel,
+                |_, g| g,
+                |_| true,
+                |i| {
+                    let plan = base.compile_with(&batch[i]);
+                    plan_mae_bounded(&plan, windows, reference, bound)
+                },
+                &mut self.stats,
+            ),
+        }
     }
 
     fn evaluations(&self) -> u64 {

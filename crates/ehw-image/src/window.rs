@@ -178,29 +178,42 @@ pub fn for_each_window(img: &GrayImage, f: impl FnMut(usize, usize, &Window3x3))
     for_each_window_in_rows(img, 0, img.height(), f);
 }
 
-/// Every 3×3 window of one image, extracted once and shared.
+/// Every 3×3 window of one image in structure-of-arrays layout: nine
+/// contiguous per-selector planes.
 ///
-/// A λ-batch of candidate circuits all filter the *same* training image, so
-/// extracting the windows per candidate multiplies the (clamped, per-pixel)
-/// extraction cost by λ.  `SharedWindows` runs the streaming extraction of
-/// [`for_each_window`] exactly once and hands every consumer the same flat
-/// window buffer; candidate evaluation then reduces to a linear scan.
+/// `planes[sel][i]` is pixel `sel` (row-major, 0–8) of the window centred on
+/// pixel `i` (raster order) — the transpose of a flat `Vec<Window3x3>`.  The
+/// array's eight data inputs each select *one* window pixel through a 9-to-1
+/// mux, so a block evaluator reading this layout fills each lane buffer with
+/// one contiguous `memcpy` from the selected plane instead of a stride-9
+/// gather across AoS windows.  Built in one streaming pass of
+/// [`for_each_window`]; bit-identical to gathering [`Window3x3::from_image`]
+/// per pixel.
 #[derive(Debug, Clone)]
-pub struct SharedWindows {
+pub struct WindowPlanes {
     width: usize,
     height: usize,
-    windows: Vec<Window3x3>,
+    planes: [Vec<u8>; 9],
 }
 
-impl SharedWindows {
-    /// Extracts every window of `img` (one streaming pass).
+impl WindowPlanes {
+    /// Extracts every window of `img` into the nine planes (one streaming
+    /// pass).
     pub fn new(img: &GrayImage) -> Self {
-        let mut windows = Vec::with_capacity(img.len());
-        for_each_window(img, |_, _, w| windows.push(*w));
+        let len = img.len();
+        let mut planes: [Vec<u8>; 9] = std::array::from_fn(|_| vec![0u8; len]);
+        let mut k = 0;
+        for_each_window(img, |_, _, w| {
+            for (sel, plane) in planes.iter_mut().enumerate() {
+                plane[k] = w.0[sel];
+            }
+            k += 1;
+        });
+        debug_assert_eq!(k, len);
         Self {
             width: img.width(),
             height: img.height(),
-            windows,
+            planes,
         }
     }
 
@@ -216,26 +229,91 @@ impl SharedWindows {
 
     /// Number of windows (= pixels of the source image).
     pub fn len(&self) -> usize {
-        self.windows.len()
+        self.planes[0].len()
+    }
+
+    /// `true` if the planes hold no windows.
+    pub fn is_empty(&self) -> bool {
+        self.planes[0].is_empty()
+    }
+
+    /// The contiguous plane of window pixel `sel` (0–8, row-major within the
+    /// window), indexed by raster position.
+    #[inline]
+    pub fn plane(&self, sel: usize) -> &[u8] {
+        &self.planes[sel]
+    }
+
+    /// Gathers window `i` back into AoS form — the view the interpreter
+    /// oracle and scalar per-window consumers need.
+    #[inline]
+    pub fn window(&self, i: usize) -> Window3x3 {
+        Window3x3(std::array::from_fn(|sel| self.planes[sel][i]))
+    }
+}
+
+/// Every 3×3 window of one image, extracted once and shared.
+///
+/// A λ-batch of candidate circuits all filter the *same* training image, so
+/// extracting the windows per candidate multiplies the (clamped, per-pixel)
+/// extraction cost by λ.  `SharedWindows` runs the streaming extraction
+/// exactly once and hands every consumer the same buffer; candidate
+/// evaluation then reduces to a linear scan.  The storage is the SoA
+/// [`WindowPlanes`] layout (see [`planes`](Self::planes)); an AoS
+/// [`Window3x3`] view is gathered on demand via [`window`](Self::window) for
+/// the scalar/oracle paths.
+#[derive(Debug, Clone)]
+pub struct SharedWindows {
+    planes: WindowPlanes,
+}
+
+impl SharedWindows {
+    /// Extracts every window of `img` (one streaming pass).
+    pub fn new(img: &GrayImage) -> Self {
+        Self {
+            planes: WindowPlanes::new(img),
+        }
+    }
+
+    /// Width of the source image.
+    pub fn width(&self) -> usize {
+        self.planes.width()
+    }
+
+    /// Height of the source image.
+    pub fn height(&self) -> usize {
+        self.planes.height()
+    }
+
+    /// Number of windows (= pixels of the source image).
+    pub fn len(&self) -> usize {
+        self.planes.len()
     }
 
     /// `true` if the buffer holds no windows (never the case for a
     /// constructed image; provided for API completeness).
     pub fn is_empty(&self) -> bool {
-        self.windows.is_empty()
+        self.planes.is_empty()
     }
 
-    /// The flat window buffer, in raster order.
+    /// The structure-of-arrays plane storage — the layout the block
+    /// evaluation path consumes.
     #[inline]
-    pub fn as_slice(&self) -> &[Window3x3] {
-        &self.windows
+    pub fn planes(&self) -> &WindowPlanes {
+        &self.planes
+    }
+
+    /// Gathers the `i`-th window (raster order) into AoS form.
+    #[inline]
+    pub fn window(&self, i: usize) -> Window3x3 {
+        self.planes.window(i)
     }
 
     /// Maps a per-window kernel over the shared buffer, producing an image of
     /// the source dimensions.
     pub fn map(&self, mut f: impl FnMut(&Window3x3) -> u8) -> GrayImage {
-        let data: Vec<u8> = self.windows.iter().map(&mut f).collect();
-        GrayImage::from_vec(self.width, self.height, data)
+        let data: Vec<u8> = (0..self.len()).map(|i| f(&self.planes.window(i))).collect();
+        GrayImage::from_vec(self.width(), self.height(), data)
     }
 }
 
@@ -375,12 +453,36 @@ mod tests {
         assert_eq!(shared.height(), img.height());
         assert!(!shared.is_empty());
         for (i, (x, y, w)) in windows(&img).enumerate() {
-            assert_eq!(shared.as_slice()[i], w, "window ({x},{y})");
+            assert_eq!(shared.window(i), w, "window ({x},{y})");
         }
         // Mapping the shared buffer equals mapping the image directly.
         assert_eq!(
             shared.map(|w| w.median()),
             map_windows(&img, |w| w.median())
         );
+    }
+
+    #[test]
+    fn window_planes_are_the_transpose_of_the_window_stream() {
+        // Plane `sel` at raster index `i` must hold pixel `sel` of window `i`
+        // for every shape, including degenerate ones.
+        for (w, h) in [(1, 1), (1, 5), (2, 2), (3, 3), (4, 3), (7, 5), (16, 9)] {
+            let img = crate::image::GrayImage::from_fn(w, h, |x, y| (x * 13 + y * 5) as u8);
+            let planes = WindowPlanes::new(&img);
+            assert_eq!(planes.len(), w * h);
+            assert_eq!(planes.width(), w);
+            assert_eq!(planes.height(), h);
+            assert!(!planes.is_empty());
+            for (i, (x, y, win)) in windows(&img).enumerate() {
+                for sel in 0..9 {
+                    assert_eq!(
+                        planes.plane(sel)[i],
+                        win.0[sel],
+                        "plane {sel} at ({x},{y}) of {w}x{h}"
+                    );
+                }
+                assert_eq!(planes.window(i), win, "gathered window ({x},{y})");
+            }
+        }
     }
 }

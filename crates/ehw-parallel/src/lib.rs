@@ -230,12 +230,41 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    ordered_map_init(config, items, || (), |(), i, item| f(i, item))
+}
+
+/// [`ordered_map`] with a per-worker scratch state.
+///
+/// Each worker thread builds its own state with `init()` once and threads it
+/// through every item it processes; the serial path builds one.  This is the
+/// hook for worker-resident buffers that are expensive to build per item —
+/// e.g. an execution plan that is patched forward to each candidate and
+/// reverted afterwards instead of recompiled.
+///
+/// **Determinism contract:** the state is scratch only.  `f`'s *result* for
+/// item `i` must not depend on which items the same worker processed before
+/// (restore any state mutation before returning), because chunk-to-worker
+/// assignment is scheduling-dependent.  Results are merged in item order
+/// exactly like [`ordered_map`].
+pub fn ordered_map_init<T, S, R, IF, F>(
+    config: ParallelConfig,
+    items: &[T],
+    init: IF,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    IF: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let workers = config.effective_workers(items.len());
     if workers <= 1 || items.len() <= 1 {
+        let mut state = init();
         return items
             .iter()
             .enumerate()
-            .map(|(i, item)| f(i, item))
+            .map(|(i, item)| f(&mut state, i, item))
             .collect();
     }
 
@@ -247,15 +276,19 @@ where
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            handles.push(scope.spawn(|| loop {
-                let c = cursor.fetch_add(1, Ordering::Relaxed);
-                if c >= num_chunks {
-                    return;
+            handles.push(scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= num_chunks {
+                        return;
+                    }
+                    let start = c * chunk;
+                    let end = (start + chunk).min(items.len());
+                    let results: Vec<R> =
+                        (start..end).map(|i| f(&mut state, i, &items[i])).collect();
+                    done.lock().expect("pool poisoned").push((c, results));
                 }
-                let start = c * chunk;
-                let end = (start + chunk).min(items.len());
-                let results: Vec<R> = (start..end).map(|i| f(i, &items[i])).collect();
-                done.lock().expect("pool poisoned").push((c, results));
             }));
         }
         for handle in handles {
@@ -306,6 +339,32 @@ mod tests {
             ordered_map(ParallelConfig::with_workers(4), &one, |_, &x| x),
             vec![7]
         );
+    }
+
+    #[test]
+    fn init_variant_is_deterministic_with_scratch_state() {
+        // The per-worker state is scratch: as long as `f` restores it before
+        // returning, results are identical at any worker/chunk configuration.
+        let items: Vec<u64> = (0..97).collect();
+        let run = |cfg: ParallelConfig| {
+            ordered_map_init(
+                cfg,
+                &items,
+                || vec![0u64; 4],
+                |scratch, i, &x| {
+                    scratch[0] = x * 3 + i as u64;
+                    let r = scratch[0];
+                    scratch[0] = 0;
+                    r
+                },
+            )
+        };
+        let serial = run(ParallelConfig::serial());
+        for workers in [2, 3, 8] {
+            for chunk in [0, 1, 7] {
+                assert_eq!(serial, run(ParallelConfig { workers, chunk }));
+            }
+        }
     }
 
     #[test]

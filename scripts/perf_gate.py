@@ -21,6 +21,12 @@ TRACKED = [
     # host it sits at ~1.0, on multi-core hosts above it — the gate only
     # fires if pool scaling regresses >20% below the committed baseline.
     ("service_throughput", "scaling_2_platforms"),
+    # Incremental plan patching: ns/candidate of a fresh compile over a
+    # parent-plan patch (diff + rewrite of only the mutated genes).
+    ("plan_compile", "patch_speedup"),
+    # Window memory layout: full-image evals/sec of the SoA plane path over
+    # the AoS gather path, same plan, single worker.
+    ("window_layout", "plane_speedup"),
 ]
 
 

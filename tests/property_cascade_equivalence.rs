@@ -87,6 +87,7 @@ proptest! {
             1,
             faulty,
         );
+        let reference = run(&config, &task, 1, faulty);
         for workers in [1usize, 2, 8] {
             let compiled = run(&config, &task, workers, faulty);
             prop_assert_eq!(
@@ -96,6 +97,13 @@ proptest! {
             prop_assert_eq!(&compiled.stage_fitness, &naive.stage_fitness);
             prop_assert_eq!(compiled.evaluations, naive.evaluations);
             prop_assert_eq!(compiled.final_fitness(), naive.final_fitness());
+            // The suffix-shared Merged path must not change the engine's
+            // work accounting either: plans evaluated, memo hits and early
+            // exits are worker-invariant.
+            prop_assert_eq!(
+                compiled.stats, reference.stats,
+                "EngineStats diverged at {} workers ({:?}/{:?})", workers, fitness, schedule
+            );
         }
     }
 

@@ -41,6 +41,11 @@ fn arb_fault() -> impl Strategy<Value = FaultBehaviour> {
     ]
 }
 
+/// Strategy generating one overlay edit: inject a behaviour or clear.
+fn arb_fault_edit() -> impl Strategy<Value = Option<FaultBehaviour>> {
+    prop_oneof![Just(None), arb_fault().prop_map(Some)]
+}
+
 /// Strategy generating a fault overlay of up to six damaged PEs.
 fn arb_overlay() -> impl Strategy<Value = BTreeMap<(usize, usize), FaultBehaviour>> {
     proptest::collection::vec((0usize..ARRAY_ROWS, 0usize..ARRAY_COLS, arb_fault()), 0..6)
@@ -57,6 +62,18 @@ fn arb_image() -> impl Strategy<Value = GrayImage> {
 
 fn compile(g: &Genotype, overlay: &BTreeMap<(usize, usize), FaultBehaviour>) -> CompiledArray {
     CompiledArray::with_faults(g, overlay.iter().map(|(&p, &b)| (p, b)))
+}
+
+/// Writes one flat-ordered gene (PE genes, then input genes, then the output
+/// gene), clamping the value into the gene's valid range.
+fn set_flat_gene(g: &mut Genotype, index: usize, value: u8) {
+    if index < 16 {
+        g.pe_genes[index] = value % 16;
+    } else if index < 24 {
+        g.input_genes[index - 16] = value % 9;
+    } else {
+        g.output_gene = value % ARRAY_ROWS as u8;
+    }
 }
 
 proptest! {
@@ -110,9 +127,76 @@ proptest! {
         let plan = compile(&g, &overlay);
         let windows = SharedWindows::new(&img);
         let mut block = vec![0u8; windows.len()];
-        plan.evaluate_windows_into(windows.as_slice(), &mut block);
-        for (k, w) in windows.as_slice().iter().enumerate() {
-            prop_assert_eq!(block[k], plan.evaluate_window(w));
+        plan.evaluate_planes_into(windows.planes(), 0, &mut block);
+        for (k, &lane) in block.iter().enumerate() {
+            prop_assert_eq!(lane, plan.evaluate_window(&windows.window(k)));
+        }
+    }
+
+    #[test]
+    fn plane_layout_matches_aos_layout(
+        g in arb_genotype(),
+        overlay in arb_overlay(),
+        img in arb_image(),
+    ) {
+        // The SoA plane path must be byte-identical to the AoS gather path —
+        // same plan, same windows, only the memory layout differs.
+        let plan = compile(&g, &overlay);
+        let windows = SharedWindows::new(&img);
+        let aos: Vec<Window3x3> = (0..windows.len()).map(|k| windows.window(k)).collect();
+        let mut from_aos = vec![0u8; aos.len()];
+        plan.evaluate_windows_into(&aos, &mut from_aos);
+        let mut from_planes = vec![0u8; aos.len()];
+        plan.evaluate_planes_into(windows.planes(), 0, &mut from_planes);
+        prop_assert_eq!(from_aos, from_planes);
+    }
+
+    // ------------------------------------------------------------------
+    // Patched plans == fresh compiles
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn patched_plan_matches_fresh_compile(
+        parent in arb_genotype(),
+        edits in proptest::collection::vec((0usize..25, any::<u8>()), 0..6),
+        overlay in arb_overlay(),
+    ) {
+        // Re-deriving a child's plan from the parent's by rewriting only the
+        // mutated genes must be byte-identical to compiling the child from
+        // scratch under the same fault overlay.
+        let mut child = parent.clone();
+        for &(index, value) in &edits {
+            set_flat_gene(&mut child, index, value);
+        }
+        let parent_plan = compile(&parent, &overlay);
+        let patched = parent_plan.patch(&child.diff_from(&parent));
+        prop_assert_eq!(patched, compile(&child, &overlay));
+    }
+
+    #[test]
+    fn fault_patched_plan_matches_fresh_compile(
+        g in arb_genotype(),
+        overlay in arb_overlay(),
+        edits in proptest::collection::vec(
+            (0usize..ARRAY_ROWS, 0usize..ARRAY_COLS, arb_fault_edit()),
+            0..6,
+        ),
+    ) {
+        // Overlay edits patched one position at a time must track a fresh
+        // compile against the accumulated overlay.
+        let mut map = overlay.clone();
+        let mut plan = compile(&g, &overlay);
+        for (row, col, behaviour) in edits {
+            match behaviour {
+                Some(b) => {
+                    map.insert((row, col), b);
+                }
+                None => {
+                    map.remove(&(row, col));
+                }
+            }
+            plan = plan.patch_fault(row, col, behaviour);
+            prop_assert_eq!(plan, compile(&g, &map));
         }
     }
 

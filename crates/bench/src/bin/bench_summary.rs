@@ -18,7 +18,10 @@
 //!   parent's plan with the gene diff (the software mirror of partial
 //!   reconfiguration),
 //! * **window_layout** — full-image evals/sec of the AoS window-gather path
-//!   vs the SoA per-selector plane path, same plan, single worker.
+//!   vs the SoA per-selector plane path, same plan, single worker,
+//! * **reference_filters** — µs per filter for the nine built-in reference
+//!   filters through the legacy per-window kernel stream vs the plane-routed
+//!   `ReferenceFilter::apply`, byte-identity gated.
 //!
 //! Usage: `cargo run --release -p ehw-bench --bin bench_summary`
 //! (`--size=`, `--reps=`, `--generations=`, `--cascade-generations=`,
@@ -31,8 +34,9 @@ use ehw_array::compiled::{interpret_filter_image, CompiledArray};
 use ehw_array::genotype::Genotype;
 use ehw_evolution::fitness::{plan_mae, FitnessEvaluator, SoftwareEvaluator};
 use ehw_evolution::strategy::{run_evolution, EsConfig, EvalEngine, NullObserver};
+use ehw_image::filters::ReferenceFilter;
 use ehw_image::metrics::mae;
-use ehw_image::window::{SharedWindows, Window3x3};
+use ehw_image::window::{map_windows, SharedWindows, Window3x3, WindowPlanes};
 use ehw_parallel::ParallelConfig;
 use ehw_platform::evo_modes::{evolve_cascade, CascadeConfig, CascadeEngine};
 use ehw_platform::platform::EhwPlatform;
@@ -223,6 +227,48 @@ fn main() {
     });
     let plane_speedup = planes_tp.evals_per_sec / aos_tp.evals_per_sec.max(1e-9);
 
+    // --- reference filters: AoS per-window kernels vs plane routing --------
+    // All nine built-in reference filters over the noisy image: the legacy
+    // path streams a Window3x3 per pixel into the scalar kernel, the plane
+    // path extracts WindowPlanes once per image and runs each filter as
+    // linear passes over the nine selector planes.  A byte-identity gate
+    // precedes the timing.
+    let filter_planes = WindowPlanes::new(&task.input);
+    for f in ReferenceFilter::ALL {
+        assert_eq!(
+            f.apply_planes(&filter_planes),
+            map_windows(&task.input, |w| f.kernel(w)),
+            "plane-routed filter {f:?} diverged from the scalar kernel"
+        );
+    }
+    let filter_reps = reps.max(1);
+    let time_filters = |pass: &mut dyn FnMut() -> u64| {
+        let mut checksum = pass();
+        let start = Instant::now();
+        for _ in 0..filter_reps {
+            checksum = checksum.wrapping_add(pass());
+        }
+        std::hint::black_box(checksum);
+        start.elapsed().as_secs_f64().max(1e-9) / (filter_reps * ReferenceFilter::ALL.len()) as f64
+    };
+    let filter_aos_s = time_filters(&mut || {
+        let mut sum = 0u64;
+        for f in ReferenceFilter::ALL {
+            let out = map_windows(std::hint::black_box(&task.input), |w| f.kernel(w));
+            sum = sum.wrapping_add(out.pixel(0, 0) as u64);
+        }
+        sum
+    });
+    let filter_plane_s = time_filters(&mut || {
+        let mut sum = 0u64;
+        for f in ReferenceFilter::ALL {
+            let out = f.apply(std::hint::black_box(&task.input));
+            sum = sum.wrapping_add(out.pixel(0, 0) as u64);
+        }
+        sum
+    });
+    let filter_speedup = filter_aos_s / filter_plane_s.max(1e-9);
+
     // --- in-evolution early-exit rate at 1 and 4 workers -------------------
     let mut evolution = Vec::new();
     for workers in [1usize, 4] {
@@ -390,6 +436,13 @@ fn main() {
         "window layout 1w: AoS {:.1} evals/s, planes {:.1} evals/s, speedup {plane_speedup:.2}x",
         aos_tp.evals_per_sec, planes_tp.evals_per_sec
     );
+    println!(
+        "reference filters ({size}x{size}, all {}): AoS kernel {:.1} µs/filter, \
+         planes {:.1} µs/filter, speedup {filter_speedup:.2}x",
+        ReferenceFilter::ALL.len(),
+        filter_aos_s * 1e6,
+        filter_plane_s * 1e6
+    );
     for (workers, evals_per_sec, rate, memo_hits, best) in &evolution {
         println!(
             "evolution {workers}w: {evals_per_sec:.1} evals/s, early-exit rate {:.1}%, \
@@ -451,6 +504,24 @@ fn main() {
         planes_tp.evals_per_sec
     );
     let _ = writeln!(json, "    \"plane_speedup\": {plane_speedup:.2}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"reference_filters\": {{");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"all {} built-in filters, {size}x{size} salt&pepper 40%\",",
+        ReferenceFilter::ALL.len()
+    );
+    let _ = writeln!(
+        json,
+        "    \"aos_us_per_filter\": {:.1},",
+        filter_aos_s * 1e6
+    );
+    let _ = writeln!(
+        json,
+        "    \"plane_us_per_filter\": {:.1},",
+        filter_plane_s * 1e6
+    );
+    let _ = writeln!(json, "    \"plane_speedup\": {filter_speedup:.2}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"cascade\": {{");
     let _ = writeln!(

@@ -43,7 +43,8 @@ fn main() {
                 .expect("valid evolution spec"),
         )
         .expect("service accepts the job")
-        .wait();
+        .wait()
+        .expect("shard pool is alive");
     let (evolution, _) = evolved.as_evolution().expect("evolution job");
     println!("baseline evolved fitness: {}\n", evolution.best_fitness);
 
@@ -59,7 +60,8 @@ fn main() {
                 .expect("valid campaign spec"),
         )
         .expect("service accepts the job")
-        .wait();
+        .wait()
+        .expect("shard pool is alive");
     let report = report.as_campaign().expect("campaign job").clone();
 
     let rows: Vec<Vec<String>> = report

@@ -413,38 +413,50 @@ pub fn evolve_cascade(
 
 /// Engine dispatch behind the job path (and therefore behind
 /// [`evolve_cascade`]).
+///
+/// `on_step` is invoked after every scheduler step (one stage-generation)
+/// with a running step index; returning `false` stops the cascade at that
+/// boundary — the job layer's cancellation/deadline/progress seam.  Both
+/// engines call it at identical points, so a cancelled run stops after the
+/// same amount of work either way.
 pub(crate) fn evolve_cascade_with_engine(
     platform: &mut EhwPlatform,
     task: &EvolutionTask,
     config: &CascadeConfig,
+    on_step: &mut dyn FnMut(usize) -> bool,
 ) -> CascadeResult {
     match config.engine {
-        CascadeEngine::Naive => evolve_cascade_naive(platform, task, config),
-        CascadeEngine::Compiled => evolve_cascade_compiled(platform, task, config),
+        CascadeEngine::Naive => evolve_cascade_naive(platform, task, config, on_step),
+        CascadeEngine::Compiled => evolve_cascade_compiled(platform, task, config, on_step),
     }
 }
 
 /// Drives the configured schedule: sequential scheduling exhausts each
 /// stage's generation budget before moving on; interleaved scheduling gives
-/// every stage one generation per round.  `step(stage)` runs one generation.
+/// every stage one generation per round.  `step(stage)` runs one generation
+/// and reports whether to continue; a `false` return ends the drive early.
 fn drive_schedule(
     schedule: CascadeSchedule,
     stages: usize,
     generations: usize,
-    mut step: impl FnMut(usize),
+    mut step: impl FnMut(usize) -> bool,
 ) {
     match schedule {
         CascadeSchedule::Sequential => {
             for stage in 0..stages {
                 for _ in 0..generations {
-                    step(stage);
+                    if !step(stage) {
+                        return;
+                    }
                 }
             }
         }
         CascadeSchedule::Interleaved => {
             for _ in 0..generations {
                 for stage in 0..stages {
-                    step(stage);
+                    if !step(stage) {
+                        return;
+                    }
                 }
             }
         }
@@ -465,6 +477,7 @@ fn evolve_cascade_naive(
     platform: &mut EhwPlatform,
     task: &EvolutionTask,
     config: &CascadeConfig,
+    on_step: &mut dyn FnMut(usize) -> bool,
 ) -> CascadeResult {
     let stages = platform.num_arrays();
     let arrays: Vec<ProcessingArray> = platform
@@ -503,6 +516,7 @@ fn evolve_cascade_naive(
         }
     };
 
+    let mut step_index = 0usize;
     drive_schedule(config.schedule, stages, config.generations, |stage| {
         // Re-evaluate the parent: in interleaved scheduling the upstream
         // stages may have changed since this stage was last visited, which
@@ -522,6 +536,9 @@ fn evolve_cascade_naive(
                 parent_fitness[stage] = fitness;
             }
         }
+        let go = on_step(step_index);
+        step_index += 1;
+        go
     });
 
     for (stage, genotype) in parents.iter().enumerate() {
@@ -815,6 +832,7 @@ fn evolve_cascade_compiled(
     platform: &mut EhwPlatform,
     task: &EvolutionTask,
     config: &CascadeConfig,
+    on_step: &mut dyn FnMut(usize) -> bool,
 ) -> CascadeResult {
     let stages = platform.num_arrays();
     let arrays: Vec<ProcessingArray> = platform
@@ -845,8 +863,12 @@ fn evolve_cascade_compiled(
         stats: ehw_evolution::fitness::EngineStats::default(),
     };
 
+    let mut step_index = 0usize;
     drive_schedule(config.schedule, stages, config.generations, |stage| {
         state.one_generation(stage, config, &mut rng);
+        let go = on_step(step_index);
+        step_index += 1;
+        go
     });
 
     for (stage, genotype) in state.parents.iter().enumerate() {

@@ -16,12 +16,31 @@ use ehw_array::array::ProcessingArray;
 use ehw_array::genotype::{Genotype, ARRAY_COLS, ARRAY_ROWS};
 use ehw_array::pe::FaultBehaviour;
 use ehw_evolution::fitness::{EngineStats, SoftwareEvaluator};
-use ehw_evolution::strategy::{run_evolution_with_parent, EsConfig, NullObserver};
+use ehw_evolution::strategy::{run_evolution_with_parent, EsConfig, GenerationObserver};
 use ehw_parallel::ParallelConfig;
 use serde::{Deserialize, Serialize};
 
 use crate::evo_modes::EvolutionTask;
+use crate::jobs::JobControl;
 use crate::platform::EhwPlatform;
+
+/// Relays the job-level cancellation token into each position's recovery
+/// evolution: the campaign has no generation structure of its own, so the
+/// cooperative stop happens at the recovery runs' generation boundaries.
+/// Shared read-only across workers — polling an atomic token is free of the
+/// determinism concerns actual work-sharing would raise (an uncancelled run
+/// never observes it).
+struct RecoveryStopObserver<'a> {
+    control: &'a JobControl,
+}
+
+impl GenerationObserver for RecoveryStopObserver<'_> {
+    fn on_generation(&mut self, _g: usize, _reconfigs: &[usize], _best: u64) {}
+
+    fn should_stop(&self) -> bool {
+        self.control.stop_reason().is_some()
+    }
+}
 
 /// Result of injecting a fault at one PE position and recovering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -186,6 +205,7 @@ fn evaluate_position(
     task: &EvolutionTask,
     windows: &ehw_image::window::SharedWindows,
     recovery: &EsConfig,
+    control: &JobControl,
     (array, row, col): (usize, usize, usize),
 ) -> PositionResult {
     // Restore a clean, known-good configuration of this position.
@@ -210,7 +230,7 @@ fn evaluate_position(
         recovery,
         Some(baseline.clone()),
         &mut evaluator,
-        &mut NullObserver,
+        &mut RecoveryStopObserver { control },
     );
 
     PositionResult {
@@ -274,6 +294,37 @@ pub fn systematic_fault_campaign_with(
     arrays: &[usize],
     parallel: ParallelConfig,
 ) -> CampaignReport {
+    // A fresh token is never cancelled and carries no deadline, so this is
+    // exactly the historical uncontrolled campaign.
+    systematic_fault_campaign_controlled(
+        platform,
+        baseline,
+        task,
+        recovery,
+        arrays,
+        parallel,
+        &JobControl::new(),
+    )
+}
+
+/// [`systematic_fault_campaign_with`] under a job-level cancellation token.
+///
+/// A cancelled campaign winds down cooperatively: every position still
+/// performs its clean/faulty measurements (cheap, and what keeps the report
+/// shape deterministic), but each recovery evolution stops at its first
+/// generation boundary after the token fires.  The partial report is
+/// discarded by the job layer, which replaces the output with
+/// [`crate::jobs::JobOutput::Cancelled`].
+#[allow(clippy::too_many_arguments)]
+pub fn systematic_fault_campaign_controlled(
+    platform: &mut EhwPlatform,
+    baseline: &Genotype,
+    task: &EvolutionTask,
+    recovery: &EsConfig,
+    arrays: &[usize],
+    parallel: ParallelConfig,
+    control: &JobControl,
+) -> CampaignReport {
     // One unit of work per PE position, in deterministic injection order.
     let positions: Vec<(usize, usize, usize)> = arrays
         .iter()
@@ -304,6 +355,7 @@ pub fn systematic_fault_campaign_with(
             task,
             &windows,
             &recovery_cfg,
+            control,
             position,
         )
     });

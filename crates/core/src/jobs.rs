@@ -34,17 +34,20 @@
 //! `root.fork(n)` unless the spec pins one, so a batch of submitted jobs is
 //! byte-reproducible end to end (`tests/property_service_equivalence.rs`).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
 use ehw_array::genotype::Genotype;
 use ehw_evolution::fitness::EngineStats;
 use ehw_evolution::strategy::{
-    run_evolution, EsConfig, EvalEngine, EvolutionResult, MutationStrategy,
+    run_evolution, EsConfig, EvalEngine, EvolutionResult, GenerationObserver, MutationStrategy,
 };
 use ehw_image::image::GrayImage;
 
 use crate::evo_modes::{
     CascadeConfig, CascadeEngine, CascadeInit, CascadeResult, EvolutionTask, PlatformEvaluator,
 };
-use crate::fault_campaign::{systematic_fault_campaign_with, CampaignReport};
+use crate::fault_campaign::CampaignReport;
 use crate::modes::{CascadeFitness, CascadeSchedule};
 use crate::platform::{EhwPlatform, MAX_ARRAYS};
 use crate::timing::{EvolutionTimeEstimate, PipelineTimer};
@@ -246,6 +249,24 @@ impl EvolutionBuilder {
             seed: self.seed,
         }))
     }
+}
+
+/// Test fixture: a spec no validated builder path can produce — zero
+/// offspring makes the evolution-strategy config panic when the job runs,
+/// exercising the service's panic-capture ([`JobOutput::Failed`]) path.
+/// Bypasses [`EvolutionBuilder::build`] validation on purpose.
+#[doc(hidden)]
+pub fn doomed_spec_for_test((input, reference): (GrayImage, GrayImage)) -> JobSpec {
+    let mut builder = JobSpec::evolution(input, reference);
+    builder.config.offspring = 0;
+    JobSpec::Evolution(EvolutionSpec {
+        task: EvolutionTask {
+            input: builder.input,
+            reference: builder.reference,
+        },
+        config: builder.config,
+        seed: builder.seed,
+    })
 }
 
 /// A validated cascaded-evolution request: one circuit evolved per stage so
@@ -629,6 +650,118 @@ pub(crate) fn campaign_spec_from_config(
 }
 
 // ---------------------------------------------------------------------------
+// Cooperative cancellation
+// ---------------------------------------------------------------------------
+
+/// Why a job was stopped before completing its configured budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelKind {
+    /// A client asked for the job to be cancelled.
+    Requested,
+    /// The job's deadline expired while it was queued or running.
+    DeadlineExpired,
+}
+
+impl std::fmt::Display for CancelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CancelKind::Requested => write!(f, "cancelled on request"),
+            CancelKind::DeadlineExpired => write!(f, "deadline expired"),
+        }
+    }
+}
+
+/// Cooperative cancellation token and deadline for one job.
+///
+/// The engines never preempt work mid-generation: [`execute_controlled`]
+/// polls the token at **generation boundaries** (and the service layer polls
+/// it once more at queue pickup), so a cancelled job winds down within one
+/// generation and reports [`JobOutput::Cancelled`].  A default token never
+/// stops anything.
+#[derive(Debug, Default)]
+pub struct JobControl {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl JobControl {
+    /// A token that can be cancelled but has no deadline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token whose job must finish by `deadline`.
+    pub fn with_deadline(deadline: Option<Instant>) -> Self {
+        JobControl {
+            cancelled: AtomicBool::new(false),
+            deadline,
+        }
+    }
+
+    /// Requests cancellation; the job stops at its next generation boundary.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`cancel`](Self::cancel) has been called.
+    pub fn cancel_requested(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Why the job should stop now, if it should: an explicit cancel wins
+    /// over an expired deadline.
+    pub fn stop_reason(&self) -> Option<CancelKind> {
+        if self.cancel_requested() {
+            return Some(CancelKind::Requested);
+        }
+        match self.deadline {
+            Some(deadline) if Instant::now() >= deadline => Some(CancelKind::DeadlineExpired),
+            _ => None,
+        }
+    }
+}
+
+/// One progress event, emitted at each generation boundary of a running job
+/// (cascades count scheduler steps — one stage-generation each; fault
+/// campaigns emit no intra-job events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobProgress {
+    /// The generation (or cascade scheduler step) that just finished.
+    pub generation: usize,
+    /// Best fitness so far, where the workload tracks one (evolutions do;
+    /// cascade steps do not).
+    pub best_fitness: Option<u64>,
+}
+
+/// Composes the platform timing observer with the job control plane: relays
+/// generation events to the timer and the progress sink, and records which
+/// stop reason (if any) actually interrupted the run — so a deadline that
+/// expires *after* the last generation does not retroactively cancel a
+/// finished job.
+struct ControlledObserver<'a, O: GenerationObserver> {
+    inner: O,
+    control: &'a JobControl,
+    progress: &'a mut dyn FnMut(JobProgress),
+    stopped: Option<CancelKind>,
+}
+
+impl<O: GenerationObserver> GenerationObserver for ControlledObserver<'_, O> {
+    fn on_generation(&mut self, generation: usize, reconfigs: &[usize], best_fitness: u64) {
+        self.inner
+            .on_generation(generation, reconfigs, best_fitness);
+        (self.progress)(JobProgress {
+            generation,
+            best_fitness: Some(best_fitness),
+        });
+        self.stopped = self.stopped.or_else(|| self.control.stop_reason());
+    }
+
+    fn should_stop(&self) -> bool {
+        self.stopped.is_some()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Results
 // ---------------------------------------------------------------------------
 
@@ -649,6 +782,11 @@ pub enum JobOutput {
     /// The job panicked while executing (service-side catch; the worker and
     /// the rest of the queue survive).
     Failed(String),
+    /// The job was stopped at a generation boundary by its cancellation
+    /// token or deadline before completing its budget; any partial work is
+    /// discarded from the payload but still counted in the envelope's
+    /// `evaluations`/`stats`.
+    Cancelled(CancelKind),
 }
 
 /// The uniform result envelope every job kind resolves to.
@@ -678,7 +816,9 @@ impl JobResult {
         match &self.output {
             JobOutput::Evolution { result, .. } => vec![&result.best_genotype],
             JobOutput::Cascade(r) => r.stage_genotypes.iter().collect(),
-            JobOutput::FaultCampaign(_) | JobOutput::Failed(_) => Vec::new(),
+            JobOutput::FaultCampaign(_) | JobOutput::Failed(_) | JobOutput::Cancelled(_) => {
+                Vec::new()
+            }
         }
     }
 
@@ -688,7 +828,7 @@ impl JobResult {
         match &self.output {
             JobOutput::Evolution { result, .. } => Some(&result.best_genotype),
             JobOutput::Cascade(r) => r.stage_genotypes.last(),
-            JobOutput::FaultCampaign(_) | JobOutput::Failed(_) => None,
+            JobOutput::FaultCampaign(_) | JobOutput::Failed(_) | JobOutput::Cancelled(_) => None,
         }
     }
 
@@ -698,7 +838,7 @@ impl JobResult {
         match &self.output {
             JobOutput::Evolution { result, .. } => &result.history,
             JobOutput::Cascade(r) => &r.stage_fitness,
-            JobOutput::FaultCampaign(_) | JobOutput::Failed(_) => &[],
+            JobOutput::FaultCampaign(_) | JobOutput::Failed(_) | JobOutput::Cancelled(_) => &[],
         }
     }
 
@@ -707,7 +847,7 @@ impl JobResult {
         match &self.output {
             JobOutput::Evolution { result, .. } => Some(result.best_fitness),
             JobOutput::Cascade(r) => r.final_fitness(),
-            JobOutput::FaultCampaign(_) | JobOutput::Failed(_) => None,
+            JobOutput::FaultCampaign(_) | JobOutput::Failed(_) | JobOutput::Cancelled(_) => None,
         }
     }
 
@@ -739,6 +879,28 @@ impl JobResult {
     pub fn is_failed(&self) -> bool {
         matches!(self.output, JobOutput::Failed(_))
     }
+
+    /// The captured panic message of a failed job, when it is one.
+    pub fn failure(&self) -> Option<&str> {
+        match &self.output {
+            JobOutput::Failed(message) => Some(message),
+            _ => None,
+        }
+    }
+
+    /// `true` if the job was stopped by its cancellation token or deadline;
+    /// [`cancel_kind`](Self::cancel_kind) says which.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self.output, JobOutput::Cancelled(_))
+    }
+
+    /// Why a cancelled job was stopped, when it was.
+    pub fn cancel_kind(&self) -> Option<CancelKind> {
+        match self.output {
+            JobOutput::Cancelled(kind) => Some(kind),
+            _ => None,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -755,6 +917,26 @@ impl JobResult {
 /// count).  The evolved circuits are left configured in the platform, exactly
 /// as the legacy entry points always did.
 pub fn execute(platform: &mut EhwPlatform, spec: &JobSpec, seed: u64) -> JobResult {
+    execute_controlled(platform, spec, seed, &JobControl::new(), &mut |_| {})
+}
+
+/// [`execute`] with a cancellation token and a progress sink — the entry the
+/// service layer uses.
+///
+/// `control` is polled at every generation boundary (cascades: every
+/// scheduler step; campaigns: every recovery generation of every position);
+/// once it reports a stop reason the engines wind down and the result's
+/// output is [`JobOutput::Cancelled`], with the envelope's `evaluations` and
+/// `stats` still counting the partial work.  `progress` receives one
+/// [`JobProgress`] per generation boundary (campaigns emit none).  An
+/// uncancelled run is byte-identical to plain [`execute`].
+pub fn execute_controlled(
+    platform: &mut EhwPlatform,
+    spec: &JobSpec,
+    seed: u64,
+    control: &JobControl,
+    progress: &mut dyn FnMut(JobProgress),
+) -> JobResult {
     // Hard assert (not debug): a mismatched platform would not fail — it
     // would silently run a *different* job (the engines iterate the
     // platform's arrays, not the spec's count), defeating the builders'
@@ -776,52 +958,85 @@ pub fn execute(platform: &mut EhwPlatform, spec: &JobSpec, seed: u64) -> JobResu
                 ..s.config
             };
             let mut evaluator = PlatformEvaluator::new(platform, &s.task);
-            let mut timer = PipelineTimer::new(
+            let timer = PipelineTimer::new(
                 platform.timing(),
                 platform.num_arrays(),
                 s.task.input.width(),
                 s.task.input.height(),
             );
-            let result = run_evolution(&config, &mut evaluator, &mut timer);
+            let mut observer = ControlledObserver {
+                inner: timer,
+                control,
+                progress,
+                stopped: None,
+            };
+            let result = run_evolution(&config, &mut evaluator, &mut observer);
             platform.configure_all_arrays(&result.best_genotype);
+            let output = match observer.stopped {
+                Some(kind) => JobOutput::Cancelled(kind),
+                None => JobOutput::Evolution {
+                    result: result.clone(),
+                    time: observer.inner.estimate(),
+                },
+            };
             JobResult {
                 job_id: 0,
                 seed,
                 evaluations: result.evaluations,
                 stats: evaluator.engine_stats(),
-                output: JobOutput::Evolution {
-                    result,
-                    time: timer.estimate(),
-                },
+                output,
             }
         }
         JobSpec::Cascade(s) => {
             let config = CascadeConfig { seed, ..s.config };
-            let result = crate::evo_modes::evolve_cascade_with_engine(platform, &s.task, &config);
+            let mut stopped = None;
+            let result = crate::evo_modes::evolve_cascade_with_engine(
+                platform,
+                &s.task,
+                &config,
+                &mut |step| {
+                    progress(JobProgress {
+                        generation: step,
+                        best_fitness: None,
+                    });
+                    stopped = stopped.or_else(|| control.stop_reason());
+                    stopped.is_none()
+                },
+            );
+            let (evaluations, stats) = (result.evaluations, result.stats);
+            let output = match stopped {
+                Some(kind) => JobOutput::Cancelled(kind),
+                None => JobOutput::Cascade(result),
+            };
             JobResult {
                 job_id: 0,
                 seed,
-                evaluations: result.evaluations,
-                stats: result.stats,
-                output: JobOutput::Cascade(result),
+                evaluations,
+                stats,
+                output,
             }
         }
         JobSpec::FaultCampaign(s) => {
             let recovery = EsConfig { seed, ..s.recovery };
-            let report = systematic_fault_campaign_with(
+            let report = crate::fault_campaign::systematic_fault_campaign_controlled(
                 platform,
                 &s.baseline,
                 &s.task,
                 &recovery,
                 &s.arrays,
                 platform.parallel_config(),
+                control,
             );
+            let output = match control.stop_reason() {
+                Some(kind) => JobOutput::Cancelled(kind),
+                None => JobOutput::FaultCampaign(report.clone()),
+            };
             JobResult {
                 job_id: 0,
                 seed,
                 evaluations: report.total_evaluations(),
                 stats: report.total_stats(),
-                output: JobOutput::FaultCampaign(report),
+                output,
             }
         }
     }

@@ -12,7 +12,7 @@
 //! hardware window generator.
 
 use crate::image::GrayImage;
-use crate::window::{map_windows, Window3x3};
+use crate::window::{Window3x3, WindowPlanes};
 use serde::{Deserialize, Serialize};
 
 /// Identifies one of the built-in reference filters.
@@ -53,18 +53,36 @@ impl ReferenceFilter {
     ];
 
     /// Applies the filter to a whole image.
+    ///
+    /// Routed through the [`WindowPlanes`] SoA layout: the windows are
+    /// extracted once and each filter runs as plane-wise passes over nine
+    /// contiguous buffers instead of a stride-9 gather per pixel.  Pinned
+    /// byte-identical to the scalar [`kernel`](Self::kernel) path by
+    /// `kernel_and_apply_agree_for_all_filters`.
     pub fn apply(&self, img: &GrayImage) -> GrayImage {
-        match self {
-            ReferenceFilter::Median => median(img),
-            ReferenceFilter::Mean => mean(img),
-            ReferenceFilter::Gaussian => gaussian_blur(img),
-            ReferenceFilter::SobelEdge => sobel_edge(img),
-            ReferenceFilter::Laplacian => laplacian(img),
-            ReferenceFilter::Erode => erode(img),
-            ReferenceFilter::Dilate => dilate(img),
-            ReferenceFilter::Sharpen => sharpen(img),
-            ReferenceFilter::Identity => img.clone(),
+        if matches!(self, ReferenceFilter::Identity) {
+            // The centre plane is the image itself; skip extraction.
+            return img.clone();
         }
+        self.apply_planes(&WindowPlanes::new(img))
+    }
+
+    /// Applies the filter to pre-extracted window planes — the path for
+    /// callers that already hold a [`WindowPlanes`] (shared across filters
+    /// or with an evaluation pass over the same image).
+    pub fn apply_planes(&self, planes: &WindowPlanes) -> GrayImage {
+        let data = match self {
+            ReferenceFilter::Median => median_planes(planes),
+            ReferenceFilter::Mean => mean_planes(planes),
+            ReferenceFilter::Gaussian => gaussian_planes(planes),
+            ReferenceFilter::SobelEdge => sobel_planes(planes),
+            ReferenceFilter::Laplacian => laplacian_planes(planes),
+            ReferenceFilter::Erode => minmax_planes(planes, u8::min),
+            ReferenceFilter::Dilate => minmax_planes(planes, u8::max),
+            ReferenceFilter::Sharpen => sharpen_planes(planes),
+            ReferenceFilter::Identity => planes.plane(Window3x3::CENTER).to_vec(),
+        };
+        GrayImage::from_vec(planes.width(), planes.height(), data)
     }
 
     /// Applies the filter to a single window (the per-pixel kernel).
@@ -85,12 +103,12 @@ impl ReferenceFilter {
 
 /// 3×3 median filter.
 pub fn median(img: &GrayImage) -> GrayImage {
-    map_windows(img, |w| w.median())
+    ReferenceFilter::Median.apply(img)
 }
 
 /// 3×3 box (mean) filter.
 pub fn mean(img: &GrayImage) -> GrayImage {
-    map_windows(img, |w| w.mean())
+    ReferenceFilter::Mean.apply(img)
 }
 
 fn gaussian_kernel(w: &Window3x3) -> u8 {
@@ -102,7 +120,7 @@ fn gaussian_kernel(w: &Window3x3) -> u8 {
 
 /// 3×3 Gaussian smoothing filter.
 pub fn gaussian_blur(img: &GrayImage) -> GrayImage {
-    map_windows(img, gaussian_kernel)
+    ReferenceFilter::Gaussian.apply(img)
 }
 
 fn sobel_kernel(w: &Window3x3) -> u8 {
@@ -116,7 +134,7 @@ fn sobel_kernel(w: &Window3x3) -> u8 {
 
 /// Sobel gradient-magnitude edge detector (|Gx| + |Gy|, saturated at 255).
 pub fn sobel_edge(img: &GrayImage) -> GrayImage {
-    map_windows(img, sobel_kernel)
+    ReferenceFilter::SobelEdge.apply(img)
 }
 
 fn laplacian_kernel(w: &Window3x3) -> u8 {
@@ -127,17 +145,17 @@ fn laplacian_kernel(w: &Window3x3) -> u8 {
 
 /// Laplacian (4-neighbour) edge detector, absolute response saturated at 255.
 pub fn laplacian(img: &GrayImage) -> GrayImage {
-    map_windows(img, laplacian_kernel)
+    ReferenceFilter::Laplacian.apply(img)
 }
 
 /// Morphological erosion: each pixel becomes the window minimum.
 pub fn erode(img: &GrayImage) -> GrayImage {
-    map_windows(img, |w| w.min())
+    ReferenceFilter::Erode.apply(img)
 }
 
 /// Morphological dilation: each pixel becomes the window maximum.
 pub fn dilate(img: &GrayImage) -> GrayImage {
-    map_windows(img, |w| w.max())
+    ReferenceFilter::Dilate.apply(img)
 }
 
 fn sharpen_kernel(w: &Window3x3) -> u8 {
@@ -148,7 +166,127 @@ fn sharpen_kernel(w: &Window3x3) -> u8 {
 
 /// Unsharp-mask sharpening filter.
 pub fn sharpen(img: &GrayImage) -> GrayImage {
-    map_windows(img, sharpen_kernel)
+    ReferenceFilter::Sharpen.apply(img)
+}
+
+// ---------------------------------------------------------------------------
+// Plane-wise implementations
+// ---------------------------------------------------------------------------
+//
+// Each filter below consumes the SoA [`WindowPlanes`] layout: nine contiguous
+// per-selector buffers, read linearly, instead of gathering a 9-byte window
+// per pixel.  Arithmetic is written to reproduce the scalar kernels bit for
+// bit (same widths, same rounding, same saturation); the equivalence test in
+// this module and the engine-equivalence property suite pin that.
+
+/// Sorts `v[a] <= v[b]` (one compare-exchange of a sorting network).
+#[inline(always)]
+fn cmp_swap(v: &mut [u8; 9], a: usize, b: usize) {
+    if v[a] > v[b] {
+        v.swap(a, b);
+    }
+}
+
+fn median_planes(planes: &WindowPlanes) -> Vec<u8> {
+    let p: [&[u8]; 9] = std::array::from_fn(|sel| planes.plane(sel));
+    (0..planes.len())
+        .map(|i| {
+            let mut v: [u8; 9] = std::array::from_fn(|sel| p[sel][i]);
+            // Devillard's 19-comparator median-of-9 network: cheaper than a
+            // full sort, and the median is method-independent, so the result
+            // matches `Window3x3::median` exactly.
+            cmp_swap(&mut v, 1, 2);
+            cmp_swap(&mut v, 4, 5);
+            cmp_swap(&mut v, 7, 8);
+            cmp_swap(&mut v, 0, 1);
+            cmp_swap(&mut v, 3, 4);
+            cmp_swap(&mut v, 6, 7);
+            cmp_swap(&mut v, 1, 2);
+            cmp_swap(&mut v, 4, 5);
+            cmp_swap(&mut v, 7, 8);
+            cmp_swap(&mut v, 0, 3);
+            cmp_swap(&mut v, 5, 8);
+            cmp_swap(&mut v, 4, 7);
+            cmp_swap(&mut v, 3, 6);
+            cmp_swap(&mut v, 1, 4);
+            cmp_swap(&mut v, 2, 5);
+            cmp_swap(&mut v, 4, 7);
+            cmp_swap(&mut v, 4, 2);
+            cmp_swap(&mut v, 6, 4);
+            cmp_swap(&mut v, 4, 2);
+            v[4]
+        })
+        .collect()
+}
+
+fn mean_planes(planes: &WindowPlanes) -> Vec<u8> {
+    // 9 * 255 = 2295 fits u16; truncating division matches `Window3x3::mean`.
+    let mut sum = vec![0u16; planes.len()];
+    for sel in 0..9 {
+        for (acc, &pixel) in sum.iter_mut().zip(planes.plane(sel)) {
+            *acc += pixel as u16;
+        }
+    }
+    sum.into_iter().map(|s| (s / 9) as u8).collect()
+}
+
+fn gaussian_planes(planes: &WindowPlanes) -> Vec<u8> {
+    // Same 1-2-1 / 2-4-2 / 1-2-1 weights and (sum + 8) / 16 rounding as the
+    // scalar kernel; 16 * 255 = 4080 fits u16.
+    const K: [u16; 9] = [1, 2, 1, 2, 4, 2, 1, 2, 1];
+    let mut sum = vec![0u16; planes.len()];
+    for (sel, &k) in K.iter().enumerate() {
+        for (acc, &pixel) in sum.iter_mut().zip(planes.plane(sel)) {
+            *acc += pixel as u16 * k;
+        }
+    }
+    sum.into_iter().map(|s| ((s + 8) / 16) as u8).collect()
+}
+
+fn sobel_planes(planes: &WindowPlanes) -> Vec<u8> {
+    let p: [&[u8]; 9] = std::array::from_fn(|sel| planes.plane(sel));
+    (0..planes.len())
+        .map(|i| {
+            let at = |sel: usize| p[sel][i] as i32;
+            let gx = (at(2) + 2 * at(5) + at(8)) - (at(0) + 2 * at(3) + at(6));
+            let gy = (at(6) + 2 * at(7) + at(8)) - (at(0) + 2 * at(1) + at(2));
+            (gx.abs() + gy.abs()).min(255) as u8
+        })
+        .collect()
+}
+
+fn laplacian_planes(planes: &WindowPlanes) -> Vec<u8> {
+    let p: [&[u8]; 9] = std::array::from_fn(|sel| planes.plane(sel));
+    (0..planes.len())
+        .map(|i| {
+            let at = |sel: usize| p[sel][i] as i32;
+            let lap = 4 * at(4) - at(1) - at(3) - at(5) - at(7);
+            lap.unsigned_abs().min(255) as u8
+        })
+        .collect()
+}
+
+fn minmax_planes(planes: &WindowPlanes, fold: impl Fn(u8, u8) -> u8 + Copy) -> Vec<u8> {
+    let mut out = planes.plane(0).to_vec();
+    for sel in 1..9 {
+        for (acc, &pixel) in out.iter_mut().zip(planes.plane(sel)) {
+            *acc = fold(*acc, pixel);
+        }
+    }
+    out
+}
+
+fn sharpen_planes(planes: &WindowPlanes) -> Vec<u8> {
+    let blurred = gaussian_planes(planes);
+    planes
+        .plane(Window3x3::CENTER)
+        .iter()
+        .zip(blurred)
+        .map(|(&center, g)| {
+            let c = center as i32;
+            (c + (c - g as i32)).clamp(0, 255) as u8
+        })
+        .collect()
 }
 
 /// Applies `filter` repeatedly `stages` times, as a software stand-in for a
@@ -167,6 +305,7 @@ mod tests {
     use crate::metrics::mae;
     use crate::noise::salt_pepper;
     use crate::synth;
+    use crate::window::map_windows;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -238,11 +377,30 @@ mod tests {
 
     #[test]
     fn kernel_and_apply_agree_for_all_filters() {
-        let img = synth::shapes(32, 32, 3);
-        for f in ReferenceFilter::ALL {
-            let full = f.apply(&img);
-            let via_kernel = map_windows(&img, |w| f.kernel(w));
-            assert_eq!(full, via_kernel, "filter {f:?} disagrees");
+        // The plane-routed `apply` must be byte-identical to the scalar
+        // per-window kernel, including at borders and degenerate shapes
+        // (where every pixel is a border pixel).
+        let shapes = [
+            synth::shapes(32, 32, 3),
+            synth::shapes(1, 1, 1),
+            synth::shapes(1, 7, 1),
+            synth::shapes(2, 2, 1),
+            synth::shapes(5, 2, 1),
+        ];
+        for img in &shapes {
+            let planes = crate::window::WindowPlanes::new(img);
+            for f in ReferenceFilter::ALL {
+                let full = f.apply(img);
+                let via_kernel = map_windows(img, |w| f.kernel(w));
+                assert_eq!(
+                    full,
+                    via_kernel,
+                    "filter {f:?} disagrees at {}x{}",
+                    img.width(),
+                    img.height()
+                );
+                assert_eq!(f.apply_planes(&planes), via_kernel, "planes {f:?}");
+            }
         }
     }
 

@@ -1,0 +1,53 @@
+//! Runs the job server on a real port.
+//!
+//! ```text
+//! EHW_PLATFORMS=2 EHW_WORKERS=4 ehw-serve 127.0.0.1:8080
+//! ```
+//!
+//! The bind address defaults to `127.0.0.1:8080`; `EHW_PLATFORMS` sizes the
+//! shard pool (default 1) and the usual `EHW_WORKERS`/`EHW_CHUNK` variables
+//! govern per-shard host parallelism.
+
+use ehw_server::EhwServer;
+use ehw_service::{EhwService, ServiceConfig};
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:8080".to_string());
+    let platforms = std::env::var("EHW_PLATFORMS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
+
+    let config = match ServiceConfig::from_env() {
+        Ok(config) => ServiceConfig {
+            platforms,
+            queue_depth: platforms.saturating_mul(2).max(1),
+            ..config
+        },
+        Err(error) => {
+            eprintln!("ehw-serve: {error}");
+            std::process::exit(2);
+        }
+    };
+    let service = match EhwService::new(config) {
+        Ok(service) => service,
+        Err(error) => {
+            eprintln!("ehw-serve: {error}");
+            std::process::exit(2);
+        }
+    };
+    let server = match EhwServer::serve(service, &addr) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("ehw-serve: cannot bind {addr}: {error}");
+            std::process::exit(2);
+        }
+    };
+    println!("ehw-serve: listening on http://{}", server.local_addr());
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

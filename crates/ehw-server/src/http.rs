@@ -1,0 +1,170 @@
+//! A deliberately small HTTP/1.1 subset.
+//!
+//! One request per connection, `Connection: close` on every response — no
+//! keep-alive, no chunked bodies, no TLS.  That is exactly enough for the job
+//! API (and for `curl`), and it keeps the parser small enough to audit: the
+//! request line, headers until the blank line, then `Content-Length` bytes of
+//! body, with a hard size cap so a hostile client cannot balloon the server.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest request body the server will buffer.  Training images dominate
+/// legitimate payloads; two 256×256 images JSON-encoded as pixel arrays fit
+/// comfortably in 8 MiB.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Largest single header line (and request line) the parser accepts.
+const MAX_LINE_BYTES: usize = 16 * 1024;
+
+/// A parsed request: everything a handler needs, nothing transport-level.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// The request target path, query string stripped.
+    pub path: String,
+    /// The raw body (empty when the request carried none).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed, mapped straight to a status code.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Syntactically broken request → 400.
+    Malformed(String),
+    /// Body over [`MAX_BODY_BYTES`] → 413.
+    TooLarge(usize),
+    /// The socket died mid-request.
+    Io(io::Error),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(err: io::Error) -> Self {
+        RequestError::Io(err)
+    }
+}
+
+/// Reads one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
+    let mut reader = BufReader::new(stream);
+    let request_line = read_line(&mut reader)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("request line has no target".into()))?;
+    match parts.next() {
+        Some(version) if version.starts_with("HTTP/1.") => {}
+        _ => {
+            return Err(RequestError::Malformed(
+                "request line has no HTTP/1.x version".into(),
+            ))
+        }
+    }
+    if !target.starts_with('/') {
+        return Err(RequestError::Malformed(format!(
+            "request target '{target}' is not an absolute path"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed(format!(
+                "header line '{line}' has no colon"
+            )));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| RequestError::Malformed("unparsable Content-Length".into()))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::TooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, size-capped.
+fn read_line(reader: &mut BufReader<&mut TcpStream>) -> Result<String, RequestError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(err) if err.kind() == io::ErrorKind::UnexpectedEof && line.is_empty() => {
+                return Err(RequestError::Malformed(
+                    "connection closed mid-request".into(),
+                ))
+            }
+            Err(err) => return Err(err.into()),
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| RequestError::Malformed("header bytes are not UTF-8".into()));
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE_BYTES {
+            return Err(RequestError::Malformed("header line too long".into()));
+        }
+    }
+}
+
+/// The reason phrase for the status codes the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response with a body and closes out the exchange.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes the head of a streaming response (no `Content-Length`; the end of
+/// the body is signalled by closing the connection, which `Connection:
+/// close` already announces).
+pub fn write_stream_head(stream: &mut TcpStream, content_type: &str) -> io::Result<()> {
+    let head =
+        format!("HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,523 @@
+//! # ehw-server: the job service over a socket
+//!
+//! A minimal network front-end for [`ehw_service::EhwService`]: plain
+//! HTTP/1.1 + JSON on a [`std::net::TcpListener`], hand-rolled end to end
+//! because the build environment vendors its dependencies (the vendored
+//! `serde` derives are no-ops, so [`json`] and [`wire`] carry an explicit
+//! codec instead).
+//!
+//! ## Endpoints
+//!
+//! | Method & path          | Meaning                                             |
+//! |------------------------|-----------------------------------------------------|
+//! | `POST /jobs`           | Submit a job spec; returns `{job_id, seed, status}` |
+//! | `GET /jobs/:id`        | Status (`queued`/`running`/`done`/`failed`/`cancelled`/`lost`) plus the result once settled |
+//! | `DELETE /jobs/:id`     | Request cooperative cancellation                    |
+//! | `GET /jobs/:id/events` | Line-delimited JSON progress events (one per generation), streamed until the job settles |
+//! | `GET /metrics`         | Queue depth, per-state job counts, jobs/sec, per-kind latency histograms, shard liveness |
+//!
+//! ## Determinism over the wire
+//!
+//! The service's determinism contract survives the network hop: a spec with
+//! a pinned seed produces a byte-identical result whether it is submitted
+//! in-process or over HTTP, and the integration suite asserts exactly that
+//! by comparing the HTTP response against [`wire::encode_result`] of a local
+//! run.  Cancellation is cooperative (generation boundaries), so `DELETE`
+//! promises *settling soon*, not instant death.
+
+pub mod http;
+pub mod json;
+pub mod wire;
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use ehw_service::{EhwService, JobHandle, JobMonitor, JobResult};
+
+use http::{read_request, write_response, write_stream_head, Request, RequestError};
+use json::{f64v, strv, u64v, usizev, Value};
+use wire::{encode_error, encode_event, encode_result};
+
+/// Latency histogram bucket bounds, in milliseconds (log₂ spaced, the last
+/// bucket is open-ended).
+const LATENCY_BOUNDS_MS: [u64; 12] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
+
+/// How long one `wait_events` poll blocks before re-checking the socket.
+const EVENT_POLL: Duration = Duration::from_millis(100);
+
+/// One submitted job as the server tracks it.
+struct TrackedJob {
+    kind: &'static str,
+    seed: u64,
+    submitted_at: Instant,
+    monitor: JobMonitor,
+    state: JobState,
+}
+
+enum JobState {
+    /// Still owned by the service; the handle is polled on every status read.
+    Pending(JobHandle),
+    /// The result arrived (or the pool died); cached for every later read.
+    Settled(Result<JobResult, String>),
+}
+
+impl TrackedJob {
+    /// Polls a pending handle and caches the outcome; returns the wall-clock
+    /// latency when this call is the one that settled the job.
+    fn poll(&mut self) -> Option<Duration> {
+        let JobState::Pending(handle) = &self.state else {
+            return None;
+        };
+        match handle.try_wait() {
+            Ok(None) => None,
+            Ok(Some(result)) => {
+                let latency = self.submitted_at.elapsed();
+                self.state = JobState::Settled(Ok(result));
+                Some(latency)
+            }
+            Err(lost) => {
+                self.state = JobState::Settled(Err(lost.to_string()));
+                Some(self.submitted_at.elapsed())
+            }
+        }
+    }
+
+    /// The externally visible lifecycle state.
+    fn status(&self) -> &'static str {
+        match &self.state {
+            JobState::Pending(_) => {
+                if self.monitor.is_running() {
+                    "running"
+                } else {
+                    "queued"
+                }
+            }
+            JobState::Settled(Ok(result)) if result.is_failed() => "failed",
+            JobState::Settled(Ok(result)) if result.is_cancelled() => "cancelled",
+            JobState::Settled(Ok(_)) => "done",
+            JobState::Settled(Err(_)) => "lost",
+        }
+    }
+}
+
+/// Per-kind settle-latency histogram (log₂ buckets over milliseconds).
+#[derive(Default)]
+struct LatencyHistogram {
+    counts: [u64; LATENCY_BOUNDS_MS.len() + 1],
+    total: u64,
+}
+
+impl LatencyHistogram {
+    fn record(&mut self, latency: Duration) {
+        let ms = latency.as_millis() as u64;
+        let bucket = LATENCY_BOUNDS_MS
+            .iter()
+            .position(|&bound| ms <= bound)
+            .unwrap_or(LATENCY_BOUNDS_MS.len());
+        self.counts[bucket] += 1;
+        self.total += 1;
+    }
+
+    fn encode(&self) -> Value {
+        Value::object(vec![
+            (
+                "bounds_ms",
+                Value::Array(LATENCY_BOUNDS_MS.iter().map(|&b| u64v(b)).collect()),
+            ),
+            (
+                "counts",
+                Value::Array(self.counts.iter().map(|&c| u64v(c)).collect()),
+            ),
+            ("total", u64v(self.total)),
+        ])
+    }
+}
+
+struct ServerState {
+    service: EhwService,
+    jobs: Mutex<HashMap<u64, TrackedJob>>,
+    latencies: Mutex<HashMap<&'static str, LatencyHistogram>>,
+    started_at: Instant,
+    shutting_down: AtomicBool,
+}
+
+impl ServerState {
+    /// Polls every pending job once, recording settle latencies — keeps the
+    /// registry's view current without a background reaper thread.
+    fn poll_all(&self) {
+        let mut jobs = self.jobs.lock().expect("job registry lock");
+        let mut settled = Vec::new();
+        for job in jobs.values_mut() {
+            if let Some(latency) = job.poll() {
+                settled.push((job.kind, latency));
+            }
+        }
+        drop(jobs);
+        if !settled.is_empty() {
+            let mut latencies = self.latencies.lock().expect("latency lock");
+            for (kind, latency) in settled {
+                latencies.entry(kind).or_default().record(latency);
+            }
+        }
+    }
+}
+
+/// A running job server: an accept loop plus one handler thread per
+/// connection, all over one shared [`EhwService`].
+///
+/// Dropping the server stops accepting, drains the handler threads, then
+/// shuts the service down (which waits for in-flight jobs).
+pub struct EhwServer {
+    state: Arc<ServerState>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl EhwServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `service` on it.
+    pub fn serve(service: EhwService, addr: &str) -> io::Result<EhwServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            service,
+            jobs: Mutex::new(HashMap::new()),
+            latencies: Mutex::new(HashMap::new()),
+            started_at: Instant::now(),
+            shutting_down: AtomicBool::new(false),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_thread = thread::Builder::new()
+            .name("ehw-server-accept".into())
+            .spawn(move || accept_loop(listener, accept_state))
+            .expect("spawn accept thread");
+        Ok(EhwServer {
+            state,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting connections and joins the accept loop.  In-flight
+    /// handler threads finish their single request on their own.
+    pub fn shutdown(&mut self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in `accept`; a throwaway connection
+        // wakes it so it can observe the flag and return.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for EhwServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            // A dead listener means the process is going away anyway.
+            return;
+        };
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let connection_state = Arc::clone(&state);
+        let spawned = thread::Builder::new()
+            .name("ehw-server-conn".into())
+            .spawn(move || handle_connection(stream, connection_state));
+        // Thread exhaustion drops the connection; the client sees a reset
+        // and retries — preferable to taking the accept loop down.
+        drop(spawned);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(RequestError::TooLarge(size)) => {
+            respond_json(
+                &mut stream,
+                413,
+                &encode_error(format!(
+                    "request body of {size} bytes exceeds the {} byte limit",
+                    http::MAX_BODY_BYTES
+                )),
+            );
+            return;
+        }
+        Err(RequestError::Malformed(why)) => {
+            respond_json(
+                &mut stream,
+                400,
+                &encode_error(format!("malformed request: {why}")),
+            );
+            return;
+        }
+        Err(RequestError::Io(_)) => return,
+    };
+    route(&mut stream, &state, &request);
+}
+
+/// Dispatches one parsed request to its handler.
+fn route(stream: &mut TcpStream, state: &ServerState, request: &Request) {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => handle_submit(stream, state, &request.body),
+        ("GET", ["jobs", id]) => match id.parse::<u64>() {
+            Ok(id) => handle_status(stream, state, id),
+            Err(_) => respond_json(stream, 400, &encode_error("job id must be an integer")),
+        },
+        ("DELETE", ["jobs", id]) => match id.parse::<u64>() {
+            Ok(id) => handle_cancel(stream, state, id),
+            Err(_) => respond_json(stream, 400, &encode_error("job id must be an integer")),
+        },
+        ("GET", ["jobs", id, "events"]) => match id.parse::<u64>() {
+            Ok(id) => handle_events(stream, state, id),
+            Err(_) => respond_json(stream, 400, &encode_error("job id must be an integer")),
+        },
+        ("GET", ["metrics"]) => handle_metrics(stream, state),
+        (_, ["jobs"]) | (_, ["jobs", ..]) | (_, ["metrics"]) => respond_json(
+            stream,
+            405,
+            &encode_error("method not allowed on this path"),
+        ),
+        _ => respond_json(stream, 404, &encode_error("no such endpoint")),
+    }
+}
+
+fn handle_submit(stream: &mut TcpStream, state: &ServerState, body: &[u8]) {
+    let Ok(text) = std::str::from_utf8(body) else {
+        respond_json(stream, 400, &encode_error("body is not UTF-8"));
+        return;
+    };
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(parse_error) => {
+            respond_json(stream, 400, &encode_error(parse_error.to_string()));
+            return;
+        }
+    };
+    let (spec, options) = match wire::decode_spec(&doc) {
+        Ok(decoded) => decoded,
+        Err(wire_error) => {
+            respond_json(stream, 400, &encode_error(wire_error.to_string()));
+            return;
+        }
+    };
+    let kind = spec.kind();
+    let handle = match state.service.submit_with(spec, options) {
+        Ok(handle) => handle,
+        Err(service_error) => {
+            respond_json(stream, 500, &encode_error(service_error.to_string()));
+            return;
+        }
+    };
+    let job_id = handle.job_id();
+    let seed = handle.seed();
+    let tracked = TrackedJob {
+        kind,
+        seed,
+        submitted_at: Instant::now(),
+        monitor: handle.monitor(),
+        state: JobState::Pending(handle),
+    };
+    state
+        .jobs
+        .lock()
+        .expect("job registry lock")
+        .insert(job_id, tracked);
+    respond_json(
+        stream,
+        201,
+        &Value::object(vec![
+            ("job_id", u64v(job_id)),
+            ("seed", u64v(seed)),
+            ("kind", strv(kind)),
+            ("status", strv("queued")),
+        ]),
+    );
+}
+
+fn handle_status(stream: &mut TcpStream, state: &ServerState, job_id: u64) {
+    state.poll_all();
+    let jobs = state.jobs.lock().expect("job registry lock");
+    let Some(job) = jobs.get(&job_id) else {
+        drop(jobs);
+        respond_json(stream, 404, &encode_error(format!("no job {job_id}")));
+        return;
+    };
+    let mut pairs = vec![
+        ("job_id", u64v(job_id)),
+        ("kind", strv(job.kind)),
+        ("seed", u64v(job.seed)),
+        ("status", strv(job.status())),
+    ];
+    match &job.state {
+        JobState::Settled(Ok(result)) => pairs.push(("result", encode_result(result))),
+        JobState::Settled(Err(lost)) => pairs.push(("error", strv(lost.as_str()))),
+        JobState::Pending(_) => {}
+    }
+    let doc = Value::object(pairs);
+    drop(jobs);
+    respond_json(stream, 200, &doc);
+}
+
+fn handle_cancel(stream: &mut TcpStream, state: &ServerState, job_id: u64) {
+    state.poll_all();
+    let jobs = state.jobs.lock().expect("job registry lock");
+    let Some(job) = jobs.get(&job_id) else {
+        drop(jobs);
+        respond_json(stream, 404, &encode_error(format!("no job {job_id}")));
+        return;
+    };
+    let already_settled = matches!(job.state, JobState::Settled(_));
+    let status = if already_settled {
+        job.status()
+    } else {
+        job.monitor.cancel();
+        "cancelling"
+    };
+    let doc = Value::object(vec![("job_id", u64v(job_id)), ("status", strv(status))]);
+    drop(jobs);
+    // Cancellation is cooperative: 202 says "requested", the job settles at
+    // its next generation boundary.  An already settled job reports its
+    // final state with a plain 200.
+    respond_json(stream, if already_settled { 200 } else { 202 }, &doc);
+}
+
+fn handle_events(stream: &mut TcpStream, state: &ServerState, job_id: u64) {
+    let monitor = {
+        let jobs = state.jobs.lock().expect("job registry lock");
+        match jobs.get(&job_id) {
+            Some(job) => job.monitor.clone(),
+            None => {
+                drop(jobs);
+                respond_json(stream, 404, &encode_error(format!("no job {job_id}")));
+                return;
+            }
+        }
+    };
+    if write_stream_head(stream, "application/x-ndjson").is_err() {
+        return;
+    }
+    let mut cursor = 0usize;
+    loop {
+        let (events, closed) = monitor.wait_events(cursor, EVENT_POLL);
+        for event in &events {
+            let line = format!("{}\n", encode_event(cursor, event).to_json());
+            cursor += 1;
+            if stream.write_all(line.as_bytes()).is_err() {
+                return; // client hung up mid-stream
+            }
+        }
+        if stream.flush().is_err() {
+            return;
+        }
+        if closed {
+            return;
+        }
+    }
+}
+
+fn handle_metrics(stream: &mut TcpStream, state: &ServerState) {
+    state.poll_all();
+
+    let mut by_state: Vec<(&'static str, u64)> = vec![
+        ("queued", 0),
+        ("running", 0),
+        ("done", 0),
+        ("failed", 0),
+        ("cancelled", 0),
+        ("lost", 0),
+    ];
+    {
+        let jobs = state.jobs.lock().expect("job registry lock");
+        for job in jobs.values() {
+            let status = job.status();
+            if let Some(slot) = by_state.iter_mut().find(|(name, _)| *name == status) {
+                slot.1 += 1;
+            }
+        }
+    }
+
+    let stats = state.service.stats();
+    let elapsed = state.started_at.elapsed().as_secs_f64().max(1e-9);
+    let liveness = state.service.shard_liveness();
+
+    let latency = {
+        let latencies = state.latencies.lock().expect("latency lock");
+        let mut kinds: Vec<&&'static str> = latencies.keys().collect();
+        kinds.sort();
+        Value::Object(
+            kinds
+                .into_iter()
+                .map(|&kind| (kind.to_string(), latencies[kind].encode()))
+                .collect(),
+        )
+    };
+
+    let doc = Value::object(vec![
+        ("queue_depth", usizev(state.service.queue_depth())),
+        (
+            "jobs",
+            Value::Object(
+                by_state
+                    .into_iter()
+                    .map(|(name, count)| (name.to_string(), u64v(count)))
+                    .collect(),
+            ),
+        ),
+        (
+            "service",
+            Value::object(vec![
+                ("submitted", u64v(stats.submitted)),
+                ("completed", u64v(stats.completed)),
+                ("failed", u64v(stats.failed)),
+                ("cancelled", u64v(stats.cancelled)),
+                ("lost", u64v(stats.lost)),
+            ]),
+        ),
+        (
+            "throughput",
+            Value::object(vec![
+                ("uptime_s", f64v(elapsed)),
+                (
+                    "jobs_per_sec",
+                    f64v((stats.completed + stats.failed + stats.cancelled) as f64 / elapsed),
+                ),
+            ]),
+        ),
+        ("latency_ms", latency),
+        (
+            "shards",
+            Value::object(vec![
+                (
+                    "alive",
+                    Value::Array(liveness.iter().map(|&a| Value::Bool(a)).collect()),
+                ),
+                ("alive_count", usizev(state.service.alive_shards())),
+            ]),
+        ),
+    ]);
+    respond_json(stream, 200, &doc);
+}
+
+fn respond_json(stream: &mut TcpStream, status: u16, doc: &Value) {
+    let body = doc.to_json();
+    let _ = write_response(stream, status, "application/json", body.as_bytes());
+}

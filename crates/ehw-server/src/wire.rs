@@ -1,0 +1,461 @@
+//! The wire codec: JSON shapes for job specs, results and progress events.
+//!
+//! Decoding goes through the validating [`JobSpec`] builders, so every spec
+//! that crosses the wire obeys the same invariants as an in-process one — a
+//! malformed or out-of-range spec is a 400, never a panicking shard.
+//! Encoding is a total function of the [`JobResult`]: the integration suite
+//! asserts that a result fetched over HTTP is byte-identical to the same
+//! job's in-process result run through [`encode_result`].
+
+use ehw_array::genotype::Genotype;
+use ehw_image::GrayImage;
+use ehw_platform::jobs::{CancelKind, JobOutput, JobProgress, JobResult, JobSpec};
+use ehw_platform::timing::EvolutionTimeEstimate;
+use ehw_service::{JobOptions, Priority};
+
+use crate::json::{bytesv, f64v, strv, u64v, usizev, Value};
+
+/// Why a request document could not be turned into a job spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(message: impl Into<String>) -> WireError {
+    WireError(message.into())
+}
+
+// ---------------------------------------------------------------------------
+// Decoding: JSON -> (JobSpec, JobOptions)
+// ---------------------------------------------------------------------------
+
+/// Decodes a `POST /jobs` document into a validated spec plus its options.
+///
+/// ```json
+/// {
+///   "kind": "evolution" | "cascade" | "fault_campaign",
+///   "input":     {"width": W, "height": H, "pixels": [..W*H bytes..]},
+///   "reference": {"width": W, "height": H, "pixels": [..W*H bytes..]},
+///   "generations": N?, "offspring": N?, "mutation_rate": N?,
+///   "num_arrays": N?, "stages": N?, "target_fitness": N?, "seed": N?,
+///   "baseline": [..13 bytes..]?, "arrays": [N..]?,
+///   "recovery_generations": N?, "recovery_mutation_rate": N?,
+///   "recovery_offspring": N?, "recovery_target": N?,
+///   "priority": "high" | "normal" | "low"?, "deadline_ms": N?
+/// }
+/// ```
+///
+/// Unknown kinds, missing images and builder-validation failures all come
+/// back as [`WireError`]s carrying a human-readable reason.
+pub fn decode_spec(doc: &Value) -> Result<(JobSpec, JobOptions), WireError> {
+    let kind = doc
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("spec needs a string 'kind'"))?;
+    let input = decode_image(
+        doc.get("input").ok_or_else(|| err("spec needs 'input'"))?,
+        "input",
+    )?;
+    let reference = decode_image(
+        doc.get("reference")
+            .ok_or_else(|| err("spec needs 'reference'"))?,
+        "reference",
+    )?;
+
+    let field = |name: &str| -> Result<Option<usize>, WireError> {
+        match doc.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .as_usize()
+                .map(Some)
+                .ok_or_else(|| err(format!("'{name}' must be a non-negative integer"))),
+        }
+    };
+    let seed = match doc.get("seed") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| err("'seed' must be a non-negative integer"))?,
+        ),
+    };
+
+    let spec = match kind {
+        "evolution" => {
+            let mut builder = JobSpec::evolution(input, reference);
+            if let Some(n) = field("offspring")? {
+                builder = builder.offspring(n);
+            }
+            if let Some(n) = field("mutation_rate")? {
+                builder = builder.mutation_rate(n);
+            }
+            if let Some(n) = field("generations")? {
+                builder = builder.generations(n);
+            }
+            if let Some(n) = field("num_arrays")? {
+                builder = builder.num_arrays(n);
+            }
+            if let Some(n) = field("target_fitness")? {
+                builder = builder.target_fitness(n as u64);
+            }
+            if let Some(s) = seed {
+                builder = builder.seed(s);
+            }
+            builder.build()
+        }
+        "cascade" => {
+            let mut builder = JobSpec::cascade(input, reference);
+            if let Some(n) = field("stages")? {
+                builder = builder.stages(n);
+            }
+            if let Some(n) = field("generations")? {
+                builder = builder.generations(n);
+            }
+            if let Some(n) = field("offspring")? {
+                builder = builder.offspring(n);
+            }
+            if let Some(n) = field("mutation_rate")? {
+                builder = builder.mutation_rate(n);
+            }
+            if let Some(s) = seed {
+                builder = builder.seed(s);
+            }
+            builder.build()
+        }
+        "fault_campaign" => {
+            let mut builder = JobSpec::fault_campaign(input, reference);
+            if let Some(bytes) = doc.get("baseline") {
+                let bytes = decode_bytes(bytes, "baseline")?;
+                let baseline = Genotype::decode(&bytes)
+                    .ok_or_else(|| err("'baseline' is too short to decode as a genotype"))?;
+                builder = builder.baseline(baseline);
+            }
+            if let Some(arrays) = doc.get("arrays") {
+                let arrays = arrays
+                    .as_array()
+                    .ok_or_else(|| err("'arrays' must be an array of indices"))?
+                    .iter()
+                    .map(|v| {
+                        v.as_usize()
+                            .ok_or_else(|| err("'arrays' entries must be non-negative integers"))
+                    })
+                    .collect::<Result<Vec<usize>, WireError>>()?;
+                builder = builder.arrays(arrays);
+            }
+            if let Some(n) = field("num_arrays")? {
+                builder = builder.platform_arrays(n);
+            }
+            if let Some(n) = field("recovery_generations")? {
+                builder = builder.recovery_generations(n);
+            }
+            if let Some(n) = field("recovery_mutation_rate")? {
+                builder = builder.recovery_mutation_rate(n);
+            }
+            if let Some(n) = field("recovery_offspring")? {
+                builder = builder.recovery_offspring(n);
+            }
+            if let Some(n) = field("recovery_target")? {
+                builder = builder.recovery_target(n as u64);
+            }
+            if let Some(s) = seed {
+                builder = builder.seed(s);
+            }
+            builder.build()
+        }
+        other => return Err(err(format!("unknown job kind '{other}'"))),
+    }
+    .map_err(|spec_error| err(format!("invalid spec: {spec_error}")))?;
+
+    let mut options = JobOptions::default();
+    if let Some(priority) = doc.get("priority") {
+        options.priority = match priority.as_str() {
+            Some("high") => Priority::High,
+            Some("normal") => Priority::Normal,
+            Some("low") => Priority::Low,
+            _ => return Err(err("'priority' must be \"high\", \"normal\" or \"low\"")),
+        };
+    }
+    if let Some(deadline) = doc.get("deadline_ms") {
+        let ms = deadline
+            .as_u64()
+            .ok_or_else(|| err("'deadline_ms' must be a non-negative integer"))?;
+        options.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    Ok((spec, options))
+}
+
+fn decode_image(value: &Value, name: &str) -> Result<GrayImage, WireError> {
+    let width = value
+        .get("width")
+        .and_then(Value::as_usize)
+        .ok_or_else(|| err(format!("'{name}' needs an integer 'width'")))?;
+    let height = value
+        .get("height")
+        .and_then(Value::as_usize)
+        .ok_or_else(|| err(format!("'{name}' needs an integer 'height'")))?;
+    let pixels = decode_bytes(
+        value
+            .get("pixels")
+            .ok_or_else(|| err(format!("'{name}' needs a 'pixels' array")))?,
+        name,
+    )?;
+    if pixels.len() != width.saturating_mul(height) {
+        return Err(err(format!(
+            "'{name}' has {} pixels but {width}x{height} needs {}",
+            pixels.len(),
+            width.saturating_mul(height)
+        )));
+    }
+    if width == 0 || height == 0 {
+        return Err(err(format!("'{name}' must be at least 1x1")));
+    }
+    Ok(GrayImage::from_vec(width, height, pixels))
+}
+
+fn decode_bytes(value: &Value, name: &str) -> Result<Vec<u8>, WireError> {
+    value
+        .as_array()
+        .ok_or_else(|| err(format!("'{name}' must be an array of bytes")))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .and_then(|n| u8::try_from(n).ok())
+                .ok_or_else(|| err(format!("'{name}' entries must be integers in 0..=255")))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Encoding: JobResult / JobProgress -> JSON
+// ---------------------------------------------------------------------------
+
+/// Encodes a settled result as the `result` member of a status document.
+///
+/// Genotypes travel as their compact [`Genotype::encode`] byte strings — the
+/// same 13 bytes the MicroBlaze would hold — so clients can
+/// [`Genotype::decode`] them and byte-compare against local runs.
+pub fn encode_result(result: &JobResult) -> Value {
+    let mut pairs = vec![
+        ("job_id", u64v(result.job_id)),
+        ("seed", u64v(result.seed)),
+        ("evaluations", u64v(result.evaluations)),
+        (
+            "stats",
+            Value::object(vec![
+                ("plans_evaluated", u64v(result.stats.plans_evaluated)),
+                ("memo_hits", u64v(result.stats.memo_hits)),
+                ("early_exits", u64v(result.stats.early_exits)),
+            ]),
+        ),
+    ];
+    let output = match &result.output {
+        JobOutput::Evolution { result, time } => Value::object(vec![
+            ("type", strv("evolution")),
+            ("best_genotype", bytesv(&result.best_genotype.encode())),
+            ("best_fitness", u64v(result.best_fitness)),
+            ("initial_fitness", u64v(result.initial_fitness)),
+            (
+                "history",
+                Value::Array(result.history.iter().map(|&f| u64v(f)).collect()),
+            ),
+            ("generations_run", usizev(result.generations_run)),
+            (
+                "total_pe_reconfigurations",
+                u64v(result.total_pe_reconfigurations),
+            ),
+            ("time", encode_time(time)),
+        ]),
+        JobOutput::Cascade(cascade) => Value::object(vec![
+            ("type", strv("cascade")),
+            (
+                "stage_genotypes",
+                Value::Array(
+                    cascade
+                        .stage_genotypes
+                        .iter()
+                        .map(|g| bytesv(&g.encode()))
+                        .collect(),
+                ),
+            ),
+            (
+                "stage_fitness",
+                Value::Array(cascade.stage_fitness.iter().map(|&f| u64v(f)).collect()),
+            ),
+        ]),
+        JobOutput::FaultCampaign(report) => Value::object(vec![
+            ("type", strv("fault_campaign")),
+            (
+                "positions",
+                Value::Array(
+                    report
+                        .positions
+                        .iter()
+                        .map(|p| {
+                            Value::object(vec![
+                                ("array", usizev(p.array)),
+                                ("row", usizev(p.row)),
+                                ("col", usizev(p.col)),
+                                ("fitness_clean", u64v(p.fitness_clean)),
+                                ("fitness_faulty", u64v(p.fitness_faulty)),
+                                ("fitness_recovered", u64v(p.fitness_recovered)),
+                                ("evaluations", u64v(p.evaluations)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("critical_positions", usizev(report.critical_positions())),
+            (
+                "fully_recovered_positions",
+                usizev(report.fully_recovered_positions()),
+            ),
+        ]),
+        JobOutput::Failed(message) => Value::object(vec![
+            ("type", strv("failed")),
+            ("message", strv(message.as_str())),
+        ]),
+        JobOutput::Cancelled(kind) => Value::object(vec![
+            ("type", strv("cancelled")),
+            (
+                "reason",
+                strv(match kind {
+                    CancelKind::Requested => "requested",
+                    CancelKind::DeadlineExpired => "deadline_expired",
+                }),
+            ),
+        ]),
+    };
+    pairs.push(("output", output));
+    Value::object(pairs)
+}
+
+fn encode_time(time: &EvolutionTimeEstimate) -> Value {
+    Value::object(vec![
+        ("total_s", f64v(time.total_s)),
+        ("reconfiguration_s", f64v(time.reconfiguration_s)),
+        ("evaluation_s", f64v(time.evaluation_s)),
+        ("generations", usizev(time.generations)),
+        ("candidates", u64v(time.candidates)),
+        ("pe_reconfigurations", u64v(time.pe_reconfigurations)),
+    ])
+}
+
+/// Encodes one progress event as a single NDJSON line (no trailing newline).
+pub fn encode_event(sequence: usize, event: &JobProgress) -> Value {
+    Value::object(vec![
+        ("sequence", usizev(sequence)),
+        ("generation", usizev(event.generation)),
+        (
+            "best_fitness",
+            match event.best_fitness {
+                Some(f) => u64v(f),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+/// Encodes an error payload (`{"error": ...}`).
+pub fn encode_error(message: impl Into<String>) -> Value {
+    Value::object(vec![("error", strv(message))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn image_doc(width: usize, height: usize) -> String {
+        let pixels: Vec<String> = (0..width * height)
+            .map(|i| ((i * 37) % 256).to_string())
+            .collect();
+        format!(
+            "{{\"width\":{width},\"height\":{height},\"pixels\":[{}]}}",
+            pixels.join(",")
+        )
+    }
+
+    #[test]
+    fn evolution_specs_decode_through_the_builder() {
+        let doc = parse(&format!(
+            "{{\"kind\":\"evolution\",\"input\":{img},\"reference\":{img},\
+             \"generations\":7,\"offspring\":5,\"mutation_rate\":2,\"seed\":42,\
+             \"priority\":\"high\",\"deadline_ms\":1500}}",
+            img = image_doc(8, 8)
+        ))
+        .unwrap();
+        let (spec, options) = decode_spec(&doc).unwrap();
+        assert_eq!(spec.kind(), "evolution");
+        assert_eq!(spec.seed(), Some(42));
+        assert_eq!(options.priority, Priority::High);
+        assert_eq!(
+            options.deadline,
+            Some(std::time::Duration::from_millis(1500))
+        );
+    }
+
+    #[test]
+    fn builder_validation_errors_surface_as_wire_errors() {
+        let doc = parse(&format!(
+            "{{\"kind\":\"evolution\",\"input\":{img},\"reference\":{img},\"offspring\":0}}",
+            img = image_doc(4, 4)
+        ))
+        .unwrap();
+        let error = decode_spec(&doc).unwrap_err();
+        assert!(error.0.contains("invalid spec"), "{error}");
+    }
+
+    #[test]
+    fn image_shape_mismatches_are_rejected() {
+        let doc = parse(
+            "{\"kind\":\"evolution\",\
+             \"input\":{\"width\":3,\"height\":3,\"pixels\":[1,2,3]},\
+             \"reference\":{\"width\":3,\"height\":3,\"pixels\":[1,2,3]}}",
+        )
+        .unwrap();
+        let error = decode_spec(&doc).unwrap_err();
+        assert!(error.0.contains("pixels"), "{error}");
+    }
+
+    #[test]
+    fn unknown_kinds_are_rejected() {
+        let doc = parse(&format!(
+            "{{\"kind\":\"teleport\",\"input\":{img},\"reference\":{img}}}",
+            img = image_doc(4, 4)
+        ))
+        .unwrap();
+        assert!(decode_spec(&doc)
+            .unwrap_err()
+            .0
+            .contains("unknown job kind"));
+    }
+
+    #[test]
+    fn genotypes_in_results_round_trip_through_their_byte_encoding() {
+        use ehw_platform::jobs::execute;
+        use ehw_platform::EhwPlatform;
+
+        let input = GrayImage::from_vec(8, 8, (0..64).map(|i| (i * 3) as u8).collect());
+        let reference = GrayImage::from_vec(8, 8, (0..64).map(|i| (i * 5) as u8).collect());
+        let spec = JobSpec::evolution(input, reference)
+            .generations(3)
+            .seed(7)
+            .build()
+            .unwrap();
+        let mut platform = EhwPlatform::new(spec.arrays_needed());
+        let result = execute(&mut platform, &spec, 7);
+        let encoded = encode_result(&result);
+        let bytes = decode_bytes(
+            encoded.get("output").unwrap().get("best_genotype").unwrap(),
+            "best_genotype",
+        )
+        .unwrap();
+        let decoded = Genotype::decode(&bytes).unwrap();
+        assert_eq!(&decoded, result.best_genotype().unwrap());
+    }
+}

@@ -6,7 +6,7 @@
 //! parallel evolution, cascades, fault campaigns — is described by one typed
 //! request ([`JobSpec`], re-exported from `ehw_platform::jobs`) and submitted
 //! to an [`EhwService`], which owns a pool of [`EhwPlatform`] shards and a
-//! bounded job queue:
+//! bounded, priority-laned job queue:
 //!
 //! ```no_run
 //! use ehw_service::{EhwService, JobSpec, ServiceConfig};
@@ -17,7 +17,7 @@
 //!     .build()
 //!     .expect("valid spec");
 //! let handle = service.submit(spec).expect("service accepts jobs");
-//! let result = handle.wait();
+//! let result = handle.wait().expect("shard pool is alive");
 //! println!("best fitness: {:?}", result.final_fitness());
 //! ```
 //!
@@ -28,25 +28,39 @@
 //! `SeedSequence::new(config.seed).fork(job_id)`, and job ids number
 //! submissions in order — so a batch of N submitted jobs returns
 //! byte-identical results regardless of the platform count, the queue order,
-//! or the worker configuration.  `tests/property_service_equivalence.rs`
-//! pins this, together with byte-identity against the legacy entry points.
+//! the priority lanes, or the worker configuration (seeds are assigned at
+//! submission, before any reordering can happen).
+//! `tests/property_service_equivalence.rs` pins this, together with
+//! byte-identity against the legacy entry points.
 //!
-//! # Backpressure
+//! # Backpressure, priorities
 //!
 //! The queue holds at most [`ServiceConfig::queue_depth`] pending jobs;
 //! [`EhwService::submit`] **blocks** once it is full and never drops a job.
-//! Every submitted job resolves its [`JobHandle`] — even if it panics while
-//! executing, in which case the result carries [`JobOutput::Failed`] and the
-//! shard survives to serve the rest of the queue.
+//! [`EhwService::submit_with`] places a job in one of three [`Priority`]
+//! lanes; shards always drain higher lanes first, FIFO within a lane.
+//!
+//! # Cancellation, deadlines, failure
+//!
+//! Every handle exposes a [`JobMonitor`] carrying a cooperative cancellation
+//! token and a per-generation progress feed.  [`JobMonitor::cancel`] (or a
+//! [`JobOptions::deadline`]) stops the job at the next generation boundary
+//! with [`JobOutput::Cancelled`]; work done so far still counts in the
+//! result envelope.  A job that panics resolves to [`JobOutput::Failed`] and
+//! the shard survives.  A shard that dies abnormally (see
+//! [`EhwService::kill_shard_for_test`]) no longer takes the service down:
+//! the queue-pickup lock is poison-recovered by the surviving shards, and
+//! only if **every** shard is gone do the still-queued jobs resolve to
+//! [`JobLost`] errors instead of stalling their waiters.
 
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use ehw_parallel::{EnvConfigError, ParallelConfig};
 use ehw_platform::jobs;
@@ -54,9 +68,41 @@ use ehw_platform::platform::EhwPlatform;
 use rand::SeedSequence;
 
 pub use ehw_platform::jobs::{
-    CascadeBuilder, CascadeSpec, EvolutionBuilder, EvolutionSpec, FaultCampaignBuilder,
-    FaultCampaignSpec, JobOutput, JobResult, JobSpec, SpecError,
+    CancelKind, CascadeBuilder, CascadeSpec, EvolutionBuilder, EvolutionSpec, FaultCampaignBuilder,
+    FaultCampaignSpec, JobOutput, JobProgress, JobResult, JobSpec, SpecError,
 };
+
+// ---------------------------------------------------------------------------
+// Poison recovery
+// ---------------------------------------------------------------------------
+
+/// Locks `mutex`, recovering the guard if a panicking holder poisoned it.
+///
+/// Every queue and event-log invariant is re-established before the guard is
+/// released on all paths (lengths are updated in the same critical section as
+/// the pops that change them), so a poisoned lock means "a sibling shard
+/// died", not "the data is torn" — the right response is to keep serving.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wait_recover<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wait_timeout_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match condvar.wait_timeout(guard, timeout) {
+        Ok((guard, result)) => (guard, result.timed_out()),
+        Err(poisoned) => {
+            let (guard, result) = poisoned.into_inner();
+            (guard, result.timed_out())
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Configuration
@@ -159,6 +205,29 @@ impl ServiceConfig {
     }
 }
 
+/// The job this handle was waiting on can never produce a result: the shard
+/// pool died abnormally (every shard gone) before the job ran to completion.
+///
+/// This is a **service** failure, not a job failure — a job whose own
+/// execution panics still resolves normally with [`JobOutput::Failed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobLost {
+    /// The id of the job whose result was lost.
+    pub job_id: u64,
+}
+
+impl std::fmt::Display for JobLost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {} was lost: the shard pool died before it could reply",
+            self.job_id
+        )
+    }
+}
+
+impl std::error::Error for JobLost {}
+
 /// Why the service rejected a configuration or a submission.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
@@ -168,6 +237,14 @@ pub enum ServiceError {
     Environment(EnvConfigError),
     /// The service is shutting down and no longer accepts jobs.
     Shutdown,
+    /// A job in a batch was lost to an abnormal shard-pool death.
+    JobLost(JobLost),
+}
+
+impl From<JobLost> for ServiceError {
+    fn from(lost: JobLost) -> Self {
+        ServiceError::JobLost(lost)
+    }
 }
 
 impl std::fmt::Display for ServiceError {
@@ -176,6 +253,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::InvalidConfig(why) => write!(f, "invalid service config: {why}"),
             ServiceError::Environment(err) => write!(f, "invalid environment: {err}"),
             ServiceError::Shutdown => write!(f, "the service is shut down"),
+            ServiceError::JobLost(lost) => lost.fmt(f),
         }
     }
 }
@@ -184,8 +262,66 @@ impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServiceError::Environment(err) => Some(err),
+            ServiceError::JobLost(lost) => Some(lost),
             _ => None,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Priorities and per-job options
+// ---------------------------------------------------------------------------
+
+/// Which lane of the bounded queue a job waits in.  Shards always pick from
+/// the highest non-empty lane, FIFO within a lane.  Priorities reorder
+/// **scheduling only**: seeds are assigned at submission, so results stay
+/// byte-identical whatever lane a job rides in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Picked before everything else (interactive / latency-sensitive jobs).
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Picked only when the other lanes are empty (bulk / batch work).
+    Low,
+}
+
+impl Priority {
+    fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// Per-submission options for [`EhwService::submit_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobOptions {
+    /// The queue lane the job waits in.
+    pub priority: Priority,
+    /// Wall-clock budget measured from submission.  Checked cooperatively at
+    /// generation boundaries: an expired job stops with
+    /// [`JobOutput::Cancelled`]`(`[`CancelKind::DeadlineExpired`]`)` at the
+    /// next boundary (or before it starts), never mid-generation.
+    pub deadline: Option<Duration>,
+}
+
+impl JobOptions {
+    /// Options with the given priority and no deadline.
+    pub fn with_priority(priority: Priority) -> Self {
+        JobOptions {
+            priority,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the wall-clock deadline, measured from submission.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
     }
 }
 
@@ -194,18 +330,75 @@ impl std::error::Error for ServiceError {
 // ---------------------------------------------------------------------------
 
 /// Monotonic counters of a service's lifetime (see [`EhwService::stats`]).
+///
+/// Every accepted job ends in exactly one of `completed`, `failed`,
+/// `cancelled` or `lost`, so
+/// `completed + failed + cancelled + lost <= submitted`, with equality once
+/// the queue is drained — `completed` counts **successes only** and cannot
+/// lie about failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServiceStats {
     /// Jobs accepted by [`EhwService::submit`].
     pub submitted: u64,
-    /// Jobs whose result has been produced (including failed ones).
+    /// Jobs that produced a successful result.
     pub completed: u64,
+    /// Jobs that panicked while executing ([`JobOutput::Failed`]).
+    pub failed: u64,
+    /// Jobs stopped by cancellation or deadline ([`JobOutput::Cancelled`]).
+    pub cancelled: u64,
+    /// Jobs dropped because the whole shard pool died ([`JobLost`]).
+    pub lost: u64,
 }
 
 #[derive(Default)]
 struct Counters {
     submitted: AtomicU64,
     completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    lost: AtomicU64,
+}
+
+/// Per-generation progress feed of one job, shared between its handle, its
+/// monitors and the executing shard.
+#[derive(Debug)]
+struct EventLog {
+    events: Vec<JobProgress>,
+    /// No more events will ever arrive (the job finished, was cancelled
+    /// before starting, or was lost).
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct JobShared {
+    control: jobs::JobControl,
+    running: AtomicBool,
+    events: Mutex<EventLog>,
+    events_cv: Condvar,
+}
+
+impl JobShared {
+    fn new(deadline: Option<Instant>) -> Self {
+        JobShared {
+            control: jobs::JobControl::with_deadline(deadline),
+            running: AtomicBool::new(false),
+            events: Mutex::new(EventLog {
+                events: Vec::new(),
+                closed: false,
+            }),
+            events_cv: Condvar::new(),
+        }
+    }
+
+    fn push_event(&self, event: JobProgress) {
+        lock_recover(&self.events).events.push(event);
+        self.events_cv.notify_all();
+    }
+
+    fn close_events(&self) {
+        lock_recover(&self.events).closed = true;
+        self.events_cv.notify_all();
+    }
 }
 
 struct QueuedJob {
@@ -213,24 +406,156 @@ struct QueuedJob {
     seed: u64,
     spec: JobSpec,
     reply: mpsc::Sender<JobResult>,
+    shared: Arc<JobShared>,
+}
+
+enum QueueItem {
+    // Boxed: a QueuedJob carries a full JobSpec (images included), which
+    // would otherwise dwarf the pill variant.
+    Job(Box<QueuedJob>),
+    /// Test-only poison pill: the shard that picks this up panics **while
+    /// holding the queue-pickup lock**, reproducing the abnormal-death mode
+    /// the poison-recovery path exists for.
+    ShardPanic,
+}
+
+struct QueueState {
+    lanes: [VecDeque<QueueItem>; 3],
+    open: bool,
+}
+
+impl QueueState {
+    fn jobs_queued(&self) -> usize {
+        self.lanes
+            .iter()
+            .flatten()
+            .filter(|item| matches!(item, QueueItem::Job(_)))
+            .count()
+    }
+
+    fn pop_item(&mut self) -> Option<QueueItem> {
+        self.lanes.iter_mut().find_map(VecDeque::pop_front)
+    }
+}
+
+/// A bounded, three-lane MPMC queue with poison-recovering pickup.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                lanes: Default::default(),
+                open: true,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Blocks while the queue is at capacity; `Err` means the queue closed.
+    fn push(&self, job: QueuedJob, priority: Priority) -> Result<(), ()> {
+        let mut state = lock_recover(&self.state);
+        while state.open && state.jobs_queued() >= self.capacity {
+            state = wait_recover(&self.not_full, state);
+        }
+        if !state.open {
+            return Err(());
+        }
+        state.lanes[priority.lane()].push_back(QueueItem::Job(Box::new(job)));
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Test hook: enqueue a poison pill at the head of the high lane,
+    /// bypassing capacity (it is not a job).
+    fn push_pill(&self) {
+        lock_recover(&self.state).lanes[0].push_front(QueueItem::ShardPanic);
+        self.not_empty.notify_one();
+    }
+
+    /// Blocks for the next job; `None` means the queue closed and drained.
+    /// Lanes drain even after close (graceful shutdown executes everything
+    /// already accepted).  Panics — deliberately, while holding the pickup
+    /// lock — on a [`QueueItem::ShardPanic`] pill.
+    fn pop(&self) -> Option<QueuedJob> {
+        let mut state = lock_recover(&self.state);
+        loop {
+            if let Some(item) = state.pop_item() {
+                self.not_full.notify_one();
+                match item {
+                    QueueItem::Job(job) => return Some(*job),
+                    QueueItem::ShardPanic => {
+                        panic!("shard killed by test poison pill")
+                    }
+                }
+            }
+            if !state.open {
+                return None;
+            }
+            state = wait_recover(&self.not_empty, state);
+        }
+    }
+
+    /// Stops accepting jobs; queued jobs still execute ([`pop`](Self::pop)
+    /// drains before reporting closure).
+    fn close(&self) {
+        lock_recover(&self.state).open = false;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Closes the queue **and** drops every queued job (their reply senders
+    /// drop, resolving their handles to [`JobLost`]).  Only the last dying
+    /// shard calls this — with live shards, queued jobs must keep their
+    /// execution guarantee.  Each job is counted in `counters.lost` *before*
+    /// its reply sender drops, so a waiter that observes `JobLost` also
+    /// observes the matching stats.
+    fn close_and_drain(&self, counters: &Counters) {
+        let mut state = lock_recover(&self.state);
+        state.open = false;
+        for lane in &mut state.lanes {
+            for item in lane.drain(..) {
+                if let QueueItem::Job(job) = item {
+                    counters.lost.fetch_add(1, Ordering::SeqCst);
+                    job.shared.close_events();
+                }
+            }
+        }
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        lock_recover(&self.state).jobs_queued()
+    }
 }
 
 /// The serving front-end: a sharded pool of [`EhwPlatform`]s consuming a
-/// bounded queue of [`JobSpec`]s.
+/// bounded, priority-laned queue of [`JobSpec`]s.
 ///
 /// Each shard is one OS thread owning its platforms (one per array count it
 /// has seen, recycled via [`EhwPlatform::reset`] so no state leaks between
 /// jobs) and executing one job at a time through the single
-/// [`jobs::execute`] path; intra-job parallelism is governed by
+/// [`jobs::execute_controlled`] path; intra-job parallelism is governed by
 /// [`ServiceConfig::workers_per_platform`].  Dropping the service is a
 /// **graceful drain**, not a cancel: the queue stops accepting new jobs,
 /// every job already accepted still executes, the shards are joined, and
 /// every issued [`JobHandle`] remains resolvable (results are buffered in
-/// the handle's channel).  There is no cancellation primitive yet — see the
-/// ROADMAP's serving next steps.
+/// the handle's channel).  To stop a job early, cancel it through its
+/// [`JobMonitor`] or give it a [`JobOptions::deadline`].
 pub struct EhwService {
-    sender: Option<mpsc::SyncSender<QueuedJob>>,
+    queue: Arc<JobQueue>,
     shards: Vec<JoinHandle<()>>,
+    liveness: Arc<Vec<AtomicBool>>,
     root: SeedSequence,
     next_job_id: AtomicU64,
     counters: Arc<Counters>,
@@ -245,22 +570,28 @@ impl EhwService {
             workers: config.workers_per_platform,
             chunk: config.chunk,
         };
-        let (sender, receiver) = mpsc::sync_channel::<QueuedJob>(config.queue_depth);
-        let receiver = Arc::new(Mutex::new(receiver));
+        let queue = Arc::new(JobQueue::new(config.queue_depth));
         let counters = Arc::new(Counters::default());
+        let liveness: Arc<Vec<AtomicBool>> = Arc::new(
+            (0..config.platforms)
+                .map(|_| AtomicBool::new(true))
+                .collect(),
+        );
         let shards = (0..config.platforms)
             .map(|shard| {
-                let receiver = Arc::clone(&receiver);
+                let queue = Arc::clone(&queue);
                 let counters = Arc::clone(&counters);
+                let liveness = Arc::clone(&liveness);
                 std::thread::Builder::new()
                     .name(format!("ehw-shard-{shard}"))
-                    .spawn(move || shard_loop(&receiver, parallel, &counters))
+                    .spawn(move || shard_loop(shard, &queue, parallel, &counters, &liveness))
                     .expect("spawn shard thread")
             })
             .collect();
         Ok(EhwService {
-            sender: Some(sender),
+            queue,
             shards,
+            liveness,
             root: SeedSequence::new(config.seed),
             next_job_id: AtomicU64::new(0),
             counters,
@@ -273,42 +604,78 @@ impl EhwService {
         &self.config
     }
 
-    /// Lifetime counters: jobs submitted and completed so far.
+    /// Lifetime counters: jobs submitted, and how each settled job settled.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             submitted: self.counters.submitted.load(Ordering::SeqCst),
             completed: self.counters.completed.load(Ordering::SeqCst),
+            failed: self.counters.failed.load(Ordering::SeqCst),
+            cancelled: self.counters.cancelled.load(Ordering::SeqCst),
+            lost: self.counters.lost.load(Ordering::SeqCst),
         }
     }
 
-    /// Submits one job, blocking while the queue is at
-    /// [`ServiceConfig::queue_depth`] (backpressure — jobs are never
-    /// dropped).  Returns a handle resolving to the job's [`JobResult`].
+    /// Jobs submitted but not yet picked up by a shard.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Per-shard liveness flags, in shard order.  A `false` shard died
+    /// abnormally (a normal shutdown joins shards while they are still
+    /// "alive" in this view).
+    pub fn shard_liveness(&self) -> Vec<bool> {
+        self.liveness
+            .iter()
+            .map(|alive| alive.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// How many shards are still serving.
+    pub fn alive_shards(&self) -> usize {
+        self.liveness
+            .iter()
+            .filter(|alive| alive.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Submits one job on the [`Priority::Normal`] lane with no deadline.
+    /// Blocks while the queue is at [`ServiceConfig::queue_depth`]
+    /// (backpressure — jobs are never dropped).  Returns a handle resolving
+    /// to the job's [`JobResult`].
     ///
     /// The job id numbers submissions in order; the effective seed is the
     /// spec's pinned seed or `root.fork(job_id)`, so a deterministic
     /// submission sequence is byte-reproducible no matter how the pool is
     /// sized (see the crate docs).
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, ServiceError> {
+        self.submit_with(spec, JobOptions::default())
+    }
+
+    /// Submits one job with explicit [`JobOptions`] (queue lane, deadline).
+    /// Blocks for backpressure like [`submit`](Self::submit).
+    pub fn submit_with(
+        &self,
+        spec: JobSpec,
+        options: JobOptions,
+    ) -> Result<JobHandle, ServiceError> {
         let job_id = self.next_job_id.fetch_add(1, Ordering::SeqCst);
         let seed = spec.seed().unwrap_or_else(|| self.root.fork(job_id).seed());
         let (reply, receiver) = mpsc::channel();
-        // Count the submission before the send: a shard can pick the job up
-        // and complete it the instant `send` returns, and `completed` must
-        // never be observable above `submitted`.
+        let shared = Arc::new(JobShared::new(
+            options.deadline.map(|budget| Instant::now() + budget),
+        ));
+        // Count the submission before the push: a shard can pick the job up
+        // and settle it the instant `push` returns, and the settled counters
+        // must never be observable above `submitted`.
         self.counters.submitted.fetch_add(1, Ordering::SeqCst);
-        if self
-            .sender
-            .as_ref()
-            .expect("sender lives as long as the service")
-            .send(QueuedJob {
-                job_id,
-                seed,
-                spec,
-                reply,
-            })
-            .is_err()
-        {
+        let queued = QueuedJob {
+            job_id,
+            seed,
+            spec,
+            reply,
+            shared: Arc::clone(&shared),
+        };
+        if self.queue.push(queued, options.priority).is_err() {
             self.counters.submitted.fetch_sub(1, Ordering::SeqCst);
             return Err(ServiceError::Shutdown);
         }
@@ -317,6 +684,7 @@ impl EhwService {
             seed,
             receiver,
             received: std::cell::Cell::new(false),
+            shared,
         })
     }
 
@@ -332,20 +700,34 @@ impl EhwService {
     }
 
     /// Convenience: submits a batch and waits for every result, in
-    /// submission order.
+    /// submission order.  A job lost to an abnormal pool death surfaces as
+    /// [`ServiceError::JobLost`].
     pub fn run_batch(
         &self,
         specs: impl IntoIterator<Item = JobSpec>,
     ) -> Result<Vec<JobResult>, ServiceError> {
         let handles = self.submit_batch(specs)?;
-        Ok(handles.into_iter().map(JobHandle::wait).collect())
+        handles
+            .into_iter()
+            .map(|handle| handle.wait().map_err(ServiceError::from))
+            .collect()
+    }
+
+    /// Test hook: make one shard die **while holding the queue-pickup
+    /// lock**, poisoning it — the abnormal-death mode the recovery paths
+    /// (and their regression tests) exist for.  Hidden from docs; not for
+    /// production use.
+    #[doc(hidden)]
+    pub fn kill_shard_for_test(&self) {
+        self.queue.push_pill();
     }
 }
 
 impl Drop for EhwService {
     fn drop(&mut self) {
-        // Disconnect the queue: shards finish what is in flight and exit.
-        self.sender.take();
+        // Close the queue: shards finish everything already accepted (the
+        // lanes drain even after close) and exit.
+        self.queue.close();
         for shard in self.shards.drain(..) {
             let _ = shard.join();
         }
@@ -357,9 +739,15 @@ impl std::fmt::Debug for EhwService {
         f.debug_struct("EhwService")
             .field("config", &self.config)
             .field("stats", &self.stats())
+            .field("queue_depth", &self.queue_depth())
+            .field("alive_shards", &self.alive_shards())
             .finish_non_exhaustive()
     }
 }
+
+// ---------------------------------------------------------------------------
+// Handles and monitors
+// ---------------------------------------------------------------------------
 
 /// A pending job: resolves to its [`JobResult`] via [`wait`](Self::wait).
 #[derive(Debug)]
@@ -368,9 +756,10 @@ pub struct JobHandle {
     seed: u64,
     receiver: mpsc::Receiver<JobResult>,
     /// Whether [`try_wait`](Self::try_wait) already took the result — lets a
-    /// later disconnect be reported as "already taken" instead of "service
-    /// dropped".
+    /// later disconnect be reported as "already taken" instead of being
+    /// misdiagnosed as a lost job.
     received: std::cell::Cell<bool>,
+    shared: Arc<JobShared>,
 }
 
 impl JobHandle {
@@ -386,44 +775,140 @@ impl JobHandle {
         self.seed
     }
 
-    /// Blocks until the job has executed and returns its result.  Dropping
-    /// the service drains the queue, so an accepted job's handle stays
-    /// resolvable even after the drop.
-    ///
-    /// # Panics
-    /// Panics if the result can never arrive: the executing shard died
-    /// abnormally, or a previous [`try_wait`](Self::try_wait) already took
-    /// the result.
-    pub fn wait(self) -> JobResult {
-        match self.receiver.recv() {
-            Ok(result) => result,
-            Err(_) if self.received.get() => {
-                panic!("job result was already taken by a previous try_wait")
-            }
-            Err(_) => panic!("the shard executing this job died before replying"),
+    /// A cloneable observer for this job: cancellation, liveness and the
+    /// per-generation progress feed.  Outlives the handle, so a caller can
+    /// keep watching (or cancel) after moving the handle into `wait`.
+    pub fn monitor(&self) -> JobMonitor {
+        JobMonitor {
+            job_id: self.job_id,
+            shared: Arc::clone(&self.shared),
         }
     }
 
-    /// Returns the result if the job has already finished, without blocking.
+    /// Requests cooperative cancellation (see [`JobMonitor::cancel`]).
+    pub fn cancel(&self) {
+        self.shared.control.cancel();
+    }
+
+    /// Blocks until the job has settled and returns its result.  Dropping
+    /// the service drains the queue, so an accepted job's handle stays
+    /// resolvable even after the drop.  `Err(`[`JobLost`]`)` means the whole
+    /// shard pool died abnormally before the job could reply — per-job
+    /// failure (a panicking job) is still an `Ok` result carrying
+    /// [`JobOutput::Failed`].
     ///
     /// # Panics
-    /// Panics if the result can never arrive: the executing shard died
-    /// abnormally, or a previous `try_wait` already took the result — a
-    /// poller would otherwise spin forever on `None`.
-    pub fn try_wait(&self) -> Option<JobResult> {
+    /// Panics only on caller error: a previous [`try_wait`](Self::try_wait)
+    /// already took the result.
+    pub fn wait(self) -> Result<JobResult, JobLost> {
+        match self.receiver.recv() {
+            Ok(result) => Ok(result),
+            Err(_) if self.received.get() => {
+                panic!("job result was already taken by a previous try_wait")
+            }
+            Err(_) => Err(JobLost {
+                job_id: self.job_id,
+            }),
+        }
+    }
+
+    /// Returns the result if the job has already settled, without blocking.
+    /// `Ok(None)` means "still queued or running"; `Err(`[`JobLost`]`)`
+    /// means the result can never arrive (see [`wait`](Self::wait)) — a
+    /// poller must stop instead of spinning forever.
+    ///
+    /// # Panics
+    /// Panics only on caller error: a previous `try_wait` already took the
+    /// result.
+    pub fn try_wait(&self) -> Result<Option<JobResult>, JobLost> {
         match self.receiver.try_recv() {
             Ok(result) => {
                 self.received.set(true);
-                Some(result)
+                Ok(Some(result))
             }
-            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
             Err(mpsc::TryRecvError::Disconnected) => {
                 if self.received.get() {
                     panic!("job result was already taken by a previous try_wait")
                 }
-                panic!("the shard executing this job died before replying")
+                Err(JobLost {
+                    job_id: self.job_id,
+                })
             }
         }
+    }
+}
+
+/// A cloneable observer of one job: cancel it, poll whether it is running,
+/// and read its per-generation progress feed.  Obtained from
+/// [`JobHandle::monitor`]; stays valid after the handle is consumed.
+#[derive(Clone)]
+pub struct JobMonitor {
+    job_id: u64,
+    shared: Arc<JobShared>,
+}
+
+impl JobMonitor {
+    /// The id of the job this monitor observes.
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// Requests cooperative cancellation.  The job stops with
+    /// [`JobOutput::Cancelled`] at its next generation boundary — or before
+    /// it starts, if it is still queued.  Work done so far still counts in
+    /// the result envelope.  Idempotent; a no-op once the job has settled.
+    pub fn cancel(&self) {
+        self.shared.control.cancel();
+    }
+
+    /// Whether cancellation has been requested (the job may not have
+    /// observed it yet).
+    pub fn cancel_requested(&self) -> bool {
+        self.shared.control.cancel_requested()
+    }
+
+    /// Whether a shard is executing the job right now.
+    pub fn is_running(&self) -> bool {
+        self.shared.running.load(Ordering::SeqCst)
+    }
+
+    /// The progress events recorded so far, starting at index `from`, and
+    /// whether the feed is closed (no more events will ever arrive).
+    pub fn events_since(&self, from: usize) -> (Vec<JobProgress>, bool) {
+        let log = lock_recover(&self.shared.events);
+        (log.events.get(from..).unwrap_or(&[]).to_vec(), log.closed)
+    }
+
+    /// Blocks until at least one event past `from` exists, the feed closes,
+    /// or `timeout` elapses — then returns like
+    /// [`events_since`](Self::events_since).
+    pub fn wait_events(&self, from: usize, timeout: Duration) -> (Vec<JobProgress>, bool) {
+        let deadline = Instant::now() + timeout;
+        let mut log = lock_recover(&self.shared.events);
+        while log.events.len() <= from && !log.closed {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            if remaining.is_zero() {
+                break;
+            }
+            let (next, timed_out) = wait_timeout_recover(&self.shared.events_cv, log, remaining);
+            log = next;
+            if timed_out {
+                break;
+            }
+        }
+        (log.events.get(from..).unwrap_or(&[]).to_vec(), log.closed)
+    }
+}
+
+impl std::fmt::Debug for JobMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobMonitor")
+            .field("job_id", &self.job_id)
+            .field("running", &self.is_running())
+            .finish_non_exhaustive()
     }
 }
 
@@ -431,31 +916,72 @@ impl JobHandle {
 // Shard loop
 // ---------------------------------------------------------------------------
 
+/// Clears this shard's liveness flag when the shard exits, and — only if the
+/// shard is dying **abnormally** and it was the last one — drains the queue
+/// so every still-queued handle resolves to [`JobLost`] instead of stalling.
+struct ShardGuard {
+    index: usize,
+    liveness: Arc<Vec<AtomicBool>>,
+    queue: Arc<JobQueue>,
+    counters: Arc<Counters>,
+}
+
+impl Drop for ShardGuard {
+    fn drop(&mut self) {
+        self.liveness[self.index].store(false, Ordering::SeqCst);
+        let any_alive = self
+            .liveness
+            .iter()
+            .any(|alive| alive.load(Ordering::SeqCst));
+        if std::thread::panicking() && !any_alive {
+            // Drain-time accounting is the only place `lost` is counted:
+            // handle-side counting would double-count a job observed through
+            // both `try_wait` and `wait`.
+            self.queue.close_and_drain(&self.counters);
+        }
+    }
+}
+
 fn shard_loop(
-    receiver: &Mutex<mpsc::Receiver<QueuedJob>>,
+    index: usize,
+    queue: &Arc<JobQueue>,
     parallel: ParallelConfig,
-    counters: &Counters,
+    counters: &Arc<Counters>,
+    liveness: &Arc<Vec<AtomicBool>>,
 ) {
+    let _guard = ShardGuard {
+        index,
+        liveness: Arc::clone(liveness),
+        queue: Arc::clone(queue),
+        counters: Arc::clone(counters),
+    };
     // One platform per array count this shard has served, recycled across
-    // jobs.  Holding the queue lock across `recv` is deliberate: exactly one
-    // idle shard waits at a time, hands the lock on as soon as it has taken a
-    // job, and executes outside the lock — shards only ever serialise on
-    // queue *pickup*, never on work.
+    // jobs.  Shards only ever serialise on queue *pickup*, never on work —
+    // and a sibling dying while holding the pickup lock poisons it, which
+    // `pop` recovers from instead of abandoning the queue.
     let mut pool: HashMap<usize, EhwPlatform> = HashMap::new();
-    loop {
-        let job = match receiver.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return, // another shard panicked while holding the lock
-        };
-        let Ok(QueuedJob {
-            job_id,
-            seed,
-            spec,
-            reply,
-        }) = job
-        else {
-            return; // queue disconnected: the service is shutting down
-        };
+    while let Some(QueuedJob {
+        job_id,
+        seed,
+        spec,
+        reply,
+        shared,
+    }) = queue.pop()
+    {
+        // A job cancelled (or deadline-expired) while still queued settles
+        // without touching a platform: zero evaluations, cancelled output.
+        if let Some(kind) = shared.control.stop_reason() {
+            counters.cancelled.fetch_add(1, Ordering::SeqCst);
+            shared.close_events();
+            let _ = reply.send(JobResult {
+                job_id,
+                seed,
+                evaluations: 0,
+                stats: Default::default(),
+                output: JobOutput::Cancelled(kind),
+            });
+            continue;
+        }
 
         let arrays = spec.arrays_needed();
         let mut platform = pool
@@ -469,9 +995,13 @@ fn shard_loop(
         // A panicking job must not take the shard (or the queue) down with
         // it: capture the panic, report it as a failed result, and retire
         // the possibly half-mutated platform instead of pooling it.
+        shared.running.store(true, Ordering::SeqCst);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            jobs::execute(&mut platform, &spec, seed)
+            jobs::execute_controlled(&mut platform, &spec, seed, &shared.control, &mut |event| {
+                shared.push_event(event)
+            })
         }));
+        shared.running.store(false, Ordering::SeqCst);
         let result = match outcome {
             Ok(mut result) => {
                 result.job_id = job_id;
@@ -483,10 +1013,17 @@ fn shard_loop(
                 seed,
                 evaluations: 0,
                 stats: Default::default(),
-                output: JobOutput::Failed(panic_message(&panic)),
+                // `&*panic`, not `&panic`: the latter unsize-coerces the Box
+                // itself into `dyn Any`, making every payload downcast miss.
+                output: JobOutput::Failed(panic_message(&*panic)),
             },
         };
-        counters.completed.fetch_add(1, Ordering::SeqCst);
+        match &result.output {
+            JobOutput::Failed(_) => counters.failed.fetch_add(1, Ordering::SeqCst),
+            JobOutput::Cancelled(_) => counters.cancelled.fetch_add(1, Ordering::SeqCst),
+            _ => counters.completed.fetch_add(1, Ordering::SeqCst),
+        };
+        shared.close_events();
         // The handle may have been dropped without waiting; that is fine.
         let _ = reply.send(result);
     }
@@ -514,6 +1051,20 @@ mod tests {
             synth::checkerboard(size, size, 4),
             synth::gradient(size, size),
         )
+    }
+
+    fn evolution_spec(size: usize, generations: usize) -> JobSpec {
+        let (noisy, clean) = training_pair(size);
+        JobSpec::evolution(noisy, clean)
+            .generations(generations)
+            .build()
+            .unwrap()
+    }
+
+    /// A job that runs until cancelled (in practice: far longer than any
+    /// test timeout, polled for cancellation once per generation).
+    fn marathon_spec(size: usize) -> JobSpec {
+        evolution_spec(size, 1_000_000)
     }
 
     #[test]
@@ -593,6 +1144,9 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.submitted, 3);
         assert_eq!(stats.completed, 3);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.cancelled, 0);
+        assert_eq!(stats.lost, 0);
     }
 
     #[test]
@@ -618,7 +1172,7 @@ mod tests {
             .unwrap();
         let h2 = service.submit(pinned).unwrap();
         assert_eq!(h2.seed(), 1234);
-        let results = [h0.wait(), h1.wait(), h2.wait()];
+        let results = [h0.wait().unwrap(), h1.wait().unwrap(), h2.wait().unwrap()];
         assert_eq!(results[2].seed, 1234);
         // Different derived seeds explore differently.
         let (a, _) = results[0].as_evolution().unwrap();
@@ -692,10 +1246,10 @@ mod tests {
                 .unwrap()
         };
         let fresh = EhwService::new(ServiceConfig::new(1)).unwrap();
-        let expected = fresh.submit(evolution()).unwrap().wait();
+        let expected = fresh.submit(evolution()).unwrap().wait().unwrap();
         let recycled = EhwService::new(ServiceConfig::new(1)).unwrap();
-        let _ = recycled.submit(campaign).unwrap().wait();
-        let got = recycled.submit(evolution()).unwrap().wait();
+        let _ = recycled.submit(campaign).unwrap().wait().unwrap();
+        let got = recycled.submit(evolution()).unwrap().wait().unwrap();
         let (a, _) = expected.as_evolution().unwrap();
         let (b, _) = got.as_evolution().unwrap();
         assert_eq!(a.best_genotype.encode(), b.best_genotype.encode());
@@ -716,11 +1270,269 @@ mod tests {
             )
             .unwrap();
         loop {
-            if let Some(result) = handle.try_wait() {
+            if let Some(result) = handle.try_wait().unwrap() {
                 assert!(!result.is_failed());
                 break;
             }
             std::thread::yield_now();
         }
+    }
+
+    // -- queue unit tests ---------------------------------------------------
+
+    fn dummy_queued_job(job_id: u64) -> (QueuedJob, mpsc::Receiver<JobResult>) {
+        let (reply, receiver) = mpsc::channel();
+        (
+            QueuedJob {
+                job_id,
+                seed: job_id,
+                spec: evolution_spec(8, 1),
+                reply,
+                shared: Arc::new(JobShared::new(None)),
+            },
+            receiver,
+        )
+    }
+
+    #[test]
+    fn queue_drains_lanes_in_priority_order_fifo_within_a_lane() {
+        let queue = JobQueue::new(8);
+        let order = [
+            (0, Priority::Low),
+            (1, Priority::Normal),
+            (2, Priority::High),
+            (3, Priority::Low),
+            (4, Priority::High),
+        ];
+        let mut receivers = Vec::new();
+        for (id, priority) in order {
+            let (job, receiver) = dummy_queued_job(id);
+            queue.push(job, priority).unwrap();
+            receivers.push(receiver);
+        }
+        let picked: Vec<u64> = (0..order.len())
+            .map(|_| queue.pop().unwrap().job_id)
+            .collect();
+        // High lane first (FIFO: 2 then 4), then Normal, then Low (0 then 3).
+        assert_eq!(picked, vec![2, 4, 1, 0, 3]);
+        queue.close();
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn queue_pickup_survives_a_poisoned_lock() {
+        let queue = JobQueue::new(8);
+        let (job, _receiver) = dummy_queued_job(7);
+        queue.push(job, Priority::Normal).unwrap();
+        queue.push_pill();
+        // The pill panics inside `pop` while the pickup lock is held,
+        // poisoning it — exactly what a dying shard does to its siblings.
+        let died = catch_unwind(AssertUnwindSafe(|| queue.pop()));
+        assert!(died.is_err());
+        assert!(queue.state.is_poisoned());
+        // A surviving shard recovers the lock and keeps draining.
+        let survivor = queue.pop().expect("job survives the poisoned lock");
+        assert_eq!(survivor.job_id, 7);
+        assert_eq!(queue.depth(), 0);
+    }
+
+    // -- shard-death recovery ----------------------------------------------
+
+    #[test]
+    fn killing_one_shard_leaves_the_rest_of_the_pool_serving() {
+        let service = EhwService::new(ServiceConfig::new(2).queue_depth(8)).unwrap();
+        service.kill_shard_for_test();
+        // The pill is picked up by an idle shard almost immediately; wait
+        // until exactly one shard reports dead.
+        while service.alive_shards() != 1 {
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            service
+                .shard_liveness()
+                .iter()
+                .filter(|alive| **alive)
+                .count(),
+            1
+        );
+        // The surviving shard recovers the poisoned pickup lock and drains
+        // the whole batch.
+        let results = service
+            .run_batch((0..4).map(|_| evolution_spec(12, 2)))
+            .unwrap();
+        assert_eq!(results.len(), 4);
+        for result in &results {
+            assert!(!result.is_failed());
+            assert!(result.evaluations > 0);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.lost, 0);
+    }
+
+    #[test]
+    fn a_dead_pool_degrades_to_job_lost_not_a_stall() {
+        let service = EhwService::new(ServiceConfig::new(1).queue_depth(8)).unwrap();
+        // Occupy the only shard with a cancellable marathon...
+        let blocker = service.submit(marathon_spec(8)).unwrap();
+        let monitor = blocker.monitor();
+        let (events, _) = monitor.wait_events(0, Duration::from_secs(30));
+        assert!(!events.is_empty(), "the blocker never started");
+        // ...queue two victims behind it, then a poison pill at the head.
+        let victim_a = service.submit(evolution_spec(8, 2)).unwrap();
+        let victim_b = service.submit(evolution_spec(8, 2)).unwrap();
+        service.kill_shard_for_test();
+        monitor.cancel();
+        // The blocker settles as cancelled; the shard then picks the pill,
+        // dies, and — being the last shard — drains the queue so the
+        // victims resolve to JobLost instead of blocking forever.
+        let blocked = blocker.wait().unwrap();
+        assert!(blocked.is_cancelled());
+        assert_eq!(
+            victim_a.wait().unwrap_err(),
+            JobLost { job_id: 1 },
+            "queued job must resolve to JobLost when the pool dies"
+        );
+        assert_eq!(victim_b.wait().unwrap_err(), JobLost { job_id: 2 });
+        assert_eq!(service.alive_shards(), 0);
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.lost, 2);
+        assert_eq!(stats.completed, 0);
+        // The drain closed the queue: new submissions are refused, loudly.
+        assert_eq!(
+            service.submit(evolution_spec(8, 1)).err(),
+            Some(ServiceError::Shutdown)
+        );
+    }
+
+    // -- cancellation, deadlines, progress ----------------------------------
+
+    #[test]
+    fn cancel_mid_run_settles_within_a_generation_with_partial_work() {
+        let service = EhwService::new(ServiceConfig::new(1)).unwrap();
+        let handle = service.submit(marathon_spec(8)).unwrap();
+        let monitor = handle.monitor();
+        let (events, closed) = monitor.wait_events(0, Duration::from_secs(30));
+        assert!(!events.is_empty(), "no progress event arrived");
+        assert!(!closed);
+        monitor.cancel();
+        let result = handle.wait().unwrap();
+        assert!(result.is_cancelled());
+        assert_eq!(result.cancel_kind(), Some(CancelKind::Requested));
+        assert!(result.evaluations > 0, "partial work still counts");
+        let stats = service.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.completed, 0);
+        // The feed is closed once the job settles.
+        let (_, closed) = monitor.events_since(0);
+        assert!(closed);
+    }
+
+    #[test]
+    fn cancel_before_start_settles_with_zero_evaluations() {
+        let service = EhwService::new(ServiceConfig::new(1).queue_depth(4)).unwrap();
+        let blocker = service.submit(marathon_spec(8)).unwrap();
+        let blocker_monitor = blocker.monitor();
+        let (events, _) = blocker_monitor.wait_events(0, Duration::from_secs(30));
+        assert!(!events.is_empty(), "the blocker never started");
+        let victim = service.submit(evolution_spec(8, 50)).unwrap();
+        victim.cancel();
+        blocker_monitor.cancel();
+        assert!(blocker.wait().unwrap().is_cancelled());
+        let result = victim.wait().unwrap();
+        assert_eq!(result.cancel_kind(), Some(CancelKind::Requested));
+        assert_eq!(result.evaluations, 0, "never touched a platform");
+        assert_eq!(service.stats().cancelled, 2);
+    }
+
+    #[test]
+    fn an_expired_deadline_cancels_the_job() {
+        let service = EhwService::new(ServiceConfig::new(1)).unwrap();
+        // Already expired at submission: cancelled at pickup, zero work.
+        let instant = service
+            .submit_with(
+                evolution_spec(8, 50),
+                JobOptions::default().deadline(Duration::ZERO),
+            )
+            .unwrap();
+        let result = instant.wait().unwrap();
+        assert_eq!(result.cancel_kind(), Some(CancelKind::DeadlineExpired));
+        assert_eq!(result.evaluations, 0);
+        // A budget shorter than the run: expires at a generation boundary
+        // (or at pickup under extreme scheduling delay) — either way the
+        // job settles as deadline-expired, never runs to completion.
+        let budget = service
+            .submit_with(
+                marathon_spec(8),
+                JobOptions::default().deadline(Duration::from_millis(50)),
+            )
+            .unwrap();
+        let result = budget.wait().unwrap();
+        assert_eq!(result.cancel_kind(), Some(CancelKind::DeadlineExpired));
+        assert_eq!(service.stats().cancelled, 2);
+    }
+
+    #[test]
+    fn progress_events_stream_one_per_generation_and_close() {
+        let service = EhwService::new(ServiceConfig::new(1)).unwrap();
+        let handle = service.submit(evolution_spec(12, 5)).unwrap();
+        let monitor = handle.monitor();
+        let result = handle.wait().unwrap();
+        assert!(!result.is_failed());
+        let (events, closed) = monitor.events_since(0);
+        assert!(closed);
+        assert_eq!(events.len(), 5);
+        for (i, event) in events.iter().enumerate() {
+            assert_eq!(event.generation, i);
+            assert!(event.best_fitness.is_some());
+        }
+        // Cursors make the feed incrementally consumable.
+        let (tail, closed) = monitor.wait_events(3, Duration::from_secs(5));
+        assert!(closed);
+        assert_eq!(tail.len(), 2);
+    }
+
+    #[test]
+    fn priority_lanes_reorder_scheduling_but_not_results() {
+        // The same specs submitted high-priority-first and low-priority-first
+        // produce byte-identical per-job results: seeds bind at submission.
+        let run = |priority: Priority| {
+            let service = EhwService::new(ServiceConfig::new(1).seed(11)).unwrap();
+            let handles: Vec<JobHandle> = (0..3)
+                .map(|_| {
+                    service
+                        .submit_with(evolution_spec(12, 2), JobOptions::with_priority(priority))
+                        .unwrap()
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    let r = h.wait().unwrap();
+                    (r.seed, r.evaluations, r.history().to_vec())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(Priority::High), run(Priority::Low));
+    }
+
+    #[test]
+    fn stats_count_failed_jobs_separately_from_completed() {
+        let service = EhwService::new(ServiceConfig::new(1)).unwrap();
+        let ok = service.submit(evolution_spec(12, 2)).unwrap();
+        let bad = service
+            .submit(jobs::doomed_spec_for_test(training_pair(12)))
+            .unwrap();
+        assert!(!ok.wait().unwrap().is_failed());
+        let failed = bad.wait().unwrap();
+        assert!(failed.is_failed());
+        assert!(failed.failure().unwrap().contains("offspring"));
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 1);
     }
 }

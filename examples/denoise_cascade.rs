@@ -50,7 +50,11 @@ fn main() {
         .seed(99)
         .build()
         .expect("valid cascade spec");
-    let job = service.submit(spec).expect("service accepts jobs").wait();
+    let job = service
+        .submit(spec)
+        .expect("service accepts jobs")
+        .wait()
+        .expect("shard pool is alive");
     let result = job.as_cascade().expect("cascade job");
 
     for (stage, fitness) in result.stage_fitness.iter().enumerate() {

@@ -52,7 +52,11 @@ fn main() {
         .seed(42)
         .build()
         .expect("valid evolution spec");
-    let job = service.submit(spec).expect("service accepts jobs").wait();
+    let job = service
+        .submit(spec)
+        .expect("service accepts jobs")
+        .wait()
+        .expect("shard pool is alive");
     let (result, time) = job.as_evolution().expect("evolution job");
 
     println!("generations:            {}", result.generations_run);

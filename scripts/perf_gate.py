@@ -4,8 +4,9 @@
 Compares a freshly measured benchmark summary against the committed baseline
 and fails (exit 1) when a tracked speedup regressed by more than the allowed
 fraction (default 20%).  Metrics absent from the *baseline* are reported but
-never gated, so newly introduced numbers start recording history without
-breaking the first CI run that produces them.
+never gated — unless they are listed in REQUIRE_BASELINE, in which case a
+missing baseline is itself a failure (those metrics have committed history
+and silently dropping them from the summary would un-gate them).
 
 Usage: perf_gate.py BASELINE.json FRESH.json [--max-regression=0.20]
 """
@@ -27,7 +28,18 @@ TRACKED = [
     # Window memory layout: full-image evals/sec of the SoA plane path over
     # the AoS gather path, same plan, single worker.
     ("window_layout", "plane_speedup"),
+    # Reference filters routed through WindowPlanes over the legacy
+    # per-window kernel stream (byte-identity gated in the bench itself).
+    ("reference_filters", "plane_speedup"),
 ]
+
+# Gated even when the committed baseline lacks them: these ratios have
+# landed baselines, so "missing" means the summary (or the bench) lost the
+# section, not that the metric is new.
+REQUIRE_BASELINE = {
+    ("plan_compile", "patch_speedup"),
+    ("window_layout", "plane_speedup"),
+}
 
 
 def lookup(doc, path):
@@ -63,7 +75,13 @@ def main(argv):
             failures.append(f"{name}: missing from the fresh summary")
             continue
         if base is None:
-            print(f"{name}: {new:.2f} (no baseline yet — recorded, not gated)")
+            if path in REQUIRE_BASELINE:
+                failures.append(
+                    f"{name}: missing from the baseline — this metric is "
+                    f"gated and must not drop out of the committed summary"
+                )
+            else:
+                print(f"{name}: {new:.2f} (no baseline yet — recorded, not gated)")
             continue
         floor = base * (1.0 - max_regression)
         status = "OK" if new >= floor else "REGRESSION"

@@ -71,7 +71,7 @@ proptest! {
         let service = EhwService::new(
             ServiceConfig::new(1).workers_per_platform(workers),
         ).expect("valid config");
-        let job = service.submit(spec).expect("accepted").wait();
+        let job = service.submit(spec).expect("accepted").wait().expect("shard pool is alive");
         let (got, got_time) = job.as_evolution().expect("evolution job");
 
         let mut platform =
@@ -112,7 +112,7 @@ proptest! {
         let service = EhwService::new(
             ServiceConfig::new(1).workers_per_platform(workers),
         ).expect("valid config");
-        let job = service.submit(spec).expect("accepted").wait();
+        let job = service.submit(spec).expect("accepted").wait().expect("shard pool is alive");
         let got = job.as_cascade().expect("cascade job");
 
         let mut platform = EhwPlatform::with_parallel(2, ParallelConfig::serial());
@@ -145,7 +145,7 @@ proptest! {
         let service = EhwService::new(
             ServiceConfig::new(1).workers_per_platform(workers),
         ).expect("valid config");
-        let job = service.submit(spec).expect("accepted").wait();
+        let job = service.submit(spec).expect("accepted").wait().expect("shard pool is alive");
         let got = job.as_campaign().expect("campaign job");
 
         let mut platform = EhwPlatform::with_parallel(1, ParallelConfig::serial());
@@ -242,7 +242,7 @@ fn derived_seeds_follow_the_root_and_reproduce_the_legacy_path() {
     let root = SeedSequence::new(777);
     assert_eq!(h0.seed(), root.fork(0).seed());
     assert_eq!(h1.seed(), root.fork(1).seed());
-    let r0 = h0.wait();
+    let r0 = h0.wait().expect("shard pool is alive");
 
     // Re-running the legacy entry point with the derived seed reproduces the
     // job byte for byte — the migration story for existing callers.
@@ -252,7 +252,7 @@ fn derived_seeds_follow_the_root_and_reproduce_the_legacy_path() {
     let (got, _) = r0.as_evolution().expect("evolution job");
     assert_eq!(got.best_genotype.encode(), want.best_genotype.encode());
     assert_eq!(got.history, want.history);
-    let _ = h1.wait();
+    let _ = h1.wait().expect("shard pool is alive");
 }
 
 // ----------------------------------------------------------------------
@@ -323,7 +323,7 @@ fn queue_saturation_blocks_submitters_and_drops_nothing() {
     assert_eq!(handles.len(), JOBS);
     for (i, handle) in handles.into_iter().enumerate() {
         assert_eq!(handle.job_id(), i as u64);
-        let result = handle.wait();
+        let result = handle.wait().expect("shard pool is alive");
         assert!(!result.is_failed());
         assert_eq!(result.job_id, i as u64);
     }

@@ -21,7 +21,11 @@
 //!   vs the SoA per-selector plane path, same plan, single worker,
 //! * **reference_filters** — µs per filter for the nine built-in reference
 //!   filters through the legacy per-window kernel stream vs the plane-routed
-//!   `ReferenceFilter::apply`, byte-identity gated.
+//!   `ReferenceFilter::apply`, byte-identity gated,
+//! * **cross_job_cache** — the service-level cache: fitness-cache hit rate
+//!   of a replayed same-image batch (byte-identity gated against a
+//!   cache-off service) and the cold-vs-warm-start evaluations-to-target
+//!   gap when seeding from the champion library.
 //!
 //! Usage: `cargo run --release -p ehw-bench --bin bench_summary`
 //! (`--size=`, `--reps=`, `--generations=`, `--cascade-generations=`,
@@ -402,6 +406,112 @@ fn main() {
     );
     let service_scaling = service_2p / service_1p;
 
+    // --- cross-job cache: replay hit rate and warm-start speedup -----------
+    // Two figures for the service-level cache.  (1) Hit rate: one batch of
+    // same-image jobs submitted twice against a cache-on service — the
+    // second pass replays the first out of the fitness cache — gated
+    // byte-identical against a cache-off service running the identical
+    // sequence.  (2) Warm start: a trainer job deposits its champion, then
+    // a cold (random-start) and a warm (champion-seeded) run chase the
+    // champion's fitness as an explicit target; the gap in evaluations-to-
+    // target is what the library saves.
+    let cache_jobs = ehw_bench::arg_usize("cache-jobs", 8);
+    let cache_task = ehw_bench::denoise_task(service_size, 0.4, 33);
+    let cache_specs = || -> Vec<JobSpec> {
+        (0..cache_jobs)
+            .map(|i| {
+                JobSpec::evolution(cache_task.input.clone(), cache_task.reference.clone())
+                    .generations(service_generations)
+                    .seed(300 + i as u64)
+                    .build()
+                    .expect("valid evolution spec")
+            })
+            .collect()
+    };
+    let run_twice = |cache: bool| -> (Vec<ServiceOutcome>, Vec<f64>, ehw_service::CacheStats) {
+        let service =
+            EhwService::new(ServiceConfig::new(1).cache(cache)).expect("valid service config");
+        let mut outcomes = Vec::new();
+        let mut pass_s = Vec::new();
+        for _ in 0..2 {
+            let start = Instant::now();
+            let results = service.run_batch(cache_specs()).expect("cache batch");
+            pass_s.push(start.elapsed().as_secs_f64().max(1e-9));
+            outcomes.push(
+                results
+                    .iter()
+                    .map(|r| {
+                        (
+                            r.evaluations,
+                            r.history().to_vec(),
+                            r.genotypes().iter().map(|g| g.encode()).collect(),
+                        )
+                    })
+                    .collect(),
+            );
+        }
+        (outcomes, pass_s, service.stats().cache)
+    };
+    let (cached_outcomes, cached_pass_s, svc_cache_stats) = run_twice(true);
+    let (uncached_outcomes, _, _) = run_twice(false);
+    // Byte-identity gate: the cache must change nothing about the results.
+    assert_eq!(
+        cached_outcomes, uncached_outcomes,
+        "cross-job cache changed results"
+    );
+    let cache_hit_rate = svc_cache_stats.fitness_hit_rate();
+    assert!(cache_hit_rate > 0.0, "replay pass never hit the cache");
+    let replay_speedup = cached_pass_s[0] / cached_pass_s[1].max(1e-9);
+
+    let warm_service = EhwService::new(ServiceConfig::new(1)).expect("valid service config");
+    let trainer = warm_service
+        .submit(
+            JobSpec::evolution(cache_task.input.clone(), cache_task.reference.clone())
+                .generations(40)
+                .warm_start(true)
+                .seed(400)
+                .build()
+                .expect("valid evolution spec"),
+        )
+        .expect("accepted")
+        .wait()
+        .expect("shard pool is alive");
+    let (trainer_result, _) = trainer.as_evolution().expect("evolution job");
+    let target = trainer_result.best_fitness;
+    let chase_spec = || {
+        JobSpec::evolution(cache_task.input.clone(), cache_task.reference.clone())
+            .generations(300)
+            .target_fitness(target)
+            .warm_start(true)
+            .seed(401)
+            .build()
+            .expect("valid evolution spec")
+    };
+    // Cold chase: a cache-off service has no champion library, so the same
+    // spec starts from a random parent.
+    let cold_service =
+        EhwService::new(ServiceConfig::new(1).cache(false)).expect("valid service config");
+    let start = Instant::now();
+    let cold = cold_service
+        .submit(chase_spec())
+        .expect("accepted")
+        .wait()
+        .expect("shard pool is alive");
+    let cold_s = start.elapsed().as_secs_f64().max(1e-9);
+    assert!(!cold.warm_started);
+    // Warm chase: the trainer's service seeds it from the deposited
+    // champion, which already meets the target.
+    let start = Instant::now();
+    let warm = warm_service
+        .submit(chase_spec())
+        .expect("accepted")
+        .wait()
+        .expect("shard pool is alive");
+    let warm_s = start.elapsed().as_secs_f64().max(1e-9);
+    assert!(warm.warm_started, "warm chase was not champion-seeded");
+    let (cold_evals, warm_evals) = (cold.evaluations, warm.evaluations);
+    let warm_speedup = cold_evals as f64 / warm_evals.max(1) as f64;
+
     let speedup_1w = compiled_1w.evals_per_sec / interp.evals_per_sec;
 
     // --- report ------------------------------------------------------------
@@ -462,6 +572,13 @@ fn main() {
         "service ({service_jobs} evolution jobs, {service_size}x{service_size}, \
          {service_generations} gens): {service_1p:.2} jobs/s @1 platform, \
          {service_2p:.2} jobs/s @2 platforms, scaling {service_scaling:.2}x"
+    );
+    println!(
+        "cross-job cache ({cache_jobs} same-image jobs x2 passes): hit rate {:.1}%, \
+         replay speedup {replay_speedup:.2}x; warm start: cold {cold_evals} evals \
+         ({cold_s:.3}s) to target {target}, warm {warm_evals} evals ({warm_s:.3}s), \
+         speedup {warm_speedup:.1}x",
+        cache_hit_rate * 100.0
     );
 
     // --- BENCH_evaluation.json ---------------------------------------------
@@ -553,6 +670,27 @@ fn main() {
     let _ = writeln!(json, "    \"jobs_per_sec_1_platform\": {service_1p:.2},");
     let _ = writeln!(json, "    \"jobs_per_sec_2_platforms\": {service_2p:.2},");
     let _ = writeln!(json, "    \"scaling_2_platforms\": {service_scaling:.2}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"cross_job_cache\": {{");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"{cache_jobs} same-image evolution jobs x2 passes, \
+         {service_size}x{service_size} salt&pepper 40%, {service_generations} generations; \
+         warm start chases a 40-generation champion's fitness\","
+    );
+    let _ = writeln!(json, "    \"hit_rate\": {cache_hit_rate:.4},");
+    let _ = writeln!(
+        json,
+        "    \"windows_hits\": {},",
+        svc_cache_stats.windows_hits
+    );
+    let _ = writeln!(json, "    \"replay_speedup\": {replay_speedup:.2},");
+    let _ = writeln!(json, "    \"target_fitness\": {target},");
+    let _ = writeln!(json, "    \"cold_evaluations_to_target\": {cold_evals},");
+    let _ = writeln!(json, "    \"warm_evaluations_to_target\": {warm_evals},");
+    let _ = writeln!(json, "    \"cold_s\": {cold_s:.4},");
+    let _ = writeln!(json, "    \"warm_s\": {warm_s:.4},");
+    let _ = writeln!(json, "    \"warm_speedup\": {warm_speedup:.2}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"evolution\": [");
     for (i, (workers, evals_per_sec, rate, memo_hits, best)) in evolution.iter().enumerate() {

@@ -1,0 +1,487 @@
+//! Cross-job caching and warm-start: content-addressed state shared by every
+//! job a service instance executes.
+//!
+//! At production traffic most submitted jobs repeat structure — the same
+//! training image, the same noise class, even the same candidate genotypes.
+//! [`CrossJobCache`] exploits all three repetitions without ever changing a
+//! result byte:
+//!
+//! * a **shared-windows cache**: jobs whose specs carry the same training
+//!   image (by [`GrayImage::content_hash`]) share one [`SharedWindows`]
+//!   extraction behind an [`Arc`] instead of re-deriving the 3×3 window
+//!   planes per job,
+//! * a **bounded fitness cache**: the per-batch dedup memo promoted to
+//!   service scope, keyed by (genotype bytes, image hash, fault-overlay
+//!   fingerprint), holding **exact** fitness values only,
+//! * a **champion library** ([`ChampionLibrary`]): completed evolution jobs
+//!   deposit their best genotype keyed by workload fingerprint (image hash ×
+//!   noise class × array shape); opted-in jobs seed their initial parent from
+//!   a matching champion instead of a random draw.
+//!
+//! # Determinism contract
+//!
+//! A fitness-cache **hit returns the exact bytes the miss path would have
+//! computed**.  Two rules make that hold under bounded (early-exit)
+//! evaluation:
+//!
+//! 1. only exact values are inserted — an early-exited partial sum is a
+//!    deterministic stand-in *under its own bound* and is never cached;
+//! 2. a hit is served only when the cached value `v` satisfies `v <= bound`
+//!    (or the request is unbounded) — exactly the condition under which the
+//!    miss path would have completed without an early exit and produced
+//!    `(v, false)`.
+//!
+//! Under those rules a cached evaluation is byte-identical to an uncached
+//! one, *including* the `EngineStats` accounting — pinned by
+//! `tests/property_cache_determinism.rs`.  LRU recency (and therefore which
+//! entries survive eviction) may vary with worker scheduling, but recency
+//! only decides what gets *recomputed*, never what value is returned.
+//!
+//! Warm-starting changes results by design (that is the point); it is opt-in
+//! per spec and the result records provenance so a client can reproduce the
+//! run from `seed` plus the champion that seeded it.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ehw_image::window::SharedWindows;
+use ehw_image::GrayImage;
+use ehw_reconfig::library::{Champion, ChampionKey, ChampionLibrary};
+
+/// Sizing knobs of a [`CrossJobCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossJobCacheConfig {
+    /// Distinct training images whose window extractions are kept alive.
+    pub windows_capacity: usize,
+    /// Exact fitness values kept (each key is ~13 genotype bytes + 16 bytes
+    /// of hashes; the default bound is a few MiB of keys).
+    pub fitness_capacity: usize,
+    /// Champions kept in the warm-start library.
+    pub champion_capacity: usize,
+}
+
+impl Default for CrossJobCacheConfig {
+    fn default() -> Self {
+        Self {
+            windows_capacity: 8,
+            fitness_capacity: 65_536,
+            champion_capacity: 256,
+        }
+    }
+}
+
+/// Key of one cached exact fitness value: *which circuit*, *on which image*,
+/// *under which damage*.
+///
+/// The fault fingerprint is per array (not per platform): the same genotype
+/// scored on a healthy and on a damaged array are different computations, so
+/// they must be different keys — mirroring the per-batch memo, which is keyed
+/// by `(array, genotype)` for the same reason.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FitnessKey {
+    /// `Genotype::encode()` bytes of the candidate.
+    pub genotype: Vec<u8>,
+    /// [`GrayImage::content_hash`] of the training input.
+    pub image_hash: u64,
+    /// [`fault_fingerprint`] of the scoring array's injected-fault overlay.
+    pub fault_fingerprint: u64,
+}
+
+/// Fingerprint of one array's injected-fault overlay: an FNV-1a hash over the
+/// sorted `(row, col, kind)` triples.  `faults` must already be restricted to
+/// one array and sorted (e.g. filtered from
+/// [`EhwPlatform::injected_faults`](crate::platform::EhwPlatform::injected_faults),
+/// whose backing map iterates in key order).  A healthy array hashes to the
+/// FNV offset basis — stable across processes.
+pub fn fault_fingerprint<'a>(
+    faults: impl IntoIterator<Item = &'a crate::platform::InjectedFault>,
+) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    for fault in faults {
+        for b in (fault.row as u64).to_le_bytes() {
+            eat(b);
+        }
+        for b in (fault.col as u64).to_le_bytes() {
+            eat(b);
+        }
+        eat(match fault.kind {
+            ehw_fabric::fault::FaultKind::Seu => 1,
+            ehw_fabric::fault::FaultKind::Lpd => 2,
+        });
+    }
+    h
+}
+
+/// Monotonic counters of a [`CrossJobCache`] — a snapshot, reported through
+/// `ServiceStats` and `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Window extractions served from the cache.
+    pub windows_hits: u64,
+    /// Window extractions that had to be built.
+    pub windows_misses: u64,
+    /// Fitness evaluations served from the cache.
+    pub fitness_hits: u64,
+    /// Fitness evaluations that had to run (includes present-but-unusable
+    /// entries whose value exceeded the request's early-exit bound).
+    pub fitness_misses: u64,
+    /// Exact fitness values inserted.
+    pub fitness_insertions: u64,
+    /// Fitness entries evicted by the LRU bound.
+    pub fitness_evictions: u64,
+    /// Evolution jobs whose initial parent came from the champion library.
+    pub warm_starts: u64,
+    /// Champion deposits that changed the library (new key or better
+    /// fitness).
+    pub champions_deposited: u64,
+}
+
+impl CacheStats {
+    /// Fitness-cache hit rate in `[0, 1]` (0 when nothing was looked up).
+    pub fn fitness_hit_rate(&self) -> f64 {
+        let total = self.fitness_hits + self.fitness_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.fitness_hits as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU-bounded map: `HashMap` for lookup plus a tick-ordered `BTreeMap`
+/// for eviction order.  Ticks are bumped on every touch, so the `BTreeMap`'s
+/// first entry is always the least-recently-used key.
+struct LruMap<K, V> {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<K, (V, u64)>,
+    order: BTreeMap<u64, K>,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruMap<K, V> {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        Self {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            order: BTreeMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (value, old_tick) = self.entries.get_mut(key)?;
+        let value = value.clone();
+        self.order.remove(&std::mem::replace(old_tick, tick));
+        self.order.insert(tick, key.clone());
+        Some(value)
+    }
+
+    /// Inserts, returning how many entries were evicted to make room (0 or
+    /// 1; an update of an existing key never evicts).
+    fn insert(&mut self, key: K, value: V) -> u64 {
+        self.tick += 1;
+        if let Some((old_value, old_tick)) = self.entries.get_mut(&key) {
+            *old_value = value;
+            self.order.remove(&std::mem::replace(old_tick, self.tick));
+            self.order.insert(self.tick, key);
+            return 0;
+        }
+        let mut evicted = 0;
+        if self.entries.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.order.iter().next() {
+                if let Some(victim) = self.order.remove(&oldest) {
+                    self.entries.remove(&victim);
+                    evicted = 1;
+                }
+            }
+        }
+        self.entries.insert(key.clone(), (value, self.tick));
+        self.order.insert(self.tick, key);
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The service-scope cache; see the module docs for the three tiers and the
+/// determinism contract.  All methods take `&self` — the cache is shared
+/// across shard threads behind an [`Arc`].
+pub struct CrossJobCache {
+    windows: Mutex<LruMap<u64, Arc<SharedWindows>>>,
+    fitness: Mutex<LruMap<FitnessKey, u64>>,
+    champions: Mutex<ChampionLibrary>,
+    windows_hits: AtomicU64,
+    windows_misses: AtomicU64,
+    fitness_hits: AtomicU64,
+    fitness_misses: AtomicU64,
+    fitness_insertions: AtomicU64,
+    fitness_evictions: AtomicU64,
+    warm_starts: AtomicU64,
+    champions_deposited: AtomicU64,
+}
+
+impl std::fmt::Debug for CrossJobCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrossJobCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl CrossJobCache {
+    /// Creates a cache with the given bounds.
+    pub fn new(config: CrossJobCacheConfig) -> Self {
+        Self {
+            windows: Mutex::new(LruMap::new(config.windows_capacity)),
+            fitness: Mutex::new(LruMap::new(config.fitness_capacity)),
+            champions: Mutex::new(ChampionLibrary::new(config.champion_capacity)),
+            windows_hits: AtomicU64::new(0),
+            windows_misses: AtomicU64::new(0),
+            fitness_hits: AtomicU64::new(0),
+            fitness_misses: AtomicU64::new(0),
+            fitness_insertions: AtomicU64::new(0),
+            fitness_evictions: AtomicU64::new(0),
+            warm_starts: AtomicU64::new(0),
+            champions_deposited: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared window extraction of `image`, from the cache when a job
+    /// with the same training image (by content hash) already built it.
+    ///
+    /// A lock-poisoning panic on another shard falls back to a fresh private
+    /// extraction — the cache degrades to a per-job build, never to an error.
+    pub fn windows_for(&self, image: &GrayImage) -> Arc<SharedWindows> {
+        let hash = image.content_hash();
+        let Ok(mut windows) = self.windows.lock() else {
+            return Arc::new(SharedWindows::new(image));
+        };
+        if let Some(shared) = windows.get(&hash) {
+            self.windows_hits.fetch_add(1, Ordering::Relaxed);
+            return shared;
+        }
+        self.windows_misses.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(SharedWindows::new(image));
+        windows.insert(hash, Arc::clone(&shared));
+        shared
+    }
+
+    /// Looks up an exact fitness value usable under `bound`.
+    ///
+    /// Returns `Some(v)` only when `v` would have been computed exactly by
+    /// the miss path: the cached value exists and `bound` is `None` or
+    /// `v <= bound`.  A present-but-over-bound entry counts as a miss — the
+    /// caller must evaluate (and may early-exit above the bound, which is
+    /// precisely why the entry cannot be served).
+    pub fn lookup_fitness(&self, key: &FitnessKey, bound: Option<u64>) -> Option<u64> {
+        let Ok(mut fitness) = self.fitness.lock() else {
+            return None;
+        };
+        match fitness.get(key) {
+            Some(v) if bound.is_none_or(|b| v <= b) => {
+                self.fitness_hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            _ => {
+                self.fitness_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts an **exact** fitness value.  Callers must never pass an
+    /// early-exited partial sum — that value is only meaningful under the
+    /// bound it was computed with.
+    pub fn insert_fitness(&self, key: FitnessKey, value: u64) {
+        let Ok(mut fitness) = self.fitness.lock() else {
+            return;
+        };
+        let evicted = fitness.insert(key, value);
+        self.fitness_insertions.fetch_add(1, Ordering::Relaxed);
+        self.fitness_evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Number of fitness entries currently held.
+    pub fn fitness_len(&self) -> usize {
+        self.fitness.lock().map(|f| f.len()).unwrap_or(0)
+    }
+
+    /// The champion for a workload fingerprint, if deposited.  Counts a warm
+    /// start when found — callers only look up when warm-starting.
+    pub fn lookup_champion(&self, key: &ChampionKey) -> Option<Champion> {
+        let champion = self.champions.lock().ok()?.lookup(key).cloned();
+        if champion.is_some() {
+            self.warm_starts.fetch_add(1, Ordering::Relaxed);
+        }
+        champion
+    }
+
+    /// Deposits an evolved champion under its workload fingerprint (kept only
+    /// when it is new or beats the incumbent's fitness).
+    pub fn deposit_champion(&self, key: ChampionKey, genotype: Vec<u8>, fitness: u64) {
+        let Ok(mut champions) = self.champions.lock() else {
+            return;
+        };
+        if champions.deposit(key, genotype, fitness) {
+            self.champions_deposited.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of deposited champions.
+    pub fn champion_len(&self) -> usize {
+        self.champions.lock().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// A snapshot of the monotonic counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            windows_hits: self.windows_hits.load(Ordering::Relaxed),
+            windows_misses: self.windows_misses.load(Ordering::Relaxed),
+            fitness_hits: self.fitness_hits.load(Ordering::Relaxed),
+            fitness_misses: self.fitness_misses.load(Ordering::Relaxed),
+            fitness_insertions: self.fitness_insertions.load(Ordering::Relaxed),
+            fitness_evictions: self.fitness_evictions.load(Ordering::Relaxed),
+            warm_starts: self.warm_starts.load(Ordering::Relaxed),
+            champions_deposited: self.champions_deposited.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for CrossJobCache {
+    fn default() -> Self {
+        Self::new(CrossJobCacheConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::EhwPlatform;
+    use ehw_fabric::fault::FaultKind;
+
+    fn key(genotype: u8) -> FitnessKey {
+        FitnessKey {
+            genotype: vec![genotype; 13],
+            image_hash: 1,
+            fault_fingerprint: 2,
+        }
+    }
+
+    #[test]
+    fn windows_are_shared_by_content_not_identity() {
+        let cache = CrossJobCache::default();
+        let image = GrayImage::from_fn(8, 8, |x, y| (x * y) as u8);
+        let a = cache.windows_for(&image);
+        let b = cache.windows_for(&image.clone());
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "same content must share one extraction"
+        );
+        let other = GrayImage::from_fn(8, 8, |x, y| (x + y) as u8);
+        let c = cache.windows_for(&other);
+        assert!(!Arc::ptr_eq(&a, &c));
+        let stats = cache.stats();
+        assert_eq!(stats.windows_hits, 1);
+        assert_eq!(stats.windows_misses, 2);
+    }
+
+    #[test]
+    fn fitness_hits_respect_the_bound_rule() {
+        let cache = CrossJobCache::default();
+        cache.insert_fitness(key(1), 100);
+        // Unbounded and loose bounds serve the hit...
+        assert_eq!(cache.lookup_fitness(&key(1), None), Some(100));
+        assert_eq!(cache.lookup_fitness(&key(1), Some(100)), Some(100));
+        // ...but a tighter bound must miss: the miss path would early-exit
+        // and produce a different (partial) value.
+        assert_eq!(cache.lookup_fitness(&key(1), Some(99)), None);
+        assert_eq!(cache.lookup_fitness(&key(2), None), None);
+        let stats = cache.stats();
+        assert_eq!(stats.fitness_hits, 2);
+        assert_eq!(stats.fitness_misses, 2);
+        assert!((stats.fitness_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fitness_cache_is_bounded_and_evicts_lru() {
+        let cache = CrossJobCache::new(CrossJobCacheConfig {
+            fitness_capacity: 2,
+            ..CrossJobCacheConfig::default()
+        });
+        cache.insert_fitness(key(1), 10);
+        cache.insert_fitness(key(2), 20);
+        // Touch key 1 so key 2 is the LRU victim.
+        assert_eq!(cache.lookup_fitness(&key(1), None), Some(10));
+        cache.insert_fitness(key(3), 30);
+        assert_eq!(cache.fitness_len(), 2);
+        assert_eq!(cache.lookup_fitness(&key(2), None), None, "LRU evicted");
+        assert_eq!(cache.lookup_fitness(&key(1), None), Some(10));
+        assert_eq!(cache.lookup_fitness(&key(3), None), Some(30));
+        assert_eq!(cache.stats().fitness_evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_a_key_updates_without_evicting() {
+        let cache = CrossJobCache::new(CrossJobCacheConfig {
+            fitness_capacity: 2,
+            ..CrossJobCacheConfig::default()
+        });
+        cache.insert_fitness(key(1), 10);
+        cache.insert_fitness(key(2), 20);
+        cache.insert_fitness(key(1), 10);
+        assert_eq!(cache.fitness_len(), 2);
+        assert_eq!(cache.stats().fitness_evictions, 0);
+        assert_eq!(cache.lookup_fitness(&key(2), None), Some(20));
+    }
+
+    #[test]
+    fn champion_round_trip_counts_provenance() {
+        let cache = CrossJobCache::default();
+        let ck = ChampionKey {
+            image_hash: 7,
+            noise_class: 1,
+            arrays: 1,
+        };
+        assert!(cache.lookup_champion(&ck).is_none());
+        cache.deposit_champion(ck, vec![1, 2, 3], 50);
+        // A worse re-deposit does not count as a new deposit.
+        cache.deposit_champion(ck, vec![4, 5, 6], 60);
+        let champion = cache.lookup_champion(&ck).expect("deposited");
+        assert_eq!(champion.genotype, vec![1, 2, 3]);
+        assert_eq!(champion.fitness, 50);
+        let stats = cache.stats();
+        assert_eq!(stats.champions_deposited, 1);
+        assert_eq!(stats.warm_starts, 1, "only the successful lookup counts");
+        assert_eq!(cache.champion_len(), 1);
+    }
+
+    #[test]
+    fn fault_fingerprints_distinguish_overlays() {
+        let mut platform = EhwPlatform::new(2);
+        let healthy = fault_fingerprint(platform.injected_faults().iter().filter(|f| f.array == 0));
+        platform.inject_pe_fault(0, 1, 2, FaultKind::Lpd);
+        let faults = platform.injected_faults();
+        let damaged = fault_fingerprint(faults.iter().filter(|f| f.array == 0));
+        let other_array = fault_fingerprint(faults.iter().filter(|f| f.array == 1));
+        assert_ne!(healthy, damaged);
+        assert_eq!(healthy, other_array, "array 1 is still healthy");
+        // Kind matters: an SEU at the same position is a different overlay.
+        let mut seu = EhwPlatform::new(1);
+        seu.inject_pe_fault(0, 1, 2, FaultKind::Seu);
+        let seu_faults = seu.injected_faults();
+        let seu_print = fault_fingerprint(seu_faults.iter().filter(|f| f.array == 0));
+        assert_ne!(seu_print, damaged);
+    }
+}

@@ -65,29 +65,80 @@ impl EvolutionTask {
 /// array is scored on the damaged array — the candidate's genotype is
 /// compiled against that array's fault overlay, so the fault corrupts the
 /// *plan*, never a per-pixel lookup.
+///
+/// When constructed [`with_cache`](Self::with_cache), the window extraction
+/// is shared with every other job training on the same image, and exact
+/// fitness values flow through the service-scope
+/// [`CrossJobCache`](crate::cache::CrossJobCache) keyed by (genotype bytes,
+/// image hash, per-array fault fingerprint).  Cache hits return exactly what
+/// the miss path would compute — including the [`EngineStats`] accounting —
+/// see the determinism contract in [`crate::cache`].
+///
+/// [`EngineStats`]: ehw_evolution::fitness::EngineStats
 #[derive(Debug)]
 pub struct PlatformEvaluator {
     arrays: Vec<ProcessingArray>,
-    windows: ehw_image::window::SharedWindows,
+    windows: std::sync::Arc<ehw_image::window::SharedWindows>,
     reference: GrayImage,
     evaluations: u64,
     stats: ehw_evolution::fitness::EngineStats,
+    cache: Option<std::sync::Arc<crate::cache::CrossJobCache>>,
+    /// Content hash of the training input (only computed when caching).
+    image_hash: u64,
+    /// Per-array fault-overlay fingerprints (only computed when caching).
+    fault_prints: Vec<u64>,
 }
 
 impl PlatformEvaluator {
     /// Creates an evaluator over the platform's current arrays and the given
     /// training pair.
     pub fn new(platform: &EhwPlatform, task: &EvolutionTask) -> Self {
+        Self::with_cache(platform, task, None)
+    }
+
+    /// [`new`](Self::new) with an optional service-scope cross-job cache.
+    pub fn with_cache(
+        platform: &EhwPlatform,
+        task: &EvolutionTask,
+        cache: Option<std::sync::Arc<crate::cache::CrossJobCache>>,
+    ) -> Self {
+        let windows = match &cache {
+            Some(cache) => cache.windows_for(&task.input),
+            None => std::sync::Arc::new(ehw_image::window::SharedWindows::new(&task.input)),
+        };
+        let (image_hash, fault_prints) = match &cache {
+            Some(_) => {
+                let faults = platform.injected_faults();
+                let prints = (0..platform.num_arrays())
+                    .map(|a| {
+                        crate::cache::fault_fingerprint(faults.iter().filter(|f| f.array == a))
+                    })
+                    .collect();
+                (task.input.content_hash(), prints)
+            }
+            None => (0, Vec::new()),
+        };
         Self {
             arrays: platform
                 .acbs()
                 .iter()
                 .map(|acb| acb.array().clone())
                 .collect(),
-            windows: ehw_image::window::SharedWindows::new(&task.input),
+            windows,
             reference: task.reference.clone(),
             evaluations: 0,
             stats: ehw_evolution::fitness::EngineStats::default(),
+            cache,
+            image_hash,
+            fault_prints,
+        }
+    }
+
+    fn fitness_key(&self, array: usize, genotype: &Genotype) -> crate::cache::FitnessKey {
+        crate::cache::FitnessKey {
+            genotype: genotype.encode(),
+            image_hash: self.image_hash,
+            fault_fingerprint: self.fault_prints[array],
         }
     }
 
@@ -101,6 +152,16 @@ impl FitnessEvaluator for PlatformEvaluator {
     fn evaluate(&mut self, genotype: &Genotype) -> u64 {
         self.evaluations += 1;
         self.stats.plans_evaluated += 1;
+        if let Some(cache) = self.cache.clone() {
+            let key = self.fitness_key(0, genotype);
+            if let Some(value) = cache.lookup_fitness(&key, None) {
+                return value;
+            }
+            let plan = self.arrays[0].compile_with(genotype);
+            let value = ehw_evolution::fitness::plan_mae(&plan, &self.windows, &self.reference);
+            cache.insert_fitness(key, value);
+            return value;
+        }
         let plan = self.arrays[0].compile_with(genotype);
         ehw_evolution::fitness::plan_mae(&plan, &self.windows, &self.reference)
     }
@@ -137,6 +198,37 @@ impl FitnessEvaluator for PlatformEvaluator {
         let arrays = &self.arrays;
         let windows = &self.windows;
         let reference = &self.reference;
+        // Cross-job cache consultation lives inside the per-candidate eval
+        // closures: only exact values are served (and only when `<= bound`),
+        // so a hit returns precisely what the miss path would compute and the
+        // per-batch dedup/early-exit accounting is unchanged — see the
+        // determinism contract in `crate::cache`.
+        let cache = self.cache.as_deref();
+        let image_hash = self.image_hash;
+        let fault_prints = &self.fault_prints;
+        let cached_eval = move |array: usize,
+                                genotype: &Genotype,
+                                compute: &mut dyn FnMut() -> (u64, bool)|
+              -> (u64, bool) {
+            match cache {
+                Some(cache) => {
+                    let key = crate::cache::FitnessKey {
+                        genotype: genotype.encode(),
+                        image_hash,
+                        fault_fingerprint: fault_prints[array],
+                    };
+                    if let Some(value) = cache.lookup_fitness(&key, bound) {
+                        return (value, false);
+                    }
+                    let result = compute();
+                    if !result.1 {
+                        cache.insert_fitness(key, result.0);
+                    }
+                    result
+                }
+                None => compute(),
+            }
+        };
         match incumbent {
             Some((pg, _)) => {
                 let parent_plans: Vec<ehw_array::compiled::CompiledArray> =
@@ -152,14 +244,16 @@ impl FitnessEvaluator for PlatformEvaluator {
                     |_| false,
                     || parent_plans.clone(),
                     |plans, i| {
-                        let plan = &mut plans[i % num_arrays];
-                        let diff = &diffs[i];
-                        plan.apply(diff);
-                        let result = ehw_evolution::fitness::plan_mae_bounded(
-                            plan, windows, reference, bound,
-                        );
-                        plan.revert(diff);
-                        result
+                        cached_eval(i % num_arrays, &batch[i], &mut || {
+                            let plan = &mut plans[i % num_arrays];
+                            let diff = &diffs[i];
+                            plan.apply(diff);
+                            let result = ehw_evolution::fitness::plan_mae_bounded(
+                                plan, windows, reference, bound,
+                            );
+                            plan.revert(diff);
+                            result
+                        })
                     },
                     &mut self.stats,
                 )
@@ -171,8 +265,10 @@ impl FitnessEvaluator for PlatformEvaluator {
                 |i, g| (i % num_arrays, g),
                 |_| false,
                 |i| {
-                    let plan = arrays[i % num_arrays].compile_with(&batch[i]);
-                    ehw_evolution::fitness::plan_mae_bounded(&plan, windows, reference, bound)
+                    cached_eval(i % num_arrays, &batch[i], &mut || {
+                        let plan = arrays[i % num_arrays].compile_with(&batch[i]);
+                        ehw_evolution::fitness::plan_mae_bounded(&plan, windows, reference, bound)
+                    })
                 },
                 &mut self.stats,
             ),
@@ -584,9 +680,24 @@ struct CascadeState<'a> {
     windows: Vec<Option<(ehw_image::window::SharedWindows, u64)>>,
     /// Exact parent fitness per stage, tagged with its epoch.
     parent_fitness: Vec<Option<(u64, u64)>>,
+    /// Cross-generation downstream-suffix memo (merged fitness): per stage,
+    /// exact suffix sums keyed by stage-output bytes and tagged with the
+    /// *downstream epoch* (`max(changed_at[s+1..])`) they were computed
+    /// under.  Neutral parent drift and inactive-gene mutations reproduce
+    /// stage outputs across generations; as long as no downstream parent has
+    /// changed since, the whole suffix pipeline for such an output is a
+    /// replay and its exact sum can be served instead.
+    suffix_memo: Vec<std::collections::HashMap<Vec<u8>, (u64, u64)>>,
+    /// Insertion order of `suffix_memo` keys, for bounded FIFO eviction.
+    suffix_memo_order: std::collections::VecDeque<(usize, Vec<u8>)>,
     evaluations: u64,
     stats: ehw_evolution::fitness::EngineStats,
 }
+
+/// Total entries the cross-generation suffix memo may hold (across stages).
+/// Stage outputs are whole images, so the bound keeps the memo at a few
+/// dozen MiB worst-case for the paper's 128×128 workload.
+const SUFFIX_MEMO_CAP: usize = 256;
 
 impl CascadeState<'_> {
     /// `true` if a value computed at `epoch` that depends on the parents of
@@ -692,10 +803,15 @@ impl CascadeState<'_> {
     /// level: the downstream parent plans are fixed across the λ candidates,
     /// so the suffix pipeline (mid-stage refiltering + bounded final
     /// comparison) runs once per *distinct stage output* — memoised on the
-    /// output bytes — instead of once per candidate.  Bit-identical to
-    /// running [`chain_mae_bounded`](ehw_evolution::fitness::chain_mae_bounded)
-    /// per candidate, including the `EngineStats` accounting, at any worker
-    /// count.
+    /// output bytes — instead of once per candidate, and exact suffix sums
+    /// are remembered *across* generations (see [`CascadeState::suffix_memo`])
+    /// so re-derived outputs skip the pipeline entirely.  Fitness values are
+    /// bit-identical to running
+    /// [`chain_mae_bounded`](ehw_evolution::fitness::chain_mae_bounded) per
+    /// candidate at any worker count; the `EngineStats` accounting matches
+    /// the unshared path too, except that cross-generation suffix reuse adds
+    /// `memo_hits` (deterministically — the memo state is a pure function of
+    /// the generation history, never of the worker count).
     fn one_generation(&mut self, s: usize, config: &CascadeConfig, rng: &mut StdRng) {
         self.ensure_stage_windows(s);
         let bound = self.parent_fitness(s);
@@ -757,21 +873,69 @@ impl CascadeState<'_> {
             // Phase 2: one suffix pipeline per distinct stage output — the
             // exact computation `chain_mae_bounded` performs after the stage
             // filter, so shared results are bit-identical to per-candidate
-            // evaluation.
-            let suffix_results =
-                ehw_parallel::ordered_map(self.parallel, &suffix_inputs, |_, &u| {
-                    let (last, mid) = downstream.split_last().expect("downstream is non-empty");
-                    let mut stream = std::borrow::Cow::Borrowed(&outputs[u]);
-                    for p in mid {
-                        stream = std::borrow::Cow::Owned(p.filter_image(&stream));
+            // evaluation.  Outputs already seen in an earlier generation
+            // under the same downstream parents are served from the
+            // cross-generation suffix memo: only *exact* sums are stored, and
+            // a stored sum is served only when `<= bound` — exactly the case
+            // where the bounded suffix pipeline would return `(sum, false)`,
+            // so fitness values (and therefore selection) are unchanged.
+            // Both the memo state and the hit/miss partition are pure
+            // functions of the generation history, so results and stats stay
+            // independent of the worker count.
+            let downstream_epoch = self.changed_at[s + 1..].iter().copied().max().unwrap_or(0);
+            let mut suffix_results: Vec<Option<(u64, bool)>> = Vec::new();
+            let mut to_compute: Vec<(usize, usize)> = Vec::new();
+            for &u in &suffix_inputs {
+                let hit = self.suffix_memo[s]
+                    .get(outputs[u].as_slice())
+                    .filter(|&&(_, e)| e == downstream_epoch)
+                    .map(|&(sum, _)| sum)
+                    .filter(|&sum| sum <= bound);
+                match hit {
+                    Some(sum) => {
+                        self.stats.memo_hits += 1;
+                        suffix_results.push(Some((sum, false)));
                     }
-                    ehw_evolution::fitness::plan_image_mae_bounded(
-                        last,
-                        &stream,
-                        reference,
-                        Some(bound),
-                    )
-                });
+                    None => {
+                        to_compute.push((suffix_results.len(), u));
+                        suffix_results.push(None);
+                    }
+                }
+            }
+            let computed = ehw_parallel::ordered_map(self.parallel, &to_compute, |_, &(_, u)| {
+                let (last, mid) = downstream.split_last().expect("downstream is non-empty");
+                let mut stream = std::borrow::Cow::Borrowed(&outputs[u]);
+                for p in mid {
+                    stream = std::borrow::Cow::Owned(p.filter_image(&stream));
+                }
+                ehw_evolution::fitness::plan_image_mae_bounded(
+                    last,
+                    &stream,
+                    reference,
+                    Some(bound),
+                )
+            });
+            for (&(slot, u), &result) in to_compute.iter().zip(&computed) {
+                suffix_results[slot] = Some(result);
+                if !result.1 {
+                    // Exact sum: record it for the generations ahead.
+                    let key = outputs[u].as_slice().to_vec();
+                    let is_new = !self.suffix_memo[s].contains_key(&key);
+                    if is_new && self.suffix_memo_order.len() >= SUFFIX_MEMO_CAP {
+                        if let Some((qs, qb)) = self.suffix_memo_order.pop_front() {
+                            self.suffix_memo[qs].remove(&qb);
+                        }
+                    }
+                    if is_new {
+                        self.suffix_memo_order.push_back((s, key.clone()));
+                    }
+                    self.suffix_memo[s].insert(key, (result.0, downstream_epoch));
+                }
+            }
+            let suffix_results: Vec<(u64, bool)> = suffix_results
+                .into_iter()
+                .map(|r| r.expect("every distinct output was served or computed"))
+                .collect();
             // Expand back to one result per unique candidate before the
             // scatter, so `EngineStats` counts exactly what the unshared path
             // would have counted.
@@ -859,6 +1023,8 @@ fn evolve_cascade_compiled(
         inputs: vec![None; stages],
         windows: vec![None; stages],
         parent_fitness: vec![None; stages],
+        suffix_memo: vec![std::collections::HashMap::new(); stages],
+        suffix_memo_order: std::collections::VecDeque::new(),
         evaluations: 0,
         stats: ehw_evolution::fitness::EngineStats::default(),
     };

@@ -2,7 +2,8 @@
 //! serves.
 //!
 //! Historically each workload had its own ad-hoc entry point — single-filter
-//! and parallel evolution through [`run_evolution`] plus a hand-wired
+//! and parallel evolution through
+//! [`run_evolution`](ehw_evolution::strategy::run_evolution) plus a hand-wired
 //! evaluator, cascades through `evolve_cascade`, fault campaigns through
 //! `systematic_fault_campaign` — each owning one [`EhwPlatform`] and its own
 //! validation (mostly `assert!`s that fire mid-run).  This module turns those
@@ -40,7 +41,8 @@ use std::time::Instant;
 use ehw_array::genotype::Genotype;
 use ehw_evolution::fitness::EngineStats;
 use ehw_evolution::strategy::{
-    run_evolution, EsConfig, EvalEngine, EvolutionResult, GenerationObserver, MutationStrategy,
+    run_evolution_with_parent, EsConfig, EvalEngine, EvolutionResult, GenerationObserver,
+    MutationStrategy,
 };
 use ehw_image::image::GrayImage;
 
@@ -159,6 +161,7 @@ pub struct EvolutionSpec {
     task: EvolutionTask,
     config: EsConfig,
     seed: Option<u64>,
+    warm_start: bool,
 }
 
 impl EvolutionSpec {
@@ -173,6 +176,12 @@ impl EvolutionSpec {
     pub fn config(&self) -> &EsConfig {
         &self.config
     }
+
+    /// Whether the job opted into champion-library warm starting (see
+    /// [`EvolutionBuilder::warm_start`]).
+    pub fn warm_start(&self) -> bool {
+        self.warm_start
+    }
 }
 
 /// Builder for [`JobSpec::Evolution`]; see [`JobSpec::evolution`].
@@ -182,6 +191,7 @@ pub struct EvolutionBuilder {
     reference: GrayImage,
     config: EsConfig,
     seed: Option<u64>,
+    warm_start: bool,
 }
 
 impl EvolutionBuilder {
@@ -235,6 +245,17 @@ impl EvolutionBuilder {
         self
     }
 
+    /// Opts into warm starting (default off): when the executing service has
+    /// a champion deposited for this job's workload fingerprint (training
+    /// image hash × noise class × array shape), the initial parent is seeded
+    /// from that champion instead of being drawn at random.  Changes only the
+    /// initial parent — every later RNG draw is identical — and
+    /// [`JobResult::warm_started`] records whether a champion was found.
+    pub fn warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
     /// Validates the request and produces the spec.
     pub fn build(self) -> Result<JobSpec, SpecError> {
         validate_shapes(&self.input, &self.reference)?;
@@ -247,6 +268,7 @@ impl EvolutionBuilder {
             },
             config: self.config,
             seed: self.seed,
+            warm_start: self.warm_start,
         }))
     }
 }
@@ -266,6 +288,7 @@ pub fn doomed_spec_for_test((input, reference): (GrayImage, GrayImage)) -> JobSp
         },
         config: builder.config,
         seed: builder.seed,
+        warm_start: false,
     })
 }
 
@@ -545,6 +568,7 @@ impl JobSpec {
             reference,
             config: EsConfig::paper(3, 1, 100, 0),
             seed: None,
+            warm_start: false,
         }
     }
 
@@ -616,6 +640,7 @@ pub(crate) fn evolution_spec_from_config(task: EvolutionTask, config: &EsConfig)
         task,
         config: *config,
         seed: Some(config.seed),
+        warm_start: false,
     })
 }
 
@@ -805,6 +830,14 @@ pub struct JobResult {
     ///
     /// [`CampaignReport::total_stats`]: crate::fault_campaign::CampaignReport::total_stats
     pub stats: EngineStats,
+    /// `true` when this evolution job's initial parent was seeded from the
+    /// champion library (requires [`EvolutionBuilder::warm_start`] *and* a
+    /// matching deposited champion); always `false` otherwise.
+    pub warm_started: bool,
+    /// The workload-fingerprint key the warm start consulted, recorded
+    /// whenever the job opted in — even on a library miss, so clients can
+    /// tell "no champion yet" from "did not ask".
+    pub warm_start_key: Option<ehw_reconfig::ChampionKey>,
     /// The kind-specific payload.
     pub output: JobOutput,
 }
@@ -937,6 +970,32 @@ pub fn execute_controlled(
     control: &JobControl,
     progress: &mut dyn FnMut(JobProgress),
 ) -> JobResult {
+    execute_controlled_cached(platform, spec, seed, control, progress, None)
+}
+
+/// [`execute_controlled`] with an optional service-scope
+/// [`CrossJobCache`](crate::cache::CrossJobCache) — the entry the
+/// `ehw-service` shards use.
+///
+/// For evolution jobs the cache supplies three things: a shared window
+/// extraction for the training image, a content-addressed exact-fitness
+/// cache, and (when the spec opted in via [`EvolutionBuilder::warm_start`])
+/// a champion-library lookup that seeds the initial parent.  Completed
+/// evolution jobs deposit their champion back.  Cascade and fault-campaign
+/// jobs run uncached: their inner images change per stage/position, so the
+/// cross-job tiers would not hit (the cascade engine has its own
+/// intra/cross-generation memos).  With `cache: None` this is byte-identical
+/// to [`execute_controlled`]; with a cache, results are *still* byte-identical
+/// unless warm starting changes the initial parent — see the determinism
+/// contract in [`crate::cache`].
+pub fn execute_controlled_cached(
+    platform: &mut EhwPlatform,
+    spec: &JobSpec,
+    seed: u64,
+    control: &JobControl,
+    progress: &mut dyn FnMut(JobProgress),
+    cache: Option<&std::sync::Arc<crate::cache::CrossJobCache>>,
+) -> JobResult {
     // Hard assert (not debug): a mismatched platform would not fail — it
     // would silently run a *different* job (the engines iterate the
     // platform's arrays, not the spec's count), defeating the builders'
@@ -957,7 +1016,7 @@ pub fn execute_controlled(
                 parallel: platform.parallel_config(),
                 ..s.config
             };
-            let mut evaluator = PlatformEvaluator::new(platform, &s.task);
+            let mut evaluator = PlatformEvaluator::with_cache(platform, &s.task, cache.cloned());
             let timer = PipelineTimer::new(
                 platform.timing(),
                 platform.num_arrays(),
@@ -970,7 +1029,24 @@ pub fn execute_controlled(
                 progress,
                 stopped: None,
             };
-            let result = run_evolution(&config, &mut evaluator, &mut observer);
+            // Workload fingerprint: computed once when a cache is attached —
+            // consulted for warm starting (opt-in) and used to deposit the
+            // evolved champion afterwards.
+            let champion_key = cache.map(|_| ehw_reconfig::ChampionKey {
+                image_hash: s.task.input.content_hash(),
+                noise_class: ehw_image::NoiseClass::classify(&s.task.input, &s.task.reference)
+                    .tag(),
+                arrays: platform.num_arrays(),
+            });
+            let initial_parent = match (cache, champion_key, s.warm_start) {
+                (Some(cache), Some(key), true) => cache
+                    .lookup_champion(&key)
+                    .and_then(|champion| Genotype::decode(&champion.genotype)),
+                _ => None,
+            };
+            let warm_started = initial_parent.is_some();
+            let result =
+                run_evolution_with_parent(&config, initial_parent, &mut evaluator, &mut observer);
             platform.configure_all_arrays(&result.best_genotype);
             let output = match observer.stopped {
                 Some(kind) => JobOutput::Cancelled(kind),
@@ -979,11 +1055,18 @@ pub fn execute_controlled(
                     time: observer.inner.estimate(),
                 },
             };
+            if let (Some(cache), Some(key), JobOutput::Evolution { result, .. }) =
+                (cache, champion_key, &output)
+            {
+                cache.deposit_champion(key, result.best_genotype.encode(), result.best_fitness);
+            }
             JobResult {
                 job_id: 0,
                 seed,
                 evaluations: result.evaluations,
                 stats: evaluator.engine_stats(),
+                warm_started,
+                warm_start_key: champion_key.filter(|_| s.warm_start),
                 output,
             }
         }
@@ -1013,6 +1096,8 @@ pub fn execute_controlled(
                 seed,
                 evaluations,
                 stats,
+                warm_started: false,
+                warm_start_key: None,
                 output,
             }
         }
@@ -1036,6 +1121,8 @@ pub fn execute_controlled(
                 seed,
                 evaluations: report.total_evaluations(),
                 stats: report.total_stats(),
+                warm_started: false,
+                warm_start_key: None,
                 output,
             }
         }

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod acb;
+pub mod cache;
 pub mod evo_modes;
 pub mod fault_campaign;
 pub mod fitness_unit;
@@ -47,6 +48,7 @@ pub mod timing;
 pub mod voter;
 
 pub use acb::ArrayControlBlock;
+pub use cache::{CacheStats, CrossJobCache, CrossJobCacheConfig};
 pub use jobs::{JobOutput, JobResult, JobSpec, SpecError};
 pub use modes::{EvolutionMode, ProcessingMode};
 pub use platform::EhwPlatform;

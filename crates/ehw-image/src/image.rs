@@ -242,6 +242,33 @@ impl GrayImage {
         h
     }
 
+    /// Content hash over dimensions and pixels (64-bit FNV-1a).
+    ///
+    /// Two images hash equal iff they are pixel-for-pixel identical with the
+    /// same shape, so the hash can serve as a content address for cross-job
+    /// caches: jobs carrying the same training image map to the same key no
+    /// matter how the image object was constructed or cloned.  The hash is a
+    /// pure function of the bytes — stable across processes and platforms.
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for b in (self.width as u64).to_le_bytes() {
+            eat(b);
+        }
+        for b in (self.height as u64).to_le_bytes() {
+            eat(b);
+        }
+        for &p in &self.data {
+            eat(p);
+        }
+        h
+    }
+
     /// Number of pixels that differ between `self` and `other`.
     ///
     /// # Panics
@@ -390,5 +417,22 @@ mod tests {
         let b = GrayImage::from_vec(2, 2, vec![1, 0, 3, 0]);
         assert_eq!(a.diff_count(&b), 2);
         assert_eq!(a.diff_count(&a), 0);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_content_addressed() {
+        let a = GrayImage::from_vec(2, 2, vec![1, 2, 3, 4]);
+        let b = GrayImage::from_vec(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a.content_hash(), a.clone().content_hash());
+    }
+
+    #[test]
+    fn content_hash_distinguishes_pixels_and_shape() {
+        let a = GrayImage::from_vec(2, 2, vec![1, 2, 3, 4]);
+        let pixel_flip = GrayImage::from_vec(2, 2, vec![1, 2, 3, 5]);
+        let reshaped = GrayImage::from_vec(4, 1, vec![1, 2, 3, 4]);
+        assert_ne!(a.content_hash(), pixel_flip.content_hash());
+        assert_ne!(a.content_hash(), reshaped.content_hash());
     }
 }

@@ -36,4 +36,5 @@ pub mod window;
 
 pub use image::GrayImage;
 pub use metrics::{mae, mse, psnr};
+pub use noise::NoiseClass;
 pub use window::Window3x3;

@@ -24,6 +24,11 @@ pub struct Request {
     pub method: String,
     /// The request target path, query string stripped.
     pub path: String,
+    /// The raw query string (empty when the target carried none).
+    pub query: String,
+    /// The `Accept` header value (empty when absent) — used for content
+    /// negotiation on `/metrics`.
+    pub accept: String,
     /// The raw body (empty when the request carried none).
     pub body: Vec<u8>,
 }
@@ -70,9 +75,13 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
             "request target '{target}' is not an absolute path"
         )));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), query.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut content_length = 0usize;
+    let mut accept = String::new();
     loop {
         let line = read_line(&mut reader)?;
         if line.is_empty() {
@@ -88,6 +97,8 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
                 .trim()
                 .parse::<usize>()
                 .map_err(|_| RequestError::Malformed("unparsable Content-Length".into()))?;
+        } else if name.trim().eq_ignore_ascii_case("accept") {
+            accept = value.trim().to_string();
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -95,7 +106,13 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        query,
+        accept,
+        body,
+    })
 }
 
 /// Reads one CRLF- (or bare-LF-) terminated line, size-capped.

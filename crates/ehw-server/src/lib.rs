@@ -14,7 +14,17 @@
 //! | `GET /jobs/:id`        | Status (`queued`/`running`/`done`/`failed`/`cancelled`/`lost`) plus the result once settled |
 //! | `DELETE /jobs/:id`     | Request cooperative cancellation                    |
 //! | `GET /jobs/:id/events` | Line-delimited JSON progress events (one per generation), streamed until the job settles |
-//! | `GET /metrics`         | Queue depth, per-state job counts, jobs/sec, per-kind latency histograms, shard liveness |
+//! | `GET /metrics`         | Queue depth, per-state job counts, jobs/sec, per-kind latency histograms, shard liveness, cross-job cache counters |
+//!
+//! `/metrics` speaks JSON by default and the Prometheus text exposition
+//! format when asked — either `GET /metrics?format=prometheus` or an
+//! `Accept: text/plain` header.
+//!
+//! Settled jobs are retained for a TTL ([`DEFAULT_JOB_TTL`], configurable
+//! via [`EhwServer::serve_with_ttl`]) and then evicted by a background
+//! reaper thread so a long-lived server's registry cannot grow without
+//! bound; an evicted job's status reads as 404, and the eviction count is
+//! exported under `/metrics`.
 //!
 //! ## Determinism over the wire
 //!
@@ -30,9 +40,10 @@ pub mod json;
 pub mod wire;
 
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -50,11 +61,22 @@ const LATENCY_BOUNDS_MS: [u64; 12] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 102
 /// How long one `wait_events` poll blocks before re-checking the socket.
 const EVENT_POLL: Duration = Duration::from_millis(100);
 
+/// How often the reaper thread wakes to check the shutdown flag.  Sweeps run
+/// less often (a quarter of the TTL, clamped), but shutdown must not wait a
+/// quarter-TTL for the reaper to notice.
+const REAPER_POLL: Duration = Duration::from_millis(25);
+
+/// How long a settled job's result is retained before the background reaper
+/// evicts it from the registry.
+pub const DEFAULT_JOB_TTL: Duration = Duration::from_secs(15 * 60);
+
 /// One submitted job as the server tracks it.
 struct TrackedJob {
     kind: &'static str,
     seed: u64,
     submitted_at: Instant,
+    /// When the server first observed the job as settled — the TTL clock.
+    settled_at: Option<Instant>,
     monitor: JobMonitor,
     state: JobState,
 }
@@ -78,10 +100,12 @@ impl TrackedJob {
             Ok(Some(result)) => {
                 let latency = self.submitted_at.elapsed();
                 self.state = JobState::Settled(Ok(result));
+                self.settled_at = Some(Instant::now());
                 Some(latency)
             }
             Err(lost) => {
                 self.state = JobState::Settled(Err(lost.to_string()));
+                self.settled_at = Some(Instant::now());
                 Some(self.submitted_at.elapsed())
             }
         }
@@ -144,11 +168,15 @@ struct ServerState {
     latencies: Mutex<HashMap<&'static str, LatencyHistogram>>,
     started_at: Instant,
     shutting_down: AtomicBool,
+    /// Retention window for settled jobs; the reaper evicts older ones.
+    job_ttl: Duration,
+    /// Settled jobs evicted by the reaper since the server started.
+    evicted: AtomicU64,
 }
 
 impl ServerState {
     /// Polls every pending job once, recording settle latencies — keeps the
-    /// registry's view current without a background reaper thread.
+    /// registry's view current between reaper sweeps.
     fn poll_all(&self) {
         let mut jobs = self.jobs.lock().expect("job registry lock");
         let mut settled = Vec::new();
@@ -165,6 +193,24 @@ impl ServerState {
             }
         }
     }
+
+    /// Evicts every settled job whose retention window has lapsed.  Pending
+    /// jobs are never touched, however old: eviction only forgets results
+    /// nobody fetched, it never abandons running work.
+    fn sweep_expired(&self) {
+        self.poll_all();
+        let mut jobs = self.jobs.lock().expect("job registry lock");
+        let before = jobs.len();
+        jobs.retain(|_, job| match job.settled_at {
+            Some(at) => at.elapsed() < self.job_ttl,
+            None => true,
+        });
+        let evicted = (before - jobs.len()) as u64;
+        drop(jobs);
+        if evicted > 0 {
+            self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
 }
 
 /// A running job server: an accept loop plus one handler thread per
@@ -176,12 +222,24 @@ pub struct EhwServer {
     state: Arc<ServerState>,
     local_addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
+    reaper_thread: Option<JoinHandle<()>>,
 }
 
 impl EhwServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `service` on it.
+    /// `service` on it, retaining settled jobs for [`DEFAULT_JOB_TTL`].
     pub fn serve(service: EhwService, addr: &str) -> io::Result<EhwServer> {
+        EhwServer::serve_with_ttl(service, addr, DEFAULT_JOB_TTL)
+    }
+
+    /// [`EhwServer::serve`] with an explicit retention window for settled
+    /// jobs.  Once a job has been settled for `job_ttl`, the background
+    /// reaper drops it from the registry and its status reads as 404.
+    pub fn serve_with_ttl(
+        service: EhwService,
+        addr: &str,
+        job_ttl: Duration,
+    ) -> io::Result<EhwServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
@@ -190,16 +248,24 @@ impl EhwServer {
             latencies: Mutex::new(HashMap::new()),
             started_at: Instant::now(),
             shutting_down: AtomicBool::new(false),
+            job_ttl,
+            evicted: AtomicU64::new(0),
         });
         let accept_state = Arc::clone(&state);
         let accept_thread = thread::Builder::new()
             .name("ehw-server-accept".into())
             .spawn(move || accept_loop(listener, accept_state))
             .expect("spawn accept thread");
+        let reaper_state = Arc::clone(&state);
+        let reaper_thread = thread::Builder::new()
+            .name("ehw-server-reaper".into())
+            .spawn(move || reaper_loop(reaper_state))
+            .expect("spawn reaper thread");
         Ok(EhwServer {
             state,
             local_addr,
             accept_thread: Some(accept_thread),
+            reaper_thread: Some(reaper_thread),
         })
     }
 
@@ -218,12 +284,32 @@ impl EhwServer {
         if let Some(thread) = self.accept_thread.take() {
             let _ = thread.join();
         }
+        if let Some(thread) = self.reaper_thread.take() {
+            let _ = thread.join();
+        }
     }
 }
 
 impl Drop for EhwServer {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// The background reaper: sweeps expired settled jobs out of the registry at
+/// a cadence derived from the TTL, while staying responsive to shutdown.
+fn reaper_loop(state: Arc<ServerState>) {
+    let sweep_every = (state.job_ttl / 4).clamp(REAPER_POLL, Duration::from_secs(5));
+    let mut last_sweep = Instant::now();
+    loop {
+        thread::sleep(REAPER_POLL);
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        if last_sweep.elapsed() >= sweep_every {
+            state.sweep_expired();
+            last_sweep = Instant::now();
+        }
     }
 }
 
@@ -290,7 +376,7 @@ fn route(stream: &mut TcpStream, state: &ServerState, request: &Request) {
             Ok(id) => handle_events(stream, state, id),
             Err(_) => respond_json(stream, 400, &encode_error("job id must be an integer")),
         },
-        ("GET", ["metrics"]) => handle_metrics(stream, state),
+        ("GET", ["metrics"]) => handle_metrics(stream, state, request),
         (_, ["jobs"]) | (_, ["jobs", ..]) | (_, ["metrics"]) => respond_json(
             stream,
             405,
@@ -333,6 +419,7 @@ fn handle_submit(stream: &mut TcpStream, state: &ServerState, body: &[u8]) {
         kind,
         seed,
         submitted_at: Instant::now(),
+        settled_at: None,
         monitor: handle.monitor(),
         state: JobState::Pending(handle),
     };
@@ -434,8 +521,26 @@ fn handle_events(stream: &mut TcpStream, state: &ServerState, job_id: u64) {
     }
 }
 
-fn handle_metrics(stream: &mut TcpStream, state: &ServerState) {
+fn handle_metrics(stream: &mut TcpStream, state: &ServerState, request: &Request) {
     state.poll_all();
+
+    // Content negotiation: Prometheus text exposition when the query string
+    // or the Accept header asks for plain text, JSON otherwise.
+    let wants_prometheus = request
+        .query
+        .split('&')
+        .any(|pair| pair == "format=prometheus")
+        || request.accept.contains("text/plain");
+    if wants_prometheus {
+        let body = prometheus_metrics(state);
+        let _ = write_response(
+            stream,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            body.as_bytes(),
+        );
+        return;
+    }
 
     let mut by_state: Vec<(&'static str, u64)> = vec![
         ("queued", 0),
@@ -513,8 +618,191 @@ fn handle_metrics(stream: &mut TcpStream, state: &ServerState) {
                 ("alive_count", usizev(state.service.alive_shards())),
             ]),
         ),
+        (
+            "cache",
+            Value::object(vec![
+                ("windows_hits", u64v(stats.cache.windows_hits)),
+                ("windows_misses", u64v(stats.cache.windows_misses)),
+                ("fitness_hits", u64v(stats.cache.fitness_hits)),
+                ("fitness_misses", u64v(stats.cache.fitness_misses)),
+                ("fitness_insertions", u64v(stats.cache.fitness_insertions)),
+                ("fitness_evictions", u64v(stats.cache.fitness_evictions)),
+                ("fitness_hit_rate", f64v(stats.cache.fitness_hit_rate())),
+                ("warm_starts", u64v(stats.cache.warm_starts)),
+                ("champions_deposited", u64v(stats.cache.champions_deposited)),
+            ]),
+        ),
+        (
+            "retention",
+            Value::object(vec![
+                ("job_ttl_s", f64v(state.job_ttl.as_secs_f64())),
+                ("jobs_evicted", u64v(state.evicted.load(Ordering::Relaxed))),
+            ]),
+        ),
     ]);
     respond_json(stream, 200, &doc);
+}
+
+/// Renders the counters `/metrics` exports in the Prometheus text exposition
+/// format (version 0.0.4): `# HELP` / `# TYPE` preamble, one sample per
+/// line, labels only on the per-state job gauge.
+fn prometheus_metrics(state: &ServerState) -> String {
+    fn metric(out: &mut String, name: &str, kind: &str, help: &str, value: impl std::fmt::Display) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {value}");
+    }
+
+    let stats = state.service.stats();
+    let mut out = String::new();
+
+    metric(
+        &mut out,
+        "ehw_queue_depth",
+        "gauge",
+        "Jobs waiting in the service queue.",
+        state.service.queue_depth(),
+    );
+    let mut by_state: Vec<(&'static str, u64)> = vec![
+        ("queued", 0),
+        ("running", 0),
+        ("done", 0),
+        ("failed", 0),
+        ("cancelled", 0),
+        ("lost", 0),
+    ];
+    {
+        let jobs = state.jobs.lock().expect("job registry lock");
+        for job in jobs.values() {
+            let status = job.status();
+            if let Some(slot) = by_state.iter_mut().find(|(name, _)| *name == status) {
+                slot.1 += 1;
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "# HELP ehw_jobs Tracked jobs in the registry by lifecycle state."
+    );
+    let _ = writeln!(out, "# TYPE ehw_jobs gauge");
+    for (name, count) in by_state {
+        let _ = writeln!(out, "ehw_jobs{{state=\"{name}\"}} {count}");
+    }
+
+    metric(
+        &mut out,
+        "ehw_jobs_submitted_total",
+        "counter",
+        "Jobs accepted by the service.",
+        stats.submitted,
+    );
+    metric(
+        &mut out,
+        "ehw_jobs_completed_total",
+        "counter",
+        "Jobs that settled successfully.",
+        stats.completed,
+    );
+    metric(
+        &mut out,
+        "ehw_jobs_failed_total",
+        "counter",
+        "Jobs that settled with a failure.",
+        stats.failed,
+    );
+    metric(
+        &mut out,
+        "ehw_jobs_cancelled_total",
+        "counter",
+        "Jobs cancelled before completion.",
+        stats.cancelled,
+    );
+    metric(
+        &mut out,
+        "ehw_jobs_lost_total",
+        "counter",
+        "Jobs lost to shard death.",
+        stats.lost,
+    );
+    metric(
+        &mut out,
+        "ehw_jobs_evicted_total",
+        "counter",
+        "Settled jobs evicted from the registry by the TTL reaper.",
+        state.evicted.load(Ordering::Relaxed),
+    );
+    metric(
+        &mut out,
+        "ehw_shards_alive",
+        "gauge",
+        "Shard threads currently alive.",
+        state.service.alive_shards(),
+    );
+    metric(
+        &mut out,
+        "ehw_uptime_seconds",
+        "gauge",
+        "Seconds since the server started.",
+        state.started_at.elapsed().as_secs_f64(),
+    );
+
+    metric(
+        &mut out,
+        "ehw_cache_windows_hits_total",
+        "counter",
+        "Shared-window extractions served from the cross-job cache.",
+        stats.cache.windows_hits,
+    );
+    metric(
+        &mut out,
+        "ehw_cache_windows_misses_total",
+        "counter",
+        "Shared-window extractions computed fresh.",
+        stats.cache.windows_misses,
+    );
+    metric(
+        &mut out,
+        "ehw_cache_fitness_hits_total",
+        "counter",
+        "Fitness evaluations served from the cross-job cache.",
+        stats.cache.fitness_hits,
+    );
+    metric(
+        &mut out,
+        "ehw_cache_fitness_misses_total",
+        "counter",
+        "Fitness evaluations the cache could not answer.",
+        stats.cache.fitness_misses,
+    );
+    metric(
+        &mut out,
+        "ehw_cache_fitness_insertions_total",
+        "counter",
+        "Exact fitness values inserted into the cross-job cache.",
+        stats.cache.fitness_insertions,
+    );
+    metric(
+        &mut out,
+        "ehw_cache_fitness_evictions_total",
+        "counter",
+        "Fitness entries evicted under capacity pressure.",
+        stats.cache.fitness_evictions,
+    );
+    metric(
+        &mut out,
+        "ehw_cache_warm_starts_total",
+        "counter",
+        "Evolution jobs seeded from the champion library.",
+        stats.cache.warm_starts,
+    );
+    metric(
+        &mut out,
+        "ehw_cache_champions_deposited_total",
+        "counter",
+        "Champion genotypes deposited into the library.",
+        stats.cache.champions_deposited,
+    );
+    out
 }
 
 fn respond_json(stream: &mut TcpStream, status: u16, doc: &Value) {

@@ -47,6 +47,7 @@ fn err(message: impl Into<String>) -> WireError {
 ///   "baseline": [..13 bytes..]?, "arrays": [N..]?,
 ///   "recovery_generations": N?, "recovery_mutation_rate": N?,
 ///   "recovery_offspring": N?, "recovery_target": N?,
+///   "warm_start": bool?,
 ///   "priority": "high" | "normal" | "low"?, "deadline_ms": N?
 /// }
 /// ```
@@ -102,6 +103,12 @@ pub fn decode_spec(doc: &Value) -> Result<(JobSpec, JobOptions), WireError> {
             }
             if let Some(n) = field("target_fitness")? {
                 builder = builder.target_fitness(n as u64);
+            }
+            if let Some(warm) = doc.get("warm_start") {
+                let warm = warm
+                    .as_bool()
+                    .ok_or_else(|| err("'warm_start' must be a boolean"))?;
+                builder = builder.warm_start(warm);
             }
             if let Some(s) = seed {
                 builder = builder.seed(s);
@@ -251,6 +258,18 @@ pub fn encode_result(result: &JobResult) -> Value {
                 ("memo_hits", u64v(result.stats.memo_hits)),
                 ("early_exits", u64v(result.stats.early_exits)),
             ]),
+        ),
+        ("warm_started", Value::Bool(result.warm_started)),
+        (
+            "warm_start_key",
+            match &result.warm_start_key {
+                Some(key) => Value::object(vec![
+                    ("image_hash", u64v(key.image_hash)),
+                    ("noise_class", u64v(u64::from(key.noise_class))),
+                    ("arrays", usizev(key.arrays)),
+                ]),
+                None => Value::Null,
+            },
         ),
     ];
     let output = match &result.output {

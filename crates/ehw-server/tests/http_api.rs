@@ -463,3 +463,116 @@ fn events_for_unknown_jobs_are_404() {
     let addr = server.local_addr();
     assert_eq!(get(addr, "/jobs/424242/events").status, 404);
 }
+
+// ---------------------------------------------------------------------------
+// TTL eviction, Prometheus exposition and warm start over the wire
+// ---------------------------------------------------------------------------
+
+#[test]
+fn settled_jobs_are_evicted_after_the_ttl() {
+    let service = EhwService::new(ServiceConfig::new(1).seed(11)).expect("service starts");
+    let server = EhwServer::serve_with_ttl(service, "127.0.0.1:0", Duration::from_millis(50))
+        .expect("server binds");
+    let addr = server.local_addr();
+
+    let job_id = submit(addr, &evolution_body(8, 3, 21, ""));
+    let settled = wait_settled(addr, job_id);
+    assert_eq!(settled.get("status").unwrap().as_str(), Some("done"));
+
+    // The reaper sweeps at TTL/4 cadence; well within a couple of seconds
+    // the settled job must read as 404 and the eviction must be counted.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if get(addr, &format!("/jobs/{job_id}")).status == 404 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "settled job never evicted");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let retention = get(addr, "/metrics").json();
+    let retention = retention.get("retention").unwrap();
+    assert!(retention.get("jobs_evicted").unwrap().as_u64().unwrap() >= 1);
+    // Eviction forgets the result; the service-level completion counter is
+    // untouched.
+    let metrics = get(addr, "/metrics").json();
+    assert_eq!(
+        metrics
+            .get("service")
+            .unwrap()
+            .get("completed")
+            .unwrap()
+            .as_u64(),
+        Some(1)
+    );
+}
+
+#[test]
+fn metrics_speak_prometheus_when_asked() {
+    let server = start_server(1);
+    let addr = server.local_addr();
+    let job_id = submit(addr, &evolution_body(8, 3, 31, ""));
+    wait_settled(addr, job_id);
+
+    // Via the query string.
+    let response = get(addr, "/metrics?format=prometheus");
+    assert_eq!(response.status, 200);
+    for needle in [
+        "# TYPE ehw_jobs_submitted_total counter",
+        "ehw_jobs_submitted_total 1",
+        "ehw_jobs_completed_total 1",
+        "ehw_jobs{state=\"done\"} 1",
+        "# TYPE ehw_cache_fitness_hits_total counter",
+        "ehw_jobs_evicted_total 0",
+        "ehw_shards_alive 1",
+    ] {
+        assert!(
+            response.body.contains(needle),
+            "missing {needle:?} in:\n{}",
+            response.body
+        );
+    }
+
+    // Via the Accept header.
+    let raw = "GET /metrics HTTP/1.1\r\nHost: t\r\nAccept: text/plain\r\n\r\n";
+    let response = raw_request(addr, raw.as_bytes());
+    assert_eq!(response.status, 200);
+    assert!(response.body.contains("ehw_uptime_seconds"));
+
+    // Plain GET still speaks JSON, including the cache section.
+    let metrics = get(addr, "/metrics").json();
+    let cache = metrics.get("cache").unwrap();
+    assert!(cache.get("fitness_hits").unwrap().as_u64().is_some());
+    assert!(cache.get("fitness_hit_rate").unwrap().as_f64().is_some());
+}
+
+#[test]
+fn warm_start_provenance_travels_the_wire() {
+    let server = start_server(1);
+    let addr = server.local_addr();
+
+    // First warm-start job: the library is empty, so it runs cold — but it
+    // reports the key it looked under and deposits its champion.
+    let first = submit(addr, &evolution_body(16, 6, 41, ",\"warm_start\":true"));
+    let settled = wait_settled(addr, first);
+    let result = settled.get("result").unwrap();
+    assert_eq!(result.get("warm_started").unwrap().as_bool(), Some(false));
+    let key = result.get("warm_start_key").unwrap();
+    assert!(key.get("image_hash").unwrap().as_u64().is_some());
+
+    // Second job on the same image: seeded from the first job's champion.
+    let second = submit(addr, &evolution_body(16, 6, 42, ",\"warm_start\":true"));
+    let settled = wait_settled(addr, second);
+    let result = settled.get("result").unwrap();
+    assert_eq!(result.get("warm_started").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        result.get("warm_start_key").unwrap().get("image_hash"),
+        key.get("image_hash")
+    );
+
+    // A job that does not opt in reports no key at all.
+    let third = submit(addr, &evolution_body(16, 6, 43, ""));
+    let settled = wait_settled(addr, third);
+    let result = settled.get("result").unwrap();
+    assert_eq!(result.get("warm_started").unwrap().as_bool(), Some(false));
+    assert!(result.get("warm_start_key").unwrap().is_null());
+}

@@ -67,6 +67,7 @@ use ehw_platform::jobs;
 use ehw_platform::platform::EhwPlatform;
 use rand::SeedSequence;
 
+pub use ehw_platform::cache::{CacheStats, CrossJobCache, CrossJobCacheConfig};
 pub use ehw_platform::jobs::{
     CancelKind, CascadeBuilder, CascadeSpec, EvolutionBuilder, EvolutionSpec, FaultCampaignBuilder,
     FaultCampaignSpec, JobOutput, JobProgress, JobResult, JobSpec, SpecError,
@@ -129,6 +130,16 @@ pub struct ServiceConfig {
     /// Root seed jobs without a pinned seed derive theirs from (job `n` runs
     /// with `SeedSequence::new(seed).fork(n)`).
     pub seed: u64,
+    /// Whether the shards share a service-scope [`CrossJobCache`] (shared
+    /// window extractions, content-addressed exact-fitness cache, champion
+    /// library, image-affinity queue pickup).  Caching never changes a result
+    /// byte — `tests/property_cache_determinism.rs` pins byte-identity with
+    /// this flag on vs off — it only changes how much work is recomputed.
+    /// Warm starting additionally requires the per-spec
+    /// [`EvolutionBuilder::warm_start`] opt-in.
+    pub cache: bool,
+    /// Sizing of the cross-job cache tiers; ignored when `cache` is off.
+    pub cache_sizes: CrossJobCacheConfig,
 }
 
 impl ServiceConfig {
@@ -142,6 +153,8 @@ impl ServiceConfig {
             chunk: 0,
             queue_depth: platforms.saturating_mul(2).max(1),
             seed: 0,
+            cache: true,
+            cache_sizes: CrossJobCacheConfig::default(),
         }
     }
 
@@ -179,6 +192,18 @@ impl ServiceConfig {
         self
     }
 
+    /// Enables or disables the service-scope cross-job cache.
+    pub fn cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the cross-job cache tier capacities.
+    pub fn cache_sizes(mut self, sizes: CrossJobCacheConfig) -> Self {
+        self.cache_sizes = sizes;
+        self
+    }
+
     /// Validates the sizing of the configuration.  The environment is only
     /// consulted — and validated, surfacing malformed `EHW_WORKERS` /
     /// `EHW_CHUNK` as [`ServiceError::Environment`] — by
@@ -199,6 +224,15 @@ impl ServiceConfig {
         if self.queue_depth == 0 {
             return Err(ServiceError::InvalidConfig(
                 "queue_depth must be at least 1".into(),
+            ));
+        }
+        if self.cache
+            && (self.cache_sizes.windows_capacity == 0
+                || self.cache_sizes.fitness_capacity == 0
+                || self.cache_sizes.champion_capacity == 0)
+        {
+            return Err(ServiceError::InvalidConfig(
+                "cache tier capacities must be at least 1 (or disable the cache)".into(),
             ));
         }
         Ok(())
@@ -348,6 +382,9 @@ pub struct ServiceStats {
     pub cancelled: u64,
     /// Jobs dropped because the whole shard pool died ([`JobLost`]).
     pub lost: u64,
+    /// Cross-job cache counters (all zero when [`ServiceConfig::cache`] is
+    /// off).
+    pub cache: CacheStats,
 }
 
 #[derive(Default)]
@@ -405,6 +442,12 @@ struct QueuedJob {
     job_id: u64,
     seed: u64,
     spec: JobSpec,
+    /// Scheduling affinity: the training-image content hash of an evolution
+    /// job (when the cache is on).  A shard prefers jobs whose affinity
+    /// matches its previous job, so same-image batches stay on one shard and
+    /// keep its compiled state warm.  Scheduling only — the seed is already
+    /// assigned, so results are byte-identical with or without the routing.
+    affinity: Option<u64>,
     reply: mpsc::Sender<JobResult>,
     shared: Arc<JobShared>,
 }
@@ -431,10 +474,6 @@ impl QueueState {
             .flatten()
             .filter(|item| matches!(item, QueueItem::Job(_)))
             .count()
-    }
-
-    fn pop_item(&mut self) -> Option<QueueItem> {
-        self.lanes.iter_mut().find_map(VecDeque::pop_front)
     }
 }
 
@@ -481,14 +520,37 @@ impl JobQueue {
         self.not_empty.notify_one();
     }
 
+    /// Test shorthand for [`pop_preferring`](Self::pop_preferring) with no
+    /// affinity hint — exact lane-priority FIFO.
+    #[cfg(test)]
+    fn pop(&self) -> Option<QueuedJob> {
+        self.pop_preferring(None)
+    }
+
     /// Blocks for the next job; `None` means the queue closed and drained.
     /// Lanes drain even after close (graceful shutdown executes everything
     /// already accepted).  Panics — deliberately, while holding the pickup
     /// lock — on a [`QueueItem::ShardPanic`] pill.
-    fn pop(&self) -> Option<QueuedJob> {
+    ///
+    /// With an affinity hint: within the highest non-empty lane, the first
+    /// job whose [`QueuedJob::affinity`] matches the hint is picked ahead of
+    /// the lane's front (plain FIFO when nothing matches or no hint is
+    /// given).  Lane priority is never crossed, and a poison pill still
+    /// fires before any job it precedes.
+    fn pop_preferring(&self, affinity: Option<u64>) -> Option<QueuedJob> {
         let mut state = lock_recover(&self.state);
         loop {
-            if let Some(item) = state.pop_item() {
+            let lane = state.lanes.iter_mut().find(|lane| !lane.is_empty());
+            if let Some(lane) = lane {
+                let pick = affinity
+                    .and_then(|hint| {
+                        lane.iter().position(|item| match item {
+                            QueueItem::Job(job) => job.affinity == Some(hint),
+                            QueueItem::ShardPanic => true,
+                        })
+                    })
+                    .unwrap_or(0);
+                let item = lane.remove(pick).expect("picked index is in the lane");
                 self.not_full.notify_one();
                 match item {
                     QueueItem::Job(job) => return Some(*job),
@@ -559,6 +621,7 @@ pub struct EhwService {
     root: SeedSequence,
     next_job_id: AtomicU64,
     counters: Arc<Counters>,
+    cache: Option<Arc<CrossJobCache>>,
     config: ServiceConfig,
 }
 
@@ -572,6 +635,9 @@ impl EhwService {
         };
         let queue = Arc::new(JobQueue::new(config.queue_depth));
         let counters = Arc::new(Counters::default());
+        let cache = config
+            .cache
+            .then(|| Arc::new(CrossJobCache::new(config.cache_sizes)));
         let liveness: Arc<Vec<AtomicBool>> = Arc::new(
             (0..config.platforms)
                 .map(|_| AtomicBool::new(true))
@@ -582,9 +648,10 @@ impl EhwService {
                 let queue = Arc::clone(&queue);
                 let counters = Arc::clone(&counters);
                 let liveness = Arc::clone(&liveness);
+                let cache = cache.clone();
                 std::thread::Builder::new()
                     .name(format!("ehw-shard-{shard}"))
-                    .spawn(move || shard_loop(shard, &queue, parallel, &counters, &liveness))
+                    .spawn(move || shard_loop(shard, &queue, parallel, &counters, &liveness, cache))
                     .expect("spawn shard thread")
             })
             .collect();
@@ -595,6 +662,7 @@ impl EhwService {
             root: SeedSequence::new(config.seed),
             next_job_id: AtomicU64::new(0),
             counters,
+            cache,
             config,
         })
     }
@@ -612,7 +680,19 @@ impl EhwService {
             failed: self.counters.failed.load(Ordering::SeqCst),
             cancelled: self.counters.cancelled.load(Ordering::SeqCst),
             lost: self.counters.lost.load(Ordering::SeqCst),
+            cache: self
+                .cache
+                .as_deref()
+                .map(CrossJobCache::stats)
+                .unwrap_or_default(),
         }
+    }
+
+    /// The shared cross-job cache, when [`ServiceConfig::cache`] is on —
+    /// e.g. to pre-seed the champion library before submitting warm-started
+    /// jobs.
+    pub fn cache(&self) -> Option<&Arc<CrossJobCache>> {
+        self.cache.as_ref()
     }
 
     /// Jobs submitted but not yet picked up by a shard.
@@ -668,10 +748,15 @@ impl EhwService {
         // and settle it the instant `push` returns, and the settled counters
         // must never be observable above `submitted`.
         self.counters.submitted.fetch_add(1, Ordering::SeqCst);
+        let affinity = match (&self.cache, &spec) {
+            (Some(_), JobSpec::Evolution(s)) => Some(s.task().input.content_hash()),
+            _ => None,
+        };
         let queued = QueuedJob {
             job_id,
             seed,
             spec,
+            affinity,
             reply,
             shared: Arc::clone(&shared),
         };
@@ -948,6 +1033,7 @@ fn shard_loop(
     parallel: ParallelConfig,
     counters: &Arc<Counters>,
     liveness: &Arc<Vec<AtomicBool>>,
+    cache: Option<Arc<CrossJobCache>>,
 ) {
     let _guard = ShardGuard {
         index,
@@ -960,14 +1046,19 @@ fn shard_loop(
     // and a sibling dying while holding the pickup lock poisons it, which
     // `pop` recovers from instead of abandoning the queue.
     let mut pool: HashMap<usize, EhwPlatform> = HashMap::new();
+    // The affinity of the previous job: with the cache on, the shard prefers
+    // queued jobs training on the same image (batch-aware routing).
+    let mut last_affinity: Option<u64> = None;
     while let Some(QueuedJob {
         job_id,
         seed,
         spec,
+        affinity,
         reply,
         shared,
-    }) = queue.pop()
+    }) = queue.pop_preferring(last_affinity)
     {
+        last_affinity = affinity;
         // A job cancelled (or deadline-expired) while still queued settles
         // without touching a platform: zero evaluations, cancelled output.
         if let Some(kind) = shared.control.stop_reason() {
@@ -978,6 +1069,8 @@ fn shard_loop(
                 seed,
                 evaluations: 0,
                 stats: Default::default(),
+                warm_started: false,
+                warm_start_key: None,
                 output: JobOutput::Cancelled(kind),
             });
             continue;
@@ -997,9 +1090,14 @@ fn shard_loop(
         // the possibly half-mutated platform instead of pooling it.
         shared.running.store(true, Ordering::SeqCst);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            jobs::execute_controlled(&mut platform, &spec, seed, &shared.control, &mut |event| {
-                shared.push_event(event)
-            })
+            jobs::execute_controlled_cached(
+                &mut platform,
+                &spec,
+                seed,
+                &shared.control,
+                &mut |event| shared.push_event(event),
+                cache.as_ref(),
+            )
         }));
         shared.running.store(false, Ordering::SeqCst);
         let result = match outcome {
@@ -1013,6 +1111,8 @@ fn shard_loop(
                 seed,
                 evaluations: 0,
                 stats: Default::default(),
+                warm_started: false,
+                warm_start_key: None,
                 // `&*panic`, not `&panic`: the latter unsize-coerces the Box
                 // itself into `dyn Any`, making every payload downcast miss.
                 output: JobOutput::Failed(panic_message(&*panic)),
@@ -1287,6 +1387,7 @@ mod tests {
                 job_id,
                 seed: job_id,
                 spec: evolution_spec(8, 1),
+                affinity: None,
                 reply,
                 shared: Arc::new(JobShared::new(None)),
             },
@@ -1317,6 +1418,28 @@ mod tests {
         assert_eq!(picked, vec![2, 4, 1, 0, 3]);
         queue.close();
         assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn affinity_pickup_prefers_matching_jobs_but_never_crosses_lanes() {
+        let queue = JobQueue::new(8);
+        let mut receivers = Vec::new();
+        for (id, affinity) in [(0, Some(7)), (1, Some(9)), (2, Some(7))] {
+            let (mut job, receiver) = dummy_queued_job(id);
+            job.affinity = affinity;
+            queue.push(job, Priority::Normal).unwrap();
+            receivers.push(receiver);
+        }
+        // A high-lane job outranks any affinity match in a lower lane.
+        let (high, receiver) = dummy_queued_job(3);
+        queue.push(high, Priority::High).unwrap();
+        receivers.push(receiver);
+        assert_eq!(queue.pop_preferring(Some(9)).unwrap().job_id, 3);
+        // Within the lane, the hint pulls the matching job ahead of the
+        // front; with no match left for the hint, pickup falls back to FIFO.
+        assert_eq!(queue.pop_preferring(Some(9)).unwrap().job_id, 1);
+        assert_eq!(queue.pop_preferring(Some(9)).unwrap().job_id, 0);
+        assert_eq!(queue.pop().unwrap().job_id, 2);
     }
 
     #[test]

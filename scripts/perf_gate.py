@@ -31,6 +31,12 @@ TRACKED = [
     # Reference filters routed through WindowPlanes over the legacy
     # per-window kernel stream (byte-identity gated in the bench itself).
     ("reference_filters", "plane_speedup"),
+    # Cross-job cache: warm-start evaluations-to-target over a cold start
+    # (champion-library seeding) and the fitness-cache hit rate of a
+    # replayed same-image batch.  Recorded, not yet gated — no committed
+    # baseline exists until this summary lands.
+    ("cross_job_cache", "warm_speedup"),
+    ("cross_job_cache", "hit_rate"),
 ]
 
 # Gated even when the committed baseline lacks them: these ratios have

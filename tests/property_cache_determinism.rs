@@ -1,0 +1,277 @@
+//! Cross-job cache determinism suite.
+//!
+//! The cross-job cache (shared windows, fitness memo, champion library) is
+//! an *accelerator*, never an oracle: every hit returns exactly the bytes
+//! the miss path would have computed.  These properties pin that contract:
+//!
+//! 1. **Cache transparency** — mixed batches (same-image and distinct-image
+//!    jobs, including an identical-spec replay) produce byte-identical
+//!    [`JobResult`]s with the cache on and off, across 1/2 platforms ×
+//!    1/2/8 workers, while the cache-on run observably hits.
+//! 2. **Eviction under pressure** — a cache squeezed to toy capacities
+//!    evicts (observably) and still changes nothing about the results.
+//! 3. **Warm-start provenance** — opting in is recorded honestly: the first
+//!    job under a key runs cold but deposits its champion; the next one is
+//!    seeded from it (its initial fitness *is* the champion's fitness); jobs
+//!    that never opted in carry no key.
+
+use ehw_image::noise::salt_pepper;
+use ehw_image::synth;
+use ehw_platform::evo_modes::EvolutionTask;
+use ehw_service::{CrossJobCacheConfig, EhwService, JobResult, JobSpec, ServiceConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn denoise_task(size: usize, seed: u64) -> EvolutionTask {
+    let clean = synth::shapes(size, size, 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noisy = salt_pepper(&clean, 0.3, &mut rng);
+    EvolutionTask::new(noisy, clean)
+}
+
+/// Everything observable about a job result, in comparable form — including
+/// the engine stats, which the cache must also leave untouched.
+#[allow(clippy::type_complexity)]
+fn fingerprint(result: &JobResult) -> (u64, u64, Vec<Vec<u8>>, Vec<u64>, (u64, u64, u64), bool) {
+    (
+        result.seed,
+        result.evaluations,
+        result.genotypes().iter().map(|g| g.encode()).collect(),
+        result.history().to_vec(),
+        (
+            result.stats.plans_evaluated,
+            result.stats.memo_hits,
+            result.stats.early_exits,
+        ),
+        result.warm_started,
+    )
+}
+
+/// A batch that exercises every sharing pattern: two identical specs (a
+/// replay the fitness cache can answer), a same-image sibling with a
+/// different seed, a distinct-image job, a wider platform shape on the
+/// shared image, and a cascade job (which bypasses the cache entirely).
+fn mixed_specs(shared: &EvolutionTask, distinct: &EvolutionTask) -> Vec<JobSpec> {
+    vec![
+        JobSpec::evolution(shared.input.clone(), shared.reference.clone())
+            .generations(4)
+            .seed(11)
+            .build()
+            .unwrap(),
+        JobSpec::evolution(shared.input.clone(), shared.reference.clone())
+            .generations(4)
+            .seed(11)
+            .build()
+            .unwrap(),
+        JobSpec::evolution(shared.input.clone(), shared.reference.clone())
+            .generations(4)
+            .seed(12)
+            .build()
+            .unwrap(),
+        JobSpec::evolution(distinct.input.clone(), distinct.reference.clone())
+            .generations(4)
+            .seed(13)
+            .build()
+            .unwrap(),
+        JobSpec::evolution(shared.input.clone(), shared.reference.clone())
+            .num_arrays(2)
+            .generations(4)
+            .seed(14)
+            .build()
+            .unwrap(),
+        JobSpec::cascade(shared.input.clone(), shared.reference.clone())
+            .stages(2)
+            .generations(3)
+            .seed(15)
+            .build()
+            .unwrap(),
+    ]
+}
+
+// ----------------------------------------------------------------------
+// 1. Cache transparency across pool shapes
+// ----------------------------------------------------------------------
+
+#[test]
+fn mixed_batches_are_byte_identical_with_the_cache_on_and_off() {
+    let shared = denoise_task(12, 0xA11CE);
+    let distinct = denoise_task(12, 0xB0B);
+    let run = |cache: bool, platforms: usize, workers: usize| {
+        let service = EhwService::new(
+            ServiceConfig::new(platforms)
+                .workers_per_platform(workers)
+                .seed(99)
+                .cache(cache),
+        )
+        .expect("valid config");
+        let results = service
+            .run_batch(mixed_specs(&shared, &distinct))
+            .expect("batch accepted");
+        let stats = service.stats();
+        (results.iter().map(fingerprint).collect::<Vec<_>>(), stats)
+    };
+
+    let (reference, off_stats) = run(false, 1, 1);
+    assert_eq!(off_stats.cache.fitness_hits, 0, "cache off must not count");
+    for cache in [false, true] {
+        for &(platforms, workers) in &[(1usize, 2usize), (1, 8), (2, 1), (2, 8)] {
+            let (got, _) = run(cache, platforms, workers);
+            assert_eq!(
+                got, reference,
+                "diverged at cache={cache}, {platforms} platforms x {workers} workers"
+            );
+        }
+    }
+
+    // The transparency above is not vacuous: a sequential cache-on run
+    // actually hits — the identical-spec replay answers from the fitness
+    // cache and every same-image sibling shares one window extraction.
+    let (got, on_stats) = run(true, 1, 1);
+    assert_eq!(got, reference);
+    assert!(on_stats.cache.fitness_hits > 0, "{:?}", on_stats.cache);
+    assert!(on_stats.cache.windows_hits > 0, "{:?}", on_stats.cache);
+    assert!(
+        on_stats.cache.champions_deposited > 0,
+        "{:?}",
+        on_stats.cache
+    );
+}
+
+// ----------------------------------------------------------------------
+// 2. Eviction under pressure changes nothing
+// ----------------------------------------------------------------------
+
+#[test]
+fn a_cache_squeezed_to_toy_capacities_evicts_but_stays_transparent() {
+    let shared = denoise_task(12, 0xD1CE);
+    let distinct = denoise_task(12, 0xFEED);
+
+    let uncached = EhwService::new(ServiceConfig::new(1).seed(7).cache(false)).unwrap();
+    assert!(uncached.cache().is_none());
+    let reference: Vec<_> = uncached
+        .run_batch(mixed_specs(&shared, &distinct))
+        .expect("batch accepted")
+        .iter()
+        .map(fingerprint)
+        .collect();
+
+    let squeezed = EhwService::new(ServiceConfig::new(1).seed(7).cache_sizes(
+        CrossJobCacheConfig {
+            windows_capacity: 1,
+            fitness_capacity: 4,
+            champion_capacity: 1,
+        },
+    ))
+    .unwrap();
+    let got: Vec<_> = squeezed
+        .run_batch(mixed_specs(&shared, &distinct))
+        .expect("batch accepted")
+        .iter()
+        .map(fingerprint)
+        .collect();
+    assert_eq!(got, reference, "eviction pressure changed results");
+    let stats = squeezed.stats();
+    assert!(stats.cache.fitness_evictions > 0, "{:?}", stats.cache);
+    assert!(
+        squeezed.cache().expect("cache on").fitness_len() <= 4,
+        "capacity bound violated"
+    );
+}
+
+// ----------------------------------------------------------------------
+// 3. Warm-start provenance
+// ----------------------------------------------------------------------
+
+#[test]
+fn warm_start_seeds_from_the_champion_library_and_records_provenance() {
+    let task = denoise_task(14, 0x5EED);
+    let service = EhwService::new(ServiceConfig::new(1).seed(5)).unwrap();
+    let warm_spec = |seed: u64| {
+        JobSpec::evolution(task.input.clone(), task.reference.clone())
+            .generations(5)
+            .warm_start(true)
+            .seed(seed)
+            .build()
+            .unwrap()
+    };
+
+    // First job under the key: the library is empty, so it runs cold — but
+    // it records the key it looked under and deposits its champion.
+    let first = service
+        .submit(warm_spec(21))
+        .unwrap()
+        .wait()
+        .expect("shard pool is alive");
+    assert!(!first.warm_started);
+    let key = first.warm_start_key.expect("opt-in records the key");
+    let cache = service.cache().expect("cache on by default");
+    assert!(cache.champion_len() >= 1);
+
+    // Second job, same workload fingerprint: its starting parent *is* the
+    // deposited champion, so its initial fitness equals the first job's
+    // best fitness.
+    let second = service
+        .submit(warm_spec(22))
+        .unwrap()
+        .wait()
+        .expect("shard pool is alive");
+    assert!(second.warm_started);
+    assert_eq!(second.warm_start_key, Some(key));
+    let (first_evo, _) = first.as_evolution().expect("evolution job");
+    let (second_evo, _) = second.as_evolution().expect("evolution job");
+    assert_eq!(second_evo.initial_fitness, first_evo.best_fitness);
+    // Elitist selection from a champion start can never end up worse.
+    assert!(second_evo.best_fitness <= first_evo.best_fitness);
+
+    // A job that never opted in carries no provenance.
+    let cold = service
+        .submit(
+            JobSpec::evolution(task.input.clone(), task.reference.clone())
+                .generations(5)
+                .seed(23)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+        .wait()
+        .expect("shard pool is alive");
+    assert!(!cold.warm_started);
+    assert!(cold.warm_start_key.is_none());
+}
+
+// ----------------------------------------------------------------------
+// 4. Randomised transparency (proptest)
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn any_evolution_job_is_unchanged_by_the_cache(
+        seed in any::<u64>(),
+        arrays in 1usize..3,
+        workers in prop_oneof![Just(1usize), Just(2), Just(8)],
+    ) {
+        let task = denoise_task(12, seed ^ 0xC0FFEE);
+        let spec = || JobSpec::evolution(task.input.clone(), task.reference.clone())
+            .num_arrays(arrays)
+            .generations(4)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let run = |cache: bool| {
+            let service = EhwService::new(
+                ServiceConfig::new(1)
+                    .workers_per_platform(workers)
+                    .seed(3)
+                    .cache(cache),
+            )
+            .expect("valid config");
+            // Twice, so the cache-on run replays its own first job.
+            let results = service.run_batch(vec![spec(), spec()]).expect("accepted");
+            results.iter().map(fingerprint).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}

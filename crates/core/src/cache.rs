@@ -11,8 +11,9 @@
 //!   extraction behind an [`Arc`] instead of re-deriving the 3×3 window
 //!   planes per job,
 //! * a **bounded fitness cache**: the per-batch dedup memo promoted to
-//!   service scope, keyed by (genotype bytes, image hash, fault-overlay
-//!   fingerprint), holding **exact** fitness values only,
+//!   service scope, keyed by (genotype bytes, input image hash, reference
+//!   image hash, fault-overlay fingerprint), holding **exact** fitness
+//!   values only,
 //! * a **champion library** ([`ChampionLibrary`]): completed evolution jobs
 //!   deposit their best genotype keyed by workload fingerprint (image hash ×
 //!   noise class × array shape); opted-in jobs seed their initial parent from
@@ -54,7 +55,7 @@ use ehw_reconfig::library::{Champion, ChampionKey, ChampionLibrary};
 pub struct CrossJobCacheConfig {
     /// Distinct training images whose window extractions are kept alive.
     pub windows_capacity: usize,
-    /// Exact fitness values kept (each key is ~13 genotype bytes + 16 bytes
+    /// Exact fitness values kept (each key is ~13 genotype bytes + 24 bytes
     /// of hashes; the default bound is a few MiB of keys).
     pub fitness_capacity: usize,
     /// Champions kept in the warm-start library.
@@ -71,8 +72,13 @@ impl Default for CrossJobCacheConfig {
     }
 }
 
-/// Key of one cached exact fitness value: *which circuit*, *on which image*,
-/// *under which damage*.
+/// Key of one cached exact fitness value: *which circuit*, *on which
+/// training pair*, *under which damage*.
+///
+/// The reference image is part of the key, not just the input: fitness is
+/// MAE against the reference, so two jobs training on the same input toward
+/// different targets (e.g. denoising vs edge detection over one noisy image)
+/// are different computations and must never share an entry.
 ///
 /// The fault fingerprint is per array (not per platform): the same genotype
 /// scored on a healthy and on a damaged array are different computations, so
@@ -84,6 +90,9 @@ pub struct FitnessKey {
     pub genotype: Vec<u8>,
     /// [`GrayImage::content_hash`] of the training input.
     pub image_hash: u64,
+    /// [`GrayImage::content_hash`] of the training reference the fitness is
+    /// measured against.
+    pub reference_hash: u64,
     /// [`fault_fingerprint`] of the scoring array's injected-fault overlay.
     pub fault_fingerprint: u64,
 }
@@ -318,14 +327,20 @@ impl CrossJobCache {
         self.fitness.lock().map(|f| f.len()).unwrap_or(0)
     }
 
-    /// The champion for a workload fingerprint, if deposited.  Counts a warm
-    /// start when found — callers only look up when warm-starting.
+    /// The champion for a workload fingerprint, if deposited.  Does **not**
+    /// count a warm start — the champion's genotype still has to decode; the
+    /// caller reports success via [`record_warm_start`](Self::record_warm_start)
+    /// once the parent is actually seeded, so the counter never exceeds the
+    /// jobs whose results say `warm_started: true`.
     pub fn lookup_champion(&self, key: &ChampionKey) -> Option<Champion> {
-        let champion = self.champions.lock().ok()?.lookup(key).cloned();
-        if champion.is_some() {
-            self.warm_starts.fetch_add(1, Ordering::Relaxed);
-        }
-        champion
+        self.champions.lock().ok()?.lookup(key).cloned()
+    }
+
+    /// Counts one evolution job whose initial parent was seeded from the
+    /// library.  Called after [`lookup_champion`](Self::lookup_champion)'s
+    /// genotype decoded successfully — not before.
+    pub fn record_warm_start(&self) {
+        self.warm_starts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Deposits an evolved champion under its workload fingerprint (kept only
@@ -375,6 +390,7 @@ mod tests {
         FitnessKey {
             genotype: vec![genotype; 13],
             image_hash: 1,
+            reference_hash: 3,
             fault_fingerprint: 2,
         }
     }
@@ -412,6 +428,18 @@ mod tests {
         assert_eq!(stats.fitness_hits, 2);
         assert_eq!(stats.fitness_misses, 2);
         assert!((stats.fitness_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn differing_references_are_distinct_keys() {
+        // Same genotype, same input, different training target: fitness is
+        // measured against the reference, so these must never collide.
+        let cache = CrossJobCache::default();
+        cache.insert_fitness(key(1), 100);
+        let mut other_target = key(1);
+        other_target.reference_hash = 99;
+        assert_eq!(cache.lookup_fitness(&other_target, None), None);
+        assert_eq!(cache.lookup_fitness(&key(1), None), Some(100));
     }
 
     #[test]
@@ -461,9 +489,13 @@ mod tests {
         let champion = cache.lookup_champion(&ck).expect("deposited");
         assert_eq!(champion.genotype, vec![1, 2, 3]);
         assert_eq!(champion.fitness, 50);
+        // Lookups alone never count: a warm start is recorded only once the
+        // caller has decoded the champion and actually seeded a parent.
+        assert_eq!(cache.stats().warm_starts, 0);
+        cache.record_warm_start();
         let stats = cache.stats();
         assert_eq!(stats.champions_deposited, 1);
-        assert_eq!(stats.warm_starts, 1, "only the successful lookup counts");
+        assert_eq!(stats.warm_starts, 1, "only the seeded job counts");
         assert_eq!(cache.champion_len(), 1);
     }
 

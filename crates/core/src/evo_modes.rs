@@ -70,7 +70,8 @@ impl EvolutionTask {
 /// is shared with every other job training on the same image, and exact
 /// fitness values flow through the service-scope
 /// [`CrossJobCache`](crate::cache::CrossJobCache) keyed by (genotype bytes,
-/// image hash, per-array fault fingerprint).  Cache hits return exactly what
+/// input image hash, reference image hash, per-array fault fingerprint).
+/// Cache hits return exactly what
 /// the miss path would compute — including the [`EngineStats`] accounting —
 /// see the determinism contract in [`crate::cache`].
 ///
@@ -85,6 +86,10 @@ pub struct PlatformEvaluator {
     cache: Option<std::sync::Arc<crate::cache::CrossJobCache>>,
     /// Content hash of the training input (only computed when caching).
     image_hash: u64,
+    /// Content hash of the training reference (only computed when caching).
+    /// Part of every fitness key: the same input evolved toward a different
+    /// target is a different computation.
+    reference_hash: u64,
     /// Per-array fault-overlay fingerprints (only computed when caching).
     fault_prints: Vec<u64>,
 }
@@ -106,7 +111,7 @@ impl PlatformEvaluator {
             Some(cache) => cache.windows_for(&task.input),
             None => std::sync::Arc::new(ehw_image::window::SharedWindows::new(&task.input)),
         };
-        let (image_hash, fault_prints) = match &cache {
+        let (image_hash, reference_hash, fault_prints) = match &cache {
             Some(_) => {
                 let faults = platform.injected_faults();
                 let prints = (0..platform.num_arrays())
@@ -114,9 +119,13 @@ impl PlatformEvaluator {
                         crate::cache::fault_fingerprint(faults.iter().filter(|f| f.array == a))
                     })
                     .collect();
-                (task.input.content_hash(), prints)
+                (
+                    task.input.content_hash(),
+                    task.reference.content_hash(),
+                    prints,
+                )
             }
-            None => (0, Vec::new()),
+            None => (0, 0, Vec::new()),
         };
         Self {
             arrays: platform
@@ -130,6 +139,7 @@ impl PlatformEvaluator {
             stats: ehw_evolution::fitness::EngineStats::default(),
             cache,
             image_hash,
+            reference_hash,
             fault_prints,
         }
     }
@@ -138,6 +148,7 @@ impl PlatformEvaluator {
         crate::cache::FitnessKey {
             genotype: genotype.encode(),
             image_hash: self.image_hash,
+            reference_hash: self.reference_hash,
             fault_fingerprint: self.fault_prints[array],
         }
     }
@@ -205,6 +216,7 @@ impl FitnessEvaluator for PlatformEvaluator {
         // determinism contract in `crate::cache`.
         let cache = self.cache.as_deref();
         let image_hash = self.image_hash;
+        let reference_hash = self.reference_hash;
         let fault_prints = &self.fault_prints;
         let cached_eval = move |array: usize,
                                 genotype: &Genotype,
@@ -215,6 +227,7 @@ impl FitnessEvaluator for PlatformEvaluator {
                     let key = crate::cache::FitnessKey {
                         genotype: genotype.encode(),
                         image_hash,
+                        reference_hash,
                         fault_fingerprint: fault_prints[array],
                     };
                     if let Some(value) = cache.lookup_fitness(&key, bound) {

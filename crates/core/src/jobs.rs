@@ -728,6 +728,13 @@ impl JobControl {
         self.cancelled.store(true, Ordering::SeqCst);
     }
 
+    /// `true` if the job carries a deadline.  The service's affinity-routing
+    /// queue consults this: a deadline-carrying job at the lane front is
+    /// never bypassed by an affinity match behind it.
+    pub fn has_deadline(&self) -> bool {
+        self.deadline.is_some()
+    }
+
     /// `true` once [`cancel`](Self::cancel) has been called.
     pub fn cancel_requested(&self) -> bool {
         self.cancelled.load(Ordering::SeqCst)
@@ -1041,7 +1048,11 @@ pub fn execute_controlled_cached(
             let initial_parent = match (cache, champion_key, s.warm_start) {
                 (Some(cache), Some(key), true) => cache
                     .lookup_champion(&key)
-                    .and_then(|champion| Genotype::decode(&champion.genotype)),
+                    // An undecodable champion is a library miss, not a warm
+                    // start: the counter only moves when a parent is seeded,
+                    // matching the result's `warm_started` flag.
+                    .and_then(|champion| Genotype::decode(&champion.genotype))
+                    .inspect(|_| cache.record_warm_start()),
                 _ => None,
             };
             let warm_started = initial_parent.is_some();

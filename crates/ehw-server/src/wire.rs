@@ -264,7 +264,10 @@ pub fn encode_result(result: &JobResult) -> Value {
             "warm_start_key",
             match &result.warm_start_key {
                 Some(key) => Value::object(vec![
-                    ("image_hash", u64v(key.image_hash)),
+                    // A full-range u64: as a raw JSON number it would be
+                    // rounded above 2^53 by double-based parsers (JS et al.),
+                    // so it travels as a fixed-width hex string instead.
+                    ("image_hash", strv(format!("{:016x}", key.image_hash))),
                     ("noise_class", u64v(u64::from(key.noise_class))),
                     ("arrays", usizev(key.arrays)),
                 ]),

@@ -557,7 +557,11 @@ fn warm_start_provenance_travels_the_wire() {
     let result = settled.get("result").unwrap();
     assert_eq!(result.get("warm_started").unwrap().as_bool(), Some(false));
     let key = result.get("warm_start_key").unwrap();
-    assert!(key.get("image_hash").unwrap().as_u64().is_some());
+    // The image hash is a full-range u64, so it travels as a fixed-width hex
+    // string — a raw JSON number would lose precision above 2^53.
+    let image_hash = key.get("image_hash").unwrap().as_str().unwrap();
+    assert_eq!(image_hash.len(), 16);
+    assert!(u64::from_str_radix(image_hash, 16).is_ok());
 
     // Second job on the same image: seeded from the first job's champion.
     let second = submit(addr, &evolution_body(16, 6, 42, ",\"warm_start\":true"));

@@ -448,6 +448,11 @@ struct QueuedJob {
     /// keep its compiled state warm.  Scheduling only — the seed is already
     /// assigned, so results are byte-identical with or without the routing.
     affinity: Option<u64>,
+    /// How many times an affinity match behind this job was picked ahead of
+    /// it while it sat at its lane's front.  Capped at
+    /// [`AFFINITY_BYPASS_LIMIT`] so a sustained same-image stream can never
+    /// starve a non-matching job.
+    bypassed: u32,
     reply: mpsc::Sender<JobResult>,
     shared: Arc<JobShared>,
 }
@@ -474,6 +479,26 @@ impl QueueState {
             .flatten()
             .filter(|item| matches!(item, QueueItem::Job(_)))
             .count()
+    }
+}
+
+/// Most times an affinity match may be picked ahead of its lane's front
+/// before the front job is taken regardless — the bound that keeps affinity
+/// routing from starving non-matching (and possibly deadline-carrying) jobs
+/// under a sustained same-image stream.
+const AFFINITY_BYPASS_LIMIT: u32 = 4;
+
+/// Whether an affinity match may be picked ahead of `lane`'s front: not if
+/// the front job carries a deadline (it could expire while bypassed), and
+/// not once it has already been bypassed [`AFFINITY_BYPASS_LIMIT`] times.
+fn front_may_be_bypassed(lane: &VecDeque<QueueItem>) -> bool {
+    match lane.front() {
+        Some(QueueItem::Job(front)) => {
+            !front.shared.control.has_deadline() && front.bypassed < AFFINITY_BYPASS_LIMIT
+        }
+        // A pill at the front is matched by the affinity scan itself
+        // (pick == 0), so this arm is never the bypass target; be permissive.
+        _ => true,
     }
 }
 
@@ -537,6 +562,12 @@ impl JobQueue {
     /// the lane's front (plain FIFO when nothing matches or no hint is
     /// given).  Lane priority is never crossed, and a poison pill still
     /// fires before any job it precedes.
+    ///
+    /// The preference is bounded so it stays a locality *hint*, never a
+    /// scheduling class: a front job carrying a deadline is never bypassed,
+    /// and any front job is picked after at most [`AFFINITY_BYPASS_LIMIT`]
+    /// bypasses — a sustained same-image stream cannot starve a
+    /// non-matching job (which could otherwise expire while queued).
     fn pop_preferring(&self, affinity: Option<u64>) -> Option<QueuedJob> {
         let mut state = lock_recover(&self.state);
         loop {
@@ -549,7 +580,13 @@ impl JobQueue {
                             QueueItem::ShardPanic => true,
                         })
                     })
+                    .filter(|&pick| pick == 0 || front_may_be_bypassed(lane))
                     .unwrap_or(0);
+                if pick > 0 {
+                    if let Some(QueueItem::Job(front)) = lane.front_mut() {
+                        front.bypassed += 1;
+                    }
+                }
                 let item = lane.remove(pick).expect("picked index is in the lane");
                 self.not_full.notify_one();
                 match item {
@@ -757,6 +794,7 @@ impl EhwService {
             seed,
             spec,
             affinity,
+            bypassed: 0,
             reply,
             shared: Arc::clone(&shared),
         };
@@ -1054,6 +1092,7 @@ fn shard_loop(
         seed,
         spec,
         affinity,
+        bypassed: _,
         reply,
         shared,
     }) = queue.pop_preferring(last_affinity)
@@ -1388,6 +1427,7 @@ mod tests {
                 seed: job_id,
                 spec: evolution_spec(8, 1),
                 affinity: None,
+                bypassed: 0,
                 reply,
                 shared: Arc::new(JobShared::new(None)),
             },
@@ -1440,6 +1480,59 @@ mod tests {
         assert_eq!(queue.pop_preferring(Some(9)).unwrap().job_id, 1);
         assert_eq!(queue.pop_preferring(Some(9)).unwrap().job_id, 0);
         assert_eq!(queue.pop().unwrap().job_id, 2);
+    }
+
+    #[test]
+    fn affinity_bypassing_is_bounded_so_the_lane_front_cannot_starve() {
+        let queue = JobQueue::new(64);
+        let mut receivers = Vec::new();
+        // A non-matching job at the front, then a sustained stream of
+        // matching jobs behind it — the adversarial schedule that would
+        // starve the front unboundedly without the bypass cap.
+        let (front, receiver) = dummy_queued_job(0);
+        queue.push(front, Priority::Normal).unwrap();
+        receivers.push(receiver);
+        for id in 1..=AFFINITY_BYPASS_LIMIT as u64 + 3 {
+            let (mut job, receiver) = dummy_queued_job(id);
+            job.affinity = Some(7);
+            queue.push(job, Priority::Normal).unwrap();
+            receivers.push(receiver);
+        }
+        // The first LIMIT pops honor the affinity hint...
+        for pop in 0..AFFINITY_BYPASS_LIMIT as u64 {
+            assert_eq!(queue.pop_preferring(Some(7)).unwrap().job_id, pop + 1);
+        }
+        // ...then the bypassed front is taken despite a live match behind it.
+        assert_eq!(queue.pop_preferring(Some(7)).unwrap().job_id, 0);
+        assert_eq!(
+            queue.pop_preferring(Some(7)).unwrap().job_id,
+            AFFINITY_BYPASS_LIMIT as u64 + 1
+        );
+    }
+
+    #[test]
+    fn a_deadline_carrying_front_job_is_never_bypassed() {
+        let queue = JobQueue::new(8);
+        let (reply, _receiver) = mpsc::channel();
+        let deadline_front = QueuedJob {
+            job_id: 0,
+            seed: 0,
+            spec: evolution_spec(8, 1),
+            affinity: None,
+            bypassed: 0,
+            reply,
+            shared: Arc::new(JobShared::new(Some(
+                Instant::now() + Duration::from_secs(3600),
+            ))),
+        };
+        queue.push(deadline_front, Priority::Normal).unwrap();
+        let (mut matching, _receiver2) = dummy_queued_job(1);
+        matching.affinity = Some(7);
+        queue.push(matching, Priority::Normal).unwrap();
+        // The hint matches job 1, but job 0 could expire while queued — FIFO
+        // wins immediately, without burning through the bypass budget.
+        assert_eq!(queue.pop_preferring(Some(7)).unwrap().job_id, 0);
+        assert_eq!(queue.pop_preferring(Some(7)).unwrap().job_id, 1);
     }
 
     #[test]

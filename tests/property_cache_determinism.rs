@@ -138,6 +138,51 @@ fn mixed_batches_are_byte_identical_with_the_cache_on_and_off() {
     );
 }
 
+/// Same training input, *different* reference targets: fitness is MAE
+/// against the reference, so the fitness key must separate these jobs even
+/// though their inputs (and, with pinned equal seeds, their candidate
+/// genotype streams) are identical.  A key that omitted the reference would
+/// serve job B job A's cached values — byte-divergence the mixed-batch
+/// property above can never catch, because it only varies the input.
+#[test]
+fn same_input_with_differing_references_never_shares_fitness() {
+    let denoise = denoise_task(12, 0xA5A5);
+    // Same noisy input, evolved toward a different target entirely.
+    let other_target = synth::shapes(12, 12, 5);
+    let specs = || {
+        vec![
+            JobSpec::evolution(denoise.input.clone(), denoise.reference.clone())
+                .generations(4)
+                .seed(31)
+                .build()
+                .unwrap(),
+            JobSpec::evolution(denoise.input.clone(), other_target.clone())
+                .generations(4)
+                .seed(31)
+                .build()
+                .unwrap(),
+        ]
+    };
+    let run = |cache: bool| {
+        let service = EhwService::new(ServiceConfig::new(1).seed(17).cache(cache)).unwrap();
+        let results = service.run_batch(specs()).expect("batch accepted");
+        let stats = service.stats();
+        (results.iter().map(fingerprint).collect::<Vec<_>>(), stats)
+    };
+    let (reference, _) = run(false);
+    let (got, on_stats) = run(true);
+    assert_eq!(got, reference, "reference image leaked through the cache");
+    // Not vacuous: both jobs share one window extraction (same input) and
+    // with equal seeds their genotype streams overlap, so the second job
+    // *looks up* keys the first one inserted — and must miss on all of them.
+    assert!(on_stats.cache.windows_hits > 0, "{:?}", on_stats.cache);
+    assert_eq!(
+        on_stats.cache.fitness_hits, 0,
+        "distinct references must never hit: {:?}",
+        on_stats.cache
+    );
+}
+
 // ----------------------------------------------------------------------
 // 2. Eviction under pressure changes nothing
 // ----------------------------------------------------------------------

@@ -43,7 +43,12 @@ use ehw_image::metrics::mae;
 use ehw_image::window::{map_windows, SharedWindows, Window3x3, WindowPlanes};
 use ehw_parallel::ParallelConfig;
 use ehw_platform::evo_modes::{evolve_cascade, CascadeConfig, CascadeEngine};
+use ehw_platform::fault_campaign::{
+    scenario_fault_campaign_with, systematic_fault_campaign_with, CampaignReport,
+};
 use ehw_platform::platform::EhwPlatform;
+use ehw_platform::scenario::ScenarioRegistry;
+use ehw_platform::self_healing::RecoveryPolicy;
 use ehw_service::{EhwService, JobSpec, ServiceConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -512,6 +517,78 @@ fn main() {
     let (cold_evals, warm_evals) = (cold.evaluations, warm.evaluations);
     let warm_speedup = cold_evals as f64 / warm_evals.max(1) as f64;
 
+    // --- resilience: schedule compile cost + scenario campaign overhead ----
+    // Two figures for the declarative fault-scenario layer.  (1) Compile
+    // cost: turning every builtin scenario into its injection schedule,
+    // ns/event — pure data work, should stay far below any campaign cost.
+    // (2) Campaign overhead: the historical systematic sweep vs the same
+    // sweep expressed as SingleSweep + the default recovery ladder through
+    // the generalised event executor, byte-identity gated; the ratio is the
+    // price of the abstraction (should hold ~1.0).
+    let resilience_size = ehw_bench::arg_usize("resilience-size", 32);
+    let resilience_task = ehw_bench::denoise_task(resilience_size, 0.4, 55);
+    let registry = ScenarioRegistry::builtin();
+    let schedule_rounds = 2_000usize;
+    let (schedule_events, schedule_compile_ns) = {
+        let events: usize = registry
+            .scenarios()
+            .iter()
+            .map(|s| s.compile(&[0, 1], 9).len())
+            .sum();
+        let start = Instant::now();
+        for _ in 0..schedule_rounds {
+            for scenario in registry.scenarios() {
+                std::hint::black_box(scenario.compile(std::hint::black_box(&[0, 1]), 9));
+            }
+        }
+        let ns = start.elapsed().as_nanos() as f64 / (schedule_rounds * events) as f64;
+        (events, ns)
+    };
+    let campaign_baseline = {
+        let mut rng = StdRng::seed_from_u64(77);
+        Genotype::random(&mut rng)
+    };
+    let campaign_recovery = EsConfig::paper(1, 1, 2, 77);
+    let time_campaign = |run: &mut dyn FnMut() -> CampaignReport| -> (f64, CampaignReport) {
+        let _ = run(); // warm-up
+        let start = Instant::now();
+        let report = run();
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        (report.total_evaluations() as f64 / elapsed, report)
+    };
+    let (legacy_campaign_eps, legacy_report) = time_campaign(&mut || {
+        let mut platform = EhwPlatform::new(2);
+        systematic_fault_campaign_with(
+            &mut platform,
+            &campaign_baseline,
+            &resilience_task,
+            &campaign_recovery,
+            &[0, 1],
+            ParallelConfig::serial(),
+        )
+    });
+    let single_sweep = registry.scenario("single_sweep").expect("builtin").clone();
+    let (scenario_campaign_eps, scenario_report) = time_campaign(&mut || {
+        let mut platform = EhwPlatform::new(2);
+        scenario_fault_campaign_with(
+            &mut platform,
+            &campaign_baseline,
+            &resilience_task,
+            &campaign_recovery,
+            &[0, 1],
+            &single_sweep,
+            &RecoveryPolicy::default_ladder(),
+            ParallelConfig::serial(),
+        )
+    });
+    // Byte-identity gate: the scenario layer must reproduce the historical
+    // campaign exactly before its overhead number means anything.
+    assert_eq!(
+        legacy_report, scenario_report,
+        "scenario campaign diverged from the legacy sweep"
+    );
+    let scenario_vs_legacy = scenario_campaign_eps / legacy_campaign_eps.max(1e-9);
+
     let speedup_1w = compiled_1w.evals_per_sec / interp.evals_per_sec;
 
     // --- report ------------------------------------------------------------
@@ -579,6 +656,14 @@ fn main() {
          ({cold_s:.3}s) to target {target}, warm {warm_evals} evals ({warm_s:.3}s), \
          speedup {warm_speedup:.1}x",
         cache_hit_rate * 100.0
+    );
+    println!(
+        "resilience: schedule compile {schedule_compile_ns:.0} ns/event \
+         ({schedule_events} events over {} builtin scenarios); campaign \
+         ({resilience_size}x{resilience_size}, 2 arrays): legacy \
+         {legacy_campaign_eps:.1} evals/s, scenario layer \
+         {scenario_campaign_eps:.1} evals/s, ratio {scenario_vs_legacy:.2}x",
+        registry.scenarios().len()
     );
 
     // --- BENCH_evaluation.json ---------------------------------------------
@@ -691,6 +776,37 @@ fn main() {
     let _ = writeln!(json, "    \"cold_s\": {cold_s:.4},");
     let _ = writeln!(json, "    \"warm_s\": {warm_s:.4},");
     let _ = writeln!(json, "    \"warm_speedup\": {warm_speedup:.2}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"resilience\": {{");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"{} builtin scenarios compiled over 2 arrays; \
+         single-PE sweep campaign, {resilience_size}x{resilience_size} salt&pepper 40%, \
+         2 arrays, 2 recovery generations\",",
+        registry.scenarios().len()
+    );
+    let _ = writeln!(
+        json,
+        "    \"schedule_compile_ns_per_event\": {schedule_compile_ns:.0},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"schedule_compile_events_per_sec\": {:.0},",
+        1e9 / schedule_compile_ns.max(1e-9)
+    );
+    let _ = writeln!(json, "    \"schedule_events\": {schedule_events},");
+    let _ = writeln!(
+        json,
+        "    \"legacy_campaign_evals_per_sec\": {legacy_campaign_eps:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"campaign_evals_per_sec\": {scenario_campaign_eps:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"scenario_vs_legacy_ratio\": {scenario_vs_legacy:.2}"
+    );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"evolution\": [");
     for (i, (workers, evals_per_sec, rate, memo_hits, best)) in evolution.iter().enumerate() {

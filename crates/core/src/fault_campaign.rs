@@ -11,18 +11,29 @@
 //! The per-position results feed the fault-tolerance discussion of §VI.D and
 //! the ablation benches (how critical each PE position is, how much budget
 //! recovery needs).
+//!
+//! The systematic sweep is one instance of the general machinery: a
+//! [`FaultScenario`] compiles into a deterministic
+//! [`InjectionSchedule`](crate::scenario::InjectionSchedule)
+//! of multi-fault events, and each event is recovered by walking a
+//! [`RecoveryPolicy`] escalation ladder
+//! (scrub → TMR remap → re-evolve, with per-step budgets and stop
+//! conditions).  The legacy entry points delegate to the scenario path with
+//! `SingleSweep` + the default ladder and stay byte-identical.
 
 use ehw_array::array::ProcessingArray;
 use ehw_array::genotype::{Genotype, ARRAY_COLS, ARRAY_ROWS};
-use ehw_array::pe::FaultBehaviour;
-use ehw_evolution::fitness::{EngineStats, SoftwareEvaluator};
+use ehw_evolution::fitness::{plan_mae, EngineStats, SoftwareEvaluator};
 use ehw_evolution::strategy::{run_evolution_with_parent, EsConfig, GenerationObserver};
+use ehw_image::window::SharedWindows;
 use ehw_parallel::ParallelConfig;
 use serde::{Deserialize, Serialize};
 
 use crate::evo_modes::EvolutionTask;
 use crate::jobs::JobControl;
 use crate::platform::EhwPlatform;
+use crate::scenario::{FaultScenario, InjectionEvent, PlannedFault, ScenarioKind};
+use crate::self_healing::{RecoveryPolicy, RecoveryStep};
 
 /// Relays the job-level cancellation token into each position's recovery
 /// evolution: the campaign has no generation structure of its own, so the
@@ -66,6 +77,17 @@ pub struct PositionResult {
     pub stats: EngineStats,
 }
 
+/// Fraction of the fault-induced degradation removed by recovery, in
+/// `[0, 1]`; 1.0 when the fault never degraded the output.
+fn degradation_recovered(clean: u64, faulty: u64, recovered: u64) -> f64 {
+    let degradation = faulty.saturating_sub(clean);
+    if degradation == 0 {
+        return 1.0;
+    }
+    let remaining = recovered.saturating_sub(clean);
+    1.0 - (remaining as f64 / degradation as f64).clamp(0.0, 1.0)
+}
+
 impl PositionResult {
     /// `true` if the fault at this position degraded the output at all —
     /// PEs outside the active data path are non-critical.
@@ -81,74 +103,161 @@ impl PositionResult {
     /// Fraction of the fault-induced degradation removed by recovery, in
     /// `[0, 1]`; 1.0 for non-critical positions.
     pub fn recovery_ratio(&self) -> f64 {
-        let degradation = self.fitness_faulty.saturating_sub(self.fitness_clean);
-        if degradation == 0 {
-            return 1.0;
-        }
-        let remaining = self.fitness_recovered.saturating_sub(self.fitness_clean);
-        1.0 - (remaining as f64 / degradation as f64).clamp(0.0, 1.0)
+        degradation_recovered(
+            self.fitness_clean,
+            self.fitness_faulty,
+            self.fitness_recovered,
+        )
     }
 }
 
-/// Aggregate report of a systematic campaign.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// Result of one multi-fault injection event of a scenario schedule: the
+/// degradation it caused on its array and what the recovery-policy ladder
+/// restored.  The generalisation of [`PositionResult`] to events that hit
+/// several PEs at once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventResult {
+    /// Timeline position of the event within the scenario.
+    pub tick: usize,
+    /// Array the faults were injected into.
+    pub array: usize,
+    /// The simultaneous faults of the event, in row-major order.
+    pub faults: Vec<PlannedFault>,
+    /// Fitness of the working circuit before the faults.
+    pub fitness_clean: u64,
+    /// Fitness right after injecting all faults (no recovery yet).
+    pub fitness_faulty: u64,
+    /// Best fitness any rung of the recovery ladder reached.
+    pub fitness_recovered: u64,
+    /// Candidate evaluations spent on this event: the clean and faulty
+    /// measurements plus every ladder-step measurement and recovery
+    /// candidate.
+    pub evaluations: u64,
+    /// Aggregate work-saved counters of every re-evolution the ladder ran.
+    pub stats: EngineStats,
+}
+
+impl EventResult {
+    /// `true` if the event degraded the output at all.
+    pub fn is_critical(&self) -> bool {
+        self.fitness_faulty > self.fitness_clean
+    }
+
+    /// `true` if recovery restored (at least) the original quality.
+    pub fn fully_recovered(&self) -> bool {
+        self.fitness_recovered <= self.fitness_clean
+    }
+
+    /// Fraction of the fault-induced degradation removed, in `[0, 1]`.
+    pub fn recovery_ratio(&self) -> f64 {
+        degradation_recovered(
+            self.fitness_clean,
+            self.fitness_faulty,
+            self.fitness_recovered,
+        )
+    }
+
+    /// The legacy per-position view of a single-fault event (what the
+    /// systematic sweep reports).  Panics if the event holds more than one
+    /// fault — only `SingleSweep` schedules are converted.
+    fn to_position(&self) -> PositionResult {
+        assert_eq!(self.faults.len(), 1, "only single-fault events convert");
+        PositionResult {
+            array: self.array,
+            row: self.faults[0].row,
+            col: self.faults[0].col,
+            fitness_clean: self.fitness_clean,
+            fitness_faulty: self.fitness_faulty,
+            fitness_recovered: self.fitness_recovered,
+            evaluations: self.evaluations,
+            stats: self.stats,
+        }
+    }
+}
+
+/// Aggregate report of a fault campaign.
+///
+/// A `SingleSweep` campaign fills [`positions`](CampaignReport::positions)
+/// (the historic per-PE view); every other scenario kind fills
+/// [`events`](CampaignReport::events).  The aggregate statistics range over
+/// whichever side is populated.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CampaignReport {
-    /// One entry per injected position, in injection order.
+    /// Name of the scenario that produced the report (empty for a
+    /// default-constructed report).
+    pub scenario: String,
+    /// Label of the recovery-policy ladder that was applied
+    /// ([`RecoveryPolicy::describe`]).
+    pub policy: String,
+    /// One entry per injected position, in injection order (`SingleSweep`
+    /// campaigns only).
     pub positions: Vec<PositionResult>,
+    /// One entry per injection event, in schedule order (every other
+    /// scenario kind).
+    pub events: Vec<EventResult>,
 }
 
 impl CampaignReport {
-    /// Number of injected positions.
+    /// Number of injected positions / events.
     pub fn len(&self) -> usize {
-        self.positions.len()
+        self.positions.len() + self.events.len()
     }
 
     /// `true` if the campaign injected nothing.
     pub fn is_empty(&self) -> bool {
-        self.positions.is_empty()
+        self.positions.is_empty() && self.events.is_empty()
     }
 
-    /// Positions whose fault actually degraded the output.
+    /// Positions / events whose faults actually degraded the output.
     pub fn critical_positions(&self) -> usize {
         self.positions.iter().filter(|p| p.is_critical()).count()
+            + self.events.iter().filter(|e| e.is_critical()).count()
     }
 
-    /// Positions whose recovery reached (at least) the pre-fault quality.
+    /// Positions / events whose recovery reached (at least) the pre-fault
+    /// quality.
     pub fn fully_recovered_positions(&self) -> usize {
         self.positions
             .iter()
             .filter(|p| p.fully_recovered())
             .count()
+            + self.events.iter().filter(|e| e.fully_recovered()).count()
     }
 
-    /// Total candidate evaluations across all positions (measurements plus
-    /// recovery evolutions) — the uniform work accounting the job-oriented
-    /// service reports for every job kind.
+    /// Total candidate evaluations across all positions / events
+    /// (measurements plus recovery work) — the uniform work accounting the
+    /// job-oriented service reports for every job kind.
     pub fn total_evaluations(&self) -> u64 {
-        self.positions.iter().map(|p| p.evaluations).sum()
+        self.positions.iter().map(|p| p.evaluations).sum::<u64>()
+            + self.events.iter().map(|e| e.evaluations).sum::<u64>()
     }
 
-    /// Aggregate engine counters across every position's recovery evolution
-    /// — the campaign-level analogue of a single evolution's
-    /// [`EngineStats`], reported through the job layer.
+    /// Aggregate engine counters across every recovery evolution — the
+    /// campaign-level analogue of a single evolution's [`EngineStats`],
+    /// reported through the job layer.
     pub fn total_stats(&self) -> EngineStats {
         let mut total = EngineStats::default();
         for p in &self.positions {
             total.accumulate(p.stats);
         }
+        for e in &self.events {
+            total.accumulate(e.stats);
+        }
         total
     }
 
-    /// Mean recovery ratio across all positions.
+    /// Mean recovery ratio across all positions / events.
     pub fn mean_recovery_ratio(&self) -> f64 {
-        if self.positions.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
-        self.positions
+        let sum = self
+            .positions
             .iter()
             .map(|p| p.recovery_ratio())
             .sum::<f64>()
-            / self.positions.len() as f64
+            + self.events.iter().map(|e| e.recovery_ratio()).sum::<f64>();
+        sum / self.len() as f64
     }
 }
 
@@ -189,59 +298,152 @@ pub fn find_injectable_pe(
     (out_row, ARRAY_COLS - 1)
 }
 
-/// Injects the dummy-PE fault at one position of a snapshot of the array,
-/// measures the degradation, and runs the recovery evolution seeded with the
-/// working genotype — the per-position unit of work the campaign shards over
-/// workers.  Pure: no shared state is touched, so positions can be evaluated
-/// in any order, on any thread, with identical results.
+/// Everything one event evaluation needs besides the event itself — bundled
+/// so the sharded closure stays readable.  All references are to immutable,
+/// thread-shared state.
+struct CampaignContext<'a> {
+    baseline: &'a Genotype,
+    task: &'a EvolutionTask,
+    windows: &'a SharedWindows,
+    recovery: &'a EsConfig,
+    policy: &'a RecoveryPolicy,
+    control: &'a JobControl,
+}
+
+/// Injects one event's faults into a snapshot of its array, measures the
+/// degradation, and walks the recovery-policy ladder — the unit of work the
+/// campaign shards over workers.  Pure: no shared state is touched, so
+/// events can be evaluated in any order, on any thread, with identical
+/// results.
 ///
-/// The clean/faulty measurements compile the baseline genotype against the
-/// position's fault overlay ([`ehw_array::CompiledArray`]) and score it over
-/// `windows`, the one shared extraction pass of the training input — the
-/// fault corrupts the plan, not a per-pixel interpreter lookup.
-fn evaluate_position(
+/// The measurements compile the current best genotype against the array's
+/// fault overlay ([`ehw_array::CompiledArray`]) and score it over the one
+/// shared extraction pass of the training input — faults corrupt the plan,
+/// not a per-pixel interpreter lookup.  Ladder semantics:
+///
+/// * **Scrub** clears the event's transient (SEU) faults — permanent damage
+///   stays — then re-measures, up to the configured attempts, stopping early
+///   once a pass no longer improves,
+/// * **TmrRemap** re-routes the output row of the best configuration across
+///   every candidate row of the damaged array, one measurement per row,
+/// * **Reevolve** runs the recovery evolution on the damaged array seeded
+///   with the best configuration so far (`generations: None` inherits the
+///   campaign budget — the historic behaviour).
+///
+/// Between rungs the ladder stops once the best fitness is within the
+/// policy's `stop_margin` of the clean baseline (never, for the default
+/// policy — which makes a `SingleSweep` campaign under the default ladder
+/// byte-identical to the historic per-position path).
+fn run_event(
+    ctx: &CampaignContext<'_>,
     base: &ProcessingArray,
-    baseline: &Genotype,
-    task: &EvolutionTask,
-    windows: &ehw_image::window::SharedWindows,
-    recovery: &EsConfig,
-    control: &JobControl,
-    (array, row, col): (usize, usize, usize),
-) -> PositionResult {
-    // Restore a clean, known-good configuration of this position.
-    let mut clean_array = base.clone();
-    clean_array.clear_fault(row, col);
-    clean_array.set_genotype(baseline.clone());
-    let fitness_clean =
-        ehw_evolution::fitness::plan_mae(clean_array.plan(), windows, &task.reference);
+    event: &InjectionEvent,
+) -> EventResult {
+    // Restore a clean, known-good configuration of the event's positions.
+    let mut array = base.clone();
+    for fault in &event.faults {
+        array.clear_fault(fault.row, fault.col);
+    }
+    array.set_genotype(ctx.baseline.clone());
+    let fitness_clean = plan_mae(array.plan(), ctx.windows, &ctx.task.reference);
 
-    // Inject the permanent dummy-PE fault: the overlay is baked into the
-    // execution plan the measurements and the recovery evolution run on.
-    let mut faulty_array = clean_array;
-    faulty_array.inject_fault(row, col, FaultBehaviour::dummy());
-    let fitness_faulty =
-        ehw_evolution::fitness::plan_mae(faulty_array.plan(), windows, &task.reference);
+    // Inject every planned fault: the overlays are baked into the execution
+    // plan the measurements and the recovery work run on.
+    for fault in &event.faults {
+        array.inject_fault(fault.row, fault.col, fault.behaviour);
+    }
+    let fitness_faulty = plan_mae(array.plan(), ctx.windows, &ctx.task.reference);
 
-    // Recovery: re-evolve on the damaged array, seeded with the working
-    // genotype.
-    let mut evaluator =
-        SoftwareEvaluator::with_array(faulty_array, task.input.clone(), task.reference.clone());
-    let result = run_evolution_with_parent(
-        recovery,
-        Some(baseline.clone()),
-        &mut evaluator,
-        &mut RecoveryStopObserver { control },
-    );
+    let mut evaluations: u64 = 2;
+    let mut stats = EngineStats::default();
+    let mut best_genotype = ctx.baseline.clone();
+    let mut best_fitness = fitness_faulty;
+    let healed = |best: u64| match ctx.policy.stop_margin {
+        Some(margin) => best <= fitness_clean.saturating_add(margin),
+        None => false,
+    };
 
-    PositionResult {
-        array,
-        row,
-        col,
+    for step in &ctx.policy.steps {
+        if healed(best_fitness) {
+            break;
+        }
+        match *step {
+            RecoveryStep::Scrub { attempts } => {
+                // Golden-copy scrubbing removes the transient faults; if the
+                // event planted none, the rung is a no-op (no measurement).
+                let mut scrubbed = false;
+                for fault in &event.faults {
+                    if fault.kind.is_recoverable_by_scrubbing() {
+                        array.clear_fault(fault.row, fault.col);
+                        scrubbed = true;
+                    }
+                }
+                if !scrubbed {
+                    continue;
+                }
+                for _ in 0..attempts {
+                    array.set_genotype(best_genotype.clone());
+                    let measured = plan_mae(array.plan(), ctx.windows, &ctx.task.reference);
+                    evaluations += 1;
+                    if measured < best_fitness {
+                        best_fitness = measured;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            RecoveryStep::TmrRemap => {
+                for row in 0..ARRAY_ROWS as u8 {
+                    let mut candidate = best_genotype.clone();
+                    candidate.output_gene = row;
+                    array.set_genotype(candidate.clone());
+                    let measured = plan_mae(array.plan(), ctx.windows, &ctx.task.reference);
+                    evaluations += 1;
+                    if measured < best_fitness {
+                        best_fitness = measured;
+                        best_genotype = candidate;
+                    }
+                }
+            }
+            RecoveryStep::Reevolve { generations } => {
+                let mut cfg = *ctx.recovery;
+                if let Some(budget) = generations {
+                    cfg.generations = budget;
+                }
+                let mut evaluator = SoftwareEvaluator::with_array(
+                    array.clone(),
+                    ctx.task.input.clone(),
+                    ctx.task.reference.clone(),
+                );
+                let result = run_evolution_with_parent(
+                    &cfg,
+                    Some(best_genotype.clone()),
+                    &mut evaluator,
+                    &mut RecoveryStopObserver {
+                        control: ctx.control,
+                    },
+                );
+                evaluations += result.evaluations;
+                stats.accumulate(evaluator.engine_stats());
+                // The evolution is elitist and seeded with `best_genotype`,
+                // so its best is never worse than the rung's starting point.
+                if result.best_fitness < best_fitness {
+                    best_fitness = result.best_fitness;
+                    best_genotype = result.best_genotype;
+                }
+            }
+        }
+    }
+
+    EventResult {
+        tick: event.tick,
+        array: event.array,
+        faults: event.faults.clone(),
         fitness_clean,
         fitness_faulty,
-        fitness_recovered: result.best_fitness,
-        evaluations: 2 + result.evaluations,
-        stats: evaluator.engine_stats(),
+        fitness_recovered: best_fitness,
+        evaluations,
+        stats,
     }
 }
 
@@ -325,17 +527,76 @@ pub fn systematic_fault_campaign_controlled(
     parallel: ParallelConfig,
     control: &JobControl,
 ) -> CampaignReport {
-    // One unit of work per PE position, in deterministic injection order.
-    let positions: Vec<(usize, usize, usize)> = arrays
-        .iter()
-        .flat_map(|&array| {
-            (0..ARRAY_ROWS).flat_map(move |row| (0..ARRAY_COLS).map(move |col| (array, row, col)))
-        })
-        .collect();
+    scenario_fault_campaign_controlled(
+        platform,
+        baseline,
+        task,
+        recovery,
+        arrays,
+        &FaultScenario::single_sweep(),
+        &RecoveryPolicy::default_ladder(),
+        parallel,
+        control,
+    )
+}
 
-    // Positions are the parallel unit; the recovery evolution inside each
-    // position runs serially (determinism makes the nesting choice free, and
-    // flat sharding avoids worker oversubscription).
+/// Runs a declarative [`FaultScenario`] under a [`RecoveryPolicy`] ladder —
+/// the general campaign every other entry point is a special case of.
+///
+/// The scenario is first compiled into its deterministic injection schedule
+/// (seeded from the recovery config's seed), then every event runs a
+/// measure → ladder → measure cycle on a snapshot of its
+/// array, sharded over the given [`ParallelConfig`].  A `SingleSweep`
+/// scenario fills the report's legacy `positions` view (and, under the
+/// default ladder, is byte-identical to the historic systematic campaign);
+/// every other kind fills `events`.  The platform is left configured with
+/// the baseline on every targeted array, as the sweep always has.
+#[allow(clippy::too_many_arguments)]
+pub fn scenario_fault_campaign_with(
+    platform: &mut EhwPlatform,
+    baseline: &Genotype,
+    task: &EvolutionTask,
+    recovery: &EsConfig,
+    arrays: &[usize],
+    scenario: &FaultScenario,
+    policy: &RecoveryPolicy,
+    parallel: ParallelConfig,
+) -> CampaignReport {
+    scenario_fault_campaign_controlled(
+        platform,
+        baseline,
+        task,
+        recovery,
+        arrays,
+        scenario,
+        policy,
+        parallel,
+        &JobControl::new(),
+    )
+}
+
+/// [`scenario_fault_campaign_with`] under a job-level cancellation token
+/// (see [`systematic_fault_campaign_controlled`] for the wind-down
+/// semantics).
+#[allow(clippy::too_many_arguments)]
+pub fn scenario_fault_campaign_controlled(
+    platform: &mut EhwPlatform,
+    baseline: &Genotype,
+    task: &EvolutionTask,
+    recovery: &EsConfig,
+    arrays: &[usize],
+    scenario: &FaultScenario,
+    policy: &RecoveryPolicy,
+    parallel: ParallelConfig,
+    control: &JobControl,
+) -> CampaignReport {
+    // The whole campaign is fixed here, before any worker starts: one unit
+    // of work per injection event, in deterministic schedule order.
+    let schedule = scenario.compile(arrays, recovery.seed);
+
+    // Events are the parallel unit; the recovery work inside each event runs
+    // serially (determinism makes the nesting choice free, and flat sharding
+    // avoids worker oversubscription).
     let mut recovery_cfg = *recovery;
     recovery_cfg.parallel = ParallelConfig::serial();
 
@@ -344,20 +605,20 @@ pub fn systematic_fault_campaign_controlled(
         .iter()
         .map(|acb| acb.array().clone())
         .collect();
-    // One window-extraction pass of the training input serves every position
-    // of every array (the per-position recovery evolutions build their own,
+    // One window-extraction pass of the training input serves every event of
+    // every array (the per-event recovery evolutions build their own,
     // through their SoftwareEvaluator).
-    let windows = ehw_image::window::SharedWindows::new(&task.input);
-    let results = ehw_parallel::ordered_map(parallel, &positions, |_, &position| {
-        evaluate_position(
-            &snapshots[position.0],
-            baseline,
-            task,
-            &windows,
-            &recovery_cfg,
-            control,
-            position,
-        )
+    let windows = SharedWindows::new(&task.input);
+    let ctx = CampaignContext {
+        baseline,
+        task,
+        windows: &windows,
+        recovery: &recovery_cfg,
+        policy,
+        control,
+    };
+    let results = ehw_parallel::ordered_map(parallel, &schedule.events, |_, event| {
+        run_event(&ctx, &snapshots[event.array], event)
     });
 
     // Leave the campaigned arrays configured with the baseline, exactly as
@@ -367,7 +628,17 @@ pub fn systematic_fault_campaign_controlled(
         platform.configure_array(array, baseline);
     }
 
-    CampaignReport { positions: results }
+    let mut report = CampaignReport {
+        scenario: scenario.name.clone(),
+        policy: policy.describe(),
+        ..CampaignReport::default()
+    };
+    if scenario.kind == ScenarioKind::SingleSweep {
+        report.positions = results.iter().map(EventResult::to_position).collect();
+    } else {
+        report.events = results;
+    }
+    report
 }
 
 #[cfg(test)]
@@ -550,5 +821,157 @@ mod tests {
         assert_eq!(report.mean_recovery_ratio(), 0.0);
         assert_eq!(report.critical_positions(), 0);
         assert_eq!(report.fully_recovered_positions(), 0);
+    }
+
+    #[test]
+    fn scenario_single_sweep_under_default_policy_matches_the_legacy_campaign() {
+        let task = small_task(7);
+        let baseline = Genotype::identity();
+        let recovery = EsConfig::paper(1, 1, 3, 13);
+        let legacy = {
+            let mut platform = EhwPlatform::new(1);
+            systematic_fault_campaign_with(
+                &mut platform,
+                &baseline,
+                &task,
+                &recovery,
+                &[0],
+                ParallelConfig::serial(),
+            )
+        };
+        let mut platform = EhwPlatform::new(1);
+        let scenario = FaultScenario::single_sweep();
+        let report = scenario_fault_campaign_with(
+            &mut platform,
+            &baseline,
+            &task,
+            &recovery,
+            &[0],
+            &scenario,
+            &RecoveryPolicy::default_ladder(),
+            ParallelConfig::serial(),
+        );
+        assert_eq!(report, legacy);
+        assert_eq!(report.scenario, "single_sweep");
+        assert_eq!(report.policy, "reevolve");
+        assert!(report.events.is_empty());
+    }
+
+    #[test]
+    fn scrub_ladder_heals_transient_bursts_without_evolving() {
+        use crate::scenario::ScenarioKind;
+        let mut platform = EhwPlatform::new(1);
+        let task = small_task(8);
+        let baseline = Genotype::identity();
+        let recovery = EsConfig::paper(1, 1, 5, 17);
+        let scenario = FaultScenario::new(
+            "burst",
+            ScenarioKind::Burst {
+                rate: 0.5,
+                width: 2,
+            },
+        );
+        let report = scenario_fault_campaign_with(
+            &mut platform,
+            &baseline,
+            &task,
+            &recovery,
+            &[0],
+            &scenario,
+            &RecoveryPolicy::scrub_then_reevolve(),
+            ParallelConfig::serial(),
+        );
+        assert!(report.positions.is_empty());
+        assert!(!report.events.is_empty());
+        for event in &report.events {
+            // Every burst fault is transient, so one scrub pass restores the
+            // clean configuration exactly and the re-evolve rung never runs
+            // (non-critical events satisfy the stop margin before any rung).
+            assert!(event.fully_recovered());
+            if event.is_critical() {
+                assert_eq!(event.fitness_recovered, event.fitness_clean);
+                assert_eq!(event.evaluations, 3, "clean + faulty + one scrub pass");
+            } else {
+                assert_eq!(event.evaluations, 2, "measurements only");
+            }
+            assert_eq!(event.stats, EngineStats::default());
+        }
+        assert_eq!(report.mean_recovery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn tmr_remap_rung_measures_every_output_row() {
+        use crate::scenario::ScenarioKind;
+        use crate::self_healing::RecoveryStep;
+        let mut platform = EhwPlatform::new(1);
+        let task = small_task(9);
+        let baseline = Genotype::identity();
+        let recovery = EsConfig::paper(1, 1, 2, 19);
+        let scenario = FaultScenario::new("lpd", ScenarioKind::PermanentLpd);
+        let policy = RecoveryPolicy {
+            steps: vec![RecoveryStep::TmrRemap],
+            stop_margin: None,
+        };
+        let report = scenario_fault_campaign_with(
+            &mut platform,
+            &baseline,
+            &task,
+            &recovery,
+            &[0],
+            &scenario,
+            &policy,
+            ParallelConfig::serial(),
+        );
+        assert_eq!(report.events.len(), 1);
+        let event = &report.events[0];
+        assert_eq!(
+            event.evaluations,
+            2 + ARRAY_ROWS as u64,
+            "clean + faulty + one measurement per candidate output row"
+        );
+        assert!(event.fitness_recovered <= event.fitness_faulty);
+        assert_eq!(report.policy, "tmr_remap");
+    }
+
+    #[test]
+    fn scenario_campaigns_are_identical_at_any_worker_count() {
+        use crate::scenario::{CorrelationShape, ScenarioKind};
+        let task = small_task(10);
+        let baseline = Genotype::identity();
+        let recovery = EsConfig::paper(1, 1, 2, 23);
+        let scenario = FaultScenario::new(
+            "corr",
+            ScenarioKind::Correlated {
+                shape: CorrelationShape::Col,
+            },
+        );
+        let policy = RecoveryPolicy::full_ladder();
+        let reference = {
+            let mut platform = EhwPlatform::new(1);
+            scenario_fault_campaign_with(
+                &mut platform,
+                &baseline,
+                &task,
+                &recovery,
+                &[0],
+                &scenario,
+                &policy,
+                ParallelConfig::serial(),
+            )
+        };
+        for workers in [2usize, 8] {
+            let mut platform = EhwPlatform::new(1);
+            let report = scenario_fault_campaign_with(
+                &mut platform,
+                &baseline,
+                &task,
+                &recovery,
+                &[0],
+                &scenario,
+                &policy,
+                ParallelConfig::with_workers(workers),
+            );
+            assert_eq!(report, reference, "campaign diverged at {workers} workers");
+        }
     }
 }

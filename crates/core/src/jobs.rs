@@ -52,6 +52,8 @@ use crate::evo_modes::{
 use crate::fault_campaign::CampaignReport;
 use crate::modes::{CascadeFitness, CascadeSchedule};
 use crate::platform::{EhwPlatform, MAX_ARRAYS};
+use crate::scenario::FaultScenario;
+use crate::self_healing::RecoveryPolicy;
 use crate::timing::{EvolutionTimeEstimate, PipelineTimer};
 
 // ---------------------------------------------------------------------------
@@ -91,6 +93,29 @@ pub enum SpecError {
         /// Number of arrays the campaign platform has.
         arrays: usize,
     },
+    /// A by-name scenario reference did not resolve against the registry.
+    UnknownScenario {
+        /// The unresolved name.
+        name: String,
+    },
+    /// A by-name recovery-policy reference did not resolve against the
+    /// registry.
+    UnknownPolicy {
+        /// The unresolved name.
+        name: String,
+    },
+    /// The campaign's fault scenario is malformed (carries the rendered
+    /// [`ScenarioError`](crate::scenario::ScenarioError)).
+    InvalidScenario {
+        /// Why the scenario was rejected.
+        reason: String,
+    },
+    /// The campaign's recovery-policy ladder is malformed (carries the
+    /// rendered [`PolicyError`](crate::self_healing::PolicyError)).
+    InvalidPolicy {
+        /// Why the ladder was rejected.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -113,6 +138,18 @@ impl std::fmt::Display for SpecError {
                 f,
                 "campaign targets array {array} but the platform has {arrays} arrays"
             ),
+            SpecError::UnknownScenario { name } => {
+                write!(f, "unknown fault scenario '{name}' (see GET /registry)")
+            }
+            SpecError::UnknownPolicy { name } => {
+                write!(f, "unknown recovery policy '{name}' (see GET /registry)")
+            }
+            SpecError::InvalidScenario { reason } => {
+                write!(f, "invalid fault scenario: {reason}")
+            }
+            SpecError::InvalidPolicy { reason } => {
+                write!(f, "invalid recovery policy: {reason}")
+            }
         }
     }
 }
@@ -403,9 +440,13 @@ impl CascadeBuilder {
     }
 }
 
-/// A validated systematic fault-injection campaign: for every PE position of
-/// the targeted arrays, inject the dummy-PE fault, measure the degradation,
-/// and recover by re-evolving on the damaged fabric.
+/// A validated fault-injection campaign: compile the fault scenario into its
+/// deterministic injection schedule, run every event against the targeted
+/// arrays, and recover each one by walking the recovery-policy ladder.
+///
+/// The default scenario/policy pair — a `SingleSweep` under the one-rung
+/// re-evolve ladder — is the paper's systematic campaign (§VI.D), and legacy
+/// constructors map to exactly that.
 #[derive(Debug, Clone)]
 pub struct FaultCampaignSpec {
     task: EvolutionTask,
@@ -413,6 +454,8 @@ pub struct FaultCampaignSpec {
     arrays: Vec<usize>,
     platform_arrays: usize,
     recovery: EsConfig,
+    scenario: FaultScenario,
+    policy: RecoveryPolicy,
     seed: Option<u64>,
 }
 
@@ -436,6 +479,16 @@ impl FaultCampaignSpec {
     pub fn recovery(&self) -> &EsConfig {
         &self.recovery
     }
+
+    /// The declarative fault scenario the campaign compiles and replays.
+    pub fn scenario(&self) -> &FaultScenario {
+        &self.scenario
+    }
+
+    /// The recovery-policy escalation ladder applied to each event.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
 }
 
 /// Builder for [`JobSpec::FaultCampaign`]; see [`JobSpec::fault_campaign`].
@@ -447,6 +500,8 @@ pub struct FaultCampaignBuilder {
     arrays: Vec<usize>,
     platform_arrays: usize,
     recovery: EsConfig,
+    scenario: FaultScenario,
+    policy: RecoveryPolicy,
     seed: Option<u64>,
 }
 
@@ -503,6 +558,20 @@ impl FaultCampaignBuilder {
         self
     }
 
+    /// The declarative fault scenario to compile and replay (default: the
+    /// systematic `SingleSweep` of §VI.D).
+    pub fn scenario(mut self, scenario: FaultScenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// The recovery-policy escalation ladder (default: the one-rung
+    /// unconditional re-evolve — the historic reaction).
+    pub fn policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// Pins the RNG seed (see [`EvolutionBuilder::seed`]).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
@@ -513,6 +582,16 @@ impl FaultCampaignBuilder {
     pub fn build(self) -> Result<JobSpec, SpecError> {
         validate_shapes(&self.input, &self.reference)?;
         validate_budget(self.recovery.offspring, self.recovery.generations)?;
+        self.scenario
+            .validate()
+            .map_err(|e| SpecError::InvalidScenario {
+                reason: e.to_string(),
+            })?;
+        self.policy
+            .validate()
+            .map_err(|e| SpecError::InvalidPolicy {
+                reason: e.to_string(),
+            })?;
         if self.arrays.is_empty() {
             return Err(SpecError::EmptyCampaign);
         }
@@ -538,6 +617,8 @@ impl FaultCampaignBuilder {
             arrays: self.arrays,
             platform_arrays,
             recovery: self.recovery,
+            scenario: self.scenario,
+            policy: self.policy,
             seed: self.seed,
         }))
     }
@@ -595,6 +676,8 @@ impl JobSpec {
             arrays: vec![0],
             platform_arrays: 0,
             recovery: EsConfig::paper(2, 1, 30, 0),
+            scenario: FaultScenario::single_sweep(),
+            policy: RecoveryPolicy::default_ladder(),
             seed: None,
         }
     }
@@ -670,6 +753,10 @@ pub(crate) fn campaign_spec_from_config(
         arrays,
         platform_arrays,
         recovery: *recovery,
+        // The legacy free functions are, by definition, the systematic sweep
+        // under the historic reaction.
+        scenario: FaultScenario::single_sweep(),
+        policy: RecoveryPolicy::default_ladder(),
         seed: Some(recovery.seed),
     })
 }
@@ -1114,12 +1201,14 @@ pub fn execute_controlled_cached(
         }
         JobSpec::FaultCampaign(s) => {
             let recovery = EsConfig { seed, ..s.recovery };
-            let report = crate::fault_campaign::systematic_fault_campaign_controlled(
+            let report = crate::fault_campaign::scenario_fault_campaign_controlled(
                 platform,
                 &s.baseline,
                 &s.task,
                 &recovery,
                 &s.arrays,
+                &s.scenario,
+                &s.policy,
                 platform.parallel_config(),
                 control,
             );
@@ -1303,5 +1392,74 @@ mod tests {
         }
         .to_string();
         assert!(msg.contains('5') && msg.contains('2'), "{msg}");
+        let msg = SpecError::UnknownScenario {
+            name: "meteor".into(),
+        }
+        .to_string();
+        assert!(msg.contains("meteor") && msg.contains("/registry"), "{msg}");
+        let msg = SpecError::UnknownPolicy {
+            name: "prayer".into(),
+        }
+        .to_string();
+        assert!(msg.contains("prayer") && msg.contains("/registry"), "{msg}");
+    }
+
+    #[test]
+    fn campaign_builder_rejects_malformed_scenarios_and_policies() {
+        use crate::scenario::{FaultScenario, ScenarioKind, TargetFilter};
+        use crate::self_healing::{RecoveryPolicy, RecoveryStep};
+        let (noisy, clean) = training_pair(8, 40);
+
+        let err = JobSpec::fault_campaign(noisy.clone(), clean.clone())
+            .scenario(FaultScenario::new("bad", ScenarioKind::MultiPe { k: 0 }))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::InvalidScenario { .. }), "{err}");
+
+        let err = JobSpec::fault_campaign(noisy.clone(), clean.clone())
+            .scenario(FaultScenario::single_sweep().with_filter(TargetFilter::Positions(vec![])))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, SpecError::InvalidScenario { ref reason } if reason.contains("target")),
+            "{err}"
+        );
+
+        let err = JobSpec::fault_campaign(noisy.clone(), clean.clone())
+            .policy(RecoveryPolicy {
+                steps: vec![],
+                stop_margin: None,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::InvalidPolicy { .. }), "{err}");
+
+        let err = JobSpec::fault_campaign(noisy, clean)
+            .policy(RecoveryPolicy {
+                steps: vec![RecoveryStep::Scrub { attempts: 0 }],
+                stop_margin: None,
+            })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, SpecError::InvalidPolicy { ref reason } if reason.contains("scrub")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn campaign_builder_accepts_registry_scenarios_and_policies() {
+        use crate::scenario::ScenarioRegistry;
+        let registry = ScenarioRegistry::builtin();
+        let (noisy, clean) = training_pair(8, 41);
+        for scenario in registry.scenarios() {
+            for (_, policy) in registry.policies() {
+                let spec = JobSpec::fault_campaign(noisy.clone(), clean.clone())
+                    .scenario(scenario.clone())
+                    .policy(policy.clone())
+                    .build();
+                assert!(spec.is_ok(), "{}: {:?}", scenario.name, spec.err());
+            }
+        }
     }
 }

@@ -18,7 +18,11 @@
 //!   combined with bypass + imitation recovery for cascaded operation, and a
 //!   TMR strategy with fitness and pixel voters for parallel operation,
 //! * the **fault-injection campaign** of §VI.D (PE-level dummy-PE faults
-//!   injected through the reconfiguration engine),
+//!   injected through the reconfiguration engine), generalised by
+//!   [`scenario`] into declarative fault scenarios — sweeps, multi-PE,
+//!   correlated damage, SEU bursts, radiation storms — compiled into
+//!   deterministic injection schedules and recovered under configurable
+//!   [`RecoveryPolicy`] escalation ladders,
 //! * the **generation-pipeline timing model** of Figs. 11–14 and the
 //!   **resource-utilisation model** of §VI.A,
 //! * the **job path** ([`jobs`]): every workload as a typed, validated
@@ -43,6 +47,7 @@ pub mod modes;
 pub mod platform;
 pub mod registers;
 pub mod resources;
+pub mod scenario;
 pub mod self_healing;
 pub mod timing;
 pub mod voter;
@@ -52,4 +57,9 @@ pub use cache::{CacheStats, CrossJobCache, CrossJobCacheConfig};
 pub use jobs::{JobOutput, JobResult, JobSpec, SpecError};
 pub use modes::{EvolutionMode, ProcessingMode};
 pub use platform::EhwPlatform;
+pub use scenario::{
+    FaultScenario, InjectionEvent, InjectionSchedule, PlannedFault, ResilienceEntry,
+    ResilienceReport, ScenarioKind, ScenarioRegistry, TargetFilter,
+};
+pub use self_healing::{PolicyError, RecoveryPolicy, RecoveryStep};
 pub use timing::{EvolutionTimeEstimate, PipelineTimer};

@@ -81,6 +81,186 @@ pub struct RecoveryConfig {
 }
 
 // ---------------------------------------------------------------------------
+// Declarative recovery policies
+// ---------------------------------------------------------------------------
+
+/// One rung of a [`RecoveryPolicy`] escalation ladder.
+///
+/// Each step is a bounded reaction the campaign executor can apply to a
+/// damaged array, cheapest first; the historic hard-coded reaction sequence
+/// (scrub → remap → re-evolve) is now just one particular ladder value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecoveryStep {
+    /// Rewrite the configuration memory from the golden copy: removes every
+    /// scrubbing-recoverable (SEU) fault, leaves permanent damage in place.
+    /// Each attempt costs one re-measurement; attempts stop early once a
+    /// pass no longer changes the measured fitness.
+    Scrub {
+        /// Maximum scrub-and-measure passes (at least 1).
+        attempts: usize,
+    },
+    /// Spatial remap without evolution: re-route the output row of the
+    /// current best configuration across every candidate row of the damaged
+    /// array and keep the best — the TMR-style "paste a known-good
+    /// configuration elsewhere" reaction, one measurement per row.
+    TmrRemap,
+    /// Re-evolve on the damaged fabric, seeded with the best configuration
+    /// the ladder has found so far.
+    Reevolve {
+        /// Generation budget override; `None` inherits the campaign's
+        /// recovery [`EsConfig`] budget (the historic behaviour).
+        generations: Option<usize>,
+    },
+}
+
+impl RecoveryStep {
+    /// Short tag used on the wire and in reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RecoveryStep::Scrub { .. } => "scrub",
+            RecoveryStep::TmrRemap => "tmr_remap",
+            RecoveryStep::Reevolve { .. } => "reevolve",
+        }
+    }
+}
+
+/// An ordered escalation ladder of [`RecoveryStep`]s with an optional stop
+/// condition, replacing the hard-coded reaction sequence.
+///
+/// Steps run in order on each injection event.  After every step the
+/// executor checks the stop condition: with `stop_margin: Some(m)` the
+/// ladder stops escalating once the best measured fitness is within `m` of
+/// the clean baseline; with `None` every step always runs (the historic
+/// behaviour — the legacy campaign always re-evolved, even on non-critical
+/// positions).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// The reaction steps, cheapest first.
+    pub steps: Vec<RecoveryStep>,
+    /// Stop escalating once `best_fitness <= fitness_clean + margin`;
+    /// `None` never stops early.
+    pub stop_margin: Option<u64>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy::default_ladder()
+    }
+}
+
+impl RecoveryPolicy {
+    /// The historic reaction pinned as data: one unconditional re-evolution
+    /// with the campaign's recovery budget.  Campaigns under this policy are
+    /// byte-identical to the pre-policy code path.
+    pub fn default_ladder() -> Self {
+        RecoveryPolicy {
+            steps: vec![RecoveryStep::Reevolve { generations: None }],
+            stop_margin: None,
+        }
+    }
+
+    /// Scrub first (free for transient faults), then re-evolve only if the
+    /// damage persists beyond the clean baseline.
+    pub fn scrub_then_reevolve() -> Self {
+        RecoveryPolicy {
+            steps: vec![
+                RecoveryStep::Scrub { attempts: 1 },
+                RecoveryStep::Reevolve { generations: None },
+            ],
+            stop_margin: Some(0),
+        }
+    }
+
+    /// The full escalation ladder: scrub → spatial remap → re-evolve, each
+    /// rung only reached while the damage persists.
+    pub fn full_ladder() -> Self {
+        RecoveryPolicy {
+            steps: vec![
+                RecoveryStep::Scrub { attempts: 1 },
+                RecoveryStep::TmrRemap,
+                RecoveryStep::Reevolve { generations: None },
+            ],
+            stop_margin: Some(0),
+        }
+    }
+
+    /// A deterministic human-readable label for reports: step tags joined
+    /// with `+` (scrub attempts / explicit re-evolve budgets in parens),
+    /// `@margin` appended when a stop condition is set.  The built-in
+    /// ladders render as `reevolve`, `scrub+reevolve@0` and
+    /// `scrub+tmr_remap+reevolve@0`.
+    pub fn describe(&self) -> String {
+        let mut label = self
+            .steps
+            .iter()
+            .map(|step| match step {
+                RecoveryStep::Scrub { attempts: 1 } => "scrub".to_string(),
+                RecoveryStep::Scrub { attempts } => format!("scrub({attempts})"),
+                RecoveryStep::TmrRemap => "tmr_remap".to_string(),
+                RecoveryStep::Reevolve { generations: None } => "reevolve".to_string(),
+                RecoveryStep::Reevolve {
+                    generations: Some(g),
+                } => format!("reevolve({g})"),
+            })
+            .collect::<Vec<_>>()
+            .join("+");
+        if let Some(margin) = self.stop_margin {
+            label.push_str(&format!("@{margin}"));
+        }
+        label
+    }
+
+    /// Structural validation of the ladder.
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        if self.steps.is_empty() {
+            return Err(PolicyError::EmptyLadder);
+        }
+        for step in &self.steps {
+            match step {
+                RecoveryStep::Scrub { attempts: 0 } => return Err(PolicyError::ZeroScrubAttempts),
+                RecoveryStep::Reevolve {
+                    generations: Some(0),
+                } => return Err(PolicyError::ZeroReevolveBudget),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a recovery-policy ladder is structurally invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyError {
+    /// A ladder with no steps recovers nothing.
+    EmptyLadder,
+    /// A scrub step needs at least one attempt.
+    ZeroScrubAttempts,
+    /// An explicit re-evolve budget of zero generations runs nothing.
+    ZeroReevolveBudget,
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::EmptyLadder => {
+                write!(f, "a recovery policy needs at least one step")
+            }
+            PolicyError::ZeroScrubAttempts => {
+                write!(f, "scrub steps need at least 1 attempt")
+            }
+            PolicyError::ZeroReevolveBudget => {
+                write!(
+                    f,
+                    "an explicit reevolve budget must be at least 1 generation"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+// ---------------------------------------------------------------------------
 // Cascaded self-healing (§V.A)
 // ---------------------------------------------------------------------------
 
@@ -572,6 +752,52 @@ mod tests {
             }
             other => panic!("expected permanent recovery, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn policy_ladders_validate_per_failure_mode() {
+        assert!(RecoveryPolicy::default_ladder().validate().is_ok());
+        assert!(RecoveryPolicy::scrub_then_reevolve().validate().is_ok());
+        assert!(RecoveryPolicy::full_ladder().validate().is_ok());
+        assert_eq!(
+            RecoveryPolicy {
+                steps: vec![],
+                stop_margin: None
+            }
+            .validate(),
+            Err(PolicyError::EmptyLadder)
+        );
+        assert_eq!(
+            RecoveryPolicy {
+                steps: vec![RecoveryStep::Scrub { attempts: 0 }],
+                stop_margin: None
+            }
+            .validate(),
+            Err(PolicyError::ZeroScrubAttempts)
+        );
+        assert_eq!(
+            RecoveryPolicy {
+                steps: vec![RecoveryStep::Reevolve {
+                    generations: Some(0)
+                }],
+                stop_margin: None
+            }
+            .validate(),
+            Err(PolicyError::ZeroReevolveBudget)
+        );
+    }
+
+    #[test]
+    fn default_policy_is_the_historic_reaction() {
+        // The pre-policy code path was one unconditional re-evolution; the
+        // default ladder pins exactly that as data.
+        let policy = RecoveryPolicy::default();
+        assert_eq!(
+            policy.steps,
+            vec![RecoveryStep::Reevolve { generations: None }]
+        );
+        assert_eq!(policy.stop_margin, None);
+        assert_eq!(policy, RecoveryPolicy::default_ladder());
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`bitstream`] — partial bitstreams (PBS) addressed to a frame range,
 //! * [`region`] — reconfigurable regions (one per PE slot) and the floorplan,
 //! * [`fault`] — SEU and LPD injection into configuration cells,
+//! * [`scenario`] — declarative fault-scenario kinds (sweeps, multi-PE,
+//!   correlated, bursts, storms) compiled into injection schedules by the
+//!   platform layer,
 //! * [`scrub`] — golden-copy scrubbing,
 //! * [`resources`] — slice / flip-flop / LUT accounting with the paper's
 //!   published utilisation numbers.
@@ -36,6 +39,7 @@ pub mod fault;
 pub mod frame;
 pub mod region;
 pub mod resources;
+pub mod scenario;
 pub mod scrub;
 
 pub use bitstream::PartialBitstream;
@@ -44,3 +48,4 @@ pub use fault::{FaultKind, FaultRecord};
 pub use frame::{ConfigMemory, Frame, FrameAddress, FRAME_BYTES};
 pub use region::{Floorplan, ReconfigurableRegion};
 pub use resources::ResourceUsage;
+pub use scenario::{CorrelationShape, ScenarioError, ScenarioKind, StormPhase};

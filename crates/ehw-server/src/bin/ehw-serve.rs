@@ -1,20 +1,34 @@
 //! Runs the job server on a real port.
 //!
 //! ```text
-//! EHW_PLATFORMS=2 EHW_WORKERS=4 ehw-serve 127.0.0.1:8080
+//! EHW_PLATFORMS=2 EHW_WORKERS=4 ehw-serve 127.0.0.1:8080 --registry=faults.json
 //! ```
 //!
 //! The bind address defaults to `127.0.0.1:8080`; `EHW_PLATFORMS` sizes the
 //! shard pool (default 1) and the usual `EHW_WORKERS`/`EHW_CHUNK` variables
-//! govern per-shard host parallelism.
+//! govern per-shard host parallelism.  `--registry=FILE` overlays a JSON
+//! scenario/policy registry (the `GET /registry` document shape) on the
+//! built-in entries; without it the server runs on the built-ins alone.
 
-use ehw_server::EhwServer;
-use ehw_service::{EhwService, ServiceConfig};
+use ehw_server::{json, wire, EhwServer, DEFAULT_JOB_TTL};
+use ehw_service::{EhwService, ScenarioRegistry, ServiceConfig};
 
 fn main() {
-    let addr = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "127.0.0.1:8080".to_string());
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut registry = ScenarioRegistry::builtin();
+    for arg in std::env::args().skip(1) {
+        if let Some(path) = arg.strip_prefix("--registry=") {
+            registry = match load_registry(path) {
+                Ok(registry) => registry,
+                Err(error) => {
+                    eprintln!("ehw-serve: registry file {path}: {error}");
+                    std::process::exit(2);
+                }
+            };
+        } else {
+            addr = arg;
+        }
+    }
     let platforms = std::env::var("EHW_PLATFORMS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -38,7 +52,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let server = match EhwServer::serve(service, &addr) {
+    let server = match EhwServer::serve_with_registry(service, &addr, DEFAULT_JOB_TTL, registry) {
         Ok(server) => server,
         Err(error) => {
             eprintln!("ehw-serve: cannot bind {addr}: {error}");
@@ -50,4 +64,11 @@ fn main() {
     loop {
         std::thread::park();
     }
+}
+
+/// Reads and parses a JSON registry file as an overlay on the built-ins.
+fn load_registry(path: &str) -> Result<ScenarioRegistry, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = json::parse(&text).map_err(|e| e.to_string())?;
+    wire::parse_registry(&doc).map_err(|e| e.to_string())
 }

@@ -15,6 +15,7 @@
 //! | `DELETE /jobs/:id`     | Request cooperative cancellation                    |
 //! | `GET /jobs/:id/events` | Line-delimited JSON progress events (one per generation), streamed until the job settles |
 //! | `GET /metrics`         | Queue depth, per-state job counts, jobs/sec, per-kind latency histograms, shard liveness, cross-job cache counters |
+//! | `GET /registry`        | Named fault scenarios and recovery policies this server resolves in `fault_campaign` specs |
 //!
 //! `/metrics` speaks JSON by default and the Prometheus text exposition
 //! format when asked — either `GET /metrics?format=prometheus` or an
@@ -35,6 +36,7 @@
 //! run.  Cancellation is cooperative (generation boundaries), so `DELETE`
 //! promises *settling soon*, not instant death.
 
+pub mod base64;
 pub mod http;
 pub mod json;
 pub mod wire;
@@ -48,7 +50,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use ehw_service::{EhwService, JobHandle, JobMonitor, JobResult};
+use ehw_service::{EhwService, JobHandle, JobMonitor, JobResult, ScenarioRegistry};
 
 use http::{read_request, write_response, write_stream_head, Request, RequestError};
 use json::{f64v, strv, u64v, usizev, Value};
@@ -172,6 +174,8 @@ struct ServerState {
     job_ttl: Duration,
     /// Settled jobs evicted by the reaper since the server started.
     evicted: AtomicU64,
+    /// Named fault scenarios and recovery policies resolvable in job specs.
+    registry: ScenarioRegistry,
 }
 
 impl ServerState {
@@ -227,7 +231,8 @@ pub struct EhwServer {
 
 impl EhwServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `service` on it, retaining settled jobs for [`DEFAULT_JOB_TTL`].
+    /// `service` on it, retaining settled jobs for [`DEFAULT_JOB_TTL`] and
+    /// resolving scenario/policy names against the built-in registry.
     pub fn serve(service: EhwService, addr: &str) -> io::Result<EhwServer> {
         EhwServer::serve_with_ttl(service, addr, DEFAULT_JOB_TTL)
     }
@@ -240,6 +245,20 @@ impl EhwServer {
         addr: &str,
         job_ttl: Duration,
     ) -> io::Result<EhwServer> {
+        EhwServer::serve_with_registry(service, addr, job_ttl, ScenarioRegistry::builtin())
+    }
+
+    /// [`EhwServer::serve_with_ttl`] with an explicit scenario/policy
+    /// registry — what `GET /registry` exposes and `fault_campaign` specs
+    /// resolve their `scenario`/`policy` name fields against.  Start from
+    /// [`wire::parse_registry`] to overlay a JSON registry file on the
+    /// built-ins.
+    pub fn serve_with_registry(
+        service: EhwService,
+        addr: &str,
+        job_ttl: Duration,
+        registry: ScenarioRegistry,
+    ) -> io::Result<EhwServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
@@ -250,6 +269,7 @@ impl EhwServer {
             shutting_down: AtomicBool::new(false),
             job_ttl,
             evicted: AtomicU64::new(0),
+            registry,
         });
         let accept_state = Arc::clone(&state);
         let accept_thread = thread::Builder::new()
@@ -377,7 +397,8 @@ fn route(stream: &mut TcpStream, state: &ServerState, request: &Request) {
             Err(_) => respond_json(stream, 400, &encode_error("job id must be an integer")),
         },
         ("GET", ["metrics"]) => handle_metrics(stream, state, request),
-        (_, ["jobs"]) | (_, ["jobs", ..]) | (_, ["metrics"]) => respond_json(
+        ("GET", ["registry"]) => respond_json(stream, 200, &wire::encode_registry(&state.registry)),
+        (_, ["jobs"]) | (_, ["jobs", ..]) | (_, ["metrics"]) | (_, ["registry"]) => respond_json(
             stream,
             405,
             &encode_error("method not allowed on this path"),
@@ -398,7 +419,7 @@ fn handle_submit(stream: &mut TcpStream, state: &ServerState, body: &[u8]) {
             return;
         }
     };
-    let (spec, options) = match wire::decode_spec(&doc) {
+    let (spec, options) = match wire::decode_spec_with(&doc, &state.registry) {
         Ok(decoded) => decoded,
         Err(wire_error) => {
             respond_json(stream, 400, &encode_error(wire_error.to_string()));

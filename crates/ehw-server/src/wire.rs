@@ -8,11 +8,21 @@
 //! job's in-process result run through [`encode_result`].
 
 use ehw_array::genotype::Genotype;
+use ehw_array::pe::FaultBehaviour;
+use ehw_evolution::fitness::EngineStats;
+use ehw_fabric::FaultKind;
 use ehw_image::GrayImage;
+use ehw_platform::fault_campaign::{CampaignReport, EventResult, PositionResult};
 use ehw_platform::jobs::{CancelKind, JobOutput, JobProgress, JobResult, JobSpec};
+use ehw_platform::scenario::{
+    CorrelationShape, FaultScenario, PlannedFault, ScenarioKind, ScenarioRegistry, StormPhase,
+    TargetFilter,
+};
+use ehw_platform::self_healing::{RecoveryPolicy, RecoveryStep};
 use ehw_platform::timing::EvolutionTimeEstimate;
 use ehw_service::{JobOptions, Priority};
 
+use crate::base64;
 use crate::json::{bytesv, f64v, strv, u64v, usizev, Value};
 
 /// Why a request document could not be turned into a job spec.
@@ -35,7 +45,9 @@ fn err(message: impl Into<String>) -> WireError {
 // Decoding: JSON -> (JobSpec, JobOptions)
 // ---------------------------------------------------------------------------
 
-/// Decodes a `POST /jobs` document into a validated spec plus its options.
+/// Decodes a `POST /jobs` document into a validated spec plus its options,
+/// resolving by-name scenario/policy references against the built-in
+/// registry (see [`decode_spec_with`] for a custom one).
 ///
 /// ```json
 /// {
@@ -47,14 +59,30 @@ fn err(message: impl Into<String>) -> WireError {
 ///   "baseline": [..13 bytes..]?, "arrays": [N..]?,
 ///   "recovery_generations": N?, "recovery_mutation_rate": N?,
 ///   "recovery_offspring": N?, "recovery_target": N?,
+///   "scenario": "name"?, "policy": "name"?,
 ///   "warm_start": bool?,
 ///   "priority": "high" | "normal" | "low"?, "deadline_ms": N?
 /// }
 /// ```
 ///
-/// Unknown kinds, missing images and builder-validation failures all come
-/// back as [`WireError`]s carrying a human-readable reason.
+/// Images may alternatively travel as `{"pgm_base64": "..."}` — a
+/// base64-encoded binary PGM (P5) body, roughly 3× smaller than the JSON
+/// pixel array.
+///
+/// Unknown kinds, missing images, unresolvable scenario/policy names and
+/// builder-validation failures all come back as [`WireError`]s carrying a
+/// human-readable reason.
 pub fn decode_spec(doc: &Value) -> Result<(JobSpec, JobOptions), WireError> {
+    decode_spec_with(doc, &ScenarioRegistry::builtin())
+}
+
+/// [`decode_spec`] against an explicit scenario/policy registry — what the
+/// server uses, so deployments can overlay their own named entries from a
+/// registry file.
+pub fn decode_spec_with(
+    doc: &Value,
+    registry: &ScenarioRegistry,
+) -> Result<(JobSpec, JobOptions), WireError> {
     let kind = doc
         .get("kind")
         .and_then(Value::as_str)
@@ -169,6 +197,24 @@ pub fn decode_spec(doc: &Value) -> Result<(JobSpec, JobOptions), WireError> {
             if let Some(n) = field("recovery_target")? {
                 builder = builder.recovery_target(n as u64);
             }
+            if let Some(value) = doc.get("scenario") {
+                let name = value
+                    .as_str()
+                    .ok_or_else(|| err("'scenario' must be a registry name string"))?;
+                let scenario = registry
+                    .scenario(name)
+                    .map_err(|spec_error| err(format!("invalid spec: {spec_error}")))?;
+                builder = builder.scenario(scenario.clone());
+            }
+            if let Some(value) = doc.get("policy") {
+                let name = value
+                    .as_str()
+                    .ok_or_else(|| err("'policy' must be a registry name string"))?;
+                let policy = registry
+                    .policy(name)
+                    .map_err(|spec_error| err(format!("invalid spec: {spec_error}")))?;
+                builder = builder.policy(policy.clone());
+            }
             if let Some(s) = seed {
                 builder = builder.seed(s);
             }
@@ -197,6 +243,17 @@ pub fn decode_spec(doc: &Value) -> Result<(JobSpec, JobOptions), WireError> {
 }
 
 fn decode_image(value: &Value, name: &str) -> Result<GrayImage, WireError> {
+    // Compact transport: a base64-encoded binary PGM (P5) body carries its
+    // own dimensions and ships raw bytes instead of a JSON number per pixel.
+    if let Some(encoded) = value.get("pgm_base64") {
+        let encoded = encoded
+            .as_str()
+            .ok_or_else(|| err(format!("'{name}.pgm_base64' must be a string")))?;
+        let bytes = base64::decode(encoded)
+            .map_err(|reason| err(format!("'{name}.pgm_base64': {reason}")))?;
+        return ehw_image::pgm::decode(&bytes)
+            .map_err(|reason| err(format!("'{name}.pgm_base64' is not a valid PGM: {reason}")));
+    }
     let width = value
         .get("width")
         .and_then(Value::as_usize)
@@ -309,34 +366,7 @@ pub fn encode_result(result: &JobResult) -> Value {
                 Value::Array(cascade.stage_fitness.iter().map(|&f| u64v(f)).collect()),
             ),
         ]),
-        JobOutput::FaultCampaign(report) => Value::object(vec![
-            ("type", strv("fault_campaign")),
-            (
-                "positions",
-                Value::Array(
-                    report
-                        .positions
-                        .iter()
-                        .map(|p| {
-                            Value::object(vec![
-                                ("array", usizev(p.array)),
-                                ("row", usizev(p.row)),
-                                ("col", usizev(p.col)),
-                                ("fitness_clean", u64v(p.fitness_clean)),
-                                ("fitness_faulty", u64v(p.fitness_faulty)),
-                                ("fitness_recovered", u64v(p.fitness_recovered)),
-                                ("evaluations", u64v(p.evaluations)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-            ("critical_positions", usizev(report.critical_positions())),
-            (
-                "fully_recovered_positions",
-                usizev(report.fully_recovered_positions()),
-            ),
-        ]),
+        JobOutput::FaultCampaign(report) => encode_campaign_report(report),
         JobOutput::Failed(message) => Value::object(vec![
             ("type", strv("failed")),
             ("message", strv(message.as_str())),
@@ -365,6 +395,586 @@ fn encode_time(time: &EvolutionTimeEstimate) -> Value {
         ("candidates", u64v(time.candidates)),
         ("pe_reconfigurations", u64v(time.pe_reconfigurations)),
     ])
+}
+
+// ---------------------------------------------------------------------------
+// Campaign reports
+// ---------------------------------------------------------------------------
+
+fn encode_stats(stats: &EngineStats) -> Value {
+    Value::object(vec![
+        ("plans_evaluated", u64v(stats.plans_evaluated)),
+        ("memo_hits", u64v(stats.memo_hits)),
+        ("early_exits", u64v(stats.early_exits)),
+    ])
+}
+
+fn decode_stats(value: &Value, name: &str) -> Result<EngineStats, WireError> {
+    let counter = |field: &str| -> Result<u64, WireError> {
+        value
+            .get(field)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| err(format!("'{name}' needs an integer '{field}'")))
+    };
+    Ok(EngineStats {
+        plans_evaluated: counter("plans_evaluated")?,
+        memo_hits: counter("memo_hits")?,
+        early_exits: counter("early_exits")?,
+    })
+}
+
+fn encode_planned_fault(fault: &PlannedFault) -> Value {
+    let mut pairs = vec![
+        ("row", usizev(fault.row)),
+        ("col", usizev(fault.col)),
+        (
+            "kind",
+            strv(match fault.kind {
+                FaultKind::Seu => "seu",
+                FaultKind::Lpd => "lpd",
+            }),
+        ),
+    ];
+    match fault.behaviour {
+        FaultBehaviour::RandomOutput { seed } => {
+            pairs.push(("behaviour", strv("random_output")));
+            pairs.push(("behaviour_seed", u64v(seed)));
+        }
+        FaultBehaviour::StuckAt { value } => {
+            pairs.push(("behaviour", strv("stuck_at")));
+            pairs.push(("behaviour_value", u64v(u64::from(value))));
+        }
+        FaultBehaviour::InvertedOutput => pairs.push(("behaviour", strv("inverted_output"))),
+    }
+    Value::object(pairs)
+}
+
+fn decode_planned_fault(value: &Value) -> Result<PlannedFault, WireError> {
+    let row = value
+        .get("row")
+        .and_then(Value::as_usize)
+        .ok_or_else(|| err("fault needs an integer 'row'"))?;
+    let col = value
+        .get("col")
+        .and_then(Value::as_usize)
+        .ok_or_else(|| err("fault needs an integer 'col'"))?;
+    let kind = match value.get("kind").and_then(Value::as_str) {
+        Some("seu") => FaultKind::Seu,
+        Some("lpd") => FaultKind::Lpd,
+        _ => return Err(err("fault 'kind' must be \"seu\" or \"lpd\"")),
+    };
+    let behaviour = match value.get("behaviour").and_then(Value::as_str) {
+        Some("random_output") => FaultBehaviour::RandomOutput {
+            seed: value
+                .get("behaviour_seed")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| err("random_output faults need a 'behaviour_seed'"))?,
+        },
+        Some("stuck_at") => FaultBehaviour::StuckAt {
+            value: value
+                .get("behaviour_value")
+                .and_then(Value::as_u64)
+                .and_then(|n| u8::try_from(n).ok())
+                .ok_or_else(|| err("stuck_at faults need a byte 'behaviour_value'"))?,
+        },
+        Some("inverted_output") => FaultBehaviour::InvertedOutput,
+        _ => return Err(err("unknown fault 'behaviour'")),
+    };
+    Ok(PlannedFault {
+        row,
+        col,
+        behaviour,
+        kind,
+    })
+}
+
+/// Encodes a campaign report as the `output` member of a result document:
+/// the legacy `positions` view (single-PE sweeps), the generalised `events`
+/// view (every other scenario kind), and the scenario/policy labels plus
+/// aggregates a [`ResilienceReport`](ehw_platform::scenario::ResilienceReport)
+/// row is built from.
+pub fn encode_campaign_report(report: &CampaignReport) -> Value {
+    Value::object(vec![
+        ("type", strv("fault_campaign")),
+        ("scenario", strv(report.scenario.as_str())),
+        ("policy", strv(report.policy.as_str())),
+        (
+            "positions",
+            Value::Array(
+                report
+                    .positions
+                    .iter()
+                    .map(|p| {
+                        Value::object(vec![
+                            ("array", usizev(p.array)),
+                            ("row", usizev(p.row)),
+                            ("col", usizev(p.col)),
+                            ("fitness_clean", u64v(p.fitness_clean)),
+                            ("fitness_faulty", u64v(p.fitness_faulty)),
+                            ("fitness_recovered", u64v(p.fitness_recovered)),
+                            ("evaluations", u64v(p.evaluations)),
+                            ("stats", encode_stats(&p.stats)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "events",
+            Value::Array(
+                report
+                    .events
+                    .iter()
+                    .map(|e| {
+                        Value::object(vec![
+                            ("tick", usizev(e.tick)),
+                            ("array", usizev(e.array)),
+                            (
+                                "faults",
+                                Value::Array(e.faults.iter().map(encode_planned_fault).collect()),
+                            ),
+                            ("fitness_clean", u64v(e.fitness_clean)),
+                            ("fitness_faulty", u64v(e.fitness_faulty)),
+                            ("fitness_recovered", u64v(e.fitness_recovered)),
+                            ("evaluations", u64v(e.evaluations)),
+                            ("stats", encode_stats(&e.stats)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("critical_positions", usizev(report.critical_positions())),
+        (
+            "fully_recovered_positions",
+            usizev(report.fully_recovered_positions()),
+        ),
+        ("mean_recovery_ratio", f64v(report.mean_recovery_ratio())),
+    ])
+}
+
+/// Decodes a `fault_campaign` output document back into a [`CampaignReport`]
+/// — the client-side half of the codec, used to fold per-job HTTP results
+/// into one [`ResilienceReport`](ehw_platform::scenario::ResilienceReport).
+/// Lossless against [`encode_campaign_report`]: the round trip is
+/// byte-identical (`PartialEq` on the report).
+pub fn decode_campaign_report(value: &Value) -> Result<CampaignReport, WireError> {
+    if value.get("type").and_then(Value::as_str) != Some("fault_campaign") {
+        return Err(err("not a fault_campaign output"));
+    }
+    let label = |field: &str| -> Result<String, WireError> {
+        value
+            .get(field)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| err(format!("campaign output needs a string '{field}'")))
+    };
+    let positions = value
+        .get("positions")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("campaign output needs a 'positions' array"))?
+        .iter()
+        .map(|p| {
+            let number = |field: &str| -> Result<u64, WireError> {
+                p.get(field)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| err(format!("position needs an integer '{field}'")))
+            };
+            Ok(PositionResult {
+                array: number("array")? as usize,
+                row: number("row")? as usize,
+                col: number("col")? as usize,
+                fitness_clean: number("fitness_clean")?,
+                fitness_faulty: number("fitness_faulty")?,
+                fitness_recovered: number("fitness_recovered")?,
+                evaluations: number("evaluations")?,
+                stats: decode_stats(
+                    p.get("stats")
+                        .ok_or_else(|| err("position needs 'stats'"))?,
+                    "stats",
+                )?,
+            })
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    let events = value
+        .get("events")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("campaign output needs an 'events' array"))?
+        .iter()
+        .map(|e| {
+            let number = |field: &str| -> Result<u64, WireError> {
+                e.get(field)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| err(format!("event needs an integer '{field}'")))
+            };
+            Ok(EventResult {
+                tick: number("tick")? as usize,
+                array: number("array")? as usize,
+                faults: e
+                    .get("faults")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| err("event needs a 'faults' array"))?
+                    .iter()
+                    .map(decode_planned_fault)
+                    .collect::<Result<Vec<_>, WireError>>()?,
+                fitness_clean: number("fitness_clean")?,
+                fitness_faulty: number("fitness_faulty")?,
+                fitness_recovered: number("fitness_recovered")?,
+                evaluations: number("evaluations")?,
+                stats: decode_stats(
+                    e.get("stats").ok_or_else(|| err("event needs 'stats'"))?,
+                    "stats",
+                )?,
+            })
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    Ok(CampaignReport {
+        scenario: label("scenario")?,
+        policy: label("policy")?,
+        positions,
+        events,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Scenario / policy registry
+// ---------------------------------------------------------------------------
+
+fn encode_filter(filter: &TargetFilter) -> Value {
+    match filter {
+        TargetFilter::All => Value::object(vec![("type", strv("all"))]),
+        TargetFilter::Rows(rows) => Value::object(vec![
+            ("type", strv("rows")),
+            (
+                "rows",
+                Value::Array(rows.iter().map(|&r| usizev(r)).collect()),
+            ),
+        ]),
+        TargetFilter::Cols(cols) => Value::object(vec![
+            ("type", strv("cols")),
+            (
+                "cols",
+                Value::Array(cols.iter().map(|&c| usizev(c)).collect()),
+            ),
+        ]),
+        TargetFilter::Positions(positions) => Value::object(vec![
+            ("type", strv("positions")),
+            (
+                "positions",
+                Value::Array(
+                    positions
+                        .iter()
+                        .map(|&(r, c)| Value::Array(vec![usizev(r), usizev(c)]))
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+fn decode_filter(value: &Value) -> Result<TargetFilter, WireError> {
+    let indices = |field: &str| -> Result<Vec<usize>, WireError> {
+        value
+            .get(field)
+            .and_then(Value::as_array)
+            .ok_or_else(|| err(format!("filter needs a '{field}' array")))?
+            .iter()
+            .map(|v| {
+                v.as_usize()
+                    .ok_or_else(|| err(format!("'{field}' entries must be non-negative integers")))
+            })
+            .collect()
+    };
+    match value.get("type").and_then(Value::as_str) {
+        Some("all") => Ok(TargetFilter::All),
+        Some("rows") => Ok(TargetFilter::Rows(indices("rows")?)),
+        Some("cols") => Ok(TargetFilter::Cols(indices("cols")?)),
+        Some("positions") => Ok(TargetFilter::Positions(
+            value
+                .get("positions")
+                .and_then(Value::as_array)
+                .ok_or_else(|| err("filter needs a 'positions' array"))?
+                .iter()
+                .map(|pair| {
+                    let pair = pair
+                        .as_array()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| err("'positions' entries must be [row, col] pairs"))?;
+                    let row = pair[0]
+                        .as_usize()
+                        .ok_or_else(|| err("'positions' rows must be non-negative integers"))?;
+                    let col = pair[1]
+                        .as_usize()
+                        .ok_or_else(|| err("'positions' cols must be non-negative integers"))?;
+                    Ok((row, col))
+                })
+                .collect::<Result<Vec<_>, WireError>>()?,
+        )),
+        _ => Err(err(
+            "filter 'type' must be \"all\", \"rows\", \"cols\" or \"positions\"",
+        )),
+    }
+}
+
+fn encode_scenario(scenario: &FaultScenario) -> Value {
+    let mut pairs = vec![
+        ("name", strv(scenario.name.as_str())),
+        ("kind", strv(scenario.kind.tag())),
+    ];
+    match &scenario.kind {
+        ScenarioKind::SingleSweep | ScenarioKind::PermanentLpd => {}
+        ScenarioKind::MultiPe { k } => pairs.push(("k", usizev(*k))),
+        ScenarioKind::Correlated { shape } => pairs.push(("shape", strv(shape.tag()))),
+        ScenarioKind::Burst { rate, width } => {
+            pairs.push(("rate", f64v(*rate)));
+            pairs.push(("width", usizev(*width)));
+        }
+        ScenarioKind::RateSweep { rates } => pairs.push((
+            "rates",
+            Value::Array(rates.iter().map(|&r| f64v(r)).collect()),
+        )),
+        ScenarioKind::Storm { schedule } => pairs.push((
+            "schedule",
+            Value::Array(
+                schedule
+                    .iter()
+                    .map(|phase| {
+                        Value::object(vec![
+                            ("ticks", usizev(phase.ticks)),
+                            ("rate", f64v(phase.rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )),
+    }
+    pairs.push(("filter", encode_filter(&scenario.filter)));
+    pairs.push(("stream", u64v(scenario.stream)));
+    Value::object(pairs)
+}
+
+fn decode_scenario(value: &Value) -> Result<FaultScenario, WireError> {
+    let name = value
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("scenario needs a string 'name'"))?;
+    let rate = |field: &str| -> Result<f64, WireError> {
+        value
+            .get(field)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| err(format!("scenario '{name}' needs a number '{field}'")))
+    };
+    let kind = match value.get("kind").and_then(Value::as_str) {
+        Some("single_sweep") => ScenarioKind::SingleSweep,
+        Some("permanent_lpd") => ScenarioKind::PermanentLpd,
+        Some("multi_pe") => ScenarioKind::MultiPe {
+            k: value
+                .get("k")
+                .and_then(Value::as_usize)
+                .ok_or_else(|| err(format!("scenario '{name}' needs an integer 'k'")))?,
+        },
+        Some("correlated") => ScenarioKind::Correlated {
+            shape: match value.get("shape").and_then(Value::as_str) {
+                Some("row") => CorrelationShape::Row,
+                Some("col") => CorrelationShape::Col,
+                Some("neighborhood") => CorrelationShape::Neighborhood,
+                _ => {
+                    return Err(err(format!(
+                        "scenario '{name}' 'shape' must be \"row\", \"col\" or \"neighborhood\""
+                    )))
+                }
+            },
+        },
+        Some("burst") => ScenarioKind::Burst {
+            rate: rate("rate")?,
+            width: value
+                .get("width")
+                .and_then(Value::as_usize)
+                .ok_or_else(|| err(format!("scenario '{name}' needs an integer 'width'")))?,
+        },
+        Some("rate_sweep") => ScenarioKind::RateSweep {
+            rates: value
+                .get("rates")
+                .and_then(Value::as_array)
+                .ok_or_else(|| err(format!("scenario '{name}' needs a 'rates' array")))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| err(format!("scenario '{name}' rates must be numbers")))
+                })
+                .collect::<Result<Vec<_>, WireError>>()?,
+        },
+        Some("storm") => ScenarioKind::Storm {
+            schedule: value
+                .get("schedule")
+                .and_then(Value::as_array)
+                .ok_or_else(|| err(format!("scenario '{name}' needs a 'schedule' array")))?
+                .iter()
+                .map(|phase| {
+                    Ok(StormPhase {
+                        ticks: phase
+                            .get("ticks")
+                            .and_then(Value::as_usize)
+                            .ok_or_else(|| err("storm phases need an integer 'ticks'"))?,
+                        rate: phase
+                            .get("rate")
+                            .and_then(Value::as_f64)
+                            .ok_or_else(|| err("storm phases need a number 'rate'"))?,
+                    })
+                })
+                .collect::<Result<Vec<_>, WireError>>()?,
+        },
+        _ => return Err(err(format!("scenario '{name}' has an unknown 'kind'"))),
+    };
+    let mut scenario = FaultScenario::new(name, kind);
+    if let Some(filter) = value.get("filter") {
+        scenario = scenario.with_filter(decode_filter(filter)?);
+    }
+    if let Some(stream) = value.get("stream") {
+        scenario = scenario.with_stream(
+            stream
+                .as_u64()
+                .ok_or_else(|| err(format!("scenario '{name}' 'stream' must be an integer")))?,
+        );
+    }
+    scenario
+        .validate()
+        .map_err(|reason| err(format!("scenario '{name}': {reason}")))?;
+    Ok(scenario)
+}
+
+fn encode_policy(name: &str, policy: &RecoveryPolicy) -> Value {
+    Value::object(vec![
+        ("name", strv(name)),
+        ("label", strv(policy.describe())),
+        (
+            "steps",
+            Value::Array(
+                policy
+                    .steps
+                    .iter()
+                    .map(|step| match step {
+                        RecoveryStep::Scrub { attempts } => Value::object(vec![
+                            ("step", strv("scrub")),
+                            ("attempts", usizev(*attempts)),
+                        ]),
+                        RecoveryStep::TmrRemap => Value::object(vec![("step", strv("tmr_remap"))]),
+                        RecoveryStep::Reevolve { generations } => Value::object(vec![
+                            ("step", strv("reevolve")),
+                            (
+                                "generations",
+                                match generations {
+                                    Some(g) => usizev(*g),
+                                    None => Value::Null,
+                                },
+                            ),
+                        ]),
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "stop_margin",
+            match policy.stop_margin {
+                Some(margin) => u64v(margin),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+fn decode_policy(value: &Value) -> Result<(String, RecoveryPolicy), WireError> {
+    let name = value
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("policy needs a string 'name'"))?;
+    let steps = value
+        .get("steps")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err(format!("policy '{name}' needs a 'steps' array")))?
+        .iter()
+        .map(|step| match step.get("step").and_then(Value::as_str) {
+            Some("scrub") => Ok(RecoveryStep::Scrub {
+                attempts: step.get("attempts").and_then(Value::as_usize).unwrap_or(1),
+            }),
+            Some("tmr_remap") => Ok(RecoveryStep::TmrRemap),
+            Some("reevolve") => Ok(RecoveryStep::Reevolve {
+                generations: match step.get("generations") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(v.as_usize().ok_or_else(|| {
+                        err(format!(
+                            "policy '{name}' reevolve 'generations' must be an integer or null"
+                        ))
+                    })?),
+                },
+            }),
+            _ => Err(err(format!(
+                "policy '{name}' steps must be \"scrub\", \"tmr_remap\" or \"reevolve\""
+            ))),
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    let stop_margin = match value.get("stop_margin") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(v.as_u64().ok_or_else(|| {
+            err(format!(
+                "policy '{name}' 'stop_margin' must be an integer or null"
+            ))
+        })?),
+    };
+    let policy = RecoveryPolicy { steps, stop_margin };
+    policy
+        .validate()
+        .map_err(|reason| err(format!("policy '{name}': {reason}")))?;
+    Ok((name.to_string(), policy))
+}
+
+/// Encodes the full registry as the `GET /registry` document:
+/// `{"scenarios": [...], "policies": [...]}`, each entry carrying its
+/// name plus enough structure for a client to reproduce the schedule
+/// locally.
+pub fn encode_registry(registry: &ScenarioRegistry) -> Value {
+    Value::object(vec![
+        (
+            "scenarios",
+            Value::Array(registry.scenarios().iter().map(encode_scenario).collect()),
+        ),
+        (
+            "policies",
+            Value::Array(
+                registry
+                    .policies()
+                    .iter()
+                    .map(|(name, policy)| encode_policy(name, policy))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a registry document (same shape [`encode_registry`] emits) as an
+/// overlay on the built-in entries: named scenarios/policies are added, or
+/// replace builtins of the same name.  Every entry is validated — a
+/// malformed scenario or ladder rejects the whole document, so a server
+/// never starts with a half-usable registry.
+pub fn parse_registry(doc: &Value) -> Result<ScenarioRegistry, WireError> {
+    let mut registry = ScenarioRegistry::builtin();
+    if let Some(scenarios) = doc.get("scenarios") {
+        for value in scenarios
+            .as_array()
+            .ok_or_else(|| err("'scenarios' must be an array"))?
+        {
+            registry.insert_scenario(decode_scenario(value)?);
+        }
+    }
+    if let Some(policies) = doc.get("policies") {
+        for value in policies
+            .as_array()
+            .ok_or_else(|| err("'policies' must be an array"))?
+        {
+            let (name, policy) = decode_policy(value)?;
+            registry.insert_policy(name, policy);
+        }
+    }
+    Ok(registry)
 }
 
 /// Encodes one progress event as a single NDJSON line (no trailing newline).
@@ -479,5 +1089,202 @@ mod tests {
         .unwrap();
         let decoded = Genotype::decode(&bytes).unwrap();
         assert_eq!(&decoded, result.best_genotype().unwrap());
+    }
+
+    fn test_image(width: usize, height: usize) -> GrayImage {
+        GrayImage::from_vec(
+            width,
+            height,
+            (0..width * height)
+                .map(|i| ((i * 37) % 256) as u8)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn base64_pgm_bodies_decode_to_the_same_image_as_pixel_arrays() {
+        let image = test_image(8, 8);
+        let pgm = crate::base64::encode(&ehw_image::pgm::encode_p5(&image));
+        let doc = parse(&format!(
+            "{{\"kind\":\"evolution\",\
+             \"input\":{{\"pgm_base64\":\"{pgm}\"}},\
+             \"reference\":{{\"pgm_base64\":\"{pgm}\"}},\
+             \"generations\":2,\"seed\":9}}"
+        ))
+        .unwrap();
+        let (spec, _) = decode_spec(&doc).unwrap();
+        assert_eq!(spec.kind(), "evolution");
+
+        // The compact body is the point: for this image the base64 PGM is
+        // roughly 3x smaller than the JSON pixel-array encoding.
+        let json_pixels = image_doc(8, 8).len();
+        let base64_body = format!("{{\"pgm_base64\":\"{pgm}\"}}").len();
+        assert!(
+            json_pixels as f64 / base64_body as f64 > 2.0,
+            "expected a compact transport: {json_pixels} vs {base64_body}"
+        );
+    }
+
+    #[test]
+    fn malformed_base64_images_are_rejected_with_the_field_name() {
+        let doc = parse(
+            "{\"kind\":\"evolution\",\
+             \"input\":{\"pgm_base64\":\"!!!\"},\
+             \"reference\":{\"pgm_base64\":\"!!!\"}}",
+        )
+        .unwrap();
+        let error = decode_spec(&doc).unwrap_err();
+        assert!(error.0.contains("input.pgm_base64"), "{error}");
+    }
+
+    #[test]
+    fn campaign_reports_round_trip_through_the_wire_codec() {
+        use ehw_evolution::fitness::EngineStats;
+        use ehw_platform::fault_campaign::{EventResult, PositionResult};
+
+        let report = CampaignReport {
+            scenario: "burst".to_string(),
+            policy: "scrub+reevolve@0".to_string(),
+            positions: vec![PositionResult {
+                array: 0,
+                row: 1,
+                col: 2,
+                fitness_clean: 10,
+                fitness_faulty: 90,
+                fitness_recovered: 12,
+                evaluations: 7,
+                stats: EngineStats {
+                    plans_evaluated: 5,
+                    memo_hits: 1,
+                    early_exits: 2,
+                },
+            }],
+            events: vec![EventResult {
+                tick: 3,
+                array: 1,
+                faults: vec![
+                    PlannedFault {
+                        row: 0,
+                        col: 3,
+                        behaviour: FaultBehaviour::RandomOutput { seed: 77 },
+                        kind: FaultKind::Seu,
+                    },
+                    PlannedFault {
+                        row: 2,
+                        col: 1,
+                        behaviour: FaultBehaviour::StuckAt { value: 0 },
+                        kind: FaultKind::Lpd,
+                    },
+                    PlannedFault {
+                        row: 3,
+                        col: 3,
+                        behaviour: FaultBehaviour::InvertedOutput,
+                        kind: FaultKind::Seu,
+                    },
+                ],
+                fitness_clean: 4,
+                fitness_faulty: 40,
+                fitness_recovered: 4,
+                evaluations: 3,
+                stats: EngineStats::default(),
+            }],
+        };
+        let decoded = decode_campaign_report(&encode_campaign_report(&report)).unwrap();
+        assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn the_builtin_registry_round_trips_through_its_json_document() {
+        let registry = ScenarioRegistry::builtin();
+        let doc = encode_registry(&registry);
+        let parsed = parse_registry(&parse(&doc.to_json()).unwrap()).unwrap();
+        assert_eq!(
+            parsed
+                .scenarios()
+                .iter()
+                .map(|s| &s.name)
+                .collect::<Vec<_>>(),
+            registry
+                .scenarios()
+                .iter()
+                .map(|s| &s.name)
+                .collect::<Vec<_>>()
+        );
+        for (name, policy) in registry.policies() {
+            assert_eq!(parsed.policy(name).unwrap(), policy);
+        }
+        for scenario in registry.scenarios() {
+            assert_eq!(parsed.scenario(&scenario.name).unwrap(), scenario);
+        }
+    }
+
+    #[test]
+    fn campaign_specs_resolve_scenario_and_policy_names_from_the_registry() {
+        let doc = parse(&format!(
+            "{{\"kind\":\"fault_campaign\",\"input\":{img},\"reference\":{img},\
+             \"scenario\":\"burst\",\"policy\":\"scrub_then_reevolve\",\
+             \"recovery_generations\":2,\"seed\":11}}",
+            img = image_doc(8, 8)
+        ))
+        .unwrap();
+        let (spec, _) = decode_spec_with(&doc, &ScenarioRegistry::builtin()).unwrap();
+        let JobSpec::FaultCampaign(campaign) = &spec else {
+            panic!("expected a fault campaign spec");
+        };
+        assert_eq!(campaign.scenario().name, "burst");
+        assert_eq!(campaign.policy().describe(), "scrub+reevolve@0");
+    }
+
+    #[test]
+    fn unknown_scenario_and_policy_names_are_structured_errors() {
+        for (field, needle) in [
+            ("\"scenario\":\"meteor\"", "unknown fault scenario 'meteor'"),
+            ("\"policy\":\"prayer\"", "unknown recovery policy 'prayer'"),
+        ] {
+            let doc = parse(&format!(
+                "{{\"kind\":\"fault_campaign\",\"input\":{img},\"reference\":{img},{field}}}",
+                img = image_doc(8, 8)
+            ))
+            .unwrap();
+            let error = decode_spec(&doc).unwrap_err();
+            assert!(error.0.contains(needle), "{error}");
+            assert!(error.0.contains("/registry"), "{error}");
+        }
+    }
+
+    #[test]
+    fn registry_files_overlay_the_builtins_and_reject_malformed_entries() {
+        let doc = parse(
+            "{\"scenarios\":[{\"name\":\"row_zero\",\"kind\":\"correlated\",\
+              \"shape\":\"row\",\"filter\":{\"type\":\"rows\",\"rows\":[0]},\"stream\":3}],\
+             \"policies\":[{\"name\":\"gentle\",\"steps\":[{\"step\":\"scrub\",\"attempts\":2},\
+              {\"step\":\"reevolve\",\"generations\":4}],\"stop_margin\":1}]}",
+        )
+        .unwrap();
+        let registry = parse_registry(&doc).unwrap();
+        // Builtins survive the overlay...
+        assert!(registry.scenario("single_sweep").is_ok());
+        assert!(registry.policy("full_ladder").is_ok());
+        // ...and the file's entries resolve.
+        let scenario = registry.scenario("row_zero").unwrap();
+        assert_eq!(scenario.stream, 3);
+        assert_eq!(
+            registry.policy("gentle").unwrap().describe(),
+            "scrub(2)+reevolve(4)@1"
+        );
+
+        // A malformed ladder rejects the whole document.
+        let bad = parse(
+            "{\"policies\":[{\"name\":\"broken\",\"steps\":[{\"step\":\"scrub\",\"attempts\":0}]}]}",
+        )
+        .unwrap();
+        let error = parse_registry(&bad).unwrap_err();
+        assert!(error.0.contains("broken"), "{error}");
+
+        // So does a geometrically impossible scenario.
+        let bad =
+            parse("{\"scenarios\":[{\"name\":\"huge\",\"kind\":\"multi_pe\",\"k\":0}]}").unwrap();
+        let error = parse_registry(&bad).unwrap_err();
+        assert!(error.0.contains("huge"), "{error}");
     }
 }

@@ -580,3 +580,210 @@ fn warm_start_provenance_travels_the_wire() {
     assert_eq!(result.get("warm_started").unwrap().as_bool(), Some(false));
     assert!(result.get("warm_start_key").unwrap().is_null());
 }
+
+// ---------------------------------------------------------------------------
+// Fault scenarios, recovery policies and the registry over the wire
+// ---------------------------------------------------------------------------
+
+fn pgm_image_json(img: &GrayImage) -> String {
+    let pgm = ehw_server::base64::encode(&ehw_image::pgm::encode_p5(img));
+    format!("{{\"pgm_base64\":\"{pgm}\"}}")
+}
+
+fn campaign_body(size: usize, seed: u64, scenario: &str, policy: &str) -> String {
+    let (input, reference) = training_pair(size);
+    format!(
+        "{{\"kind\":\"fault_campaign\",\"input\":{},\"reference\":{},\
+         \"arrays\":[0],\"num_arrays\":1,\"recovery_generations\":1,\
+         \"scenario\":\"{scenario}\",\"policy\":\"{policy}\",\"seed\":{seed}}}",
+        pgm_image_json(&input),
+        pgm_image_json(&reference)
+    )
+}
+
+#[test]
+fn the_registry_endpoint_lists_scenarios_and_policies() {
+    let server = start_server(1);
+    let addr = server.local_addr();
+
+    let response = get(addr, "/registry");
+    assert_eq!(response.status, 200, "{}", response.body);
+    let doc = response.json();
+    let names = |section: &str| -> Vec<String> {
+        doc.get(section)
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|e| e.get("name").unwrap().as_str().unwrap().to_string())
+            .collect()
+    };
+    let scenarios = names("scenarios");
+    for expected in [
+        "single_sweep",
+        "multi_pe_2",
+        "correlated_row",
+        "correlated_col",
+        "correlated_neighborhood",
+        "burst",
+        "permanent_lpd",
+        "rate_sweep",
+        "storm",
+    ] {
+        assert!(
+            scenarios.iter().any(|n| n == expected),
+            "missing {expected}"
+        );
+    }
+    let policies = names("policies");
+    for expected in ["reevolve", "scrub_then_reevolve", "full_ladder"] {
+        assert!(policies.iter().any(|n| n == expected), "missing {expected}");
+    }
+
+    // The registry is read-only: writes are method errors, not 404s.
+    assert_eq!(request(addr, "POST", "/registry", Some("{}")).status, 405);
+}
+
+#[test]
+fn base64_pgm_bodies_match_pixel_arrays_and_shrink_the_payload() {
+    let server = start_server(1);
+    let addr = server.local_addr();
+    let (input, reference) = training_pair(16);
+
+    // Same spec, two image transports: results must be byte-identical.
+    let json_body = evolution_body(16, 5, 61, "");
+    let pgm_body = format!(
+        "{{\"kind\":\"evolution\",\"input\":{},\"reference\":{},\
+         \"generations\":5,\"seed\":61}}",
+        pgm_image_json(&input),
+        pgm_image_json(&reference)
+    );
+    // ~2.4x here (3-digit pixels approach 3x); anything under 2x would mean
+    // the compact transport regressed.
+    assert!(
+        json_body.len() as f64 / pgm_body.len() as f64 > 2.0,
+        "base64 PGM transport should shrink the body: {} vs {}",
+        json_body.len(),
+        pgm_body.len()
+    );
+
+    let from_json = wait_settled(addr, submit(addr, &json_body));
+    let from_pgm = wait_settled(addr, submit(addr, &pgm_body));
+    // Everything but the job id (output, seed, evaluation counters) must be
+    // identical: the image transport cannot leak into execution.
+    assert_eq!(
+        from_json
+            .get("result")
+            .unwrap()
+            .get("output")
+            .unwrap()
+            .to_json(),
+        from_pgm
+            .get("result")
+            .unwrap()
+            .get("output")
+            .unwrap()
+            .to_json(),
+        "image transport leaked into the result"
+    );
+    assert_eq!(
+        from_json
+            .get("result")
+            .unwrap()
+            .get("evaluations")
+            .unwrap()
+            .to_json(),
+        from_pgm
+            .get("result")
+            .unwrap()
+            .get("evaluations")
+            .unwrap()
+            .to_json()
+    );
+}
+
+#[test]
+fn scenario_campaigns_fold_into_one_resilience_report_over_http() {
+    use ehw_server::wire::decode_campaign_report;
+    use ehw_service::ResilienceReport;
+
+    let server = start_server(2);
+    let addr = server.local_addr();
+
+    // Four scenario kinds crossed with two recovery ladders, all named via
+    // the registry, all submitted over plain HTTP.
+    let scenarios = ["single_sweep", "multi_pe_2", "correlated_row", "burst"];
+    let policies = ["reevolve", "scrub_then_reevolve"];
+    let jobs: Vec<(u64, &str, &str)> = scenarios
+        .iter()
+        .flat_map(|&scenario| {
+            policies.iter().map(move |&policy| {
+                let body = campaign_body(8, 1000, scenario, policy);
+                (submit(addr, &body), scenario, policy)
+            })
+        })
+        .collect();
+
+    let mut resilience = ResilienceReport::default();
+    for (job_id, scenario, _policy) in &jobs {
+        let settled = wait_settled(addr, *job_id);
+        assert_eq!(
+            settled.get("status").unwrap().as_str(),
+            Some("done"),
+            "{scenario}: {}",
+            settled.to_json()
+        );
+        let output = settled.get("result").unwrap().get("output").unwrap();
+        let report = decode_campaign_report(output).expect("campaign output decodes");
+        assert_eq!(&report.scenario, scenario);
+        resilience.push_campaign(&report);
+    }
+
+    assert_eq!(resilience.len(), scenarios.len() * policies.len());
+    for (entry, (_, scenario, _)) in resilience.entries.iter().zip(&jobs) {
+        assert_eq!(&entry.scenario, scenario);
+        assert!(entry.events > 0, "{scenario} produced no events");
+        assert!(entry.evaluations >= 2 * entry.events as u64);
+    }
+    // The two ladders genuinely differ on the same scenario: the scrub-first
+    // ladder heals transient faults without paying for evolution.
+    let by_policy = |policy: &str| {
+        resilience
+            .entries
+            .iter()
+            .zip(&jobs)
+            .filter(|(_, (_, _, p))| *p == policy)
+            .map(|(entry, _)| entry.evaluations)
+            .sum::<u64>()
+    };
+    assert!(
+        by_policy("scrub_then_reevolve") < by_policy("reevolve"),
+        "the scrub ladder should cost fewer evaluations than reevolve-only"
+    );
+}
+
+#[test]
+fn unknown_scenario_and_policy_names_get_structured_400s() {
+    let server = start_server(1);
+    let addr = server.local_addr();
+
+    for (scenario, policy, needle) in [
+        ("meteor", "reevolve", "unknown fault scenario 'meteor'"),
+        ("burst", "prayer", "unknown recovery policy 'prayer'"),
+    ] {
+        let response = request(
+            addr,
+            "POST",
+            "/jobs",
+            Some(&campaign_body(8, 5, scenario, policy)),
+        );
+        assert_eq!(response.status, 400, "{}", response.body);
+        let error = response.json();
+        let message = error.get("error").unwrap().as_str().unwrap().to_string();
+        assert!(message.contains(needle), "{message}");
+        assert!(message.contains("/registry"), "{message}");
+    }
+
+    // The server is still healthy afterwards.
+    assert_eq!(get(addr, "/metrics").status, 200);
+}

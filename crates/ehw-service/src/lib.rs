@@ -72,6 +72,11 @@ pub use ehw_platform::jobs::{
     CancelKind, CascadeBuilder, CascadeSpec, EvolutionBuilder, EvolutionSpec, FaultCampaignBuilder,
     FaultCampaignSpec, JobOutput, JobProgress, JobResult, JobSpec, SpecError,
 };
+pub use ehw_platform::scenario::{
+    FaultScenario, InjectionSchedule, ResilienceEntry, ResilienceReport, ScenarioKind,
+    ScenarioRegistry, TargetFilter,
+};
+pub use ehw_platform::self_healing::{RecoveryPolicy, RecoveryStep};
 
 // ---------------------------------------------------------------------------
 // Poison recovery

@@ -37,6 +37,15 @@ TRACKED = [
     # baseline exists until this summary lands.
     ("cross_job_cache", "warm_speedup"),
     ("cross_job_cache", "hit_rate"),
+    # Fault-scenario layer: schedule compilation throughput (events/sec,
+    # higher is better — the ns/event figure is recorded alongside for
+    # readability) and the generalised campaign executor's evals/sec plus
+    # its ratio to the legacy sweep (byte-identity gated in the bench
+    # itself; ~1.0 means the abstraction is free).  Recorded, not yet
+    # gated — no committed baseline exists until this summary lands.
+    ("resilience", "schedule_compile_events_per_sec"),
+    ("resilience", "campaign_evals_per_sec"),
+    ("resilience", "scenario_vs_legacy_ratio"),
 ]
 
 # Gated even when the committed baseline lacks them: these ratios have

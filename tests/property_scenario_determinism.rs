@@ -1,0 +1,235 @@
+//! Scenario-layer determinism suite: fault injection is *data*, and that
+//! data replays byte-identically.
+//!
+//! A [`FaultScenario`] compiles into an injection schedule that is a pure
+//! function of `(scenario, arrays, seed)` — no wall clock, no thread
+//! interleaving, no global state.  These properties pin the two halves of
+//! that contract: the schedule itself is reproducible across compiles, and
+//! the campaign a schedule drives is byte-identical at 1, 2 and 8 workers
+//! for every scenario kind crossed with every recovery-policy ladder.  The
+//! legacy single-PE sweep is also pinned as exactly `SingleSweep` under the
+//! default policy, so PR-era call sites and the scenario layer can never
+//! drift apart silently.
+
+use ehw_array::genotype::Genotype;
+use ehw_evolution::fitness::EngineStats;
+use ehw_evolution::strategy::EsConfig;
+use ehw_image::noise::salt_pepper;
+use ehw_image::synth;
+use ehw_parallel::ParallelConfig;
+use ehw_platform::evo_modes::EvolutionTask;
+use ehw_platform::fault_campaign::{
+    scenario_fault_campaign_with, systematic_fault_campaign_with, CampaignReport,
+};
+use ehw_platform::platform::EhwPlatform;
+use ehw_platform::scenario::{FaultScenario, ResilienceReport, ScenarioKind, ScenarioRegistry};
+use ehw_platform::self_healing::RecoveryPolicy;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn denoise_task(size: usize, seed: u64) -> EvolutionTask {
+    let clean = synth::shapes(size, size, 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let noisy = salt_pepper(&clean, 0.3, &mut rng);
+    EvolutionTask::new(noisy, clean)
+}
+
+fn run_campaign(
+    scenario: &FaultScenario,
+    policy: &RecoveryPolicy,
+    seed: u64,
+    workers: usize,
+) -> CampaignReport {
+    let task = denoise_task(12, seed ^ 0x5EED);
+    let baseline = {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Genotype::random(&mut rng)
+    };
+    let recovery = EsConfig::paper(1, 1, 2, seed);
+    let mut platform = EhwPlatform::new(2);
+    scenario_fault_campaign_with(
+        &mut platform,
+        &baseline,
+        &task,
+        &recovery,
+        &[0, 1],
+        scenario,
+        policy,
+        ParallelConfig::with_workers(workers),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // ------------------------------------------------------------------
+    // Schedules are pure functions of (scenario, arrays, seed)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn schedules_compile_byte_identically_for_every_builtin_kind(seed in any::<u64>()) {
+        for scenario in ScenarioRegistry::builtin().scenarios() {
+            let first = scenario.compile(&[0, 1], seed);
+            let second = scenario.compile(&[0, 1], seed);
+            prop_assert_eq!(&first, &second, "kind {} recompiled differently", scenario.kind.tag());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_decorrelate_probabilistic_schedules(seed in any::<u64>()) {
+        let scenario = FaultScenario::new("burst", ScenarioKind::Burst { rate: 0.5, width: 8 });
+        let a = scenario.compile(&[0], seed);
+        let b = scenario.compile(&[0], seed ^ 0xFFFF_0000);
+        // Equality would mean the seed never reached the RNG stream; with 8
+        // probabilistic ticks over 16 positions a collision is astronomically
+        // unlikely, so treat it as a wiring bug.
+        prop_assert_ne!(a, b);
+    }
+
+    // ------------------------------------------------------------------
+    // Campaigns: scenario kinds x policy ladders, 1 == 2 == 8 workers
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn scenario_campaigns_are_worker_count_invariant_across_kinds_and_ladders(
+        seed in any::<u64>(),
+        scenario_index in 0usize..4,
+        policy_index in 0usize..3,
+    ) {
+        // Four representative kinds (one per injection style: sweep,
+        // simultaneous multi-PE, correlated geometry, probabilistic burst)
+        // crossed with all three builtin ladders.
+        let registry = ScenarioRegistry::builtin();
+        let scenario = ["single_sweep", "multi_pe_2", "correlated_row", "burst"]
+            [scenario_index];
+        let scenario = registry.scenario(scenario).unwrap();
+        let (_, policy) = &registry.policies()[policy_index];
+
+        let reports: Vec<CampaignReport> = WORKER_COUNTS
+            .iter()
+            .map(|&workers| run_campaign(scenario, policy, seed, workers))
+            .collect();
+        for report in &reports[1..] {
+            prop_assert_eq!(report, &reports[0]);
+        }
+
+        // Folding into a resilience report is equally deterministic.
+        let folded: Vec<ResilienceReport> = reports
+            .iter()
+            .map(|report| {
+                let mut resilience = ResilienceReport::default();
+                resilience.push_campaign(report);
+                resilience
+            })
+            .collect();
+        for fold in &folded[1..] {
+            prop_assert_eq!(&fold.entries, &folded[0].entries);
+        }
+        prop_assert_eq!(&folded[0].entries[0].scenario, &scenario.name);
+    }
+
+    // ------------------------------------------------------------------
+    // Legacy pinning: the historical sweep IS SingleSweep + default ladder
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn legacy_campaign_equals_single_sweep_under_the_default_policy(seed in any::<u64>()) {
+        let task = denoise_task(12, seed ^ 0x5EED);
+        let baseline = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Genotype::random(&mut rng)
+        };
+        let recovery = EsConfig::paper(1, 1, 2, seed);
+
+        let legacy = {
+            let mut platform = EhwPlatform::new(2);
+            systematic_fault_campaign_with(
+                &mut platform,
+                &baseline,
+                &task,
+                &recovery,
+                &[0, 1],
+                ParallelConfig::with_workers(2),
+            )
+        };
+        let scenario = run_campaign(
+            &FaultScenario::single_sweep(),
+            &RecoveryPolicy::default_ladder(),
+            seed,
+            2,
+        );
+        prop_assert_eq!(&legacy, &scenario);
+        prop_assert_eq!(legacy.len(), 32);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Deterministic spot checks (non-property, fixed seeds)
+// ----------------------------------------------------------------------
+
+/// Regression pin for the per-position recovery statistics gap: every
+/// position that actually re-evolved must carry non-zero [`EngineStats`]
+/// (the sweep once reported them as all-zero because the evaluator's
+/// counters were never read back per position).
+#[test]
+fn recovered_positions_carry_nonzero_engine_stats() {
+    let report = run_campaign(
+        &FaultScenario::single_sweep(),
+        &RecoveryPolicy::default_ladder(),
+        0xC0FFEE,
+        2,
+    );
+    let evolved: Vec<_> = report
+        .positions
+        .iter()
+        .filter(|p| p.evaluations > 2)
+        .collect();
+    assert!(
+        !evolved.is_empty(),
+        "campaign never re-evolved; the regression check is vacuous"
+    );
+    for position in evolved {
+        assert_ne!(
+            position.stats,
+            EngineStats::default(),
+            "re-evolved position ({}, {}, {}) reported zero engine stats",
+            position.array,
+            position.row,
+            position.col
+        );
+    }
+}
+
+/// All seven builtin scenario kinds produce non-empty schedules over two
+/// arrays, and the deterministic kinds produce the geometry they promise.
+#[test]
+fn builtin_scenarios_cover_every_kind_with_nonempty_schedules() {
+    let registry = ScenarioRegistry::builtin();
+    let mut tags: Vec<&str> = registry.scenarios().iter().map(|s| s.kind.tag()).collect();
+    tags.sort_unstable();
+    tags.dedup();
+    assert_eq!(
+        tags,
+        [
+            "burst",
+            "correlated",
+            "multi_pe",
+            "permanent_lpd",
+            "rate_sweep",
+            "single_sweep",
+            "storm"
+        ],
+        "builtin registry no longer covers every scenario kind"
+    );
+    for scenario in registry.scenarios() {
+        let schedule = scenario.compile(&[0, 1], 7);
+        assert!(
+            !schedule.is_empty(),
+            "builtin scenario '{}' compiled to an empty schedule",
+            scenario.name
+        );
+    }
+}

@@ -25,7 +25,11 @@
 //! * **cross_job_cache** — the service-level cache: fitness-cache hit rate
 //!   of a replayed same-image batch (byte-identity gated against a
 //!   cache-off service) and the cold-vs-warm-start evaluations-to-target
-//!   gap when seeding from the champion library.
+//!   gap when seeding from the champion library,
+//! * **streaming** — the frame-stream engine: steady-state frames/sec with
+//!   a trained incumbent and no drift, frames-to-recover after a scripted
+//!   noise shift (detection to applied adaptation), and the warm-vs-cold
+//!   bootstrap evaluations-to-target gap.
 //!
 //! Usage: `cargo run --release -p ehw-bench --bin bench_summary`
 //! (`--size=`, `--reps=`, `--generations=`, `--cascade-generations=`,
@@ -50,6 +54,10 @@ use ehw_platform::platform::EhwPlatform;
 use ehw_platform::scenario::ScenarioRegistry;
 use ehw_platform::self_healing::RecoveryPolicy;
 use ehw_service::{EhwService, JobSpec, ServiceConfig};
+use ehw_stream::{
+    run_stream, AdaptationConfig, DriftConfig, FrameSource, NoiseSegment, SceneKind, StreamConfig,
+    StreamEvent, SyntheticSource,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -589,6 +597,171 @@ fn main() {
     );
     let scenario_vs_legacy = scenario_campaign_eps / legacy_campaign_eps.max(1e-9);
 
+    // --- streaming: steady state, drift recovery, warm vs cold bootstrap ---
+    // Three figures for the frame-stream engine.  (1) Steady state: a
+    // trained incumbent filters a constant-noise stream with the drift
+    // detector parked far out of reach — pure filtering throughput in
+    // frames/sec.  (2) Recovery: the noise shifts hard mid-stream; the
+    // figures are the frames from the shift to the drift tick and to the
+    // first *applied* adaptation.  (3) Warm vs cold: the bootstrap evolution
+    // chases the trained incumbent's frame-0 fitness as an explicit target,
+    // once from a random parent and once warm-started from that incumbent —
+    // the evaluations gap is what champion seeding saves a stream.
+    let stream_size = ehw_bench::arg_usize("stream-size", 32);
+    let stream_frames = ehw_bench::arg_usize("stream-frames", 48);
+    let stream_generations = ehw_bench::arg_usize("stream-generations", 20);
+    let stream_reps = ehw_bench::arg_usize("stream-reps", 3).max(1);
+    let stream_scene = SceneKind::Shapes { complexity: 4 };
+    let calm = vec![NoiseSegment {
+        start_frame: 0,
+        noise: ehw_image::noise::NoiseModel::SaltPepper { density: 0.3 },
+    }];
+    let shift_frame = stream_frames / 2;
+    let shifting = vec![
+        NoiseSegment {
+            start_frame: 0,
+            noise: ehw_image::noise::NoiseModel::SaltPepper { density: 0.1 },
+        },
+        NoiseSegment {
+            start_frame: shift_frame,
+            noise: ehw_image::noise::NoiseModel::SaltPepper { density: 0.5 },
+        },
+    ];
+    let make_source = |schedule: &[NoiseSegment], seed: u64| {
+        SyntheticSource::new(
+            stream_scene,
+            stream_size,
+            stream_size,
+            stream_frames,
+            schedule.to_vec(),
+            seed,
+        )
+        .expect("valid synthetic source")
+    };
+    // Train the incumbent on frame 0 of the calm stream — the deployment
+    // story: evolve offline, then stream.
+    let (trained, trained_fitness) = {
+        let mut source = make_source(&calm, 91);
+        let frame0 = source.frame(0).expect("streams have a frame 0");
+        let config = EsConfig {
+            engine: EvalEngine::Bounded,
+            ..EsConfig::paper(3, 1, stream_generations * 2, 92)
+        };
+        let mut eval = SoftwareEvaluator::new(frame0, source.reference().clone());
+        let result = run_evolution(&config, &mut eval, &mut NullObserver);
+        (result.best_genotype, result.best_fitness)
+    };
+    let stream_adaptation = AdaptationConfig {
+        generations: stream_generations,
+        ..AdaptationConfig::default()
+    };
+    // (1) Steady state: drift threshold far beyond any real degradation, so
+    // the run is filtering only.  Best-of-N of identical deterministic runs.
+    let steady_config = StreamConfig {
+        seed: 93,
+        drift: DriftConfig {
+            threshold_pct: 100_000,
+            ..DriftConfig::default()
+        },
+        adaptation: stream_adaptation,
+        parallel: ParallelConfig::serial(),
+    };
+    let mut steady_s = f64::INFINITY;
+    let mut steady_report = None;
+    for _ in 0..stream_reps {
+        let mut source = make_source(&calm, 91);
+        let start = Instant::now();
+        let report = run_stream(
+            &mut source,
+            Some(trained.clone()),
+            None,
+            &steady_config,
+            &mut |_| {},
+            &|| false,
+        );
+        steady_s = steady_s.min(start.elapsed().as_secs_f64().max(1e-9));
+        steady_report = Some(report);
+    }
+    let steady_report = steady_report.expect("at least one steady rep");
+    assert_eq!(
+        steady_report.drift_events, 0,
+        "steady-state stream must not drift"
+    );
+    let stream_fps = steady_report.frames as f64 / steady_s;
+    // (2) Recovery after the scripted shift.
+    let recovery_config = StreamConfig {
+        seed: 94,
+        drift: DriftConfig {
+            window: 4,
+            threshold_pct: 130,
+            cooldown: 6,
+        },
+        adaptation: stream_adaptation,
+        parallel: ParallelConfig::serial(),
+    };
+    let mut recovery_events = Vec::new();
+    let recovery_report = {
+        let mut source = make_source(&shifting, 95);
+        run_stream(
+            &mut source,
+            Some(trained.clone()),
+            None,
+            &recovery_config,
+            &mut |e| recovery_events.push(*e),
+            &|| false,
+        )
+    };
+    let first_drift = recovery_events.iter().find_map(|e| match e {
+        StreamEvent::Drift { frame, .. } if *frame >= shift_frame => Some(*frame),
+        _ => None,
+    });
+    let first_recovery = recovery_events.iter().find_map(|e| match e {
+        StreamEvent::Adaptation {
+            frame,
+            accepted: true,
+            ..
+        } if *frame >= shift_frame => Some(*frame),
+        _ => None,
+    });
+    let drift_frame = first_drift.expect("the scripted shift must trip the detector");
+    let recovery_frame = first_recovery.expect("an adaptation must beat the drifted incumbent");
+    let frames_to_detect = drift_frame - shift_frame;
+    let frames_to_recover = recovery_frame - shift_frame;
+    // (3) Warm vs cold bootstrap, evaluations to the incumbent's fitness on
+    // a short calm stream (no drift, so evaluations ≈ bootstrap only).
+    let bootstrap_adaptation = AdaptationConfig {
+        generations: stream_generations * 2,
+        target_fitness: Some(trained_fitness),
+        ..AdaptationConfig::default()
+    };
+    let bootstrap_config = StreamConfig {
+        seed: 96,
+        drift: DriftConfig {
+            threshold_pct: 100_000,
+            ..DriftConfig::default()
+        },
+        adaptation: bootstrap_adaptation,
+        parallel: ParallelConfig::serial(),
+    };
+    let bootstrap = |warm_parent: Option<Genotype>| {
+        let mut source =
+            SyntheticSource::new(stream_scene, stream_size, stream_size, 4, calm.clone(), 91)
+                .expect("valid synthetic source");
+        run_stream(
+            &mut source,
+            None,
+            warm_parent,
+            &bootstrap_config,
+            &mut |_| {},
+            &|| false,
+        )
+    };
+    let cold_bootstrap = bootstrap(None);
+    let warm_bootstrap = bootstrap(Some(trained.clone()));
+    let (cold_boot_evals, warm_boot_evals) =
+        (cold_bootstrap.evaluations, warm_bootstrap.evaluations);
+    let warm_boot_speedup = cold_boot_evals as f64 / warm_boot_evals.max(1) as f64;
+
     let speedup_1w = compiled_1w.evals_per_sec / interp.evals_per_sec;
 
     // --- report ------------------------------------------------------------
@@ -664,6 +837,15 @@ fn main() {
          {legacy_campaign_eps:.1} evals/s, scenario layer \
          {scenario_campaign_eps:.1} evals/s, ratio {scenario_vs_legacy:.2}x",
         registry.scenarios().len()
+    );
+    println!(
+        "streaming ({stream_size}x{stream_size}, {stream_frames} frames): \
+         {stream_fps:.1} frames/s steady state; shift at frame {shift_frame}: \
+         detected +{frames_to_detect}, recovered +{frames_to_recover} \
+         ({} adaptations applied); bootstrap to fitness {trained_fitness}: \
+         cold {cold_boot_evals} evals, warm {warm_boot_evals} evals, \
+         speedup {warm_boot_speedup:.1}x",
+        recovery_report.adaptations_applied
     );
 
     // --- BENCH_evaluation.json ---------------------------------------------
@@ -806,6 +988,38 @@ fn main() {
     let _ = writeln!(
         json,
         "    \"scenario_vs_legacy_ratio\": {scenario_vs_legacy:.2}"
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"streaming\": {{");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"{stream_size}x{stream_size} shapes stream, {stream_frames} frames, \
+         salt&pepper 10%->50% shift at frame {shift_frame}, {stream_generations} adaptation \
+         generations, 1 worker\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"frames_per_sec_steady_state\": {stream_fps:.1},"
+    );
+    let _ = writeln!(json, "    \"shift_frame\": {shift_frame},");
+    let _ = writeln!(json, "    \"frames_to_detect\": {frames_to_detect},");
+    let _ = writeln!(json, "    \"frames_to_recover\": {frames_to_recover},");
+    let _ = writeln!(
+        json,
+        "    \"adaptations_applied\": {},",
+        recovery_report.adaptations_applied
+    );
+    let _ = writeln!(
+        json,
+        "    \"cold_bootstrap_evaluations\": {cold_boot_evals},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"warm_bootstrap_evaluations\": {warm_boot_evals},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"warm_bootstrap_speedup\": {warm_boot_speedup:.2}"
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"evolution\": [");

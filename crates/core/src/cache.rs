@@ -48,7 +48,8 @@ use std::sync::{Arc, Mutex};
 
 use ehw_image::window::SharedWindows;
 use ehw_image::GrayImage;
-use ehw_reconfig::library::{Champion, ChampionKey, ChampionLibrary};
+use ehw_reconfig::library::ChampionLibrary;
+pub use ehw_reconfig::library::{Champion, ChampionKey};
 
 /// Sizing knobs of a [`CrossJobCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -231,6 +232,9 @@ pub struct CrossJobCache {
     windows: Mutex<LruMap<u64, Arc<SharedWindows>>>,
     fitness: Mutex<LruMap<FitnessKey, u64>>,
     champions: Mutex<ChampionLibrary>,
+    /// Bumped on every deposit or import that changed the champion library —
+    /// the persistence layer's "is there anything new to save" check.
+    champion_epoch: AtomicU64,
     windows_hits: AtomicU64,
     windows_misses: AtomicU64,
     fitness_hits: AtomicU64,
@@ -256,6 +260,7 @@ impl CrossJobCache {
             windows: Mutex::new(LruMap::new(config.windows_capacity)),
             fitness: Mutex::new(LruMap::new(config.fitness_capacity)),
             champions: Mutex::new(ChampionLibrary::new(config.champion_capacity)),
+            champion_epoch: AtomicU64::new(0),
             windows_hits: AtomicU64::new(0),
             windows_misses: AtomicU64::new(0),
             fitness_hits: AtomicU64::new(0),
@@ -351,12 +356,57 @@ impl CrossJobCache {
         };
         if champions.deposit(key, genotype, fitness) {
             self.champions_deposited.fetch_add(1, Ordering::Relaxed);
+            self.champion_epoch.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Number of deposited champions.
     pub fn champion_len(&self) -> usize {
         self.champions.lock().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// A monotonic counter that advances whenever the champion library
+    /// changes (deposit of a new key, a better fitness, or an import).  A
+    /// persistence layer saves only when the epoch moved since its last
+    /// write, so an idle server never rewrites an unchanged file.
+    pub fn champion_epoch(&self) -> u64 {
+        self.champion_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Every deposited champion in deposit order — the serializable snapshot
+    /// a [`import_champions`](Self::import_champions) on a fresh cache
+    /// restores exactly (contents and FIFO eviction order both).
+    pub fn export_champions(&self) -> Vec<(ChampionKey, Champion)> {
+        self.champions
+            .lock()
+            .map(|c| c.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Replays exported champions into this cache's library, returning how
+    /// many deposits changed it.  Imports count toward the epoch (so a
+    /// follow-up save sees them) but **not** toward `champions_deposited` —
+    /// that counter means "champions this process evolved", and a restored
+    /// snapshot did its work in an earlier life.
+    pub fn import_champions(
+        &self,
+        entries: impl IntoIterator<Item = (ChampionKey, Champion)>,
+    ) -> usize {
+        let Ok(mut champions) = self.champions.lock() else {
+            return 0;
+        };
+        let mut changed = 0;
+        for (key, champion) in entries {
+            if champions.deposit(key, champion.genotype, champion.fitness) {
+                changed += 1;
+            }
+        }
+        drop(champions);
+        if changed > 0 {
+            self.champion_epoch
+                .fetch_add(changed as u64, Ordering::Relaxed);
+        }
+        changed
     }
 
     /// A snapshot of the monotonic counters.
@@ -497,6 +547,34 @@ mod tests {
         assert_eq!(stats.champions_deposited, 1);
         assert_eq!(stats.warm_starts, 1, "only the seeded job counts");
         assert_eq!(cache.champion_len(), 1);
+    }
+
+    #[test]
+    fn champion_exports_restore_on_a_fresh_cache_and_move_the_epoch() {
+        let cache = CrossJobCache::default();
+        assert_eq!(cache.champion_epoch(), 0);
+        let ck = |hash: u64| ChampionKey {
+            image_hash: hash,
+            noise_class: 1,
+            arrays: 1,
+        };
+        cache.deposit_champion(ck(1), vec![1], 10);
+        cache.deposit_champion(ck(2), vec![2], 20);
+        // A no-op deposit (worse fitness) leaves the epoch alone.
+        cache.deposit_champion(ck(1), vec![9], 99);
+        assert_eq!(cache.champion_epoch(), 2);
+
+        let exported = cache.export_champions();
+        let restored = CrossJobCache::default();
+        assert_eq!(restored.import_champions(exported.clone()), 2);
+        assert_eq!(restored.export_champions(), exported);
+        // Imports advance the epoch (a save after restore sees the state)...
+        assert_eq!(restored.champion_epoch(), 2);
+        // ...but provenance counters stay zero: this process evolved nothing.
+        assert_eq!(restored.stats().champions_deposited, 0);
+        // Re-importing the same snapshot changes nothing.
+        assert_eq!(restored.import_champions(exported), 0);
+        assert_eq!(restored.champion_epoch(), 2);
     }
 
     #[test]

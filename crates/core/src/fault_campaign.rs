@@ -35,14 +35,17 @@ use crate::platform::EhwPlatform;
 use crate::scenario::{FaultScenario, InjectionEvent, PlannedFault, ScenarioKind};
 use crate::self_healing::{RecoveryPolicy, RecoveryStep};
 
-/// Relays the job-level cancellation token into each position's recovery
-/// evolution: the campaign has no generation structure of its own, so the
-/// cooperative stop happens at the recovery runs' generation boundaries.
-/// Shared read-only across workers — polling an atomic token is free of the
-/// determinism concerns actual work-sharing would raise (an uncancelled run
-/// never observes it).
+/// Relays the job-level cancellation token — and, when the recovery step
+/// carries a wall-clock budget, a per-step deadline — into each position's
+/// recovery evolution: the campaign has no generation structure of its own,
+/// so the cooperative stop happens at the recovery runs' generation
+/// boundaries, exactly like job deadlines.  Shared read-only across workers
+/// — polling an atomic token is free of the determinism concerns actual
+/// work-sharing would raise (an uncancelled, undeadlined run never observes
+/// either).
 struct RecoveryStopObserver<'a> {
     control: &'a JobControl,
+    deadline: Option<std::time::Instant>,
 }
 
 impl GenerationObserver for RecoveryStopObserver<'_> {
@@ -50,6 +53,9 @@ impl GenerationObserver for RecoveryStopObserver<'_> {
 
     fn should_stop(&self) -> bool {
         self.control.stop_reason().is_some()
+            || self
+                .deadline
+                .is_some_and(|d| std::time::Instant::now() >= d)
     }
 }
 
@@ -405,7 +411,10 @@ fn run_event(
                     }
                 }
             }
-            RecoveryStep::Reevolve { generations } => {
+            RecoveryStep::Reevolve {
+                generations,
+                max_millis,
+            } => {
                 let mut cfg = *ctx.recovery;
                 if let Some(budget) = generations {
                     cfg.generations = budget;
@@ -421,6 +430,9 @@ fn run_event(
                     &mut evaluator,
                     &mut RecoveryStopObserver {
                         control: ctx.control,
+                        deadline: max_millis.map(|ms| {
+                            std::time::Instant::now() + std::time::Duration::from_millis(ms)
+                        }),
                     },
                 );
                 evaluations += result.evaluations;
@@ -931,6 +943,47 @@ mod tests {
         );
         assert!(event.fitness_recovered <= event.fitness_faulty);
         assert_eq!(report.policy, "tmr_remap");
+    }
+
+    #[test]
+    fn reevolve_wall_clock_budget_cuts_recovery_short() {
+        use crate::scenario::ScenarioKind;
+        use crate::self_healing::RecoveryStep;
+        let mut platform = EhwPlatform::new(1);
+        let task = small_task(12);
+        let baseline = Genotype::identity();
+        // An absurd generation budget that only the wall-clock bound can end.
+        let recovery = EsConfig::paper(1, 1, 5, 29);
+        let scenario = FaultScenario::new("lpd", ScenarioKind::PermanentLpd);
+        let policy = RecoveryPolicy {
+            steps: vec![RecoveryStep::Reevolve {
+                generations: Some(1_000_000),
+                max_millis: Some(50),
+            }],
+            stop_margin: None,
+        };
+        let start = std::time::Instant::now();
+        let report = scenario_fault_campaign_with(
+            &mut platform,
+            &baseline,
+            &task,
+            &recovery,
+            &[0],
+            &scenario,
+            &policy,
+            ParallelConfig::serial(),
+        );
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "wall-clock budget did not cut the recovery evolution short"
+        );
+        assert_eq!(report.events.len(), 1);
+        let event = &report.events[0];
+        // The budgeted evolution still ran (and is elitist, so the result is
+        // never worse than the damaged starting point).
+        assert!(event.evaluations > 2);
+        assert!(event.fitness_recovered <= event.fitness_faulty);
+        assert_eq!(report.policy, "reevolve(1000000,50ms)");
     }
 
     #[test]

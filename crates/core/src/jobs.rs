@@ -45,6 +45,11 @@ use ehw_evolution::strategy::{
     MutationStrategy,
 };
 use ehw_image::image::GrayImage;
+use ehw_stream::source::MIN_FRAME_EDGE;
+use ehw_stream::{
+    AdaptationConfig, DriftConfig, FrameSource, NoiseSegment, PgmDirSource, SceneKind,
+    StreamConfig, StreamEvent, StreamReport, SyntheticSource,
+};
 
 use crate::evo_modes::{
     CascadeConfig, CascadeEngine, CascadeInit, CascadeResult, EvolutionTask, PlatformEvaluator,
@@ -116,6 +121,13 @@ pub enum SpecError {
         /// Why the ladder was rejected.
         reason: String,
     },
+    /// The stream's frame source, drift detector or adaptation budget is
+    /// malformed (carries the rendered
+    /// [`SourceError`](ehw_stream::SourceError) or parameter check).
+    InvalidStream {
+        /// Why the stream spec was rejected.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -149,6 +161,9 @@ impl std::fmt::Display for SpecError {
             }
             SpecError::InvalidPolicy { reason } => {
                 write!(f, "invalid recovery policy: {reason}")
+            }
+            SpecError::InvalidStream { reason } => {
+                write!(f, "invalid stream spec: {reason}")
             }
         }
     }
@@ -624,10 +639,201 @@ impl FaultCampaignBuilder {
     }
 }
 
+/// Where a stream job's frames come from.
+///
+/// The synthetic variant is constructed at execution time (its noise seed is
+/// the stream seed's lane 0, so unseeded jobs get service-derived noise);
+/// the PGM variant is loaded and shape-checked eagerly at `build()` so a
+/// malformed file rejects the spec instead of failing mid-stream.
+#[derive(Debug, Clone)]
+pub enum StreamSourceSpec {
+    /// Deterministic synthetic frames: a clean scene corrupted per frame by
+    /// a scriptable noise-shift schedule.
+    Synthetic {
+        /// The clean scene to render.
+        scene: SceneKind,
+        /// Frame width in pixels.
+        width: usize,
+        /// Frame height in pixels.
+        height: usize,
+        /// Total frames in the stream.
+        frames: usize,
+        /// The noise-shift schedule (validated at `build()`).
+        schedule: Vec<NoiseSegment>,
+    },
+    /// Replay of an already-loaded PGM frame directory.
+    PgmDir(PgmDirSource),
+}
+
+/// A validated streaming-denoise request: frames filtered through an
+/// incumbent evolved genotype, with drift detection and budgeted online
+/// re-adaptation (see [`ehw_stream`]).
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    source: StreamSourceSpec,
+    initial: Option<Genotype>,
+    drift: DriftConfig,
+    adaptation: AdaptationConfig,
+    warm_start: bool,
+    seed: Option<u64>,
+}
+
+impl StreamSpec {
+    /// Where the frames come from.
+    pub fn source(&self) -> &StreamSourceSpec {
+        &self.source
+    }
+
+    /// The incumbent genotype to start from; `None` bootstraps one by
+    /// evolving on the first frame.
+    pub fn initial(&self) -> Option<&Genotype> {
+        self.initial.as_ref()
+    }
+
+    /// The drift-detector parameters.
+    pub fn drift(&self) -> &DriftConfig {
+        &self.drift
+    }
+
+    /// The per-adaptation (and bootstrap) evolution budget.
+    pub fn adaptation(&self) -> &AdaptationConfig {
+        &self.adaptation
+    }
+
+    /// Whether the bootstrap opted into champion-library warm starting.
+    pub fn warm_start(&self) -> bool {
+        self.warm_start
+    }
+}
+
+/// Builder for [`JobSpec::Stream`]; see [`JobSpec::stream`].
+#[derive(Debug, Clone)]
+pub struct StreamBuilder {
+    source: StreamSourceSpec,
+    initial: Option<Genotype>,
+    drift: DriftConfig,
+    adaptation: AdaptationConfig,
+    warm_start: bool,
+    seed: Option<u64>,
+}
+
+impl StreamBuilder {
+    /// Starts the stream from this incumbent genotype instead of
+    /// bootstrapping one on the first frame.
+    pub fn initial(mut self, genotype: Genotype) -> Self {
+        self.initial = Some(genotype);
+        self
+    }
+
+    /// Replaces the whole drift-detector configuration.
+    pub fn drift(mut self, drift: DriftConfig) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// Calibration-window length in frames.
+    pub fn drift_window(mut self, window: usize) -> Self {
+        self.drift.window = window;
+        self
+    }
+
+    /// Drift threshold: fires when the windowed fitness exceeds this
+    /// percentage of the latched baseline (e.g. 150 = 1.5×).
+    pub fn drift_threshold_pct(mut self, threshold_pct: u32) -> Self {
+        self.drift.threshold_pct = threshold_pct;
+        self
+    }
+
+    /// Replaces the whole adaptation budget.
+    pub fn adaptation(mut self, adaptation: AdaptationConfig) -> Self {
+        self.adaptation = adaptation;
+        self
+    }
+
+    /// Generation budget per adaptation (and for the bootstrap).
+    pub fn adaptation_generations(mut self, generations: usize) -> Self {
+        self.adaptation.generations = generations;
+        self
+    }
+
+    /// Optional wall-clock budget per adaptation in milliseconds, checked at
+    /// generation boundaries like job deadlines (opt-in nondeterminism).
+    pub fn adaptation_max_millis(mut self, max_millis: u64) -> Self {
+        self.adaptation.max_millis = Some(max_millis);
+        self
+    }
+
+    /// Opts the bootstrap into champion-library warm starting (see
+    /// [`EvolutionBuilder::warm_start`]); ignored when an
+    /// [`initial`](Self::initial) genotype is supplied.
+    pub fn warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
+    /// Pins the RNG seed (see [`EvolutionBuilder::seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Validates the request and produces the spec.
+    pub fn build(self) -> Result<JobSpec, SpecError> {
+        let invalid = |reason: String| SpecError::InvalidStream { reason };
+        match &self.source {
+            StreamSourceSpec::Synthetic {
+                width,
+                height,
+                frames,
+                schedule,
+                ..
+            } => {
+                if *frames == 0 {
+                    return Err(invalid("stream must contain at least one frame".into()));
+                }
+                if *width < MIN_FRAME_EDGE || *height < MIN_FRAME_EDGE {
+                    return Err(invalid(format!(
+                        "frame {width}x{height} is below the \
+                         {MIN_FRAME_EDGE}x{MIN_FRAME_EDGE} minimum"
+                    )));
+                }
+                ehw_stream::source::validate_schedule(schedule)
+                    .map_err(|e| invalid(e.to_string()))?;
+            }
+            // PgmDirSource::new already loaded and shape-checked every frame.
+            StreamSourceSpec::PgmDir(_) => {}
+        }
+        if self.drift.window == 0 {
+            return Err(invalid("drift window must be at least 1 frame".into()));
+        }
+        if self.drift.threshold_pct < 100 {
+            return Err(invalid(format!(
+                "drift threshold {}% would fire on improvement (must be >= 100)",
+                self.drift.threshold_pct
+            )));
+        }
+        validate_budget(self.adaptation.offspring, self.adaptation.generations)?;
+        if self.adaptation.max_millis == Some(0) {
+            return Err(invalid(
+                "an explicit adaptation wall-clock budget must be at least 1 ms".into(),
+            ));
+        }
+        Ok(JobSpec::Stream(StreamSpec {
+            source: self.source,
+            initial: self.initial,
+            drift: self.drift,
+            adaptation: self.adaptation,
+            warm_start: self.warm_start,
+            seed: self.seed,
+        }))
+    }
+}
+
 /// One validated unit of service work.
 ///
 /// Constructed through the builder entry points ([`evolution`](Self::evolution),
-/// [`cascade`](Self::cascade), [`fault_campaign`](Self::fault_campaign)),
+/// [`cascade`](Self::cascade), [`fault_campaign`](Self::fault_campaign),
+/// [`stream`](Self::stream)),
 /// which validate λ, generation budgets, array counts and image shapes up
 /// front — a spec that exists is executable.
 #[derive(Debug, Clone)]
@@ -638,6 +844,8 @@ pub enum JobSpec {
     Cascade(CascadeSpec),
     /// A systematic PE-level fault-injection campaign.
     FaultCampaign(FaultCampaignSpec),
+    /// A streaming denoise with drift detection and online re-adaptation.
+    Stream(StreamSpec),
 }
 
 impl JobSpec {
@@ -682,23 +890,38 @@ impl JobSpec {
         }
     }
 
+    /// Starts building a streaming-denoise job over the given frame source,
+    /// with the default drift detector and adaptation budget.
+    pub fn stream(source: StreamSourceSpec) -> StreamBuilder {
+        StreamBuilder {
+            source,
+            initial: None,
+            drift: DriftConfig::default(),
+            adaptation: AdaptationConfig::default(),
+            warm_start: false,
+            seed: None,
+        }
+    }
+
     /// A short, human-readable kind tag (`"evolution"`, `"cascade"`,
-    /// `"fault_campaign"`).
+    /// `"fault_campaign"`, `"stream"`).
     pub fn kind(&self) -> &'static str {
         match self {
             JobSpec::Evolution(_) => "evolution",
             JobSpec::Cascade(_) => "cascade",
             JobSpec::FaultCampaign(_) => "fault_campaign",
+            JobSpec::Stream(_) => "stream",
         }
     }
 
     /// Number of platform arrays this job needs — what the service sizes the
-    /// executing platform to.
+    /// executing platform to.  Streams run the compiled single-array plan.
     pub fn arrays_needed(&self) -> usize {
         match self {
             JobSpec::Evolution(s) => s.config.num_arrays,
             JobSpec::Cascade(s) => s.stages,
             JobSpec::FaultCampaign(s) => s.platform_arrays,
+            JobSpec::Stream(_) => 1,
         }
     }
 
@@ -709,6 +932,7 @@ impl JobSpec {
             JobSpec::Evolution(s) => s.seed,
             JobSpec::Cascade(s) => s.seed,
             JobSpec::FaultCampaign(s) => s.seed,
+            JobSpec::Stream(s) => s.seed,
         }
     }
 }
@@ -841,15 +1065,20 @@ impl JobControl {
 }
 
 /// One progress event, emitted at each generation boundary of a running job
-/// (cascades count scheduler steps — one stage-generation each; fault
-/// campaigns emit no intra-job events).
+/// (cascades count scheduler steps — one stage-generation each; streams emit
+/// one event per frame, drift fire and adaptation; fault campaigns emit no
+/// intra-job events).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobProgress {
-    /// The generation (or cascade scheduler step) that just finished.
+    /// The generation (cascade scheduler step, or stream frame index) that
+    /// just finished.
     pub generation: usize,
     /// Best fitness so far, where the workload tracks one (evolutions do;
-    /// cascade steps do not).
+    /// cascade steps do not; stream frames report the frame's fitness).
     pub best_fitness: Option<u64>,
+    /// The originating stream event, for stream jobs; `None` for every other
+    /// job kind.
+    pub stream: Option<StreamEvent>,
 }
 
 /// Composes the platform timing observer with the job control plane: relays
@@ -871,6 +1100,7 @@ impl<O: GenerationObserver> GenerationObserver for ControlledObserver<'_, O> {
         (self.progress)(JobProgress {
             generation,
             best_fitness: Some(best_fitness),
+            stream: None,
         });
         self.stopped = self.stopped.or_else(|| self.control.stop_reason());
     }
@@ -898,6 +1128,8 @@ pub enum JobOutput {
     Cascade(CascadeResult),
     /// Payload of a fault-campaign job.
     FaultCampaign(CampaignReport),
+    /// Payload of a stream job.
+    Stream(StreamReport),
     /// The job panicked while executing (service-side catch; the worker and
     /// the rest of the queue survive).
     Failed(String),
@@ -938,14 +1170,16 @@ pub struct JobResult {
 
 impl JobResult {
     /// The evolved genotype(s): one for an evolution job, one per stage for a
-    /// cascade, none for a campaign or a failed job.
+    /// cascade, none for a campaign, stream (whose final incumbent travels
+    /// encoded in [`StreamReport::final_genotype`]) or a failed job.
     pub fn genotypes(&self) -> Vec<&Genotype> {
         match &self.output {
             JobOutput::Evolution { result, .. } => vec![&result.best_genotype],
             JobOutput::Cascade(r) => r.stage_genotypes.iter().collect(),
-            JobOutput::FaultCampaign(_) | JobOutput::Failed(_) | JobOutput::Cancelled(_) => {
-                Vec::new()
-            }
+            JobOutput::FaultCampaign(_)
+            | JobOutput::Stream(_)
+            | JobOutput::Failed(_)
+            | JobOutput::Cancelled(_) => Vec::new(),
         }
     }
 
@@ -955,25 +1189,33 @@ impl JobResult {
         match &self.output {
             JobOutput::Evolution { result, .. } => Some(&result.best_genotype),
             JobOutput::Cascade(r) => r.stage_genotypes.last(),
-            JobOutput::FaultCampaign(_) | JobOutput::Failed(_) | JobOutput::Cancelled(_) => None,
+            JobOutput::FaultCampaign(_)
+            | JobOutput::Stream(_)
+            | JobOutput::Failed(_)
+            | JobOutput::Cancelled(_) => None,
         }
     }
 
     /// The fitness trajectory: per-generation best (evolution) or per-stage
-    /// chain fitness (cascade); empty for campaigns and failures.
+    /// chain fitness (cascade); empty for campaigns, streams and failures.
     pub fn history(&self) -> &[u64] {
         match &self.output {
             JobOutput::Evolution { result, .. } => &result.history,
             JobOutput::Cascade(r) => &r.stage_fitness,
-            JobOutput::FaultCampaign(_) | JobOutput::Failed(_) | JobOutput::Cancelled(_) => &[],
+            JobOutput::FaultCampaign(_)
+            | JobOutput::Stream(_)
+            | JobOutput::Failed(_)
+            | JobOutput::Cancelled(_) => &[],
         }
     }
 
-    /// The final fitness the job reached, when it has one.
+    /// The final fitness the job reached, when it has one (streams: the
+    /// fitness of the last processed frame).
     pub fn final_fitness(&self) -> Option<u64> {
         match &self.output {
             JobOutput::Evolution { result, .. } => Some(result.best_fitness),
             JobOutput::Cascade(r) => r.final_fitness(),
+            JobOutput::Stream(r) => r.final_fitness,
             JobOutput::FaultCampaign(_) | JobOutput::Failed(_) | JobOutput::Cancelled(_) => None,
         }
     }
@@ -998,6 +1240,14 @@ impl JobResult {
     pub fn as_campaign(&self) -> Option<&CampaignReport> {
         match &self.output {
             JobOutput::FaultCampaign(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The stream payload, if this was a stream job.
+    pub fn as_stream(&self) -> Option<&StreamReport> {
+        match &self.output {
+            JobOutput::Stream(r) => Some(r),
             _ => None,
         }
     }
@@ -1179,6 +1429,7 @@ pub fn execute_controlled_cached(
                     progress(JobProgress {
                         generation: step,
                         best_fitness: None,
+                        stream: None,
                     });
                     stopped = stopped.or_else(|| control.stop_reason());
                     stopped.is_none()
@@ -1223,6 +1474,117 @@ pub fn execute_controlled_cached(
                 stats: report.total_stats(),
                 warm_started: false,
                 warm_start_key: None,
+                output,
+            }
+        }
+        JobSpec::Stream(s) => {
+            // Lane 0 of the stream seed drives the frame source's noise; the
+            // engine forks its bootstrap/adaptation lanes from the same root
+            // inside `run_stream`, so the whole stream is a pure function of
+            // (spec, seed) at any worker count.
+            let streams = rand::SeedSequence::new(seed);
+            let mut source: Box<dyn FrameSource> = match &s.source {
+                StreamSourceSpec::Synthetic {
+                    scene,
+                    width,
+                    height,
+                    frames,
+                    schedule,
+                } => Box::new(
+                    SyntheticSource::new(
+                        *scene,
+                        *width,
+                        *height,
+                        *frames,
+                        schedule.clone(),
+                        streams.fork(0).seed(),
+                    )
+                    .expect("stream spec validated at build"),
+                ),
+                StreamSourceSpec::PgmDir(source) => Box::new(source.clone()),
+            };
+            // Workload fingerprint of the stream's *starting* distribution:
+            // reference hash × frame-0 noise class × the single plan array.
+            let champion_key = cache.map(|_| {
+                let reference = source.reference().clone();
+                let frame0 = source.frame(0).expect("validated streams have a frame 0");
+                ehw_reconfig::ChampionKey {
+                    image_hash: reference.content_hash(),
+                    noise_class: ehw_image::NoiseClass::classify(&frame0, &reference).tag(),
+                    arrays: 1,
+                }
+            });
+            // Warm starting only makes sense for the bootstrap — an explicit
+            // initial genotype IS the incumbent and is never replaced here.
+            let consulted = s.warm_start && s.initial.is_none();
+            let warm_parent = match (cache, champion_key, consulted) {
+                (Some(cache), Some(key), true) => cache
+                    .lookup_champion(&key)
+                    .and_then(|champion| Genotype::decode(&champion.genotype))
+                    .inspect(|_| cache.record_warm_start()),
+                _ => None,
+            };
+            let warm_started = warm_parent.is_some();
+            let stream_config = StreamConfig {
+                seed,
+                drift: s.drift,
+                adaptation: s.adaptation,
+                parallel: platform.parallel_config(),
+            };
+            let mut sink = |event: &StreamEvent| {
+                let (generation, best_fitness) = match *event {
+                    StreamEvent::Frame { index, fitness } => (index, Some(fitness)),
+                    StreamEvent::Drift { frame, .. } => (frame, None),
+                    StreamEvent::Adaptation {
+                        frame,
+                        accepted,
+                        incumbent_fitness,
+                        candidate_fitness,
+                        ..
+                    } => (
+                        frame,
+                        Some(if accepted {
+                            candidate_fitness
+                        } else {
+                            incumbent_fitness
+                        }),
+                    ),
+                };
+                progress(JobProgress {
+                    generation,
+                    best_fitness,
+                    stream: Some(*event),
+                });
+            };
+            let report = ehw_stream::run_stream(
+                source.as_mut(),
+                s.initial.clone(),
+                warm_parent,
+                &stream_config,
+                &mut sink,
+                &|| control.stop_reason().is_some(),
+            );
+            let evaluations = report.evaluations;
+            let output = if report.stopped {
+                JobOutput::Cancelled(control.stop_reason().unwrap_or(CancelKind::Requested))
+            } else {
+                JobOutput::Stream(report)
+            };
+            // The surviving incumbent is the champion for this workload —
+            // deposit it so later streams (and evolutions against the same
+            // reference) can warm start from it.
+            if let (Some(cache), Some(key), JobOutput::Stream(r)) = (cache, champion_key, &output) {
+                if let Some(final_fitness) = r.final_fitness {
+                    cache.deposit_champion(key, r.final_genotype.clone(), final_fitness);
+                }
+            }
+            JobResult {
+                job_id: 0,
+                seed,
+                evaluations,
+                stats: EngineStats::default(),
+                warm_started,
+                warm_start_key: champion_key.filter(|_| consulted),
                 output,
             }
         }
@@ -1374,6 +1736,7 @@ mod tests {
                     assert!(result.best_genotype().is_none());
                     assert!(result.history().is_empty());
                 }
+                JobSpec::Stream(_) => unreachable!("no stream spec in this list"),
             }
         }
     }
@@ -1445,6 +1808,150 @@ mod tests {
             matches!(err, SpecError::InvalidPolicy { ref reason } if reason.contains("scrub")),
             "{err}"
         );
+    }
+
+    fn stream_source(frames: usize) -> StreamSourceSpec {
+        StreamSourceSpec::Synthetic {
+            scene: SceneKind::Shapes { complexity: 4 },
+            width: 16,
+            height: 16,
+            frames,
+            schedule: vec![
+                NoiseSegment {
+                    start_frame: 0,
+                    noise: ehw_image::noise::NoiseModel::SaltPepper { density: 0.1 },
+                },
+                NoiseSegment {
+                    start_frame: 8,
+                    noise: ehw_image::noise::NoiseModel::SaltPepper { density: 0.5 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn stream_builder_validates_source_and_budgets() {
+        assert!(matches!(
+            JobSpec::stream(stream_source(0)).build().unwrap_err(),
+            SpecError::InvalidStream { .. }
+        ));
+        let tiny = StreamSourceSpec::Synthetic {
+            scene: SceneKind::Gradient,
+            width: 2,
+            height: 16,
+            frames: 4,
+            schedule: vec![NoiseSegment {
+                start_frame: 0,
+                noise: ehw_image::noise::NoiseModel::SaltPepper { density: 0.1 },
+            }],
+        };
+        assert!(matches!(
+            JobSpec::stream(tiny).build().unwrap_err(),
+            SpecError::InvalidStream { .. }
+        ));
+        let unsorted = StreamSourceSpec::Synthetic {
+            scene: SceneKind::Gradient,
+            width: 16,
+            height: 16,
+            frames: 4,
+            schedule: vec![NoiseSegment {
+                start_frame: 3,
+                noise: ehw_image::noise::NoiseModel::SaltPepper { density: 0.1 },
+            }],
+        };
+        let err = JobSpec::stream(unsorted).build().unwrap_err();
+        assert!(
+            matches!(err, SpecError::InvalidStream { ref reason } if reason.contains("frame 0")),
+            "{err}"
+        );
+        assert!(matches!(
+            JobSpec::stream(stream_source(4))
+                .drift_window(0)
+                .build()
+                .unwrap_err(),
+            SpecError::InvalidStream { .. }
+        ));
+        assert!(matches!(
+            JobSpec::stream(stream_source(4))
+                .drift_threshold_pct(90)
+                .build()
+                .unwrap_err(),
+            SpecError::InvalidStream { .. }
+        ));
+        assert_eq!(
+            JobSpec::stream(stream_source(4))
+                .adaptation_generations(0)
+                .build()
+                .unwrap_err(),
+            SpecError::ZeroGenerations
+        );
+        assert!(matches!(
+            JobSpec::stream(stream_source(4))
+                .adaptation_max_millis(0)
+                .build()
+                .unwrap_err(),
+            SpecError::InvalidStream { .. }
+        ));
+        let spec = JobSpec::stream(stream_source(4)).build().unwrap();
+        assert_eq!(spec.kind(), "stream");
+        assert_eq!(spec.arrays_needed(), 1);
+        assert_eq!(spec.seed(), None);
+    }
+
+    #[test]
+    fn execute_runs_a_stream_and_fills_the_envelope() {
+        let spec = JobSpec::stream(stream_source(12))
+            .drift_window(3)
+            .drift_threshold_pct(140)
+            .adaptation_generations(10)
+            .build()
+            .unwrap();
+        let mut platform = EhwPlatform::new(1);
+        let mut events = Vec::new();
+        let result = execute_controlled(&mut platform, &spec, 42, &JobControl::new(), &mut |p| {
+            events.push(p)
+        });
+        assert!(!result.is_failed() && !result.is_cancelled());
+        let report = result.as_stream().expect("stream payload");
+        assert_eq!(report.frames, 12);
+        assert!(result.evaluations > 0, "bootstrap counted no work");
+        assert_eq!(result.final_fitness(), report.final_fitness);
+        assert!(result.best_genotype().is_none());
+        // One progress event per frame, each carrying the stream event.
+        let frame_events: Vec<&JobProgress> = events
+            .iter()
+            .filter(|p| matches!(p.stream, Some(StreamEvent::Frame { .. })))
+            .collect();
+        assert_eq!(frame_events.len(), 12);
+        assert!(events.iter().all(|p| p.stream.is_some()));
+    }
+
+    #[test]
+    fn stream_execution_is_a_pure_function_of_spec_and_seed() {
+        let make = || {
+            JobSpec::stream(stream_source(10))
+                .drift_window(3)
+                .adaptation_generations(8)
+                .build()
+                .unwrap()
+        };
+        let run = |spec: &JobSpec| {
+            let mut platform = EhwPlatform::new(1);
+            execute(&mut platform, spec, 7)
+        };
+        let a = run(&make());
+        let b = run(&make());
+        assert_eq!(a.as_stream(), b.as_stream());
+    }
+
+    #[test]
+    fn cancelled_stream_reports_cancelled() {
+        let spec = JobSpec::stream(stream_source(12)).build().unwrap();
+        let mut platform = EhwPlatform::new(1);
+        let control = JobControl::new();
+        control.cancel();
+        let result = execute_controlled(&mut platform, &spec, 3, &control, &mut |_| {});
+        assert_eq!(result.cancel_kind(), Some(CancelKind::Requested));
     }
 
     #[test]

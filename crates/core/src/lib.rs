@@ -53,8 +53,8 @@ pub mod timing;
 pub mod voter;
 
 pub use acb::ArrayControlBlock;
-pub use cache::{CacheStats, CrossJobCache, CrossJobCacheConfig};
-pub use jobs::{JobOutput, JobResult, JobSpec, SpecError};
+pub use cache::{CacheStats, Champion, ChampionKey, CrossJobCache, CrossJobCacheConfig};
+pub use jobs::{JobOutput, JobResult, JobSpec, SpecError, StreamSourceSpec, StreamSpec};
 pub use modes::{EvolutionMode, ProcessingMode};
 pub use platform::EhwPlatform;
 pub use scenario::{

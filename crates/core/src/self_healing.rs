@@ -110,7 +110,23 @@ pub enum RecoveryStep {
         /// Generation budget override; `None` inherits the campaign's
         /// recovery [`EsConfig`] budget (the historic behaviour).
         generations: Option<usize>,
+        /// Optional wall-clock budget in milliseconds, checked at generation
+        /// boundaries exactly like job deadlines.  **Opt-in nondeterminism**:
+        /// how many generations fit depends on the host clock, so campaigns
+        /// that must replay byte-identically leave this `None`.
+        max_millis: Option<u64>,
     },
+}
+
+impl RecoveryStep {
+    /// A re-evolve step inheriting the campaign's generation budget with no
+    /// wall-clock bound — the historic behaviour.
+    pub fn reevolve() -> Self {
+        RecoveryStep::Reevolve {
+            generations: None,
+            max_millis: None,
+        }
+    }
 }
 
 impl RecoveryStep {
@@ -154,7 +170,7 @@ impl RecoveryPolicy {
     /// byte-identical to the pre-policy code path.
     pub fn default_ladder() -> Self {
         RecoveryPolicy {
-            steps: vec![RecoveryStep::Reevolve { generations: None }],
+            steps: vec![RecoveryStep::reevolve()],
             stop_margin: None,
         }
     }
@@ -165,7 +181,7 @@ impl RecoveryPolicy {
         RecoveryPolicy {
             steps: vec![
                 RecoveryStep::Scrub { attempts: 1 },
-                RecoveryStep::Reevolve { generations: None },
+                RecoveryStep::reevolve(),
             ],
             stop_margin: Some(0),
         }
@@ -178,7 +194,7 @@ impl RecoveryPolicy {
             steps: vec![
                 RecoveryStep::Scrub { attempts: 1 },
                 RecoveryStep::TmrRemap,
-                RecoveryStep::Reevolve { generations: None },
+                RecoveryStep::reevolve(),
             ],
             stop_margin: Some(0),
         }
@@ -188,7 +204,8 @@ impl RecoveryPolicy {
     /// with `+` (scrub attempts / explicit re-evolve budgets in parens),
     /// `@margin` appended when a stop condition is set.  The built-in
     /// ladders render as `reevolve`, `scrub+reevolve@0` and
-    /// `scrub+tmr_remap+reevolve@0`.
+    /// `scrub+tmr_remap+reevolve@0`; budgeted re-evolve steps render as
+    /// `reevolve(40)`, `reevolve(250ms)` or `reevolve(40,250ms)`.
     pub fn describe(&self) -> String {
         let mut label = self
             .steps
@@ -197,10 +214,22 @@ impl RecoveryPolicy {
                 RecoveryStep::Scrub { attempts: 1 } => "scrub".to_string(),
                 RecoveryStep::Scrub { attempts } => format!("scrub({attempts})"),
                 RecoveryStep::TmrRemap => "tmr_remap".to_string(),
-                RecoveryStep::Reevolve { generations: None } => "reevolve".to_string(),
+                RecoveryStep::Reevolve {
+                    generations: None,
+                    max_millis: None,
+                } => "reevolve".to_string(),
                 RecoveryStep::Reevolve {
                     generations: Some(g),
+                    max_millis: None,
                 } => format!("reevolve({g})"),
+                RecoveryStep::Reevolve {
+                    generations: None,
+                    max_millis: Some(ms),
+                } => format!("reevolve({ms}ms)"),
+                RecoveryStep::Reevolve {
+                    generations: Some(g),
+                    max_millis: Some(ms),
+                } => format!("reevolve({g},{ms}ms)"),
             })
             .collect::<Vec<_>>()
             .join("+");
@@ -220,7 +249,12 @@ impl RecoveryPolicy {
                 RecoveryStep::Scrub { attempts: 0 } => return Err(PolicyError::ZeroScrubAttempts),
                 RecoveryStep::Reevolve {
                     generations: Some(0),
+                    ..
                 } => return Err(PolicyError::ZeroReevolveBudget),
+                RecoveryStep::Reevolve {
+                    max_millis: Some(0),
+                    ..
+                } => return Err(PolicyError::ZeroReevolveMillis),
                 _ => {}
             }
         }
@@ -237,6 +271,9 @@ pub enum PolicyError {
     ZeroScrubAttempts,
     /// An explicit re-evolve budget of zero generations runs nothing.
     ZeroReevolveBudget,
+    /// An explicit re-evolve wall-clock budget of zero milliseconds expires
+    /// before the first generation.
+    ZeroReevolveMillis,
 }
 
 impl std::fmt::Display for PolicyError {
@@ -252,6 +289,12 @@ impl std::fmt::Display for PolicyError {
                 write!(
                     f,
                     "an explicit reevolve budget must be at least 1 generation"
+                )
+            }
+            PolicyError::ZeroReevolveMillis => {
+                write!(
+                    f,
+                    "an explicit reevolve wall-clock budget must be at least 1 ms"
                 )
             }
         }
@@ -778,12 +821,58 @@ mod tests {
         assert_eq!(
             RecoveryPolicy {
                 steps: vec![RecoveryStep::Reevolve {
-                    generations: Some(0)
+                    generations: Some(0),
+                    max_millis: None
                 }],
                 stop_margin: None
             }
             .validate(),
             Err(PolicyError::ZeroReevolveBudget)
+        );
+        assert_eq!(
+            RecoveryPolicy {
+                steps: vec![RecoveryStep::Reevolve {
+                    generations: None,
+                    max_millis: Some(0)
+                }],
+                stop_margin: None
+            }
+            .validate(),
+            Err(PolicyError::ZeroReevolveMillis)
+        );
+        assert!(RecoveryPolicy {
+            steps: vec![RecoveryStep::Reevolve {
+                generations: Some(40),
+                max_millis: Some(250)
+            }],
+            stop_margin: None
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn describe_renders_reevolve_budgets() {
+        let policy = RecoveryPolicy {
+            steps: vec![
+                RecoveryStep::Reevolve {
+                    generations: Some(40),
+                    max_millis: None,
+                },
+                RecoveryStep::Reevolve {
+                    generations: None,
+                    max_millis: Some(250),
+                },
+                RecoveryStep::Reevolve {
+                    generations: Some(40),
+                    max_millis: Some(250),
+                },
+            ],
+            stop_margin: None,
+        };
+        assert_eq!(
+            policy.describe(),
+            "reevolve(40)+reevolve(250ms)+reevolve(40,250ms)"
         );
     }
 
@@ -792,10 +881,7 @@ mod tests {
         // The pre-policy code path was one unconditional re-evolution; the
         // default ladder pins exactly that as data.
         let policy = RecoveryPolicy::default();
-        assert_eq!(
-            policy.steps,
-            vec![RecoveryStep::Reevolve { generations: None }]
-        );
+        assert_eq!(policy.steps, vec![RecoveryStep::reevolve()]);
         assert_eq!(policy.stop_margin, None);
         assert_eq!(policy, RecoveryPolicy::default_ladder());
     }

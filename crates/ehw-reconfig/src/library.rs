@@ -213,6 +213,19 @@ impl ChampionLibrary {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Every deposited champion in deposit order (oldest tick first) — the
+    /// order that, replayed through [`deposit`](Self::deposit) into an empty
+    /// library of the same capacity, reproduces both the contents and the
+    /// FIFO eviction state.  The persistence layer serializes exactly this.
+    pub fn snapshot(&self) -> Vec<(ChampionKey, Champion)> {
+        let mut entries: Vec<(&ChampionKey, &(Champion, u64))> = self.entries.iter().collect();
+        entries.sort_by_key(|(_, (_, tick))| *tick);
+        entries
+            .into_iter()
+            .map(|(&key, (champion, _))| (key, champion.clone()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -320,5 +333,33 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_champion_library_panics() {
         let _ = ChampionLibrary::new(0);
+    }
+
+    #[test]
+    fn snapshots_replay_into_an_identical_library() {
+        let mut lib = ChampionLibrary::new(3);
+        lib.deposit(key(1), vec![1], 10);
+        lib.deposit(key(2), vec![2], 20);
+        lib.deposit(key(3), vec![3], 30);
+        let snapshot = lib.snapshot();
+        assert_eq!(
+            snapshot
+                .iter()
+                .map(|(k, _)| k.image_hash)
+                .collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "snapshot is in deposit order"
+        );
+
+        let mut replayed = ChampionLibrary::new(3);
+        for (k, champion) in snapshot {
+            replayed.deposit(k, champion.genotype, champion.fitness);
+        }
+        // The replayed library has the same contents *and* the same eviction
+        // order: a fourth key evicts key 1 in both.
+        lib.deposit(key(4), vec![4], 40);
+        replayed.deposit(key(4), vec![4], 40);
+        assert_eq!(lib.snapshot(), replayed.snapshot());
+        assert!(lib.lookup(&key(1)).is_none());
     }
 }

@@ -1,12 +1,15 @@
 //! A deliberately small HTTP/1.1 subset.
 //!
-//! One request per connection, `Connection: close` on every response — no
-//! keep-alive, no chunked bodies, no TLS.  That is exactly enough for the job
-//! API (and for `curl`), and it keeps the parser small enough to audit: the
-//! request line, headers until the blank line, then `Content-Length` bytes of
-//! body, with a hard size cap so a hostile client cannot balloon the server.
+//! HTTP/1.1 keep-alive on a thread-per-connection loop — no chunked bodies,
+//! no pipelining, no TLS.  A connection serves requests sequentially until
+//! the client sends `Connection: close` (or speaks HTTP/1.0 without opting
+//! in), the per-connection request budget runs out, or a streaming response
+//! takes over the socket.  That is exactly enough for the job API (and for
+//! `curl`), and it keeps the parser small enough to audit: the request line,
+//! headers until the blank line, then `Content-Length` bytes of body, with a
+//! hard size cap so a hostile client cannot balloon the server.
 
-use std::io::{self, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
 /// Largest request body the server will buffer.  Training images dominate
@@ -16,6 +19,10 @@ pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 
 /// Largest single header line (and request line) the parser accepts.
 const MAX_LINE_BYTES: usize = 16 * 1024;
+
+/// Requests served over one connection before the server closes it anyway —
+/// a bound on how long a single client can monopolise a handler thread.
+pub const MAX_REQUESTS_PER_CONNECTION: usize = 64;
 
 /// A parsed request: everything a handler needs, nothing transport-level.
 #[derive(Debug)]
@@ -31,6 +38,10 @@ pub struct Request {
     pub accept: String,
     /// The raw body (empty when the request carried none).
     pub body: Vec<u8>,
+    /// Whether the client asked for the connection to end after this
+    /// exchange: an explicit `Connection: close`, or HTTP/1.0 without a
+    /// `Connection: keep-alive` opt-in.
+    pub close: bool,
 }
 
 /// Why a request could not be parsed, mapped straight to a status code.
@@ -42,6 +53,9 @@ pub enum RequestError {
     TooLarge(usize),
     /// The socket died mid-request.
     Io(io::Error),
+    /// The client closed the connection cleanly between requests — the
+    /// normal end of a keep-alive session, not an error to respond to.
+    Closed,
 }
 
 impl From<io::Error> for RequestError {
@@ -50,10 +64,16 @@ impl From<io::Error> for RequestError {
     }
 }
 
-/// Reads one request from the stream.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
-    let mut reader = BufReader::new(stream);
-    let request_line = read_line(&mut reader)?;
+/// Reads one request from a (possibly reused) buffered connection.  The
+/// reader must persist across requests on the same connection: bytes of the
+/// next request may already sit in its buffer after this one's body.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, RequestError> {
+    // A clean EOF before the first byte of a request is the client ending a
+    // keep-alive session, not a malformed request.
+    if reader.fill_buf()?.is_empty() {
+        return Err(RequestError::Closed);
+    }
+    let request_line = read_line(reader)?;
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
@@ -62,14 +82,15 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
     let target = parts
         .next()
         .ok_or_else(|| RequestError::Malformed("request line has no target".into()))?;
-    match parts.next() {
-        Some(version) if version.starts_with("HTTP/1.") => {}
+    // HTTP/1.0 closes by default; 1.1 keeps alive by default.
+    let http_10 = match parts.next() {
+        Some(version) if version.starts_with("HTTP/1.") => version == "HTTP/1.0",
         _ => {
             return Err(RequestError::Malformed(
                 "request line has no HTTP/1.x version".into(),
             ))
         }
-    }
+    };
     if !target.starts_with('/') {
         return Err(RequestError::Malformed(format!(
             "request target '{target}' is not an absolute path"
@@ -82,8 +103,9 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
 
     let mut content_length = 0usize;
     let mut accept = String::new();
+    let mut connection = String::new();
     loop {
-        let line = read_line(&mut reader)?;
+        let line = read_line(reader)?;
         if line.is_empty() {
             break;
         }
@@ -99,6 +121,8 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
                 .map_err(|_| RequestError::Malformed("unparsable Content-Length".into()))?;
         } else if name.trim().eq_ignore_ascii_case("accept") {
             accept = value.trim().to_string();
+        } else if name.trim().eq_ignore_ascii_case("connection") {
+            connection = value.trim().to_ascii_lowercase();
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -106,17 +130,23 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
+    let close = if http_10 {
+        !connection.split(',').any(|t| t.trim() == "keep-alive")
+    } else {
+        connection.split(',').any(|t| t.trim() == "close")
+    };
     Ok(Request {
         method,
         path,
         query,
         accept,
         body,
+        close,
     })
 }
 
 /// Reads one CRLF- (or bare-LF-) terminated line, size-capped.
-fn read_line(reader: &mut BufReader<&mut TcpStream>) -> Result<String, RequestError> {
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, RequestError> {
     let mut line = Vec::new();
     loop {
         let mut byte = [0u8; 1];
@@ -159,15 +189,19 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete response with a body and closes out the exchange.
+/// Writes a complete response with a body.  `close` announces whether the
+/// server will end the connection after this exchange; with `close` false
+/// the connection stays open for the client's next request.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
     body: &[u8],
+    close: bool,
 ) -> io::Result<()> {
+    let connection = if close { "close" } else { "keep-alive" };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         reason(status),
         body.len(),
     );

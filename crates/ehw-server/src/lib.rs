@@ -11,6 +11,7 @@
 //! | Method & path          | Meaning                                             |
 //! |------------------------|-----------------------------------------------------|
 //! | `POST /jobs`           | Submit a job spec; returns `{job_id, seed, status}` |
+//! | `POST /streams`        | Submit a streaming spec (`kind` defaults to `stream`); same envelope as `POST /jobs` |
 //! | `GET /jobs/:id`        | Status (`queued`/`running`/`done`/`failed`/`cancelled`/`lost`) plus the result once settled |
 //! | `DELETE /jobs/:id`     | Request cooperative cancellation                    |
 //! | `GET /jobs/:id/events` | Line-delimited JSON progress events (one per generation), streamed until the job settles |
@@ -20,6 +21,11 @@
 //! `/metrics` speaks JSON by default and the Prometheus text exposition
 //! format when asked — either `GET /metrics?format=prometheus` or an
 //! `Accept: text/plain` header.
+//!
+//! Connections are HTTP/1.1 keep-alive: one handler thread serves up to
+//! [`http::MAX_REQUESTS_PER_CONNECTION`] sequential requests per socket,
+//! honouring `Connection: close`; NDJSON event streams always end by closing
+//! the connection.
 //!
 //! Settled jobs are retained for a TTL ([`DEFAULT_JOB_TTL`], configurable
 //! via [`EhwServer::serve_with_ttl`]) and then evicted by a background
@@ -43,8 +49,10 @@ pub mod wire;
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::fs;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -176,6 +184,11 @@ struct ServerState {
     evicted: AtomicU64,
     /// Named fault scenarios and recovery policies resolvable in job specs.
     registry: ScenarioRegistry,
+    /// Where the champion library is persisted, when persistence is on.
+    champions_file: Option<PathBuf>,
+    /// The champion epoch as of the last successful save — the reaper writes
+    /// the file again only once the cache's epoch moves past this.
+    saved_champion_epoch: AtomicU64,
 }
 
 impl ServerState {
@@ -213,6 +226,37 @@ impl ServerState {
         drop(jobs);
         if evicted > 0 {
             self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Writes the champion library to the configured file when (and only
+    /// when) its epoch moved since the last save.  The write goes through a
+    /// sibling temp file plus rename, so a crash mid-write never leaves a
+    /// truncated champions file behind.  Deposits racing the export simply
+    /// leave the epoch ahead of the saved mark and are picked up next sweep.
+    fn save_champions_if_changed(&self) {
+        let Some(path) = &self.champions_file else {
+            return;
+        };
+        let Some(cache) = self.service.cache() else {
+            return;
+        };
+        let epoch = cache.champion_epoch();
+        if epoch == self.saved_champion_epoch.load(Ordering::Relaxed) {
+            return;
+        }
+        let doc = wire::encode_champions(&cache.export_champions());
+        let tmp = path.with_extension("json.tmp");
+        let written = fs::write(&tmp, doc.to_json().as_bytes()).and_then(|()| {
+            fs::rename(&tmp, path)?;
+            Ok(())
+        });
+        match written {
+            Ok(()) => self.saved_champion_epoch.store(epoch, Ordering::Relaxed),
+            Err(error) => eprintln!(
+                "ehw-server: cannot persist champions to {}: {error}",
+                path.display()
+            ),
         }
     }
 }
@@ -259,6 +303,50 @@ impl EhwServer {
         job_ttl: Duration,
         registry: ScenarioRegistry,
     ) -> io::Result<EhwServer> {
+        EhwServer::serve_with_persistence(service, addr, job_ttl, registry, None)
+    }
+
+    /// [`EhwServer::serve_with_registry`] with champion persistence: when
+    /// `champions_file` is set, the server loads the champion library from it
+    /// at startup (a missing file is a fresh start; a malformed one refuses
+    /// to boot) and saves it back — atomically, via temp file + rename —
+    /// whenever the library changed, checked on every reaper sweep and once
+    /// more at shutdown.  Requires the service's cross-job cache to be on;
+    /// with the cache disabled the path is rejected, because champions would
+    /// silently neither load nor save.
+    pub fn serve_with_persistence(
+        service: EhwService,
+        addr: &str,
+        job_ttl: Duration,
+        registry: ScenarioRegistry,
+        champions_file: Option<PathBuf>,
+    ) -> io::Result<EhwServer> {
+        if let Some(path) = &champions_file {
+            let Some(cache) = service.cache() else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "champion persistence needs the cross-job cache enabled",
+                ));
+            };
+            match fs::read_to_string(path) {
+                Ok(text) => {
+                    let entries = json::parse(&text)
+                        .map_err(|e| invalid_champions(path, e))
+                        .and_then(|doc| {
+                            wire::parse_champions(&doc).map_err(|e| invalid_champions(path, e))
+                        })?;
+                    cache.import_champions(entries);
+                }
+                Err(error) if error.kind() == io::ErrorKind::NotFound => {}
+                Err(error) => return Err(error),
+            }
+        }
+        // The freshly imported (or empty) library counts as already saved:
+        // the first write happens on the first post-boot change, not at boot.
+        let loaded_epoch = service
+            .cache()
+            .map(|cache| cache.champion_epoch())
+            .unwrap_or(0);
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
@@ -270,6 +358,8 @@ impl EhwServer {
             job_ttl,
             evicted: AtomicU64::new(0),
             registry,
+            saved_champion_epoch: AtomicU64::new(loaded_epoch),
+            champions_file,
         });
         let accept_state = Arc::clone(&state);
         let accept_thread = thread::Builder::new()
@@ -295,7 +385,7 @@ impl EhwServer {
     }
 
     /// Stops accepting connections and joins the accept loop.  In-flight
-    /// handler threads finish their single request on their own.
+    /// handler threads drain their connections on their own.
     pub fn shutdown(&mut self) {
         self.state.shutting_down.store(true, Ordering::SeqCst);
         // The accept loop is blocked in `accept`; a throwaway connection
@@ -316,18 +406,31 @@ impl Drop for EhwServer {
     }
 }
 
+/// A malformed champions file refuses to boot — restoring half a library (or
+/// none) while the operator believes it loaded would be worse than an error.
+fn invalid_champions(path: &std::path::Path, error: impl std::fmt::Display) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("champions file {}: {error}", path.display()),
+    )
+}
+
 /// The background reaper: sweeps expired settled jobs out of the registry at
 /// a cadence derived from the TTL, while staying responsive to shutdown.
+/// Each sweep also persists the champion library when its epoch moved, and a
+/// final save runs on the way out so shutdown never drops fresh champions.
 fn reaper_loop(state: Arc<ServerState>) {
     let sweep_every = (state.job_ttl / 4).clamp(REAPER_POLL, Duration::from_secs(5));
     let mut last_sweep = Instant::now();
     loop {
         thread::sleep(REAPER_POLL);
         if state.shutting_down.load(Ordering::SeqCst) {
+            state.save_champions_if_changed();
             return;
         }
         if last_sweep.elapsed() >= sweep_every {
             state.sweep_expired();
+            state.save_champions_if_changed();
             last_sweep = Instant::now();
         }
     }
@@ -352,77 +455,154 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
     }
 }
 
+/// Serves requests off one connection until the client asks to close, the
+/// per-connection budget runs out, a streaming response takes over the
+/// socket, or a protocol error ends the session.
 fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
-    let request = match read_request(&mut stream) {
-        Ok(request) => request,
-        Err(RequestError::TooLarge(size)) => {
-            respond_json(
-                &mut stream,
-                413,
-                &encode_error(format!(
-                    "request body of {size} bytes exceeds the {} byte limit",
-                    http::MAX_BODY_BYTES
-                )),
-            );
-            return;
-        }
-        Err(RequestError::Malformed(why)) => {
-            respond_json(
-                &mut stream,
-                400,
-                &encode_error(format!("malformed request: {why}")),
-            );
-            return;
-        }
-        Err(RequestError::Io(_)) => return,
+    let Ok(read_half) = stream.try_clone() else {
+        return;
     };
-    route(&mut stream, &state, &request);
+    // One buffered reader for the whole connection: under keep-alive, bytes
+    // of the next request may already sit in the buffer behind this one's
+    // body, so a per-request reader would lose them.
+    let mut reader = std::io::BufReader::new(read_half);
+    for served in 1..=http::MAX_REQUESTS_PER_CONNECTION {
+        let request = match read_request(&mut reader) {
+            Ok(request) => request,
+            Err(RequestError::TooLarge(size)) => {
+                respond_json(
+                    &mut stream,
+                    413,
+                    &encode_error(format!(
+                        "request body of {size} bytes exceeds the {} byte limit",
+                        http::MAX_BODY_BYTES
+                    )),
+                    true,
+                );
+                return;
+            }
+            Err(RequestError::Malformed(why)) => {
+                // After a parse error the framing is unknown, so the
+                // connection cannot be reused.
+                respond_json(
+                    &mut stream,
+                    400,
+                    &encode_error(format!("malformed request: {why}")),
+                    true,
+                );
+                return;
+            }
+            Err(RequestError::Closed | RequestError::Io(_)) => return,
+        };
+        let close = request.close || served == http::MAX_REQUESTS_PER_CONNECTION;
+        if !route(&mut stream, &state, &request, close) {
+            return;
+        }
+    }
 }
 
-/// Dispatches one parsed request to its handler.
-fn route(stream: &mut TcpStream, state: &ServerState, request: &Request) {
+/// Dispatches one parsed request to its handler.  `close` is what the
+/// response announces; the return value says whether the connection is still
+/// usable for another request (false once a streaming response has taken
+/// over the socket, or when `close` was announced).
+fn route(stream: &mut TcpStream, state: &ServerState, request: &Request, close: bool) -> bool {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
-        ("POST", ["jobs"]) => handle_submit(stream, state, &request.body),
+        ("POST", ["jobs"]) => handle_submit(stream, state, &request.body, None, close),
+        ("POST", ["streams"]) => handle_submit(stream, state, &request.body, Some("stream"), close),
         ("GET", ["jobs", id]) => match id.parse::<u64>() {
-            Ok(id) => handle_status(stream, state, id),
-            Err(_) => respond_json(stream, 400, &encode_error("job id must be an integer")),
+            Ok(id) => handle_status(stream, state, id, close),
+            Err(_) => respond_json(
+                stream,
+                400,
+                &encode_error("job id must be an integer"),
+                close,
+            ),
         },
         ("DELETE", ["jobs", id]) => match id.parse::<u64>() {
-            Ok(id) => handle_cancel(stream, state, id),
-            Err(_) => respond_json(stream, 400, &encode_error("job id must be an integer")),
+            Ok(id) => handle_cancel(stream, state, id, close),
+            Err(_) => respond_json(
+                stream,
+                400,
+                &encode_error("job id must be an integer"),
+                close,
+            ),
         },
-        ("GET", ["jobs", id, "events"]) => match id.parse::<u64>() {
-            Ok(id) => handle_events(stream, state, id),
-            Err(_) => respond_json(stream, 400, &encode_error("job id must be an integer")),
-        },
-        ("GET", ["metrics"]) => handle_metrics(stream, state, request),
-        ("GET", ["registry"]) => respond_json(stream, 200, &wire::encode_registry(&state.registry)),
+        ("GET", ["jobs", id, "events"]) => {
+            return match id.parse::<u64>() {
+                Ok(id) => handle_events(stream, state, id, close),
+                Err(_) => {
+                    respond_json(
+                        stream,
+                        400,
+                        &encode_error("job id must be an integer"),
+                        close,
+                    );
+                    !close
+                }
+            };
+        }
+        ("GET", ["metrics"]) => handle_metrics(stream, state, request, close),
+        ("GET", ["registry"]) => {
+            respond_json(stream, 200, &wire::encode_registry(&state.registry), close)
+        }
         (_, ["jobs"]) | (_, ["jobs", ..]) | (_, ["metrics"]) | (_, ["registry"]) => respond_json(
             stream,
             405,
             &encode_error("method not allowed on this path"),
+            close,
         ),
-        _ => respond_json(stream, 404, &encode_error("no such endpoint")),
+        _ => respond_json(stream, 404, &encode_error("no such endpoint"), close),
     }
+    !close
 }
 
-fn handle_submit(stream: &mut TcpStream, state: &ServerState, body: &[u8]) {
+/// Submits a job spec.  `forced_kind` is the endpoint's kind contract
+/// (`POST /streams` ⇒ `stream`): a missing `kind` member is defaulted to it,
+/// a conflicting one is a 400.
+fn handle_submit(
+    stream: &mut TcpStream,
+    state: &ServerState,
+    body: &[u8],
+    forced_kind: Option<&'static str>,
+    close: bool,
+) {
     let Ok(text) = std::str::from_utf8(body) else {
-        respond_json(stream, 400, &encode_error("body is not UTF-8"));
+        respond_json(stream, 400, &encode_error("body is not UTF-8"), close);
         return;
     };
-    let doc = match json::parse(text) {
+    let mut doc = match json::parse(text) {
         Ok(doc) => doc,
         Err(parse_error) => {
-            respond_json(stream, 400, &encode_error(parse_error.to_string()));
+            respond_json(stream, 400, &encode_error(parse_error.to_string()), close);
             return;
         }
     };
+    if let Some(forced) = forced_kind {
+        match doc.get("kind").and_then(Value::as_str) {
+            None => {
+                if let Value::Object(pairs) = &mut doc {
+                    pairs.push(("kind".to_string(), strv(forced)));
+                }
+            }
+            Some(kind) if kind != forced => {
+                respond_json(
+                    stream,
+                    400,
+                    &encode_error(format!(
+                        "this endpoint submits \"{forced}\" specs, not \"{kind}\""
+                    )),
+                    close,
+                );
+                return;
+            }
+            Some(_) => {}
+        }
+    }
     let (spec, options) = match wire::decode_spec_with(&doc, &state.registry) {
         Ok(decoded) => decoded,
         Err(wire_error) => {
-            respond_json(stream, 400, &encode_error(wire_error.to_string()));
+            respond_json(stream, 400, &encode_error(wire_error.to_string()), close);
             return;
         }
     };
@@ -430,7 +610,7 @@ fn handle_submit(stream: &mut TcpStream, state: &ServerState, body: &[u8]) {
     let handle = match state.service.submit_with(spec, options) {
         Ok(handle) => handle,
         Err(service_error) => {
-            respond_json(stream, 500, &encode_error(service_error.to_string()));
+            respond_json(stream, 500, &encode_error(service_error.to_string()), close);
             return;
         }
     };
@@ -458,15 +638,21 @@ fn handle_submit(stream: &mut TcpStream, state: &ServerState, body: &[u8]) {
             ("kind", strv(kind)),
             ("status", strv("queued")),
         ]),
+        close,
     );
 }
 
-fn handle_status(stream: &mut TcpStream, state: &ServerState, job_id: u64) {
+fn handle_status(stream: &mut TcpStream, state: &ServerState, job_id: u64, close: bool) {
     state.poll_all();
     let jobs = state.jobs.lock().expect("job registry lock");
     let Some(job) = jobs.get(&job_id) else {
         drop(jobs);
-        respond_json(stream, 404, &encode_error(format!("no job {job_id}")));
+        respond_json(
+            stream,
+            404,
+            &encode_error(format!("no job {job_id}")),
+            close,
+        );
         return;
     };
     let mut pairs = vec![
@@ -482,15 +668,20 @@ fn handle_status(stream: &mut TcpStream, state: &ServerState, job_id: u64) {
     }
     let doc = Value::object(pairs);
     drop(jobs);
-    respond_json(stream, 200, &doc);
+    respond_json(stream, 200, &doc, close);
 }
 
-fn handle_cancel(stream: &mut TcpStream, state: &ServerState, job_id: u64) {
+fn handle_cancel(stream: &mut TcpStream, state: &ServerState, job_id: u64, close: bool) {
     state.poll_all();
     let jobs = state.jobs.lock().expect("job registry lock");
     let Some(job) = jobs.get(&job_id) else {
         drop(jobs);
-        respond_json(stream, 404, &encode_error(format!("no job {job_id}")));
+        respond_json(
+            stream,
+            404,
+            &encode_error(format!("no job {job_id}")),
+            close,
+        );
         return;
     };
     let already_settled = matches!(job.state, JobState::Settled(_));
@@ -505,23 +696,32 @@ fn handle_cancel(stream: &mut TcpStream, state: &ServerState, job_id: u64) {
     // Cancellation is cooperative: 202 says "requested", the job settles at
     // its next generation boundary.  An already settled job reports its
     // final state with a plain 200.
-    respond_json(stream, if already_settled { 200 } else { 202 }, &doc);
+    respond_json(stream, if already_settled { 200 } else { 202 }, &doc, close);
 }
 
-fn handle_events(stream: &mut TcpStream, state: &ServerState, job_id: u64) {
+/// Streams a job's NDJSON progress events.  A streaming body has no
+/// `Content-Length` — its end is signalled by closing the connection — so a
+/// successful stream always consumes the socket; the return value says
+/// whether the connection is still usable (only after the 404 short-circuit).
+fn handle_events(stream: &mut TcpStream, state: &ServerState, job_id: u64, close: bool) -> bool {
     let monitor = {
         let jobs = state.jobs.lock().expect("job registry lock");
         match jobs.get(&job_id) {
             Some(job) => job.monitor.clone(),
             None => {
                 drop(jobs);
-                respond_json(stream, 404, &encode_error(format!("no job {job_id}")));
-                return;
+                respond_json(
+                    stream,
+                    404,
+                    &encode_error(format!("no job {job_id}")),
+                    close,
+                );
+                return !close;
             }
         }
     };
     if write_stream_head(stream, "application/x-ndjson").is_err() {
-        return;
+        return false;
     }
     let mut cursor = 0usize;
     loop {
@@ -530,19 +730,19 @@ fn handle_events(stream: &mut TcpStream, state: &ServerState, job_id: u64) {
             let line = format!("{}\n", encode_event(cursor, event).to_json());
             cursor += 1;
             if stream.write_all(line.as_bytes()).is_err() {
-                return; // client hung up mid-stream
+                return false; // client hung up mid-stream
             }
         }
         if stream.flush().is_err() {
-            return;
+            return false;
         }
         if closed {
-            return;
+            return false;
         }
     }
 }
 
-fn handle_metrics(stream: &mut TcpStream, state: &ServerState, request: &Request) {
+fn handle_metrics(stream: &mut TcpStream, state: &ServerState, request: &Request, close: bool) {
     state.poll_all();
 
     // Content negotiation: Prometheus text exposition when the query string
@@ -559,6 +759,7 @@ fn handle_metrics(stream: &mut TcpStream, state: &ServerState, request: &Request
             200,
             "text/plain; version=0.0.4; charset=utf-8",
             body.as_bytes(),
+            close,
         );
         return;
     }
@@ -661,7 +862,7 @@ fn handle_metrics(stream: &mut TcpStream, state: &ServerState, request: &Request
             ]),
         ),
     ]);
-    respond_json(stream, 200, &doc);
+    respond_json(stream, 200, &doc, close);
 }
 
 /// Renders the counters `/metrics` exports in the Prometheus text exposition
@@ -826,7 +1027,7 @@ fn prometheus_metrics(state: &ServerState) -> String {
     out
 }
 
-fn respond_json(stream: &mut TcpStream, status: u16, doc: &Value) {
+fn respond_json(stream: &mut TcpStream, status: u16, doc: &Value, close: bool) {
     let body = doc.to_json();
-    let _ = write_response(stream, status, "application/json", body.as_bytes());
+    let _ = write_response(stream, status, "application/json", body.as_bytes(), close);
 }

@@ -11,16 +11,22 @@ use ehw_array::genotype::Genotype;
 use ehw_array::pe::FaultBehaviour;
 use ehw_evolution::fitness::EngineStats;
 use ehw_fabric::FaultKind;
+use ehw_image::noise::NoiseModel;
 use ehw_image::GrayImage;
 use ehw_platform::fault_campaign::{CampaignReport, EventResult, PositionResult};
-use ehw_platform::jobs::{CancelKind, JobOutput, JobProgress, JobResult, JobSpec};
+use ehw_platform::jobs::{
+    CancelKind, JobOutput, JobProgress, JobResult, JobSpec, StreamSourceSpec,
+};
 use ehw_platform::scenario::{
     CorrelationShape, FaultScenario, PlannedFault, ScenarioKind, ScenarioRegistry, StormPhase,
     TargetFilter,
 };
 use ehw_platform::self_healing::{RecoveryPolicy, RecoveryStep};
 use ehw_platform::timing::EvolutionTimeEstimate;
-use ehw_service::{JobOptions, Priority};
+use ehw_service::{
+    Champion, ChampionKey, JobOptions, NoiseSegment, PgmDirSource, Priority, SceneKind,
+    StreamEvent, StreamReport,
+};
 
 use crate::base64;
 use crate::json::{bytesv, f64v, strv, u64v, usizev, Value};
@@ -51,7 +57,7 @@ fn err(message: impl Into<String>) -> WireError {
 ///
 /// ```json
 /// {
-///   "kind": "evolution" | "cascade" | "fault_campaign",
+///   "kind": "evolution" | "cascade" | "fault_campaign" | "stream",
 ///   "input":     {"width": W, "height": H, "pixels": [..W*H bytes..]},
 ///   "reference": {"width": W, "height": H, "pixels": [..W*H bytes..]},
 ///   "generations": N?, "offspring": N?, "mutation_rate": N?,
@@ -68,6 +74,12 @@ fn err(message: impl Into<String>) -> WireError {
 /// Images may alternatively travel as `{"pgm_base64": "..."}` — a
 /// base64-encoded binary PGM (P5) body, roughly 3× smaller than the JSON
 /// pixel array.
+///
+/// Stream specs (`POST /streams`) replace the training pair with a
+/// `"source"` member (see [`decode_stream_source`](self)) plus optional
+/// `"initial"` genotype bytes, `"drift_window"`, `"drift_threshold_pct"`,
+/// `"drift_cooldown"`, adaptation budgets (`"offspring"`, `"mutation_rate"`,
+/// `"generations"`, `"max_millis"`, `"target_fitness"`) and `"warm_start"`.
 ///
 /// Unknown kinds, missing images, unresolvable scenario/policy names and
 /// builder-validation failures all come back as [`WireError`]s carrying a
@@ -87,15 +99,22 @@ pub fn decode_spec_with(
         .get("kind")
         .and_then(Value::as_str)
         .ok_or_else(|| err("spec needs a string 'kind'"))?;
-    let input = decode_image(
-        doc.get("input").ok_or_else(|| err("spec needs 'input'"))?,
-        "input",
-    )?;
-    let reference = decode_image(
-        doc.get("reference")
-            .ok_or_else(|| err("spec needs 'reference'"))?,
-        "reference",
-    )?;
+    // Stream specs carry their frames in a 'source' member instead of a
+    // training pair, so the image decode is deferred to the kinds that
+    // actually take one.
+    let images = || -> Result<(GrayImage, GrayImage), WireError> {
+        Ok((
+            decode_image(
+                doc.get("input").ok_or_else(|| err("spec needs 'input'"))?,
+                "input",
+            )?,
+            decode_image(
+                doc.get("reference")
+                    .ok_or_else(|| err("spec needs 'reference'"))?,
+                "reference",
+            )?,
+        ))
+    };
 
     let field = |name: &str| -> Result<Option<usize>, WireError> {
         match doc.get(name) {
@@ -116,6 +135,7 @@ pub fn decode_spec_with(
 
     let spec = match kind {
         "evolution" => {
+            let (input, reference) = images()?;
             let mut builder = JobSpec::evolution(input, reference);
             if let Some(n) = field("offspring")? {
                 builder = builder.offspring(n);
@@ -144,6 +164,7 @@ pub fn decode_spec_with(
             builder.build()
         }
         "cascade" => {
+            let (input, reference) = images()?;
             let mut builder = JobSpec::cascade(input, reference);
             if let Some(n) = field("stages")? {
                 builder = builder.stages(n);
@@ -163,6 +184,7 @@ pub fn decode_spec_with(
             builder.build()
         }
         "fault_campaign" => {
+            let (input, reference) = images()?;
             let mut builder = JobSpec::fault_campaign(input, reference);
             if let Some(bytes) = doc.get("baseline") {
                 let bytes = decode_bytes(bytes, "baseline")?;
@@ -214,6 +236,58 @@ pub fn decode_spec_with(
                     .policy(name)
                     .map_err(|spec_error| err(format!("invalid spec: {spec_error}")))?;
                 builder = builder.policy(policy.clone());
+            }
+            if let Some(s) = seed {
+                builder = builder.seed(s);
+            }
+            builder.build()
+        }
+        "stream" => {
+            let source = decode_stream_source(
+                doc.get("source")
+                    .ok_or_else(|| err("stream specs need a 'source'"))?,
+            )?;
+            let mut builder = JobSpec::stream(source);
+            if let Some(bytes) = doc.get("initial") {
+                let bytes = decode_bytes(bytes, "initial")?;
+                let initial = Genotype::decode(&bytes)
+                    .ok_or_else(|| err("'initial' is too short to decode as a genotype"))?;
+                builder = builder.initial(initial);
+            }
+            let mut drift = ehw_service::DriftConfig::default();
+            if let Some(n) = field("drift_window")? {
+                drift.window = n;
+            }
+            if let Some(n) = field("drift_threshold_pct")? {
+                drift.threshold_pct =
+                    u32::try_from(n).map_err(|_| err("'drift_threshold_pct' is out of range"))?;
+            }
+            if let Some(n) = field("drift_cooldown")? {
+                drift.cooldown = n;
+            }
+            builder = builder.drift(drift);
+            let mut adaptation = ehw_service::AdaptationConfig::default();
+            if let Some(n) = field("offspring")? {
+                adaptation.offspring = n;
+            }
+            if let Some(n) = field("mutation_rate")? {
+                adaptation.mutation_rate = n;
+            }
+            if let Some(n) = field("generations")? {
+                adaptation.generations = n;
+            }
+            if let Some(n) = field("max_millis")? {
+                adaptation.max_millis = Some(n as u64);
+            }
+            if let Some(n) = field("target_fitness")? {
+                adaptation.target_fitness = Some(n as u64);
+            }
+            builder = builder.adaptation(adaptation);
+            if let Some(warm) = doc.get("warm_start") {
+                let warm = warm
+                    .as_bool()
+                    .ok_or_else(|| err("'warm_start' must be a boolean"))?;
+                builder = builder.warm_start(warm);
             }
             if let Some(s) = seed {
                 builder = builder.seed(s);
@@ -294,6 +368,126 @@ fn decode_bytes(value: &Value, name: &str) -> Result<Vec<u8>, WireError> {
         .collect()
 }
 
+/// Decodes the `source` member of a stream spec.
+///
+/// ```json
+/// {"type": "synthetic", "scene": "shapes", "complexity": 4,
+///  "width": W, "height": H, "frames": N,
+///  "schedule": [{"start_frame": 0, "noise": {"model": "salt_pepper", "density": 0.2}}, ...]}
+/// {"type": "pgm_dir", "dir": "/frames", "reference": "/frames/clean.pgm"}
+/// ```
+///
+/// The `pgm_dir` variant reads **server-side** paths and loads every frame
+/// eagerly, so a missing or malformed file is a 400 at submission.
+fn decode_stream_source(value: &Value) -> Result<StreamSourceSpec, WireError> {
+    let dim = |name: &str| -> Result<usize, WireError> {
+        value
+            .get(name)
+            .and_then(Value::as_usize)
+            .ok_or_else(|| err(format!("synthetic sources need an integer '{name}'")))
+    };
+    match value.get("type").and_then(Value::as_str) {
+        Some("synthetic") => {
+            let scene = decode_scene(value)?;
+            let schedule = value
+                .get("schedule")
+                .and_then(Value::as_array)
+                .ok_or_else(|| err("synthetic sources need a 'schedule' array"))?
+                .iter()
+                .map(decode_noise_segment)
+                .collect::<Result<Vec<_>, WireError>>()?;
+            Ok(StreamSourceSpec::Synthetic {
+                scene,
+                width: dim("width")?,
+                height: dim("height")?,
+                frames: dim("frames")?,
+                schedule,
+            })
+        }
+        Some("pgm_dir") => {
+            let path = |name: &str| -> Result<&str, WireError> {
+                value
+                    .get(name)
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| err(format!("pgm_dir sources need a string '{name}'")))
+            };
+            let source = PgmDirSource::new(path("dir")?, path("reference")?)
+                .map_err(|reason| err(format!("invalid pgm_dir source: {reason}")))?;
+            Ok(StreamSourceSpec::PgmDir(source))
+        }
+        _ => Err(err("source 'type' must be \"synthetic\" or \"pgm_dir\"")),
+    }
+}
+
+fn decode_scene(value: &Value) -> Result<SceneKind, WireError> {
+    let param = |name: &str| -> Result<usize, WireError> {
+        value
+            .get(name)
+            .and_then(Value::as_usize)
+            .ok_or_else(|| err(format!("this scene needs an integer '{name}'")))
+    };
+    match value.get("scene").and_then(Value::as_str) {
+        Some("shapes") => Ok(SceneKind::Shapes {
+            complexity: param("complexity")?,
+        }),
+        Some("gradient") => Ok(SceneKind::Gradient),
+        Some("diagonal_gradient") => Ok(SceneKind::DiagonalGradient),
+        Some("checkerboard") => Ok(SceneKind::Checkerboard {
+            cell: param("cell")?,
+        }),
+        Some("step_edge") => Ok(SceneKind::StepEdge),
+        Some("rings") => Ok(SceneKind::Rings {
+            period: param("period")?,
+        }),
+        _ => Err(err(
+            "'scene' must be \"shapes\", \"gradient\", \"diagonal_gradient\", \
+             \"checkerboard\", \"step_edge\" or \"rings\"",
+        )),
+    }
+}
+
+fn decode_noise_segment(value: &Value) -> Result<NoiseSegment, WireError> {
+    let start_frame = value
+        .get("start_frame")
+        .and_then(Value::as_usize)
+        .ok_or_else(|| err("schedule segments need an integer 'start_frame'"))?;
+    let noise = value
+        .get("noise")
+        .ok_or_else(|| err("schedule segments need a 'noise' object"))?;
+    let density = |name: &str| -> Result<f64, WireError> {
+        noise
+            .get(name)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| err(format!("this noise model needs a number '{name}'")))
+    };
+    let count = |name: &str| -> Result<usize, WireError> {
+        noise
+            .get(name)
+            .and_then(Value::as_usize)
+            .ok_or_else(|| err(format!("this noise model needs an integer '{name}'")))
+    };
+    let noise = match noise.get("model").and_then(Value::as_str) {
+        Some("salt_pepper") => NoiseModel::SaltPepper {
+            density: density("density")?,
+        },
+        Some("gaussian") => NoiseModel::Gaussian {
+            sigma: density("sigma")?,
+        },
+        Some("uniform_impulse") => NoiseModel::UniformImpulse {
+            density: density("density")?,
+        },
+        Some("burst") => NoiseModel::Burst {
+            bursts: count("bursts")?,
+            size: count("size")?,
+        },
+        _ => {
+            return Err(err("noise 'model' must be \"salt_pepper\", \"gaussian\", \
+                 \"uniform_impulse\" or \"burst\""))
+        }
+    };
+    Ok(NoiseSegment { start_frame, noise })
+}
+
 // ---------------------------------------------------------------------------
 // Encoding: JobResult / JobProgress -> JSON
 // ---------------------------------------------------------------------------
@@ -367,6 +561,7 @@ pub fn encode_result(result: &JobResult) -> Value {
             ),
         ]),
         JobOutput::FaultCampaign(report) => encode_campaign_report(report),
+        JobOutput::Stream(report) => encode_stream_report(report),
         JobOutput::Failed(message) => Value::object(vec![
             ("type", strv("failed")),
             ("message", strv(message.as_str())),
@@ -384,6 +579,55 @@ pub fn encode_result(result: &JobResult) -> Value {
     };
     pairs.push(("output", output));
     Value::object(pairs)
+}
+
+/// Encodes a stream report as the `output` member of a result document.
+/// `output_hash` is a full-range u64, so like `image_hash` it travels as a
+/// fixed-width hex string rather than a JSON number.
+pub fn encode_stream_report(report: &StreamReport) -> Value {
+    Value::object(vec![
+        ("type", strv("stream")),
+        ("frames", usizev(report.frames)),
+        ("drift_events", usizev(report.drift_events)),
+        (
+            "adaptations_attempted",
+            usizev(report.adaptations_attempted),
+        ),
+        ("adaptations_applied", usizev(report.adaptations_applied)),
+        (
+            "initial_fitness",
+            match report.initial_fitness {
+                Some(f) => u64v(f),
+                None => Value::Null,
+            },
+        ),
+        (
+            "final_fitness",
+            match report.final_fitness {
+                Some(f) => u64v(f),
+                None => Value::Null,
+            },
+        ),
+        (
+            "segments",
+            Value::Array(
+                report
+                    .segments
+                    .iter()
+                    .map(|s| {
+                        Value::object(vec![
+                            ("start_frame", usizev(s.start_frame)),
+                            ("frames", usizev(s.frames)),
+                            ("fitness_sum", u64v(s.fitness_sum)),
+                            ("mean_fitness", f64v(s.mean_fitness())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("final_genotype", bytesv(&report.final_genotype)),
+        ("output_hash", strv(format!("{:016x}", report.output_hash))),
+    ])
 }
 
 fn encode_time(time: &EvolutionTimeEstimate) -> Value {
@@ -858,12 +1102,22 @@ fn encode_policy(name: &str, policy: &RecoveryPolicy) -> Value {
                             ("attempts", usizev(*attempts)),
                         ]),
                         RecoveryStep::TmrRemap => Value::object(vec![("step", strv("tmr_remap"))]),
-                        RecoveryStep::Reevolve { generations } => Value::object(vec![
+                        RecoveryStep::Reevolve {
+                            generations,
+                            max_millis,
+                        } => Value::object(vec![
                             ("step", strv("reevolve")),
                             (
                                 "generations",
                                 match generations {
                                     Some(g) => usizev(*g),
+                                    None => Value::Null,
+                                },
+                            ),
+                            (
+                                "max_millis",
+                                match max_millis {
+                                    Some(ms) => u64v(*ms),
                                     None => Value::Null,
                                 },
                             ),
@@ -903,6 +1157,14 @@ fn decode_policy(value: &Value) -> Result<(String, RecoveryPolicy), WireError> {
                     Some(v) => Some(v.as_usize().ok_or_else(|| {
                         err(format!(
                             "policy '{name}' reevolve 'generations' must be an integer or null"
+                        ))
+                    })?),
+                },
+                max_millis: match step.get("max_millis") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(v.as_u64().ok_or_else(|| {
+                        err(format!(
+                            "policy '{name}' reevolve 'max_millis' must be an integer or null"
                         ))
                     })?),
                 },
@@ -977,9 +1239,116 @@ pub fn parse_registry(doc: &Value) -> Result<ScenarioRegistry, WireError> {
     Ok(registry)
 }
 
-/// Encodes one progress event as a single NDJSON line (no trailing newline).
-pub fn encode_event(sequence: usize, event: &JobProgress) -> Value {
+// ---------------------------------------------------------------------------
+// Champion persistence: the `--champions=FILE` document
+// ---------------------------------------------------------------------------
+
+/// File-format version of the champions document; bumped on incompatible
+/// shape changes so an old server refuses a new file instead of misreading
+/// it.
+pub const CHAMPIONS_VERSION: u64 = 1;
+
+/// Encodes an exported champion snapshot as the `--champions=FILE` document:
+///
+/// ```json
+/// {"version": 1,
+///  "champions": [{"image_hash": "00cafe..15 more hex", "noise_class": 1,
+///                 "arrays": 1, "genotype": [..bytes..], "fitness": 1234}]}
+/// ```
+///
+/// Entries are in deposit order (see `ChampionLibrary::snapshot`), and
+/// `image_hash` travels as a fixed-width hex string because it is a
+/// full-range u64 (same reasoning as the result envelope's `image_hash`).
+pub fn encode_champions(entries: &[(ChampionKey, Champion)]) -> Value {
     Value::object(vec![
+        ("version", u64v(CHAMPIONS_VERSION)),
+        (
+            "champions",
+            Value::Array(
+                entries
+                    .iter()
+                    .map(|(key, champion)| {
+                        Value::object(vec![
+                            ("image_hash", strv(format!("{:016x}", key.image_hash))),
+                            ("noise_class", u64v(u64::from(key.noise_class))),
+                            ("arrays", usizev(key.arrays)),
+                            ("genotype", bytesv(&champion.genotype)),
+                            ("fitness", u64v(champion.fitness)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a champions document (same shape [`encode_champions`] emits) back
+/// into deposit-ordered entries.  Every entry is validated — one malformed
+/// champion rejects the whole document, so a server never starts with a
+/// half-restored library.
+pub fn parse_champions(doc: &Value) -> Result<Vec<(ChampionKey, Champion)>, WireError> {
+    let version = doc
+        .get("version")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| err("champions file needs an integer 'version'"))?;
+    if version != CHAMPIONS_VERSION {
+        return Err(err(format!(
+            "champions file version {version} is not the supported version {CHAMPIONS_VERSION}"
+        )));
+    }
+    doc.get("champions")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("champions file needs a 'champions' array"))?
+        .iter()
+        .enumerate()
+        .map(|(index, entry)| {
+            let fail = |what: &str| err(format!("champion #{index}: {what}"));
+            let image_hash = entry
+                .get("image_hash")
+                .and_then(Value::as_str)
+                .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+                .ok_or_else(|| fail("'image_hash' must be a u64 hex string"))?;
+            let noise_class = entry
+                .get("noise_class")
+                .and_then(Value::as_u64)
+                .and_then(|n| u8::try_from(n).ok())
+                .ok_or_else(|| fail("'noise_class' must be an integer in 0..=255"))?;
+            let arrays = entry
+                .get("arrays")
+                .and_then(Value::as_usize)
+                .filter(|&n| n > 0)
+                .ok_or_else(|| fail("'arrays' must be a positive integer"))?;
+            let genotype = decode_bytes(
+                entry
+                    .get("genotype")
+                    .ok_or_else(|| fail("missing 'genotype'"))?,
+                "genotype",
+            )
+            .map_err(|e| fail(&e.0))?;
+            if genotype.is_empty() {
+                return Err(fail("'genotype' must not be empty"));
+            }
+            let fitness = entry
+                .get("fitness")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| fail("'fitness' must be an integer"))?;
+            Ok((
+                ChampionKey {
+                    image_hash,
+                    noise_class,
+                    arrays,
+                },
+                Champion { genotype, fitness },
+            ))
+        })
+        .collect()
+}
+
+/// Encodes one progress event as a single NDJSON line (no trailing newline).
+/// Stream jobs additionally carry a `stream` member tagging the phase
+/// (`frame`, `drift` or `adaptation`) with its per-phase fields.
+pub fn encode_event(sequence: usize, event: &JobProgress) -> Value {
+    let mut pairs = vec![
         ("sequence", usizev(sequence)),
         ("generation", usizev(event.generation)),
         (
@@ -989,7 +1358,47 @@ pub fn encode_event(sequence: usize, event: &JobProgress) -> Value {
                 None => Value::Null,
             },
         ),
-    ])
+    ];
+    if let Some(stream) = &event.stream {
+        pairs.push(("stream", encode_stream_event(stream)));
+    }
+    Value::object(pairs)
+}
+
+fn encode_stream_event(event: &StreamEvent) -> Value {
+    match *event {
+        StreamEvent::Frame { index, fitness } => Value::object(vec![
+            ("phase", strv("frame")),
+            ("frame", usizev(index)),
+            ("fitness", u64v(fitness)),
+        ]),
+        StreamEvent::Drift {
+            frame,
+            window_fitness,
+            baseline_fitness,
+        } => Value::object(vec![
+            ("phase", strv("drift")),
+            ("frame", usizev(frame)),
+            ("window_fitness", u64v(window_fitness)),
+            ("baseline_fitness", u64v(baseline_fitness)),
+        ]),
+        StreamEvent::Adaptation {
+            frame,
+            index,
+            accepted,
+            incumbent_fitness,
+            candidate_fitness,
+            generations_run,
+        } => Value::object(vec![
+            ("phase", strv("adaptation")),
+            ("frame", usizev(frame)),
+            ("adaptation", usizev(index)),
+            ("accepted", Value::Bool(accepted)),
+            ("incumbent_fitness", u64v(incumbent_fitness)),
+            ("candidate_fitness", u64v(candidate_fitness)),
+            ("generations_run", usizev(generations_run)),
+        ]),
+    }
 }
 
 /// Encodes an error payload (`{"error": ...}`).
@@ -1286,5 +1695,150 @@ mod tests {
             parse("{\"scenarios\":[{\"name\":\"huge\",\"kind\":\"multi_pe\",\"k\":0}]}").unwrap();
         let error = parse_registry(&bad).unwrap_err();
         assert!(error.0.contains("huge"), "{error}");
+    }
+
+    #[test]
+    fn champions_round_trip_through_their_file_document() {
+        let entries = vec![
+            (
+                ChampionKey {
+                    image_hash: u64::MAX - 3, // full-range: must survive the hex hop
+                    noise_class: 1,
+                    arrays: 2,
+                },
+                Champion {
+                    genotype: vec![1, 2, 3],
+                    fitness: 42,
+                },
+            ),
+            (
+                ChampionKey {
+                    image_hash: 7,
+                    noise_class: 0,
+                    arrays: 1,
+                },
+                Champion {
+                    genotype: vec![9],
+                    fitness: 0,
+                },
+            ),
+        ];
+        let doc = encode_champions(&entries);
+        let reparsed = parse_champions(&parse(&doc.to_json()).unwrap()).unwrap();
+        assert_eq!(reparsed, entries);
+
+        // A wrong version or one malformed entry rejects the whole file.
+        let bad = parse("{\"version\":2,\"champions\":[]}").unwrap();
+        assert!(parse_champions(&bad).unwrap_err().0.contains("version"));
+        let bad = parse(
+            "{\"version\":1,\"champions\":[{\"image_hash\":\"zz\",\
+             \"noise_class\":1,\"arrays\":1,\"genotype\":[1],\"fitness\":1}]}",
+        )
+        .unwrap();
+        assert!(parse_champions(&bad).unwrap_err().0.contains("champion #0"));
+    }
+
+    fn stream_doc() -> String {
+        "{\"kind\":\"stream\",\
+         \"source\":{\"type\":\"synthetic\",\"scene\":\"shapes\",\"complexity\":4,\
+           \"width\":16,\"height\":16,\"frames\":10,\
+           \"schedule\":[\
+             {\"start_frame\":0,\"noise\":{\"model\":\"salt_pepper\",\"density\":0.1}},\
+             {\"start_frame\":6,\"noise\":{\"model\":\"gaussian\",\"sigma\":25.0}}]},\
+         \"drift_window\":3,\"drift_threshold_pct\":140,\"drift_cooldown\":4,\
+         \"offspring\":5,\"generations\":8,\"max_millis\":2000,\
+         \"warm_start\":true,\"seed\":42}"
+            .to_string()
+    }
+
+    #[test]
+    fn stream_specs_decode_through_the_builder() {
+        let doc = parse(&stream_doc()).unwrap();
+        let (spec, _) = decode_spec(&doc).unwrap();
+        assert_eq!(spec.kind(), "stream");
+        assert_eq!(spec.seed(), Some(42));
+        let JobSpec::Stream(stream) = &spec else {
+            panic!("expected a stream spec");
+        };
+        assert_eq!(stream.drift().window, 3);
+        assert_eq!(stream.drift().threshold_pct, 140);
+        assert_eq!(stream.drift().cooldown, 4);
+        assert_eq!(stream.adaptation().offspring, 5);
+        assert_eq!(stream.adaptation().generations, 8);
+        assert_eq!(stream.adaptation().max_millis, Some(2000));
+        assert!(stream.warm_start());
+    }
+
+    #[test]
+    fn malformed_stream_sources_are_rejected_with_context() {
+        for (patch, needle) in [
+            (
+                "\"source\":{\"type\":\"synthetic\",\"scene\":\"shapes\",\"complexity\":4,\
+                 \"width\":16,\"height\":16,\"frames\":10,\"schedule\":[]}",
+                "schedule",
+            ),
+            (
+                "\"source\":{\"type\":\"synthetic\",\"scene\":\"moire\",\
+                 \"width\":16,\"height\":16,\"frames\":10,\
+                 \"schedule\":[{\"start_frame\":0,\
+                   \"noise\":{\"model\":\"salt_pepper\",\"density\":0.1}}]}",
+                "scene",
+            ),
+            (
+                "\"source\":{\"type\":\"webcam\"}",
+                "must be \"synthetic\" or \"pgm_dir\"",
+            ),
+        ] {
+            let doc = parse(&format!("{{\"kind\":\"stream\",{patch},\"seed\":1}}")).unwrap();
+            let error = decode_spec(&doc).unwrap_err();
+            assert!(error.0.contains(needle), "{patch} -> {error}");
+        }
+    }
+
+    #[test]
+    fn stream_results_and_events_carry_their_stream_members() {
+        use ehw_platform::jobs::execute;
+        use ehw_platform::EhwPlatform;
+
+        let doc = parse(&stream_doc()).unwrap();
+        let (spec, _) = decode_spec(&doc).unwrap();
+        let mut platform = EhwPlatform::new(spec.arrays_needed());
+        let result = execute(&mut platform, &spec, 42);
+        let report = result.as_stream().expect("stream output").clone();
+
+        let encoded = encode_result(&result);
+        let output = encoded.get("output").unwrap();
+        assert_eq!(output.get("type").and_then(Value::as_str), Some("stream"));
+        assert_eq!(
+            output.get("frames").and_then(Value::as_u64),
+            Some(report.frames as u64)
+        );
+        assert_eq!(
+            output.get("drift_events").and_then(Value::as_u64),
+            Some(report.drift_events as u64)
+        );
+        assert_eq!(
+            output.get("final_fitness").and_then(Value::as_u64),
+            report.final_fitness
+        );
+        let segments = output.get("segments").and_then(Value::as_array).unwrap();
+        assert_eq!(segments.len(), report.segments.len());
+        let hash = output.get("output_hash").and_then(Value::as_str).unwrap();
+        assert_eq!(hash, format!("{:016x}", report.output_hash));
+
+        let frame = StreamEvent::Frame {
+            index: 4,
+            fitness: 123,
+        };
+        let event = JobProgress {
+            generation: 4,
+            best_fitness: Some(123),
+            stream: Some(frame),
+        };
+        let line = encode_event(4, &event);
+        let member = line.get("stream").expect("stream member");
+        assert_eq!(member.get("phase").and_then(Value::as_str), Some("frame"));
+        assert_eq!(member.get("frame").and_then(Value::as_u64), Some(4));
+        assert_eq!(member.get("fitness").and_then(Value::as_u64), Some(123));
     }
 }

@@ -54,8 +54,9 @@ fn raw_request(addr: std::net::SocketAddr, request: &[u8]) -> Response {
 
 fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: Option<&str>) -> Response {
     let payload = body.unwrap_or("");
+    // This one-shot client reads to EOF, so it must opt out of keep-alive.
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
         payload.len()
     );
     raw_request(addr, format!("{head}{payload}").as_bytes())
@@ -533,7 +534,7 @@ fn metrics_speak_prometheus_when_asked() {
     }
 
     // Via the Accept header.
-    let raw = "GET /metrics HTTP/1.1\r\nHost: t\r\nAccept: text/plain\r\n\r\n";
+    let raw = "GET /metrics HTTP/1.1\r\nHost: t\r\nAccept: text/plain\r\nConnection: close\r\n\r\n";
     let response = raw_request(addr, raw.as_bytes());
     assert_eq!(response.status, 200);
     assert!(response.body.contains("ehw_uptime_seconds"));
@@ -760,6 +761,303 @@ fn scenario_campaigns_fold_into_one_resilience_report_over_http() {
         by_policy("scrub_then_reevolve") < by_policy("reevolve"),
         "the scrub ladder should cost fewer evaluations than reevolve-only"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Keep-alive: one socket, many requests
+// ---------------------------------------------------------------------------
+
+/// Reads exactly one framed response off a reused connection: the status
+/// line and headers, then `Content-Length` bytes of body.
+fn read_one_response(reader: &mut impl std::io::BufRead) -> (u16, String, String) {
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        if line == "\r\n" || line == "\n" || line.is_empty() {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .unwrap_or_else(|| panic!("no status in: {head}"));
+    let content_length = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or_else(|| panic!("no Content-Length in: {head}"));
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, head, String::from_utf8(body).expect("UTF-8 body"))
+}
+
+#[test]
+fn one_socket_serves_many_requests_until_asked_to_close() {
+    let server = start_server(1);
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+
+    // Several GETs and a POST, all down the same socket.
+    for _ in 0..3 {
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let (status, head, body) = read_one_response(&mut reader);
+        assert_eq!(status, 200, "{body}");
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        parse(&body).expect("metrics stay JSON over a reused socket");
+    }
+    let spec = evolution_body(8, 3, 71, "");
+    stream
+        .write_all(
+            format!(
+                "POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{spec}",
+                spec.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let (status, head, body) = read_one_response(&mut reader);
+    assert_eq!(status, 201, "{body}");
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+    let job_id = parse(&body)
+        .unwrap()
+        .get("job_id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    wait_settled(addr, job_id);
+
+    // An explicit `Connection: close` is honoured: the response announces it
+    // and the server ends the session.
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let (status, head, _) = read_one_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "{head}");
+    let mut probe = [0u8; 1];
+    assert_eq!(
+        std::io::Read::read(&mut reader, &mut probe).expect("clean EOF"),
+        0,
+        "server must close after Connection: close"
+    );
+}
+
+#[test]
+fn the_per_connection_request_budget_is_bounded() {
+    let server = start_server(1);
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+    // The budget'th request is served with `Connection: close`; the socket
+    // dies afterwards, so a greedy client cannot pin a handler thread.
+    let budget = ehw_server::http::MAX_REQUESTS_PER_CONNECTION;
+    for served in 1..=budget {
+        stream
+            .write_all(b"GET /registry HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let (status, head, _) = read_one_response(&mut reader);
+        assert_eq!(status, 200);
+        let expected = if served == budget {
+            "Connection: close"
+        } else {
+            "Connection: keep-alive"
+        };
+        assert!(head.contains(expected), "request {served}: {head}");
+    }
+    let mut probe = [0u8; 1];
+    assert_eq!(std::io::Read::read(&mut reader, &mut probe).unwrap(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming jobs over the wire
+// ---------------------------------------------------------------------------
+
+fn stream_body(seed: u64) -> String {
+    format!(
+        "{{\"source\":{{\"type\":\"synthetic\",\"scene\":\"shapes\",\"complexity\":4,\
+          \"width\":16,\"height\":16,\"frames\":10,\
+          \"schedule\":[\
+            {{\"start_frame\":0,\"noise\":{{\"model\":\"salt_pepper\",\"density\":0.1}}}},\
+            {{\"start_frame\":6,\"noise\":{{\"model\":\"salt_pepper\",\"density\":0.5}}}}]}},\
+         \"drift_window\":3,\"drift_threshold_pct\":140,\"generations\":6,\"seed\":{seed}}}"
+    )
+}
+
+#[test]
+fn streams_submit_through_their_own_endpoint_and_settle_with_a_report() {
+    let server = start_server(1);
+    let addr = server.local_addr();
+
+    // `POST /streams` defaults the kind; a conflicting kind is refused.
+    let response = request(addr, "POST", "/streams", Some(&stream_body(7)));
+    assert_eq!(response.status, 201, "{}", response.body);
+    let doc = response.json();
+    assert_eq!(doc.get("kind").unwrap().as_str(), Some("stream"));
+    let job_id = doc.get("job_id").unwrap().as_u64().unwrap();
+
+    let wrong_kind = format!(
+        "{{\"kind\":\"evolution\",{}",
+        stream_body(7).strip_prefix('{').unwrap()
+    );
+    let response = request(addr, "POST", "/streams", Some(&wrong_kind));
+    assert_eq!(response.status, 400, "{}", response.body);
+    assert!(
+        response.body.contains("\\\"stream\\\" specs"),
+        "{}",
+        response.body
+    );
+
+    // Events carry the per-frame stream phases.
+    let mut stream = TcpStream::connect(addr).expect("connect for events");
+    stream
+        .write_all(format!("GET /jobs/{job_id}/events HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("stream drains");
+    let text = String::from_utf8(raw).unwrap();
+    let (_, events_body) = text.split_once("\r\n\r\n").expect("stream head");
+    let events: Vec<Value> = events_body
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| parse(l).expect("event line is JSON"))
+        .collect();
+    let frame_phases = events
+        .iter()
+        .filter(|e| {
+            e.get("stream")
+                .and_then(|s| s.get("phase"))
+                .and_then(Value::as_str)
+                == Some("frame")
+        })
+        .count();
+    assert_eq!(frame_phases, 10, "one frame phase per frame");
+
+    // The settled result is the stream report.
+    let settled = wait_settled(addr, job_id);
+    assert_eq!(settled.get("status").unwrap().as_str(), Some("done"));
+    let output = settled.get("result").unwrap().get("output").unwrap();
+    assert_eq!(output.get("type").unwrap().as_str(), Some("stream"));
+    assert_eq!(output.get("frames").unwrap().as_usize(), Some(10));
+    let hash = output.get("output_hash").unwrap().as_str().unwrap();
+    assert_eq!(hash.len(), 16);
+    assert!(u64::from_str_radix(hash, 16).is_ok());
+
+    // Same spec, same seed: byte-identical report over the wire.
+    let again = submit_stream(addr, &stream_body(7));
+    let settled_again = wait_settled(addr, again);
+    assert_eq!(
+        settled_again
+            .get("result")
+            .unwrap()
+            .get("output")
+            .unwrap()
+            .to_json(),
+        output.to_json(),
+        "stream results must be a pure function of spec and seed"
+    );
+}
+
+fn submit_stream(addr: std::net::SocketAddr, body: &str) -> u64 {
+    let response = request(addr, "POST", "/streams", Some(body));
+    assert_eq!(response.status, 201, "{}", response.body);
+    response.json().get("job_id").unwrap().as_u64().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Champion persistence across server restarts
+// ---------------------------------------------------------------------------
+
+#[test]
+fn champions_survive_a_server_restart_through_their_file() {
+    use ehw_service::ScenarioRegistry;
+
+    let path = std::env::temp_dir().join(format!("ehw-champions-test-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // First life: deposit a champion, wait for the reaper to persist it.
+    {
+        let service = EhwService::new(ServiceConfig::new(1).seed(11)).expect("service starts");
+        let server = EhwServer::serve_with_persistence(
+            service,
+            "127.0.0.1:0",
+            Duration::from_millis(100),
+            ScenarioRegistry::builtin(),
+            Some(path.clone()),
+        )
+        .expect("server starts");
+        let addr = server.local_addr();
+        let job_id = submit(addr, &evolution_body(16, 6, 41, ",\"warm_start\":true"));
+        let settled = wait_settled(addr, job_id);
+        assert_eq!(settled.get("status").unwrap().as_str(), Some("done"));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !path.exists() {
+            assert!(Instant::now() < deadline, "champions file never written");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    // The file is the documented shape.
+    let text = std::fs::read_to_string(&path).expect("champions file");
+    let doc = parse(&text).expect("champions file is JSON");
+    assert_eq!(doc.get("version").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        doc.get("champions").unwrap().as_array().unwrap().len(),
+        1,
+        "{text}"
+    );
+
+    // Second life: the library loads at startup, so the very first
+    // warm-start job on the same image is seeded from the restored champion.
+    {
+        let service = EhwService::new(ServiceConfig::new(1).seed(11)).expect("service starts");
+        let server = EhwServer::serve_with_persistence(
+            service,
+            "127.0.0.1:0",
+            Duration::from_millis(100),
+            ScenarioRegistry::builtin(),
+            Some(path.clone()),
+        )
+        .expect("server restarts");
+        let addr = server.local_addr();
+        let job_id = submit(addr, &evolution_body(16, 6, 42, ",\"warm_start\":true"));
+        let settled = wait_settled(addr, job_id);
+        let result = settled.get("result").unwrap();
+        assert_eq!(
+            result.get("warm_started").unwrap().as_bool(),
+            Some(true),
+            "restored champion must seed the first job of the second life"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn a_malformed_champions_file_refuses_to_boot() {
+    use ehw_service::ScenarioRegistry;
+
+    let path = std::env::temp_dir().join(format!("ehw-champions-bad-{}.json", std::process::id()));
+    std::fs::write(&path, b"{\"version\":1,\"champions\":[{\"broken\":true}]}").unwrap();
+    let service = EhwService::new(ServiceConfig::new(1).seed(11)).expect("service starts");
+    let error = match EhwServer::serve_with_persistence(
+        service,
+        "127.0.0.1:0",
+        Duration::from_millis(100),
+        ScenarioRegistry::builtin(),
+        Some(path.clone()),
+    ) {
+        Ok(_) => panic!("half-restored libraries are worse than an error"),
+        Err(error) => error,
+    };
+    assert!(error.to_string().contains("champion"), "{error}");
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

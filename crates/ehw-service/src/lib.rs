@@ -67,16 +67,23 @@ use ehw_platform::jobs;
 use ehw_platform::platform::EhwPlatform;
 use rand::SeedSequence;
 
-pub use ehw_platform::cache::{CacheStats, CrossJobCache, CrossJobCacheConfig};
+pub use ehw_platform::cache::{
+    CacheStats, Champion, ChampionKey, CrossJobCache, CrossJobCacheConfig,
+};
 pub use ehw_platform::jobs::{
     CancelKind, CascadeBuilder, CascadeSpec, EvolutionBuilder, EvolutionSpec, FaultCampaignBuilder,
-    FaultCampaignSpec, JobOutput, JobProgress, JobResult, JobSpec, SpecError,
+    FaultCampaignSpec, JobOutput, JobProgress, JobResult, JobSpec, SpecError, StreamBuilder,
+    StreamSourceSpec, StreamSpec,
 };
 pub use ehw_platform::scenario::{
     FaultScenario, InjectionSchedule, ResilienceEntry, ResilienceReport, ScenarioKind,
     ScenarioRegistry, TargetFilter,
 };
 pub use ehw_platform::self_healing::{RecoveryPolicy, RecoveryStep};
+pub use ehw_stream::{
+    AdaptationConfig, DriftConfig, NoiseSegment, PgmDirSource, SceneKind, SegmentReport,
+    StreamEvent, StreamReport,
+};
 
 // ---------------------------------------------------------------------------
 // Poison recovery

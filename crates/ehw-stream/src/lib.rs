@@ -1,0 +1,53 @@
+//! Frame-stream denoising with drift detection and online re-adaptation.
+//!
+//! The paper's evolvable filters are trained against a single static image;
+//! this crate keeps such a filter useful in *deployment*, where the input is
+//! a stream of frames whose noise profile drifts over time (a sensor feed
+//! whose channel degrades, lighting changes, a different interference source
+//! kicking in).  Three pieces compose:
+//!
+//! * [`FrameSource`] — where frames come from.  [`SyntheticSource`] generates
+//!   frames deterministically from a clean scene and a scriptable
+//!   *noise-shift schedule* (each segment applies a different
+//!   [`NoiseModel`](ehw_image::noise::NoiseModel) from its start frame on);
+//!   [`PgmDirSource`] replays a directory of PGM frames against a fixed
+//!   clean reference.
+//! * [`DriftDetector`] — scores the incumbent filter's fitness on a sliding
+//!   calibration window of recent frames and compares it with the baseline
+//!   latched when the window first filled.  When the windowed fitness
+//!   exceeds the baseline by a configured percentage, the detector fires.
+//! * [`run_stream`] — the engine.  Every frame is filtered through the
+//!   incumbent genotype's compiled plan (windows extracted once per frame and
+//!   shared between filtering and later adaptation scoring).  When drift
+//!   fires, the engine re-evolves *from the incumbent* under a per-adaptation
+//!   generation and optional wall-clock budget, and swaps the challenger in
+//!   only when it strictly beats the incumbent on the calibration window.
+//!
+//! # Determinism contract
+//!
+//! A stream's outcome is a pure function of (spec, seed).  All randomness is
+//! drawn from position-addressed [`SeedSequence`](rand::SeedSequence) lanes
+//! forked from the stream seed: lane 1 seeds the bootstrap evolution, lane 2
+//! forks one sub-lane per adaptation, and the frame source derives per-frame
+//! noise RNGs from its own seed by frame index.  Worker counts, queue order
+//! and pool sizes are scheduling only — the per-frame outputs, drift ticks
+//! and adaptation results are byte-identical at any `EHW_WORKERS` (the
+//! `property_stream_determinism` suite enforces it).  The one opt-in
+//! exception is the wall-clock adaptation budget
+//! ([`AdaptationConfig::max_millis`]): like job deadlines, it cuts evolution
+//! at a generation boundary chosen by the host clock, trading determinism
+//! for bounded latency.
+
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod engine;
+pub mod source;
+
+pub use drift::{DriftConfig, DriftDetector};
+pub use engine::{
+    run_stream, AdaptationConfig, SegmentReport, StreamConfig, StreamEvent, StreamReport,
+};
+pub use source::{
+    FrameSource, NoiseSegment, PgmDirSource, SceneKind, SourceError, SyntheticSource,
+};

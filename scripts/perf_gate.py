@@ -46,6 +46,14 @@ TRACKED = [
     ("resilience", "schedule_compile_events_per_sec"),
     ("resilience", "campaign_evals_per_sec"),
     ("resilience", "scenario_vs_legacy_ratio"),
+    # Streaming engine: steady-state filtering throughput with a trained
+    # incumbent (frames/sec) and the warm-vs-cold bootstrap evaluations gap
+    # when seeding from a champion.  `frames_to_recover` is recorded in the
+    # summary but not gated here — the gate is higher-is-better and recovery
+    # latency is lower-is-better.  Recorded, not yet gated — no committed
+    # baseline exists until this summary lands.
+    ("streaming", "frames_per_sec_steady_state"),
+    ("streaming", "warm_bootstrap_speedup"),
 ]
 
 # Gated even when the committed baseline lacks them: these ratios have
